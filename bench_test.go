@@ -1,0 +1,505 @@
+package scaledeep_test
+
+// The benchmark harness: one bench per table/figure of the paper's
+// evaluation (see DESIGN.md §3 for the experiment index). Each bench
+// regenerates its artifact from the underlying models and reports the
+// headline quantity as a custom metric, so `go test -bench=. -benchmem`
+// doubles as the experiment runner. EXPERIMENTS.md records paper-vs-
+// measured for every entry.
+
+import (
+	"math"
+	"testing"
+
+	"scaledeep"
+	"scaledeep/internal/arch"
+	"scaledeep/internal/cluster"
+	"scaledeep/internal/compiler"
+	"scaledeep/internal/dnn"
+	"scaledeep/internal/gpu"
+	"scaledeep/internal/isa"
+	"scaledeep/internal/perfmodel"
+	"scaledeep/internal/power"
+	"scaledeep/internal/report"
+	"scaledeep/internal/sim"
+	"scaledeep/internal/tensor"
+	"scaledeep/internal/workload"
+	"scaledeep/internal/zoo"
+)
+
+// BenchmarkFig01_FLOPsGrowth regenerates Fig. 1 (FLOPs of ImageNet entries
+// 2012-15) and reports the growth ratio the paper highlights (>10×).
+func BenchmarkFig01_FLOPsGrowth(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		entries := workload.FLOPsGrowth(zoo.All())
+		ratio = float64(entries[len(entries)-1].FLOPs) / float64(entries[0].FLOPs)
+	}
+	b.ReportMetric(ratio, "growth-x")
+}
+
+// BenchmarkFig04_OverFeatBreakdown regenerates Fig. 4 and reports the mid
+// CONV layers' share of FP+BP FLOPs (paper: ~54%).
+func BenchmarkFig04_OverFeatBreakdown(b *testing.B) {
+	var share float64
+	for i := 0; i < b.N; i++ {
+		m := workload.ByClass(zoo.OverFeatFast())
+		var total int64
+		for _, cb := range m {
+			total += cb.FLOPsFPBP
+		}
+		share = m[dnn.ClassMidConv].FPBPShare(total)
+	}
+	b.ReportMetric(100*share, "midconv-%")
+}
+
+// BenchmarkFig05_KernelSummary regenerates Fig. 5 and reports
+// nD-convolution's share of total FLOPs (paper: 93.1%).
+func BenchmarkFig05_KernelSummary(b *testing.B) {
+	var convShare float64
+	for i := 0; i < b.N; i++ {
+		for _, r := range workload.KernelSummary(zoo.All()) {
+			if r.Kernel == dnn.KConv {
+				convShare = r.FLOPsShare
+			}
+		}
+	}
+	b.ReportMetric(100*convShare, "conv-%")
+}
+
+// BenchmarkFig08_ISA assembles and disassembles a full compiled program
+// stream, exercising the 28-instruction ISA of Fig. 8.
+func BenchmarkFig08_ISA(b *testing.B) {
+	net := smallNet()
+	chip := smallChip()
+	c, err := compiler.Compile(net, chip, compiler.Options{Minibatch: 1, Training: true, LR: 0.0625})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	instrs := 0
+	for i := 0; i < b.N; i++ {
+		instrs = c.TotalInstructions()
+		for _, p := range c.Programs {
+			buf := isa.EncodeProgram(p)
+			q, err := isa.DecodeProgram(p.Tile, buf)
+			if err != nil || len(q.Instrs) != len(p.Instrs) {
+				b.Fatal("round trip failed")
+			}
+		}
+	}
+	b.ReportMetric(float64(instrs), "instructions")
+}
+
+// BenchmarkFig13_Compile runs the two-phase compiler end to end (Fig. 13).
+func BenchmarkFig13_Compile(b *testing.B) {
+	net := smallNet()
+	chip := smallChip()
+	var progs int
+	for i := 0; i < b.N; i++ {
+		c, err := compiler.Compile(net, chip, compiler.Options{Minibatch: 2, Training: true, LR: 0.0625})
+		if err != nil {
+			b.Fatal(err)
+		}
+		progs = len(c.Programs)
+	}
+	b.ReportMetric(float64(progs), "programs")
+}
+
+// BenchmarkFig14_ConfigDerivation re-derives the Fig. 14 tables and reports
+// node peak TFLOPs (paper: 680) and efficiency (paper: 485.7 GFLOPs/W).
+func BenchmarkFig14_ConfigDerivation(b *testing.B) {
+	var peak, eff float64
+	for i := 0; i < b.N; i++ {
+		n := arch.Baseline()
+		peak = n.PeakFLOPs()
+		eff = n.Efficiency()
+	}
+	b.ReportMetric(peak/1e12, "peak-TFLOPs")
+	b.ReportMetric(eff/1e9, "GFLOPs/W")
+}
+
+// BenchmarkFig15_BenchmarkTable rebuilds all 11 networks and reports the
+// total weight count of the suite.
+func BenchmarkFig15_BenchmarkTable(b *testing.B) {
+	var weights int64
+	for i := 0; i < b.N; i++ {
+		weights = 0
+		for _, n := range zoo.All() {
+			weights += n.TotalWeights()
+		}
+	}
+	b.ReportMetric(float64(weights)/1e6, "suite-Mweights")
+}
+
+// BenchmarkFig16_SinglePrecision models the full suite on the SP node and
+// reports the geomean utilization (paper: 0.35) and AlexNet training
+// throughput.
+func BenchmarkFig16_SinglePrecision(b *testing.B) {
+	benchPerfFigure(b, arch.Baseline())
+}
+
+// BenchmarkFig17_HalfPrecision models the suite on the FP16 node (paper:
+// 1.85× over single precision).
+func BenchmarkFig17_HalfPrecision(b *testing.B) {
+	benchPerfFigure(b, arch.HalfPrecision())
+}
+
+func benchPerfFigure(b *testing.B, node arch.NodeConfig) {
+	b.Helper()
+	var geo, alex float64
+	for i := 0; i < b.N; i++ {
+		rows, err := report.ModelSuite(node)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var s float64
+		for _, r := range rows {
+			s += math.Log(r.Perf.Utilization)
+			if r.Name == "AlexNet" {
+				alex = r.Perf.TrainImagesPerSec
+			}
+		}
+		geo = math.Exp(s / float64(len(rows)))
+	}
+	b.ReportMetric(geo, "geomean-util")
+	b.ReportMetric(alex, "alexnet-img/s")
+}
+
+// BenchmarkFig18_GPUSpeedup computes the chip-cluster vs TitanX speedups
+// and reports the cuDNN-R2 geomean (paper band: 22×-28×).
+func BenchmarkFig18_GPUSpeedup(b *testing.B) {
+	cluster := arch.Baseline()
+	cluster.NumClusters = 1
+	var geo float64
+	for i := 0; i < b.N; i++ {
+		prod := 1.0
+		for _, name := range gpu.Networks {
+			np, err := perfmodel.Model(zoo.Build(name), cluster)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rate, _ := gpu.TrainImagesPerSec(name, gpu.CuDNNR2)
+			prod *= np.TrainImagesPerSec / rate
+		}
+		geo = math.Pow(prod, 1.0/float64(len(gpu.Networks)))
+	}
+	b.ReportMetric(geo, "cudnn-r2-speedup-x")
+}
+
+// BenchmarkFig19_AlexNetUtilization regenerates the AlexNet utilization
+// cascade and reports the final overall utilization.
+func BenchmarkFig19_AlexNetUtilization(b *testing.B) {
+	var util float64
+	net := zoo.AlexNet()
+	node := arch.Baseline()
+	for i := 0; i < b.N; i++ {
+		np, err := perfmodel.Model(net, node)
+		if err != nil {
+			b.Fatal(err)
+		}
+		util = np.Utilization
+	}
+	b.ReportMetric(util, "alexnet-util")
+}
+
+// BenchmarkFig20_PowerEfficiency reports the suite's geomean processing
+// efficiency (paper: 331.7 GFLOPs/W).
+func BenchmarkFig20_PowerEfficiency(b *testing.B) {
+	node := arch.Baseline()
+	var geo float64
+	for i := 0; i < b.N; i++ {
+		rows, err := report.ModelSuite(node)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var s float64
+		for _, r := range rows {
+			s += math.Log(power.Average(r.Perf, node).Efficiency)
+		}
+		geo = math.Exp(s / float64(len(rows)))
+	}
+	b.ReportMetric(geo, "GFLOPs/W")
+}
+
+// BenchmarkFig21_LinkUtilization reports the comp-mem link geomean
+// utilization (paper: 0.87).
+func BenchmarkFig21_LinkUtilization(b *testing.B) {
+	node := arch.Baseline()
+	var geo float64
+	for i := 0; i < b.N; i++ {
+		rows, err := report.ModelSuite(node)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var s float64
+		for _, r := range rows {
+			s += math.Log(r.Perf.Links.CompMem)
+		}
+		geo = math.Exp(s / float64(len(rows)))
+	}
+	b.ReportMetric(geo, "compmem-util")
+}
+
+// --- substrate micro-benchmarks ------------------------------------------
+
+// BenchmarkSimulatorEval measures the functional simulator executing a
+// compiled evaluation (cycles simulated per wall second).
+func BenchmarkSimulatorEval(b *testing.B) {
+	benchSimulator(b, false)
+}
+
+// BenchmarkSimulatorTrain measures a full compiled training iteration.
+func BenchmarkSimulatorTrain(b *testing.B) {
+	benchSimulator(b, true)
+}
+
+func benchSimulator(b *testing.B, training bool) {
+	b.Helper()
+	net := smallNet()
+	chip := smallChip()
+	e := scaledeep.NewExecutor(net, 3)
+	e.NoBias = true
+	rng := tensor.NewRNG(5)
+	inputs := []*tensor.Tensor{tensor.New(3, 12, 12)}
+	rng.FillUniform(inputs[0], 1)
+	golden := []*tensor.Tensor{tensor.New(10)}
+	rng.FillUniform(golden[0], 1)
+	opts := compiler.Options{Minibatch: 1, Training: training, LR: 0.0625}
+	c, err := compiler.Compile(net, chip, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var cycles sim.Cycle
+	for i := 0; i < b.N; i++ {
+		m := sim.NewMachine(chip, arch.Single, true)
+		if err := c.Install(m); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.LoadWeights(m, e); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.LoadInputs(m, inputs); err != nil {
+			b.Fatal(err)
+		}
+		if training {
+			if err := c.LoadGolden(m, golden); err != nil {
+				b.Fatal(err)
+			}
+		}
+		st, err := m.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = st.Cycles
+	}
+	b.ReportMetric(float64(cycles), "sim-cycles")
+}
+
+// BenchmarkTensorConv2D measures the conv substrate on a mid-CONV-layer
+// shaped workload.
+func BenchmarkTensorConv2D(b *testing.B) {
+	rng := tensor.NewRNG(1)
+	in := tensor.New(64, 28, 28)
+	w := tensor.New(64, 64, 3, 3)
+	rng.FillUniform(in, 1)
+	rng.FillUniform(w, 1)
+	p := tensor.ConvParams{KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := tensor.Conv2D(in, w, nil, p)
+		if out.Len() == 0 {
+			b.Fatal("empty")
+		}
+	}
+	flops := 2.0 * 64 * 64 * 9 * 28 * 28
+	b.ReportMetric(flops, "FLOPs/op")
+}
+
+// BenchmarkExecutorTrainingStep measures one software FP+BP+WG iteration.
+func BenchmarkExecutorTrainingStep(b *testing.B) {
+	net := smallNet()
+	e := scaledeep.NewExecutor(net, 3)
+	e.NoBias = true
+	rng := tensor.NewRNG(5)
+	img := tensor.New(3, 12, 12)
+	rng.FillUniform(img, 1)
+	grad := tensor.New(10)
+	rng.FillUniform(grad, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Forward(img)
+		e.BackwardFrom(grad)
+		e.Step(0.01, 1)
+	}
+}
+
+func smallNet() *dnn.Network {
+	b := dnn.NewBuilder("benchnet")
+	in := b.Input(3, 12, 12)
+	c1 := b.Conv(in, "c1", 6, 3, 1, 1, tensor.ActReLU)
+	p1 := b.MaxPool(c1, "s1", 2, 2)
+	c2 := b.Conv(p1, "c2", 8, 3, 1, 1, tensor.ActTanh)
+	f1 := b.FC(c2, "f1", 10, tensor.ActNone)
+	_ = f1
+	return b.Build()
+}
+
+func smallChip() arch.ChipConfig {
+	c := arch.Baseline().Cluster.Conv
+	c.Rows, c.Cols = 3, 8
+	return c
+}
+
+// --- design-choice ablations (DESIGN.md §3) --------------------------------
+
+// BenchmarkAblation_Winograd quantifies the headroom §6.1 identifies:
+// Winograd F(2×2,3×3) on the eligible conv layers of VGG-D.
+func BenchmarkAblation_Winograd(b *testing.B) {
+	node := arch.Baseline()
+	net := zoo.VGG('D')
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		base, err := perfmodel.Model(net, node)
+		if err != nil {
+			b.Fatal(err)
+		}
+		wino, err := perfmodel.ModelWith(net, node, perfmodel.Options{Winograd: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = wino.TrainImagesPerSec / base.TrainImagesPerSec
+	}
+	b.ReportMetric(speedup, "winograd-x")
+}
+
+// BenchmarkAblation_SubColumnAllocation quantifies §6.1's stated future
+// work: sub-column layer allocation removes the column-quantization stage
+// of the utilization cascade.
+func BenchmarkAblation_SubColumnAllocation(b *testing.B) {
+	node := arch.Baseline()
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		prod := 1.0
+		for _, name := range zoo.Names {
+			base, err := perfmodel.Model(zoo.Build(name), node)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sub, err := perfmodel.ModelWith(zoo.Build(name), node, perfmodel.Options{SubColumnAllocation: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			prod *= sub.TrainImagesPerSec / base.TrainImagesPerSec
+		}
+		gain = math.Pow(prod, 1.0/float64(len(zoo.Names)))
+	}
+	b.ReportMetric(gain, "subcol-geomean-x")
+}
+
+// BenchmarkAblation_Heterogeneity quantifies the §7 argument against
+// homogeneous designs: without FcLayer chips, FC-heavy OverFeat becomes
+// memory-bandwidth bound.
+func BenchmarkAblation_Heterogeneity(b *testing.B) {
+	node := arch.Baseline()
+	net := zoo.OverFeatFast()
+	var slowdown float64
+	for i := 0; i < b.N; i++ {
+		base, err := perfmodel.Model(net, node)
+		if err != nil {
+			b.Fatal(err)
+		}
+		hom, err := perfmodel.ModelWith(net, node, perfmodel.Options{Homogeneous: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		slowdown = base.TrainImagesPerSec / hom.TrainImagesPerSec
+	}
+	b.ReportMetric(slowdown, "hetero-advantage-x")
+}
+
+// BenchmarkHalfPrecisionSim measures the FP16 functional datapath on a
+// compiled evaluation.
+func BenchmarkHalfPrecisionSim(b *testing.B) {
+	net := smallNet()
+	chip := smallChip()
+	e := scaledeep.NewExecutor(net, 3)
+	e.NoBias = true
+	rng := tensor.NewRNG(5)
+	inputs := []*tensor.Tensor{tensor.New(3, 12, 12)}
+	rng.FillUniform(inputs[0], 1)
+	c, err := compiler.Compile(net, chip, compiler.Options{Minibatch: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := sim.NewMachine(chip, arch.Half, true)
+		if err := c.Install(m); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.LoadWeights(m, e); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.LoadInputs(m, inputs); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTensorWinograd measures the F(2×2,3×3) substrate vs direct
+// convolution shape.
+func BenchmarkTensorWinograd(b *testing.B) {
+	rng := tensor.NewRNG(1)
+	in := tensor.New(64, 28, 28)
+	w := tensor.New(64, 64, 3, 3)
+	rng.FillUniform(in, 1)
+	rng.FillUniform(w, 1)
+	p := tensor.ConvParams{KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := tensor.Conv2DWinograd(in, w, nil, p)
+		if out.Len() == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+// BenchmarkClusterMinibatchBoundary measures the §3.3 node-level collective
+// (wheel accumulation + ring all-reduce + weight distribution) for an
+// AlexNet-sized CONV weight set, reporting the boundary's cycle cost.
+func BenchmarkClusterMinibatchBoundary(b *testing.B) {
+	const convWeights = 2_300_000 // AlexNet CONV parameters
+	// One fresh-fabric run gives the simulated cycle cost; the timed loop
+	// reuses the fabric to measure the collective's wall cost.
+	cycles := cluster.NewNode(arch.Baseline(), convWeights, 1000).MinibatchBoundary(0.01)
+	n := cluster.NewNode(arch.Baseline(), convWeights, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.MinibatchBoundary(0.01)
+	}
+	b.ReportMetric(float64(cycles), "boundary-cycles")
+	b.ReportMetric(float64(cycles)/600e3, "boundary-ms")
+}
+
+// BenchmarkTensorConv2DIm2col measures the matmul-lowered convolution (the
+// 2D-PE array's dot-product formulation) against the direct loop.
+func BenchmarkTensorConv2DIm2col(b *testing.B) {
+	rng := tensor.NewRNG(1)
+	in := tensor.New(64, 28, 28)
+	w := tensor.New(64, 64, 3, 3)
+	rng.FillUniform(in, 1)
+	rng.FillUniform(w, 1)
+	p := tensor.ConvParams{KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := tensor.Conv2DIm2col(in, w, nil, p)
+		if out.Len() == 0 {
+			b.Fatal("empty")
+		}
+	}
+}

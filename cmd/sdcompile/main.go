@@ -1,0 +1,91 @@
+// Command sdcompile runs the ScaleDeep compiler on a small demonstration
+// network (or a zoo benchmark's mapping phase) and prints the workload
+// mapping and generated per-tile programs — the artifacts of Fig. 13.
+//
+// Usage:
+//
+//	sdcompile            # compile the demo network, dump one program
+//	sdcompile -all       # dump every generated program
+//	sdcompile -map NAME  # print the mapping phase for a zoo benchmark
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"scaledeep/internal/arch"
+	"scaledeep/internal/compiler"
+	"scaledeep/internal/dnn"
+	"scaledeep/internal/isa"
+	"scaledeep/internal/perfmodel"
+	"scaledeep/internal/tensor"
+	"scaledeep/internal/zoo"
+)
+
+func demoNet() *dnn.Network {
+	b := dnn.NewBuilder("demo")
+	in := b.Input(3, 16, 16)
+	c1 := b.Conv(in, "c1", 8, 3, 1, 1, tensor.ActReLU)
+	p1 := b.MaxPool(c1, "s1", 2, 2)
+	c2 := b.Conv(p1, "c2", 8, 3, 1, 1, tensor.ActReLU)
+	f1 := b.FC(c2, "f1", 10, tensor.ActNone)
+	_ = f1
+	return b.Build()
+}
+
+func demoChip() arch.ChipConfig {
+	c := arch.Baseline().Cluster.Conv
+	c.Rows, c.Cols = 3, 8
+	return c
+}
+
+func main() {
+	all := flag.Bool("all", false, "dump every generated program")
+	mapNet := flag.String("map", "", "print the mapping phase for a zoo benchmark")
+	flag.Parse()
+
+	if *mapNet != "" {
+		np, err := perfmodel.Model(zoo.Build(*mapNet), arch.Baseline())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("workload mapping for %s on the baseline node:\n", *mapNet)
+		fmt.Printf("  columns/copy %d, conv chips %d, clusters %d, copies %d\n",
+			np.ColsPerCopy, np.ConvChips, np.Clusters, np.Copies)
+		for _, lp := range np.Layers {
+			fmt.Printf("  %-14s cols %3d  trainFLOPs %8.2fG  util %.2f\n",
+				lp.Name, lp.Cols, float64(lp.FLOPsTrain)/1e9, lp.Util)
+		}
+		return
+	}
+
+	net := demoNet()
+	c, err := compiler.Compile(net, demoChip(), compiler.Options{
+		Minibatch: 2, Iterations: 1, Training: true, LR: 0.0625,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("compiled %s: %d programs, %d instructions, %d trackers\n\n",
+		net.Name, len(c.Programs), c.TotalInstructions(), len(c.Trackers))
+
+	var names []string
+	byName := map[string]*isa.Program{}
+	for _, p := range c.Programs {
+		names = append(names, p.Tile)
+		byName[p.Tile] = p
+	}
+	sort.Strings(names)
+	if *all {
+		for _, n := range names {
+			fmt.Println(isa.Disassemble(byName[n]))
+		}
+		return
+	}
+	fmt.Println(isa.Disassemble(byName[names[0]]))
+	fmt.Printf("(%d more programs; use -all to dump everything)\n", len(names)-1)
+}

@@ -1,0 +1,40 @@
+// Command sdreport regenerates every table and figure of the paper's
+// evaluation from the models in this repository and prints them as text.
+//
+// Usage:
+//
+//	sdreport [figure]
+//
+// With no argument it prints everything; with an argument (e.g. "16" or
+// "fig16") it prints a single figure.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"scaledeep/internal/report"
+)
+
+var figures = map[string]func() string{
+	"1": report.Fig01, "4": report.Fig04, "5": report.Fig05,
+	"14": report.Fig14, "15": report.Fig15, "16": report.Fig16,
+	"17": report.Fig17, "18": report.Fig18, "19": report.Fig19,
+	"20": report.Fig20, "21": report.Fig21,
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Print(report.All())
+		return
+	}
+	key := strings.TrimPrefix(strings.ToLower(os.Args[1]), "fig")
+	key = strings.TrimPrefix(key, ".")
+	f, ok := figures[key]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown figure %q; available: 1 4 5 14 15 16 17 18 19 20 21\n", os.Args[1])
+		os.Exit(2)
+	}
+	fmt.Print(f())
+}

@@ -1,0 +1,121 @@
+// Command sdsim compiles a small network, runs it on the functional
+// ScaleDeep simulator, and reports cycle counts, utilization and link
+// traffic — a miniature of the paper's simulation methodology (§5).
+//
+// Usage:
+//
+//	sdsim [-train] [-mb N] [-iters N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"scaledeep/internal/arch"
+	"scaledeep/internal/compiler"
+	"scaledeep/internal/dnn"
+	"scaledeep/internal/sim"
+	"scaledeep/internal/tensor"
+)
+
+func main() {
+	train := flag.Bool("train", false, "simulate training (FP+BP+WG) instead of evaluation")
+	mb := flag.Int("mb", 2, "minibatch size")
+	iters := flag.Int("iters", 1, "training iterations")
+	traceN := flag.Int("trace", 0, "print the first N trace events (0 = off)")
+	utilMap := flag.Bool("map", false, "print the Fig.19-style chip utilization map")
+	flag.Parse()
+
+	b := dnn.NewBuilder("simnet")
+	in := b.Input(3, 12, 12)
+	c1 := b.Conv(in, "c1", 6, 3, 1, 1, tensor.ActReLU)
+	p1 := b.MaxPool(c1, "s1", 2, 2)
+	c2 := b.Conv(p1, "c2", 8, 3, 1, 1, tensor.ActTanh)
+	f1 := b.FC(c2, "f1", 10, tensor.ActNone)
+	_ = f1
+	net := b.Build()
+
+	chip := arch.Baseline().Cluster.Conv
+	chip.Rows, chip.Cols = 3, 8
+
+	opts := compiler.Options{Minibatch: *mb, Iterations: *iters, Training: *train, LR: 0.0625}
+	c, err := compiler.Compile(net, chip, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	m := sim.NewMachine(chip, arch.Single, true)
+	if *traceN > 0 {
+		m.EnableTrace(*traceN)
+	}
+	if err := c.Install(m); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	e := dnn.NewExecutor(net, 1)
+	e.NoBias = true
+	if err := c.LoadWeights(m, e); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	rng := tensor.NewRNG(7)
+	inputs := make([]*tensor.Tensor, *mb)
+	golden := make([]*tensor.Tensor, *mb)
+	for i := range inputs {
+		inputs[i] = tensor.New(3, 12, 12)
+		rng.FillUniform(inputs[i], 1)
+		golden[i] = tensor.New(10)
+		rng.FillUniform(golden[i], 1)
+	}
+	if err := c.LoadInputs(m, inputs); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *train {
+		if err := c.LoadGolden(m, golden); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	st, err := m.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	mode := "evaluation"
+	if *train {
+		mode = "training"
+	}
+	fmt.Printf("%s of %s on a %dx%d chip (%d programs, %d instructions)\n",
+		mode, net.Name, chip.Rows, chip.Cols, len(c.Programs), c.TotalInstructions())
+	fmt.Printf("  cycles          %d\n", st.Cycles)
+	fmt.Printf("  instructions    %d\n", st.Instructions)
+	fmt.Printf("  FLOPs           %d\n", st.FLOPs)
+	fmt.Printf("  PE utilization  %.3f\n", st.PEUtilization())
+	fmt.Printf("  SFU utilization %.3f\n", st.SFUUtilization())
+	fmt.Printf("  comp-mem bytes  %d\n", st.CompMemBytes)
+	fmt.Printf("  mem-mem bytes   %d\n", st.MemMemBytes)
+	fmt.Printf("  ext-mem bytes   %d\n", st.ExtMemBytes)
+	fmt.Printf("  tracker NACKs   %d\n", st.NACKs)
+	out := c.ReadOutput(m, *mb-1)
+	fmt.Printf("  output[last image]: %v\n", out)
+	if *traceN > 0 {
+		fmt.Println()
+		fmt.Print(sim.FormatTrace(m.Trace()))
+		if d := m.TraceDropped(); d > 0 {
+			fmt.Printf("  (%d further events dropped)\n", d)
+		}
+		sum := sim.Summarize(m.Trace())
+		fmt.Println("  busy cycles by op:")
+		for op, cyc := range sum.OpCycles {
+			fmt.Printf("    %-10s %d\n", op, cyc)
+		}
+	}
+	if *utilMap {
+		fmt.Println()
+		fmt.Print(m.UtilizationMap())
+	}
+}

@@ -1,0 +1,47 @@
+// Quickstart: define a network, inspect its workload characteristics, and
+// model its performance on the ScaleDeep node — the three core things a
+// user of this library does.
+package main
+
+import (
+	"fmt"
+
+	"scaledeep"
+	"scaledeep/internal/dnn"
+)
+
+func main() {
+	// 1. Define a network with the builder (shapes are inferred).
+	b := scaledeep.NewBuilder("quicknet")
+	in := b.Input(3, 64, 64)
+	c1 := b.Conv(in, "c1", 32, 5, 1, 2, scaledeep.ReLU)
+	p1 := b.MaxPool(c1, "s1", 2, 2)
+	c2 := b.Conv(p1, "c2", 64, 3, 1, 1, scaledeep.ReLU)
+	p2 := b.MaxPool(c2, "s2", 2, 2)
+	c3 := b.Conv(p2, "c3", 128, 3, 1, 1, scaledeep.ReLU)
+	f1 := b.FC(c3, "f1", 256, scaledeep.ReLU)
+	f2 := b.FC(f1, "f2", 10, scaledeep.NoAct)
+	net := b.Softmax(f2).Build()
+
+	// 2. Workload characteristics (§2.3 of the paper).
+	cost := dnn.NetworkCost(net)
+	fmt.Printf("%s: %.2fM neurons, %.2fM weights\n", net.Name,
+		float64(net.TotalNeurons())/1e6, float64(net.TotalWeights())/1e6)
+	fmt.Printf("  evaluation: %.2f GFLOPs/image\n", float64(cost.StepFLOPs(dnn.FP))/1e9)
+	fmt.Printf("  training:   %.2f GFLOPs/image (FP+BP+WG)\n\n", float64(cost.TotalFLOPs())/1e9)
+
+	// 3. Model it on the two published node designs.
+	for _, node := range []scaledeep.NodeConfig{scaledeep.Baseline(), scaledeep.HalfPrecision()} {
+		perf, err := scaledeep.Model(net, node)
+		if err != nil {
+			panic(err)
+		}
+		pw := scaledeep.AveragePower(perf, node)
+		fmt.Printf("%s (%v precision, %.0f TFLOPs peak):\n", node.Name, node.Precision, node.PeakFLOPs()/1e12)
+		fmt.Printf("  columns/copy %d × %d copies, utilization %.2f\n",
+			perf.ColsPerCopy, perf.Copies, perf.Utilization)
+		fmt.Printf("  training  %8.0f images/s\n", perf.TrainImagesPerSec)
+		fmt.Printf("  eval      %8.0f images/s\n", perf.EvalImagesPerSec)
+		fmt.Printf("  power     %8.0f W avg (%.1f GFLOPs/W)\n\n", pw.TotalW, pw.Efficiency)
+	}
+}

@@ -1,0 +1,59 @@
+// Sweep: a design-space exploration over the ScaleDeep node — an ablation
+// of the architectural choices DESIGN.md calls out (array geometry, tile
+// memory capacity, precision) measured on AlexNet training throughput.
+package main
+
+import (
+	"fmt"
+
+	"scaledeep"
+)
+
+func main() {
+	base := scaledeep.Baseline()
+	net := scaledeep.Benchmark("AlexNet")
+
+	show := func(label string, node scaledeep.NodeConfig) {
+		perf, err := scaledeep.Model(net, node)
+		if err != nil {
+			fmt.Printf("%-34s %v\n", label, err)
+			return
+		}
+		pw := scaledeep.AveragePower(perf, node)
+		fmt.Printf("%-34s %8.0f img/s  util %.2f  %6.1f GFLOPs/W\n",
+			label, perf.TrainImagesPerSec, perf.Utilization, pw.Efficiency)
+	}
+
+	fmt.Println("AlexNet training throughput across node design variants")
+	fmt.Println("--------------------------------------------------------")
+	show("baseline (Fig. 14)", base)
+	show("half precision (Fig. 17)", scaledeep.HalfPrecision())
+
+	// Ablation: 2D-PE array lanes (the batch-convolution vector width).
+	for _, lanes := range []int{1, 2, 8} {
+		n := scaledeep.Baseline()
+		n.Cluster.Conv.CompHeavy.Lanes = lanes
+		show(fmt.Sprintf("lanes/2D-PE = %d (base 4)", lanes), n)
+	}
+
+	// Ablation: array rows (feature-row parallelism vs residue waste).
+	for _, rows := range []int{4, 16} {
+		n := scaledeep.Baseline()
+		n.Cluster.Conv.CompHeavy.ArrayRows = rows
+		show(fmt.Sprintf("array rows = %d (base 8)", rows), n)
+	}
+
+	// Ablation: MemHeavy capacity (drives the column minimum / replication).
+	for _, kb := range []int{128, 1024} {
+		n := scaledeep.Baseline()
+		n.Cluster.Conv.MemHeavy.CapacityKB = kb
+		show(fmt.Sprintf("MemHeavy capacity = %dKB (base 512)", kb), n)
+	}
+
+	// Ablation: chip columns (spatial pipeline depth per chip).
+	for _, cols := range []int{8, 32} {
+		n := scaledeep.Baseline()
+		n.Cluster.Conv.Cols = cols
+		show(fmt.Sprintf("chip columns = %d (base 16)", cols), n)
+	}
+}

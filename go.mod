@@ -1,0 +1,3 @@
+module scaledeep
+
+go 1.22

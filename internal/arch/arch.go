@@ -1,0 +1,239 @@
+// Package arch defines the ScaleDeep micro-architectural configuration
+// hierarchy of §3 and Fig. 14: CompHeavy and MemHeavy processing tiles,
+// ConvLayer and FcLayer chips, chip clusters (a wheel of ConvLayer chips
+// around one FcLayer chip), and the node (a ring of chip clusters). All
+// derived quantities — tile/chip/cluster/node peak FLOPs, peak power,
+// processing efficiency — come from these structs, and the arch tests check
+// them against the numbers Fig. 14 publishes.
+package arch
+
+import "fmt"
+
+// Precision selects the datapath width (Fig. 16 vs Fig. 17 designs).
+type Precision int
+
+const (
+	Single Precision = iota // FP32
+	Half                    // FP16
+)
+
+func (p Precision) String() string {
+	if p == Half {
+		return "half"
+	}
+	return "single"
+}
+
+// Bytes returns the storage size of one network value.
+func (p Precision) Bytes() int64 {
+	if p == Half {
+		return 2
+	}
+	return 4
+}
+
+// CompHeavyConfig describes the compute-heavy tile (§3.1.1): a reconfigurable
+// 2D array of vector processing elements with streaming memories on three
+// borders and a 1D accumulator array on the fourth.
+type CompHeavyConfig struct {
+	ArrayRows int // rows of 2D-PEs
+	ArrayCols int // columns of 2D-PEs
+	Lanes     int // vector lanes per 2D-PE
+
+	LeftMemKB    int // streaming memory feeding array rows
+	TopMemKB     int
+	BottomMemKB  int
+	ScratchpadKB int // partial-output scratchpad
+
+	PowerW float64 // synthesized tile power (Fig. 14)
+	// Power split (logic, memory); tiles have no interconnect share.
+	LogicFrac, MemFrac float64
+}
+
+// MACsPerCycle returns the fused multiply-accumulate throughput of the 2D
+// array in one cycle.
+func (c CompHeavyConfig) MACsPerCycle() int {
+	return c.ArrayRows * c.ArrayCols * c.Lanes
+}
+
+// FLOPsPerCycle returns peak FLOPs per cycle: 2 per MAC, plus the 1D
+// accumulator array's adds. Fig. 14's published peaks (134 GFLOPs for the
+// ConvLayer tile at 600 MHz = 224 FLOPs/cycle = 8·3·4·2 + 8·4; 38.4 GFLOPs
+// for the FcLayer tile = 64 = 4·8·1·2) imply the accumulators count only in
+// the multi-lane (batch-convolution) configuration — in single-lane matrix
+// multiply the accumulation folds into the MACs.
+func (c CompHeavyConfig) FLOPsPerCycle() int {
+	fl := 2 * c.MACsPerCycle()
+	if c.Lanes > 1 {
+		fl += c.ArrayRows * c.Lanes
+	}
+	return fl
+}
+
+// PeakFLOPs returns the tile's peak FLOP/s at the given clock.
+func (c CompHeavyConfig) PeakFLOPs(freqHz float64) float64 {
+	return float64(c.FLOPsPerCycle()) * freqHz
+}
+
+// MemHeavyConfig describes the memory-heavy tile (§3.1.2): a large
+// scratchpad with special function units, a DMA controller, and hardware
+// data-flow trackers.
+type MemHeavyConfig struct {
+	CapacityKB int // scratchpad capacity
+	NumSFU     int // special function units (add/compare, multiply, act-fn)
+
+	TrackerSlots    int // concurrent MEMTRACK ranges
+	TrackQueueDepth int // queued requests per tracker before NACK
+
+	PowerW             float64
+	LogicFrac, MemFrac float64
+}
+
+// PeakFLOPs returns the SFU array's peak FLOP/s (one op per SFU per cycle;
+// Fig. 14: 32 SFUs → 19.2 GFLOPs at 600 MHz).
+func (c MemHeavyConfig) PeakFLOPs(freqHz float64) float64 {
+	return float64(c.NumSFU) * freqHz
+}
+
+// ChipKind distinguishes the two heterogeneous chip designs (§3.2.5).
+type ChipKind int
+
+const (
+	ConvLayerChip ChipKind = iota
+	FcLayerChip
+)
+
+func (k ChipKind) String() string {
+	if k == FcLayerChip {
+		return "FcLayer"
+	}
+	return "ConvLayer"
+}
+
+// ChipConfig describes one ScaleDeep chip: a grid of Rows × Cols compute
+// columns, each column holding Rows MemHeavy tiles on its left flank and
+// three CompHeavy tiles (FP, BP, WG) per MemHeavy tile, with one extra
+// MemHeavy column closing the right edge (Fig. 7c: 6×16 → 288 CompHeavy,
+// 102 MemHeavy).
+type ChipConfig struct {
+	Kind ChipKind
+	Rows int // MemHeavy tiles per column
+	Cols int // compute columns
+
+	CompHeavy CompHeavyConfig
+	MemHeavy  MemHeavyConfig
+
+	// Link bandwidths (bytes/s).
+	ExtMemGBps  float64 // per external memory channel
+	CompMemGBps float64 // CompHeavy ↔ MemHeavy links
+	MemMemGBps  float64 // MemHeavy ↔ MemHeavy links
+
+	PowerW float64 // whole-chip power (Fig. 14)
+	// Power split (logic, memory, interconnect).
+	LogicFrac, MemFrac, IntcFrac float64
+}
+
+// NumCompHeavy returns the CompHeavy tile count (3 per grid cell: FP/BP/WG).
+func (c ChipConfig) NumCompHeavy() int { return c.Rows * c.Cols * 3 }
+
+// NumMemHeavy returns the MemHeavy tile count (Cols+1 MemHeavy columns).
+func (c ChipConfig) NumMemHeavy() int { return c.Rows * (c.Cols + 1) }
+
+// PeakFLOPs returns the chip's peak FLOP/s at the given clock.
+func (c ChipConfig) PeakFLOPs(freqHz float64) float64 {
+	return float64(c.NumCompHeavy())*c.CompHeavy.PeakFLOPs(freqHz) +
+		float64(c.NumMemHeavy())*c.MemHeavy.PeakFLOPs(freqHz)
+}
+
+// MemCapacityBytes returns the total MemHeavy scratchpad capacity.
+func (c ChipConfig) MemCapacityBytes() int64 {
+	return int64(c.NumMemHeavy()) * int64(c.MemHeavy.CapacityKB) * 1024
+}
+
+// ClusterConfig is the wheel of §3.3.1: ConvLayer chips at the circumference
+// and one FcLayer chip at the center. Spokes connect each ConvLayer chip to
+// the FcLayer chip; arcs connect adjacent ConvLayer chips.
+type ClusterConfig struct {
+	NumConvChips int
+	Conv         ChipConfig
+	Fc           ChipConfig
+
+	SpokeGBps float64
+	ArcGBps   float64
+
+	// Cluster-level power above the chips (wheel links, shared memory I/O).
+	OverheadPowerW float64
+	PowerFrac      [3]float64 // logic, mem, interconnect at cluster level
+}
+
+// NumChips returns the total chips per cluster.
+func (c ClusterConfig) NumChips() int { return c.NumConvChips + 1 }
+
+// PeakFLOPs returns the cluster's peak FLOP/s.
+func (c ClusterConfig) PeakFLOPs(freqHz float64) float64 {
+	return float64(c.NumConvChips)*c.Conv.PeakFLOPs(freqHz) + c.Fc.PeakFLOPs(freqHz)
+}
+
+// PowerW returns the cluster's peak power (chips + wheel overhead).
+func (c ClusterConfig) PowerW() float64 {
+	return float64(c.NumConvChips)*c.Conv.PowerW + c.Fc.PowerW + c.OverheadPowerW
+}
+
+// NodeConfig is the full ScaleDeep node (§3.3.2): a ring of chip clusters.
+type NodeConfig struct {
+	Name      string
+	Precision Precision
+	FreqHz    float64
+
+	NumClusters int
+	Cluster     ClusterConfig
+
+	RingGBps float64
+
+	// Node-level power above the clusters (ring links, host I/O).
+	OverheadPowerW float64
+	PowerFrac      [3]float64
+}
+
+// PeakFLOPs returns the node's peak FLOP/s.
+func (n NodeConfig) PeakFLOPs() float64 {
+	return float64(n.NumClusters) * n.Cluster.PeakFLOPs(n.FreqHz)
+}
+
+// PowerW returns the node's peak power.
+func (n NodeConfig) PowerW() float64 {
+	return float64(n.NumClusters)*n.Cluster.PowerW() + n.OverheadPowerW
+}
+
+// Efficiency returns peak processing efficiency in FLOPs/W.
+func (n NodeConfig) Efficiency() float64 { return n.PeakFLOPs() / n.PowerW() }
+
+// TotalTiles returns the total processing tile count (the paper's headline
+// 7032 = 5184 CompHeavy + 1848 MemHeavy).
+func (n NodeConfig) TotalTiles() (compHeavy, memHeavy int) {
+	conv := n.Cluster.Conv
+	fc := n.Cluster.Fc
+	compHeavy = n.NumClusters * (n.Cluster.NumConvChips*conv.NumCompHeavy() + fc.NumCompHeavy())
+	memHeavy = n.NumClusters * (n.Cluster.NumConvChips*conv.NumMemHeavy() + fc.NumMemHeavy())
+	return
+}
+
+// Validate sanity-checks structural parameters.
+func (n NodeConfig) Validate() error {
+	if n.NumClusters <= 0 || n.Cluster.NumConvChips <= 0 {
+		return fmt.Errorf("arch: %s has empty hierarchy", n.Name)
+	}
+	for _, ch := range []ChipConfig{n.Cluster.Conv, n.Cluster.Fc} {
+		if ch.Rows <= 0 || ch.Cols <= 0 {
+			return fmt.Errorf("arch: %s %v chip has empty grid", n.Name, ch.Kind)
+		}
+		c := ch.CompHeavy
+		if c.ArrayRows <= 0 || c.ArrayCols <= 0 || c.Lanes <= 0 {
+			return fmt.Errorf("arch: %s %v CompHeavy array empty", n.Name, ch.Kind)
+		}
+		if ch.MemHeavy.CapacityKB <= 0 || ch.MemHeavy.NumSFU <= 0 {
+			return fmt.Errorf("arch: %s %v MemHeavy empty", n.Name, ch.Kind)
+		}
+	}
+	return nil
+}

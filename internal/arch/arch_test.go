@@ -1,0 +1,158 @@
+package arch
+
+import (
+	"math"
+	"testing"
+)
+
+func close(t *testing.T, name string, got, want, tolPct float64) {
+	t.Helper()
+	if math.Abs(got-want)/want > tolPct/100 {
+		t.Errorf("%s = %v, want %v (±%v%%)", name, got, want, tolPct)
+	}
+}
+
+func TestFig14TileCounts(t *testing.T) {
+	n := Baseline()
+	conv := n.Cluster.Conv
+	if conv.NumCompHeavy() != 288 {
+		t.Errorf("ConvLayer CompHeavy tiles = %d, Fig.14 says 288", conv.NumCompHeavy())
+	}
+	if conv.NumMemHeavy() != 102 {
+		t.Errorf("ConvLayer MemHeavy tiles = %d, Fig.14 says 102", conv.NumMemHeavy())
+	}
+	fc := n.Cluster.Fc
+	if fc.NumCompHeavy() != 144 {
+		t.Errorf("FcLayer CompHeavy tiles = %d, Fig.14 says 144", fc.NumCompHeavy())
+	}
+	if fc.NumMemHeavy() != 54 {
+		t.Errorf("FcLayer MemHeavy tiles = %d, Fig.14 says 54", fc.NumMemHeavy())
+	}
+	ch, mh := n.TotalTiles()
+	if ch != 5184 {
+		t.Errorf("node CompHeavy tiles = %d, §5 says 5184", ch)
+	}
+	if mh != 1848 {
+		t.Errorf("node MemHeavy tiles = %d, §5 says 1848", mh)
+	}
+	if ch+mh != 7032 {
+		t.Errorf("total tiles = %d, abstract says 7032", ch+mh)
+	}
+}
+
+func TestFig14TilePeakFLOPs(t *testing.T) {
+	n := Baseline()
+	close(t, "ConvLayer CompHeavy peak", n.Cluster.Conv.CompHeavy.PeakFLOPs(n.FreqHz), 134e9, 1)
+	close(t, "ConvLayer MemHeavy peak", n.Cluster.Conv.MemHeavy.PeakFLOPs(n.FreqHz), 19.2e9, 1)
+	close(t, "FcLayer CompHeavy peak", n.Cluster.Fc.CompHeavy.PeakFLOPs(n.FreqHz), 38.4e9, 1)
+	close(t, "FcLayer MemHeavy peak", n.Cluster.Fc.MemHeavy.PeakFLOPs(n.FreqHz), 19.2e9, 1)
+}
+
+func TestFig14ChipClusterNodePeaks(t *testing.T) {
+	n := Baseline()
+	close(t, "ConvLayer chip peak", n.Cluster.Conv.PeakFLOPs(n.FreqHz), 40.7e12, 1)
+	close(t, "FcLayer chip peak", n.Cluster.Fc.PeakFLOPs(n.FreqHz), 6.6e12, 2)
+	close(t, "cluster peak", n.Cluster.PeakFLOPs(n.FreqHz), 169.2e12, 1)
+	close(t, "node peak", n.PeakFLOPs(), 680e12, 1)
+}
+
+func TestFig14PowerHierarchy(t *testing.T) {
+	n := Baseline()
+	close(t, "cluster power", n.Cluster.PowerW(), 325.6, 0.1)
+	close(t, "node power", n.PowerW(), 1400, 0.1)
+	close(t, "ConvLayer chip power", n.Cluster.Conv.PowerW, 57.8, 0.1)
+	close(t, "FcLayer chip power", n.Cluster.Fc.PowerW, 15.2, 0.1)
+}
+
+func TestFig14ProcessingEfficiency(t *testing.T) {
+	n := Baseline()
+	close(t, "node efficiency", n.Efficiency(), 485.7e9, 1)
+	// Per-component efficiencies from Fig. 14's right table.
+	freq := n.FreqHz
+	conv := n.Cluster.Conv
+	close(t, "Conv CompHeavy GFLOPs/W",
+		conv.CompHeavy.PeakFLOPs(freq)/conv.CompHeavy.PowerW, 934.6e9, 1)
+	close(t, "Conv MemHeavy GFLOPs/W",
+		conv.MemHeavy.PeakFLOPs(freq)/conv.MemHeavy.PowerW, 408.5e9, 1)
+	fc := n.Cluster.Fc
+	close(t, "Fc CompHeavy GFLOPs/W",
+		fc.CompHeavy.PeakFLOPs(freq)/fc.CompHeavy.PowerW, 836.6e9, 1)
+	close(t, "Fc MemHeavy GFLOPs/W",
+		fc.MemHeavy.PeakFLOPs(freq)/fc.MemHeavy.PowerW, 244.3e9, 1)
+	close(t, "ConvLayer chip GFLOPs/W",
+		conv.PeakFLOPs(freq)/conv.PowerW, 703.5e9, 1)
+	close(t, "FcLayer chip GFLOPs/W",
+		fc.PeakFLOPs(freq)/fc.PowerW, 432e9, 2)
+	// Fig. 14's cluster row is internally inconsistent (169.2 TFLOPs /
+	// 325.6 W = 519.7, not 526.5 GFLOPs/W); allow 2%.
+	close(t, "cluster GFLOPs/W",
+		n.Cluster.PeakFLOPs(freq)/n.Cluster.PowerW(), 526.5e9, 2)
+}
+
+func TestHalfPrecisionDesign(t *testing.T) {
+	hp := HalfPrecision()
+	if hp.Precision != Half || hp.Precision.Bytes() != 2 {
+		t.Fatal("HP precision wrong")
+	}
+	// §6.1: ~1.35 peta half-precision FLOPs peak.
+	close(t, "HP node peak", hp.PeakFLOPs(), 1.35e15, 6)
+	// Roughly iso-power with the SP design.
+	sp := Baseline()
+	ratio := hp.PowerW() / sp.PowerW()
+	if ratio < 0.85 || ratio > 1.15 {
+		t.Errorf("HP/SP power ratio = %.2f, should be ≈1 (iso-power)", ratio)
+	}
+	// Grid growth 6→8 rows, 16→24 cols (ConvLayer), 8→12 (FcLayer).
+	if hp.Cluster.Conv.Rows != 8 || hp.Cluster.Conv.Cols != 24 {
+		t.Errorf("HP ConvLayer grid %dx%d", hp.Cluster.Conv.Rows, hp.Cluster.Conv.Cols)
+	}
+	if hp.Cluster.Fc.Rows != 8 || hp.Cluster.Fc.Cols != 12 {
+		t.Errorf("HP FcLayer grid %dx%d", hp.Cluster.Fc.Rows, hp.Cluster.Fc.Cols)
+	}
+	// Memory capacity and bandwidths halved.
+	if hp.Cluster.Conv.MemHeavy.CapacityKB != 256 {
+		t.Errorf("HP MemHeavy capacity = %dK", hp.Cluster.Conv.MemHeavy.CapacityKB)
+	}
+	if hp.Cluster.Conv.ExtMemGBps != 75 {
+		t.Errorf("HP ext mem BW = %v", hp.Cluster.Conv.ExtMemGBps)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := Baseline().Validate(); err != nil {
+		t.Fatalf("baseline invalid: %v", err)
+	}
+	if err := HalfPrecision().Validate(); err != nil {
+		t.Fatalf("HP invalid: %v", err)
+	}
+	bad := Baseline()
+	bad.Cluster.Conv.Rows = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestMemCapacityCoversTypicalNetworkState(t *testing.T) {
+	// §3.2.3: cumulative MemHeavy capacity must hold the features and errors
+	// of state-of-the-art DNNs (a few million neurons × 2 copies × 2 for
+	// features+errors at 4 bytes).
+	n := Baseline()
+	chipCap := n.Cluster.Conv.MemCapacityBytes()
+	if chipCap != int64(102*512*1024) {
+		t.Fatalf("chip capacity = %d", chipCap)
+	}
+	nodeCap := int64(n.NumClusters) * (int64(n.Cluster.NumConvChips)*chipCap + n.Cluster.Fc.MemCapacityBytes())
+	// Node capacity ≈ 1.07 GB: covers 14.9M neurons ×4 copies ×4B = 238 MB.
+	if nodeCap < 800<<20 {
+		t.Errorf("node capacity = %d MB, too small", nodeCap>>20)
+	}
+}
+
+func TestPrecisionStrings(t *testing.T) {
+	if Single.String() != "single" || Half.String() != "half" {
+		t.Fatal("precision strings")
+	}
+	if ConvLayerChip.String() != "ConvLayer" || FcLayerChip.String() != "FcLayer" {
+		t.Fatal("chip kind strings")
+	}
+}

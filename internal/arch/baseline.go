@@ -1,0 +1,103 @@
+package arch
+
+// This file instantiates the two published ScaleDeep designs: the
+// single-precision baseline of Fig. 14 and the half-precision design of
+// Fig. 17 (§6.1: chip grids grown 6→8 rows and 16→24 / 8→12 columns, tile
+// memory capacities and link bandwidths halved, at roughly iso-power).
+
+// Baseline returns the single-precision ScaleDeep node of Fig. 14:
+// 4 chip clusters × (4 ConvLayer + 1 FcLayer) chips, 7032 processing tiles,
+// 680 TFLOPs peak at 600 MHz and 1.4 kW.
+func Baseline() NodeConfig {
+	conv := ChipConfig{
+		Kind: ConvLayerChip,
+		Rows: 6,
+		Cols: 16,
+		CompHeavy: CompHeavyConfig{
+			ArrayRows: 8, ArrayCols: 3, Lanes: 4,
+			LeftMemKB: 8, TopMemKB: 4, BottomMemKB: 4, ScratchpadKB: 16,
+			PowerW: 0.1438, LogicFrac: 0.95, MemFrac: 0.05,
+		},
+		MemHeavy: MemHeavyConfig{
+			CapacityKB: 512, NumSFU: 32,
+			TrackerSlots: 16, TrackQueueDepth: 8,
+			PowerW: 0.047, LogicFrac: 0.3, MemFrac: 0.7,
+		},
+		ExtMemGBps: 150, CompMemGBps: 24, MemMemGBps: 36,
+		PowerW: 57.8, LogicFrac: 0.7, MemFrac: 0.1, IntcFrac: 0.2,
+	}
+	fc := ChipConfig{
+		Kind: FcLayerChip,
+		Rows: 6,
+		Cols: 8,
+		CompHeavy: CompHeavyConfig{
+			ArrayRows: 4, ArrayCols: 8, Lanes: 1,
+			LeftMemKB: 8, TopMemKB: 12, BottomMemKB: 12, ScratchpadKB: 0,
+			PowerW: 0.0459, LogicFrac: 0.95, MemFrac: 0.05,
+		},
+		MemHeavy: MemHeavyConfig{
+			CapacityKB: 1024, NumSFU: 32,
+			TrackerSlots: 16, TrackQueueDepth: 8,
+			PowerW: 0.0786, LogicFrac: 0.2, MemFrac: 0.8,
+		},
+		ExtMemGBps: 300, CompMemGBps: 48, MemMemGBps: 144,
+		PowerW: 15.2, LogicFrac: 0.45, MemFrac: 0.25, IntcFrac: 0.3,
+	}
+	cluster := ClusterConfig{
+		NumConvChips: 4,
+		Conv:         conv,
+		Fc:           fc,
+		SpokeGBps:    0.5,
+		ArcGBps:      16,
+		// Fig. 14: cluster power 325.6 W vs 4×57.8 + 15.2 = 246.4 W of chips;
+		// the difference is wheel interconnect and shared memory I/O.
+		OverheadPowerW: 325.6 - (4*57.8 + 15.2),
+		PowerFrac:      [3]float64{0.55, 0.1, 0.35},
+	}
+	return NodeConfig{
+		Name:        "ScaleDeep-SP",
+		Precision:   Single,
+		FreqHz:      600e6,
+		NumClusters: 4,
+		Cluster:     cluster,
+		RingGBps:    12,
+		// Fig. 14: node power 1.4 kW vs 4×325.6 = 1302.4 W of clusters.
+		OverheadPowerW: 1400 - 4*325.6,
+		PowerFrac:      [3]float64{0.5, 0.1, 0.4},
+	}
+}
+
+// HalfPrecision returns the FP16 design of Fig. 17: each compute unit is
+// half-precision, MemHeavy capacity and link bandwidths halve, and the chip
+// grids grow (ConvLayer 6×16 → 8×24, FcLayer 6×8 → 8×12) to restore roughly
+// the baseline's power. Peak throughput is ~1.35 PFLOPs (half precision).
+func HalfPrecision() NodeConfig {
+	n := Baseline()
+	n.Name = "ScaleDeep-HP"
+	n.Precision = Half
+
+	conv := &n.Cluster.Conv
+	conv.Rows, conv.Cols = 8, 24
+	conv.MemHeavy.CapacityKB /= 2
+	conv.ExtMemGBps /= 2
+	conv.CompMemGBps /= 2
+	conv.MemMemGBps /= 2
+	// An FP16 unit costs roughly half the FP32 unit's power; the grid grew
+	// 8·24/(6·16) = 2×, keeping tile-array power roughly constant per chip.
+	conv.CompHeavy.PowerW /= 2
+	conv.MemHeavy.PowerW /= 2
+
+	fc := &n.Cluster.Fc
+	fc.Rows, fc.Cols = 8, 12
+	fc.MemHeavy.CapacityKB /= 2
+	fc.ExtMemGBps /= 2
+	fc.CompMemGBps /= 2
+	fc.MemMemGBps /= 2
+	fc.CompHeavy.PowerW /= 2
+	fc.MemHeavy.PowerW /= 2
+
+	n.Cluster.SpokeGBps /= 2
+	n.Cluster.ArcGBps /= 2
+	n.RingGBps /= 2
+	return n
+}

@@ -1,0 +1,230 @@
+// Package cluster simulates the node-level interconnect protocol of §3.3:
+// the wheel (ConvLayer chips around an FcLayer chip, connected by spokes and
+// arcs) and the ring of chip clusters. It models the two collective
+// operations the paper assigns to these links at every minibatch boundary —
+// weight-gradient accumulation and updated-weight distribution — moving real
+// gradient vectors with link-bandwidth timing, so both the result and the
+// cycle cost can be checked.
+//
+// The chip-internal behaviour is the domain of internal/sim; this package
+// covers what happens *between* chips.
+package cluster
+
+import (
+	"fmt"
+
+	"scaledeep/internal/arch"
+)
+
+// Link is a point-to-point connection with finite bandwidth.
+type Link struct {
+	GBps float64
+	busy int64 // cycles already committed
+}
+
+// transferCycles returns the cycles to move `bytes` over the link at clock
+// freqHz, serialized after the link's committed traffic.
+func (l *Link) transferCycles(bytes int64, freqHz float64) int64 {
+	bpc := l.GBps * 1e9 / freqHz
+	c := int64(float64(bytes)/bpc) + 1
+	l.busy += c
+	return l.busy
+}
+
+// ConvChip is one ConvLayer chip's node-level state: its locally accumulated
+// weight gradients and its current weights.
+type ConvChip struct {
+	ID       int
+	Grad     []float32 // local minibatch gradient contribution
+	Weights  []float32
+	arcLeft  *Link
+	arcRight *Link
+	spoke    *Link
+}
+
+// Wheel is one chip cluster: ConvLayer chips on the circumference, arcs
+// between neighbours, spokes to the central FcLayer chip (§3.3.1).
+type Wheel struct {
+	Chips []*ConvChip
+	arcs  []*Link // arcs[i] connects chip i to chip (i+1) mod N
+	fc    fcChip
+}
+
+type fcChip struct {
+	Grad    []float32
+	Weights []float32
+}
+
+// Node is the ring of chip clusters (§3.3.2).
+type Node struct {
+	Wheels []*Wheel
+	ring   []*Link // ring[i] connects wheel i to wheel (i+1) mod K
+	FreqHz float64
+	Cycles int64 // total cycles consumed by node-level collectives
+}
+
+// NewNode builds the wheel-ring fabric from a node configuration, with
+// convWeights weights per ConvLayer chip group (replicated across wheels)
+// and fcWeights split across wheels under model parallelism.
+func NewNode(cfg arch.NodeConfig, convWeights, fcWeights int) *Node {
+	n := &Node{FreqHz: cfg.FreqHz}
+	for wi := 0; wi < cfg.NumClusters; wi++ {
+		w := &Wheel{}
+		for ci := 0; ci < cfg.Cluster.NumConvChips; ci++ {
+			w.Chips = append(w.Chips, &ConvChip{
+				ID:      wi*cfg.Cluster.NumConvChips + ci,
+				Grad:    make([]float32, convWeights),
+				Weights: make([]float32, convWeights),
+			})
+		}
+		for range w.Chips {
+			w.arcs = append(w.arcs, &Link{GBps: cfg.Cluster.ArcGBps})
+		}
+		for _, c := range w.Chips {
+			c.spoke = &Link{GBps: cfg.Cluster.SpokeGBps}
+		}
+		per := fcWeights / cfg.NumClusters
+		w.fc = fcChip{Grad: make([]float32, per), Weights: make([]float32, per)}
+		n.Wheels = append(n.Wheels, w)
+	}
+	for range n.Wheels {
+		n.ring = append(n.ring, &Link{GBps: cfg.RingGBps})
+	}
+	return n
+}
+
+// AccumulateWheel runs the per-wheel gradient accumulation: each ConvLayer
+// chip's local gradient flows along the arcs to chip 0, which accumulates
+// (§3.3.1: "the wheel arcs are also used to accumulate weight gradients").
+// It returns the cycles the collective took on this wheel.
+func (n *Node) AccumulateWheel(w *Wheel) int64 {
+	if len(w.Chips) == 0 {
+		return 0
+	}
+	root := w.Chips[0]
+	bytes := int64(len(root.Grad)) * 4
+	var worst int64
+	// Chips forward their partial sums toward chip 0 around the shorter arc
+	// path; the pipeline depth is the farthest hop count.
+	for i := len(w.Chips) - 1; i >= 1; i-- {
+		src := w.Chips[i]
+		for j := range root.Grad {
+			root.Grad[j] += src.Grad[j]
+		}
+		hops := i
+		if back := len(w.Chips) - i; back < hops {
+			hops = back
+		}
+		var end int64
+		for h := 0; h < hops; h++ {
+			end = w.arcs[(i+h)%len(w.arcs)].transferCycles(bytes, n.FreqHz)
+		}
+		if end > worst {
+			worst = end
+		}
+		for j := range src.Grad {
+			src.Grad[j] = 0
+		}
+	}
+	return worst
+}
+
+// RingAllReduce accumulates the wheels' root gradients around the ring and
+// distributes the sum back (§3.3.2: "the ring is used to accumulate weight
+// gradients generated at each chip cluster and distribute the updated
+// weights"). After it returns, every wheel's chip-0 gradient holds the
+// global sum. Returns the collective's cycles: the classic 2(K-1) pipeline
+// steps of chunked ring reduce-scatter + all-gather.
+func (n *Node) RingAllReduce() int64 {
+	k := len(n.Wheels)
+	if k <= 1 {
+		return 0
+	}
+	roots := make([][]float32, k)
+	for i, w := range n.Wheels {
+		roots[i] = w.Chips[0].Grad
+	}
+	size := len(roots[0])
+	// Functional: global sum.
+	total := make([]float32, size)
+	for _, r := range roots {
+		for j, v := range r {
+			total[j] += v
+		}
+	}
+	for _, r := range roots {
+		copy(r, total)
+	}
+	// Timing: chunked ring all-reduce moves 2·(K-1)/K of the data over each
+	// ring link, all links active in parallel.
+	chunkBytes := int64(size) * 4 / int64(k)
+	var worst int64
+	for _, l := range n.ring {
+		var end int64
+		for step := 0; step < 2*(k-1); step++ {
+			end = l.transferCycles(chunkBytes, n.FreqHz)
+		}
+		if end > worst {
+			worst = end
+		}
+	}
+	return worst
+}
+
+// DistributeWeights applies the update w -= lr·grad at every wheel root and
+// broadcasts the new weights back over the arcs to each chip (the second
+// half of the minibatch boundary). Returns the distribution cycles.
+func (n *Node) DistributeWeights(lr float32) int64 {
+	var worst int64
+	for _, w := range n.Wheels {
+		root := w.Chips[0]
+		for j := range root.Weights {
+			root.Weights[j] -= lr * root.Grad[j]
+		}
+		bytes := int64(len(root.Weights)) * 4
+		for i := 1; i < len(w.Chips); i++ {
+			copy(w.Chips[i].Weights, root.Weights)
+			hops := i
+			if back := len(w.Chips) - i; back < hops {
+				hops = back
+			}
+			var end int64
+			for h := 0; h < hops; h++ {
+				end = w.arcs[h%len(w.arcs)].transferCycles(bytes, n.FreqHz)
+			}
+			if end > worst {
+				worst = end
+			}
+		}
+		for j := range root.Grad {
+			root.Grad[j] = 0
+		}
+	}
+	return worst
+}
+
+// MinibatchBoundary runs the full §3.3 collective sequence: wheel
+// accumulation, ring all-reduce, weight update and distribution. It returns
+// the total node-level cycles, which accrue on n.Cycles.
+func (n *Node) MinibatchBoundary(lr float32) int64 {
+	var wheelWorst int64
+	for _, w := range n.Wheels {
+		if c := n.AccumulateWheel(w); c > wheelWorst {
+			wheelWorst = c
+		}
+	}
+	ringC := n.RingAllReduce()
+	distC := n.DistributeWeights(lr)
+	total := wheelWorst + ringC + distC
+	n.Cycles += total
+	return total
+}
+
+// SpokeSend models one image's FC-input transfer from a ConvLayer chip to
+// its wheel's FcLayer chip over the spoke, returning the transfer cycles.
+func (n *Node) SpokeSend(w *Wheel, chip int, bytes int64) (int64, error) {
+	if chip < 0 || chip >= len(w.Chips) {
+		return 0, fmt.Errorf("cluster: chip %d out of range", chip)
+	}
+	return w.Chips[chip].spoke.transferCycles(bytes, n.FreqHz), nil
+}

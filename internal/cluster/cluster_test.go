@@ -1,0 +1,194 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"scaledeep/internal/arch"
+	"scaledeep/internal/tensor"
+)
+
+func newTestNode(convW, fcW int) *Node {
+	return NewNode(arch.Baseline(), convW, fcW)
+}
+
+func fillGrads(n *Node, seed uint64) [][]float32 {
+	rng := tensor.NewRNG(seed)
+	var all [][]float32
+	for _, w := range n.Wheels {
+		for _, c := range w.Chips {
+			g := make([]float32, len(c.Grad))
+			for i := range g {
+				g[i] = 2*rng.Float32() - 1
+			}
+			copy(c.Grad, g)
+			all = append(all, g)
+		}
+	}
+	return all
+}
+
+func TestWheelAccumulationSums(t *testing.T) {
+	n := newTestNode(64, 16)
+	grads := fillGrads(n, 3)
+	w := n.Wheels[0]
+	cycles := n.AccumulateWheel(w)
+	if cycles <= 0 {
+		t.Fatal("wheel accumulation took no cycles")
+	}
+	// Chip 0 holds the sum of its wheel's contributions.
+	for j := 0; j < 64; j++ {
+		var want float32
+		for ci := 0; ci < len(w.Chips); ci++ {
+			want += grads[ci][j]
+		}
+		if d := math.Abs(float64(w.Chips[0].Grad[j] - want)); d > 1e-5 {
+			t.Fatalf("grad[%d] = %v, want %v", j, w.Chips[0].Grad[j], want)
+		}
+	}
+	// Non-root chips are drained.
+	for _, v := range w.Chips[1].Grad {
+		if v != 0 {
+			t.Fatal("source gradients not drained")
+		}
+	}
+}
+
+func TestRingAllReduceSumsAcrossWheels(t *testing.T) {
+	n := newTestNode(32, 16)
+	grads := fillGrads(n, 7)
+	chipsPerWheel := len(n.Wheels[0].Chips)
+	for _, w := range n.Wheels {
+		n.AccumulateWheel(w)
+	}
+	cycles := n.RingAllReduce()
+	if cycles <= 0 {
+		t.Fatal("ring all-reduce took no cycles")
+	}
+	for j := 0; j < 32; j++ {
+		var want float32
+		for _, g := range grads {
+			want += g[j]
+		}
+		for wi, w := range n.Wheels {
+			if d := math.Abs(float64(w.Chips[0].Grad[j] - want)); d > 1e-4 {
+				t.Fatalf("wheel %d grad[%d] = %v, want %v", wi, j, w.Chips[0].Grad[j], want)
+			}
+		}
+	}
+	_ = chipsPerWheel
+}
+
+func TestRingAllReduceTimingScalesWithSize(t *testing.T) {
+	small := newTestNode(1024, 16)
+	fillGrads(small, 1)
+	big := newTestNode(64*1024, 16)
+	fillGrads(big, 1)
+	cs := small.RingAllReduce()
+	cb := big.RingAllReduce()
+	if cb < cs*8 {
+		t.Fatalf("ring timing does not scale: %d vs %d", cs, cb)
+	}
+}
+
+func TestMinibatchBoundaryUpdatesAllChips(t *testing.T) {
+	n := newTestNode(16, 16)
+	// Every chip starts with weights = 1 and gradient = 1.
+	for _, w := range n.Wheels {
+		for _, c := range w.Chips {
+			for i := range c.Weights {
+				c.Weights[i] = 1
+				c.Grad[i] = 1
+			}
+		}
+	}
+	const lr = 0.25
+	cycles := n.MinibatchBoundary(lr)
+	if cycles <= 0 || n.Cycles != cycles {
+		t.Fatalf("boundary cycles %d (accrued %d)", cycles, n.Cycles)
+	}
+	// Global gradient sum = 16 chips × 1; every chip ends with the same
+	// updated weights: 1 - 0.25·16 = -3.
+	for wi, w := range n.Wheels {
+		for ci, c := range w.Chips {
+			for i, v := range c.Weights {
+				if v != -3 {
+					t.Fatalf("wheel %d chip %d w[%d] = %v, want -3", wi, ci, i, v)
+				}
+			}
+			for _, g := range c.Grad {
+				if g != 0 {
+					t.Fatal("gradients not reset after boundary")
+				}
+			}
+		}
+	}
+}
+
+func TestTwoMinibatchBoundaries(t *testing.T) {
+	// Consecutive boundaries keep accumulating correctly (gradients reset
+	// in between).
+	n := newTestNode(8, 16)
+	setAll := func(v float32) {
+		for _, w := range n.Wheels {
+			for _, c := range w.Chips {
+				for i := range c.Grad {
+					c.Grad[i] = v
+				}
+			}
+		}
+	}
+	setAll(1)
+	n.MinibatchBoundary(0.125) // w = 0 - 0.125·16 = -2
+	setAll(0.5)
+	n.MinibatchBoundary(0.125) // w = -2 - 0.125·8 = -3
+	for _, w := range n.Wheels {
+		if w.Chips[2].Weights[0] != -3 {
+			t.Fatalf("after two boundaries w = %v, want -3", w.Chips[2].Weights[0])
+		}
+	}
+}
+
+func TestSpokeSendTiming(t *testing.T) {
+	n := newTestNode(8, 16)
+	w := n.Wheels[0]
+	c1, err := n.SpokeSend(w, 0, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := n.SpokeSend(w, 0, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2 <= c1 {
+		t.Fatal("spoke transfers do not serialize")
+	}
+	// Spoke bandwidth (0.5 GB/s at 600 MHz) ≈ 0.83 B/cycle → 1 MiB ≈ 1.26M cycles.
+	if c1 < 1_000_000 || c1 > 1_600_000 {
+		t.Fatalf("spoke transfer cycles = %d", c1)
+	}
+	if _, err := n.SpokeSend(w, 99, 4); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+}
+
+func TestFCModelParallelSplit(t *testing.T) {
+	// FC weights split evenly across wheels (model parallelism, §3.3.2).
+	n := newTestNode(8, 1000)
+	per := len(n.Wheels[0].fc.Weights)
+	if per != 1000/len(n.Wheels) {
+		t.Fatalf("fc slice = %d", per)
+	}
+}
+
+func TestBoundaryCostGrowsWithWeights(t *testing.T) {
+	small := newTestNode(1024, 16)
+	fillGrads(small, 1)
+	big := newTestNode(128*1024, 16)
+	fillGrads(big, 1)
+	cs := small.MinibatchBoundary(0.1)
+	cb := big.MinibatchBoundary(0.1)
+	if cb < 16*cs {
+		t.Fatalf("boundary cost does not scale with weights: %d vs %d", cs, cb)
+	}
+}

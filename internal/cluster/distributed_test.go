@@ -1,0 +1,145 @@
+package cluster
+
+import (
+	"testing"
+
+	"scaledeep/internal/arch"
+	"scaledeep/internal/dnn"
+	"scaledeep/internal/tensor"
+)
+
+// TestDataParallelTrainingMatchesLargeBatch is the end-to-end node-level
+// experiment: 16 ConvLayer chips each train the same (replicated) network
+// on their own slice of a 16-image minibatch; gradients are combined by the
+// wheel-arc accumulation and ring all-reduce of §3.3, and the updated
+// weights are distributed back. The result must equal a single worker
+// training on the full 16-image batch.
+func TestDataParallelTrainingMatchesLargeBatch(t *testing.T) {
+	b := dnn.NewBuilder("dist")
+	in := b.Input(2, 8, 8)
+	c1 := b.Conv(in, "c1", 3, 3, 1, 1, tensor.ActTanh)
+	f1 := b.FC(c1, "f1", 4, tensor.ActNone)
+	_ = f1
+	net := b.Build()
+
+	cfg := arch.Baseline()
+	chips := cfg.NumClusters * cfg.Cluster.NumConvChips // 16 workers
+	const lr = float32(0.0625)
+	const rounds = 3
+
+	// One image per chip per round.
+	rng := tensor.NewRNG(99)
+	images := make([][]*tensor.Tensor, rounds)
+	golden := make([][]*tensor.Tensor, rounds)
+	for r := range images {
+		images[r] = make([]*tensor.Tensor, chips)
+		golden[r] = make([]*tensor.Tensor, chips)
+		for i := range images[r] {
+			images[r][i] = tensor.New(2, 8, 8)
+			rng.FillUniform(images[r][i], 1)
+			golden[r][i] = tensor.New(4)
+			rng.FillUniform(golden[r][i], 1)
+		}
+	}
+
+	// Reference: one worker, full batch.
+	ref := dnn.NewExecutor(net, 42)
+	ref.NoBias = true
+	for r := 0; r < rounds; r++ {
+		for i := range images[r] {
+			out := ref.Forward(images[r][i])
+			grad := out.Clone()
+			tensor.Sub(grad, out, golden[r][i])
+			ref.BackwardFrom(grad)
+		}
+		ref.Step(lr, 1)
+	}
+
+	// Distributed: one executor per chip, gradients combined by the node
+	// collectives. Weights live in the node fabric between rounds.
+	workers := make([]*dnn.Executor, chips)
+	for i := range workers {
+		workers[i] = dnn.NewExecutor(net, 42) // replicated initial weights
+		workers[i].NoBias = true
+	}
+	flat := func(e *dnn.Executor, grads bool) []float32 {
+		var out []float32
+		for li, w := range e.Weights {
+			if w == nil {
+				continue
+			}
+			src := w
+			if grads {
+				src = e.GradW[li]
+			}
+			out = append(out, src.Data...)
+		}
+		return out
+	}
+	unflat := func(e *dnn.Executor, vals []float32) {
+		off := 0
+		for _, w := range e.Weights {
+			if w == nil {
+				continue
+			}
+			copy(w.Data, vals[off:off+w.Len()])
+			off += w.Len()
+		}
+	}
+	weightLen := len(flat(workers[0], false))
+	node := NewNode(cfg, weightLen, 16)
+	// Seed fabric weights from worker 0.
+	for _, w := range node.Wheels {
+		for _, c := range w.Chips {
+			copy(c.Weights, flat(workers[0], false))
+		}
+	}
+
+	for r := 0; r < rounds; r++ {
+		idx := 0
+		for _, w := range node.Wheels {
+			for _, c := range w.Chips {
+				e := workers[idx]
+				unflat(e, c.Weights) // pick up the distributed weights
+				out := e.Forward(images[r][idx])
+				grad := out.Clone()
+				tensor.Sub(grad, out, golden[r][idx])
+				e.BackwardFrom(grad)
+				copy(c.Grad, flat(e, true))
+				// Reset local executor gradients for the next round.
+				for li := range e.GradW {
+					if e.GradW[li] != nil {
+						e.GradW[li].Zero()
+					}
+				}
+				idx++
+			}
+		}
+		if cycles := node.MinibatchBoundary(lr); cycles <= 0 {
+			t.Fatal("boundary consumed no cycles")
+		}
+	}
+
+	// Every chip's fabric weights equal the large-batch reference.
+	refFlat := flat(ref, false)
+	for wi, w := range node.Wheels {
+		for ci, c := range w.Chips {
+			var worst float64
+			for j := range refFlat {
+				d := float64(c.Weights[j] - refFlat[j])
+				if d < 0 {
+					d = -d
+				}
+				if d > worst {
+					worst = d
+				}
+			}
+			if worst > 1e-4 {
+				t.Fatalf("wheel %d chip %d diverges from large-batch reference by %v", wi, ci, worst)
+			}
+		}
+	}
+	if node.Cycles <= 0 {
+		t.Fatal("no node-level cycles recorded")
+	}
+}

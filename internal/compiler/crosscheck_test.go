@@ -1,0 +1,122 @@
+package compiler
+
+import (
+	"testing"
+
+	"scaledeep/internal/arch"
+	"scaledeep/internal/dnn"
+	"scaledeep/internal/sim"
+	"scaledeep/internal/tensor"
+)
+
+// TestSimulatedCyclesTrackAnalyticEstimate is the cross-check between the
+// two methodology paths (DESIGN.md §5.6): the functional simulator's cycle
+// count for one evaluation must agree with a first-principles estimate
+// (FLOPs over array throughput, plus data movement) within a small factor.
+// This guards against either path drifting into nonsense — e.g. the
+// simulator forgetting array occupancy, or the timing model losing a factor
+// of the clock.
+func TestSimulatedCyclesTrackAnalyticEstimate(t *testing.T) {
+	b := dnn.NewBuilder("xcheck")
+	in := b.Input(3, 12, 12)
+	c1 := b.Conv(in, "c1", 6, 3, 1, 1, tensor.ActReLU)
+	c2 := b.Conv(c1, "c2", 8, 3, 1, 1, tensor.ActReLU)
+	f1 := b.FC(c2, "f1", 10, tensor.ActNone)
+	_ = f1
+	net := b.Build()
+
+	chip := testChip(6)
+	e := dnn.NewExecutor(net, 3)
+	e.NoBias = true
+	inputs := mkInputs(net, 1, 5)
+	opts := Options{Minibatch: 1, Training: false}
+	_, _, st := runSim(t, net, chip, opts, e, inputs, nil)
+
+	// Lower bound: the serially-slowest tile must at least stream the
+	// network's MACs through one tile's array. Upper bound: all FP work done
+	// by ONE array sequentially, plus generous data-movement slack.
+	cost := dnn.NetworkCost(net)
+	macs := float64(cost.StepFLOPs(dnn.FP)) / 2
+	perCycle := float64(chip.CompHeavy.MACsPerCycle())
+	serialAll := macs / perCycle
+
+	if float64(st.Cycles) < serialAll/float64(chip.Cols*chip.Rows) {
+		t.Errorf("simulated %d cycles is below any physical bound (%0.f serial / all tiles)",
+			st.Cycles, serialAll)
+	}
+	if float64(st.Cycles) > serialAll*50 {
+		t.Errorf("simulated %d cycles is wildly above the serial estimate %.0f — timing model drifted",
+			st.Cycles, serialAll)
+	}
+
+	// The simulator's achieved-FLOPs accounting must cover the network's FP
+	// FLOPs at least once (array ops count both multiplies and adds).
+	if float64(st.FLOPs) < float64(cost.FLOPs[dnn.FP][dnn.KConv]) {
+		t.Errorf("simulator recorded %d FLOPs, below the network's conv FP work", st.FLOPs)
+	}
+}
+
+// TestPipelineOverlapAcrossImages checks that the compiled inter-layer
+// pipeline (Fig. 10) actually overlaps work: simulating a 4-image minibatch
+// must take well under 4× the single-image cycles.
+func TestPipelineOverlapAcrossImages(t *testing.T) {
+	net := convPoolFCNet()
+	chip := testChip(8)
+	e := dnn.NewExecutor(net, 3)
+	e.NoBias = true
+
+	run := func(mb int) int64 {
+		inputs := mkInputs(net, mb, 5)
+		opts := Options{Minibatch: mb, Training: false}
+		_, _, st := runSim(t, net, chip, opts, e, inputs, nil)
+		return int64(st.Cycles)
+	}
+	one := run(1)
+	four := run(4)
+	if four >= 4*one {
+		t.Errorf("no pipeline overlap: 1 image %d cycles, 4 images %d", one, four)
+	}
+	if four < one {
+		t.Errorf("4 images cheaper than 1: %d vs %d", four, one)
+	}
+	t.Logf("pipeline overlap: 1 image %d cycles, 4 images %d (%.2fx)", one, four, float64(four)/float64(one))
+}
+
+// TestTimingOnlyMatchesFunctionalCycles ensures the data-free timing mode
+// reproduces the functional mode's cycle count exactly (same programs, same
+// tracker schedule).
+func TestTimingOnlyMatchesFunctionalCycles(t *testing.T) {
+	net := convPoolFCNet()
+	chip := testChip(8)
+	e := dnn.NewExecutor(net, 3)
+	e.NoBias = true
+	inputs := mkInputs(net, 2, 5)
+	opts := Options{Minibatch: 2, Training: false}
+
+	c, err := Compile(net, chip, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runMode := func(functional bool) int64 {
+		m := sim.NewMachine(chip, arch.Single, functional)
+		if err := c.Install(m); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.LoadWeights(m, e); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.LoadInputs(m, inputs); err != nil {
+			t.Fatal(err)
+		}
+		st, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return int64(st.Cycles)
+	}
+	fn := runMode(true)
+	tm := runMode(false)
+	if fn != tm {
+		t.Errorf("functional %d cycles vs timing-only %d — modes must agree", fn, tm)
+	}
+}

@@ -1,0 +1,164 @@
+package compiler
+
+import (
+	"fmt"
+	"testing"
+
+	"scaledeep/internal/dnn"
+	"scaledeep/internal/tensor"
+)
+
+// randomNet builds a random linear-chain network within the functional
+// backend's envelope: square geometry, invertible conv strides, floor-mode
+// pools, no groups. The generator is seeded, so failures reproduce.
+func randomNet(rng *tensor.RNG, idx int) *dnn.Network {
+	b := dnn.NewBuilder(fmt.Sprintf("fuzz%d", idx))
+	chans := 1 + rng.Intn(3)
+	side := 6 + 2*rng.Intn(4) // 6..12, even
+	cur := b.Input(chans, side, side)
+	layers := 1 + rng.Intn(4)
+	acts := []tensor.ActKind{tensor.ActNone, tensor.ActReLU, tensor.ActTanh, tensor.ActSigmoid}
+	haveConv := false
+	for li := 0; li < layers; li++ {
+		switch rng.Intn(3) {
+		case 0, 1: // conv
+			out := 1 + rng.Intn(5)
+			var k, stride, pad int
+			if rng.Intn(4) == 0 && side%2 == 0 {
+				// Strided conv with exactly-invertible geometry:
+				// (side+2p-k) % 2 == 0.
+				k, stride, pad = 2, 2, 0
+			} else {
+				k, stride = 3, 1
+				pad = 1
+			}
+			if side < k {
+				continue
+			}
+			cur = b.Conv(cur, fmt.Sprintf("c%d", li), out, k, stride, pad, acts[rng.Intn(len(acts))])
+			side = (side+2*pad-k)/stride + 1
+			haveConv = true
+		case 2: // pool
+			if side < 4 || side%2 != 0 {
+				continue
+			}
+			kind := "max"
+			if rng.Intn(2) == 0 {
+				kind = "avg"
+			}
+			name := fmt.Sprintf("p%d", li)
+			if kind == "max" {
+				cur = b.MaxPool(cur, name, 2, 2)
+			} else {
+				cur = b.AvgPool(cur, name, 2, 2)
+			}
+			side /= 2
+		}
+	}
+	if !haveConv && rng.Intn(2) == 0 {
+		cur = b.Conv(cur, "cfix", 2, 3, 1, 1, tensor.ActReLU)
+	}
+	// Always finish with a small FC head so the golden-error injection has a
+	// vector output.
+	b.FC(cur, "fout", 2+rng.Intn(4), acts[rng.Intn(len(acts))])
+	return b.Build()
+}
+
+// TestFuzzTrainingEquivalence compiles random networks, trains them for two
+// iterations of a two-image minibatch on the functional simulator, and
+// checks the trained weights against the software reference. Any divergence
+// beyond float-ordering noise is a compiler or simulator bug.
+func TestFuzzTrainingEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzz equivalence is slow")
+	}
+	rng := tensor.NewRNG(0xF00D)
+	const trials = 25
+	for trial := 0; trial < trials; trial++ {
+		net := randomNet(rng, trial)
+		t.Run(net.Name, func(t *testing.T) {
+			runFuzzTrial(t, net, rng.Uint64())
+		})
+	}
+}
+
+func runFuzzTrial(t *testing.T, net *dnn.Network, seed uint64) {
+	t.Helper()
+	const mb = 2
+	const iters = 2
+	const lr = float32(0.03125)
+
+	rng := tensor.NewRNG(seed)
+	in := net.Layers[0].Out
+	outLen := net.OutputLayer().Out.Elems()
+	inputs := make([]*tensor.Tensor, mb)
+	golden := make([]*tensor.Tensor, mb)
+	for i := range inputs {
+		inputs[i] = tensor.New(in.C, in.H, in.W)
+		rng.FillUniform(inputs[i], 1)
+		golden[i] = tensor.New(outLen)
+		rng.FillUniform(golden[i], 1)
+	}
+
+	ref := dnn.NewExecutor(net, seed)
+	ref.NoBias = true
+	for it := 0; it < iters; it++ {
+		for i, img := range inputs {
+			out := ref.Forward(img)
+			grad := out.Clone()
+			tensor.Sub(grad, out, golden[i])
+			ref.BackwardFrom(grad)
+		}
+		ref.Step(lr, 1)
+	}
+
+	init := dnn.NewExecutor(net, seed)
+	init.NoBias = true
+	opts := Options{Minibatch: mb, Iterations: iters, Training: true, LR: lr}
+	c, m, _ := runSim(t, net, testChip(8), opts, init, inputs, golden)
+	for _, l := range net.Layers {
+		if !l.HasWeights() {
+			continue
+		}
+		diff := tensor.MaxAbsDiff(c.ReadWeights(m, l.Index), ref.Weights[l.Index])
+		if diff > 1e-3 {
+			t.Errorf("net %s layer %s: trained weights diverge by %v (seed %#x)",
+				net.Name, l.Name, diff, seed)
+		}
+	}
+}
+
+// TestFuzzEvalEquivalence is the forward-only variant with a larger
+// minibatch, covering the evaluation code path.
+func TestFuzzEvalEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzz equivalence is slow")
+	}
+	rng := tensor.NewRNG(0xBEEF)
+	for trial := 0; trial < 15; trial++ {
+		net := randomNet(rng, 100+trial)
+		seed := rng.Uint64()
+		t.Run(net.Name, func(t *testing.T) {
+			const mb = 3
+			r2 := tensor.NewRNG(seed)
+			in := net.Layers[0].Out
+			inputs := make([]*tensor.Tensor, mb)
+			for i := range inputs {
+				inputs[i] = tensor.New(in.C, in.H, in.W)
+				r2.FillUniform(inputs[i], 1)
+			}
+			e := dnn.NewExecutor(net, seed)
+			e.NoBias = true
+			opts := Options{Minibatch: mb, Training: false}
+			c, m, _ := runSim(t, net, testChip(8), opts, e, inputs, nil)
+			for i, img := range inputs {
+				want := e.Forward(img)
+				got := c.ReadOutput(m, i)
+				diff := tensor.MaxAbsDiff(tensor.FromSlice(got, len(got)), tensor.FromSlice(want.Data, want.Len()))
+				if diff > 1e-4 {
+					t.Errorf("image %d: FP output diverges by %v (seed %#x)", i, diff, seed)
+				}
+			}
+		})
+	}
+}

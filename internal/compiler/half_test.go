@@ -1,0 +1,124 @@
+package compiler
+
+import (
+	"testing"
+
+	"scaledeep/internal/arch"
+	"scaledeep/internal/dnn"
+	"scaledeep/internal/sim"
+	"scaledeep/internal/tensor"
+)
+
+// runHalfSim runs a compiled network on a half-precision machine (every
+// stored value quantized through binary16, as in the Fig. 17 design).
+func runHalfSim(t *testing.T, net *dnn.Network, chip arch.ChipConfig, opts Options,
+	e *dnn.Executor, inputs, golden []*tensor.Tensor) (*Compiled, *sim.Machine) {
+	t.Helper()
+	c, err := Compile(net, chip, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sim.NewMachine(chip, arch.Half, true)
+	if err := c.Install(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.LoadWeights(m, e); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.LoadInputs(m, inputs); err != nil {
+		t.Fatal(err)
+	}
+	if opts.Training {
+		if err := c.LoadGolden(m, golden); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return c, m
+}
+
+// TestHalfPrecisionFPCloseToSingle checks that an FP16 forward pass tracks
+// the FP32 reference within half-precision rounding (the accuracy-tolerance
+// premise of §6.1's half-precision design [25, 50]).
+func TestHalfPrecisionFPCloseToSingle(t *testing.T) {
+	net := convPoolFCNet()
+	e := dnn.NewExecutor(net, 42)
+	e.NoBias = true
+	inputs := mkInputs(net, 2, 7)
+	opts := Options{Minibatch: 2, Training: false}
+	c, m := runHalfSim(t, net, testChip(8), opts, e, inputs, nil)
+	for i, in := range inputs {
+		want := e.Forward(in)
+		got := c.ReadOutput(m, i)
+		diff := tensor.MaxAbsDiff(tensor.FromSlice(got, len(got)), tensor.FromSlice(want.Data, want.Len()))
+		// binary16 has ~3 decimal digits; activations here are O(1).
+		if diff > 0.05 {
+			t.Errorf("image %d: FP16 output deviates by %v from FP32", i, diff)
+		}
+		if diff == 0 {
+			t.Errorf("image %d: FP16 output identical to FP32 — quantization not applied", i)
+		}
+	}
+}
+
+// TestHalfPrecisionTrainingConverges trains through the FP16 datapath and
+// checks the output error against the golden vector still shrinks.
+func TestHalfPrecisionTrainingConverges(t *testing.T) {
+	b := dnn.NewBuilder("hp-train")
+	in := b.Input(2, 6, 6)
+	c1 := b.Conv(in, "c1", 3, 3, 1, 1, tensor.ActTanh)
+	f1 := b.FC(c1, "f1", 4, tensor.ActNone)
+	_ = f1
+	net := b.Build()
+
+	e := dnn.NewExecutor(net, 5)
+	e.NoBias = true
+	inputs := mkInputs(net, 1, 17)
+	golden := []*tensor.Tensor{tensor.FromSlice([]float32{1, -1, 0.5, 0}, 4)}
+
+	errOf := func(out []float32) float64 {
+		var s float64
+		for i, v := range out {
+			d := float64(v - golden[0].Data[i])
+			s += d * d
+		}
+		return s
+	}
+
+	cEval, mEval := runHalfSim(t, net, testChip(6), Options{Minibatch: 1}, e, inputs, nil)
+	before := errOf(cEval.ReadOutput(mEval, 0))
+
+	opts := Options{Minibatch: 1, Iterations: 12, Training: true, LR: 0.03125}
+	c, m := runHalfSim(t, net, testChip(6), opts, e, inputs, golden)
+	after := errOf(c.ReadOutput(m, 0))
+	if after > before*0.6 {
+		t.Errorf("FP16 training did not reduce error: before %v after %v", before, after)
+	}
+}
+
+// TestHalfPrecisionWeightsAreQuantized reads trained weights back and checks
+// every value is representable in binary16 — the storage invariant of the
+// half-precision design.
+func TestHalfPrecisionWeightsAreQuantized(t *testing.T) {
+	net := convPoolFCNet()
+	e := dnn.NewExecutor(net, 42)
+	e.NoBias = true
+	inputs := mkInputs(net, 1, 7)
+	golden := []*tensor.Tensor{tensor.New(5)}
+	tensor.NewRNG(3).FillUniform(golden[0], 1)
+	opts := Options{Minibatch: 1, Iterations: 1, Training: true, LR: 0.0625}
+	c, m := runHalfSim(t, net, testChip(8), opts, e, inputs, golden)
+	for _, l := range net.Layers {
+		if !l.HasWeights() {
+			continue
+		}
+		w := c.ReadWeights(m, l.Index)
+		for i, v := range w.Data {
+			if tensor.RoundHalf(v) != v {
+				t.Fatalf("layer %s weight[%d] = %v not binary16-representable", l.Name, i, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,272 @@
+// Package compiler implements the two-phase ScaleDeep compiler of §4: the
+// workload-mapping phase (STEP1–STEP6 of Fig. 13) that allocates chip
+// columns to layers, distributes the network state across MemHeavy tiles and
+// picks CompHeavy array configurations; and the code-generation phase that
+// instantiates per-layer FP/BP/WG templates into one ScaleDeep program per
+// CompHeavy tile, together with the data-flow tracker manifest that
+// synchronizes them (§3.2.4).
+package compiler
+
+import (
+	"fmt"
+
+	"scaledeep/internal/arch"
+	"scaledeep/internal/dnn"
+)
+
+// TileCoord addresses a MemHeavy tile on the chip grid.
+type TileCoord struct {
+	Row  int
+	MCol int // MemHeavy column (compute column c has left MCol=c, right MCol=c+1)
+}
+
+// ArrayConfig is the CompHeavy 2D-array configuration chosen for a layer
+// (§3.1.1: columns and lanes can be redistributed, and the array can split
+// horizontally into two half-arrays).
+type ArrayConfig struct {
+	Cols  int
+	Lanes int
+	Split bool
+}
+
+// LayerMap is the mapping decision for one layer.
+type LayerMap struct {
+	Layer *dnn.Layer
+
+	// Columns allocated to the layer (compute column indices, contiguous).
+	Cols []int
+	// MinCols is the memory-capacity-driven minimum (STEP3a).
+	MinCols int
+
+	// TrainFLOPs is the layer's FP+BP+WG FLOPs (STEP2).
+	TrainFLOPs int64
+
+	// Homes[f] is the home tile of output feature f (STEP4). For FC layers,
+	// "features" are per-tile output-neuron slices.
+	Homes []TileCoord
+
+	// Array is the chosen CompHeavy configuration (STEP5).
+	Array ArrayConfig
+
+	// WeightsOnChip records STEP6's placement decision.
+	WeightsOnChip bool
+}
+
+// Mapping is the output of the workload-mapping phase for one chip.
+type Mapping struct {
+	Net  *dnn.Network
+	Chip arch.ChipConfig
+
+	// Maps[i] corresponds to Net.Layers[i]; nil for the Input layer and for
+	// layers fused into a predecessor.
+	Maps []*LayerMap
+
+	// TotalCols is the number of chip columns used.
+	TotalCols int
+}
+
+// Map runs the workload-mapping phase for a network on a single chip.
+// Networks too large for one chip are rejected here — spreading across
+// multiple chips/chip clusters (§3.3) is handled by the analytic
+// performance model (see DESIGN.md §4.4).
+func Map(net *dnn.Network, chip arch.ChipConfig) (*Mapping, error) {
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	if !net.IsLinearChain() {
+		return nil, fmt.Errorf("compiler: %s is not a linear chain; functional compilation supports linear networks (DAGs run on the analytic model)", net.Name)
+	}
+	m := &Mapping{Net: net, Chip: chip, Maps: make([]*LayerMap, len(net.Layers))}
+
+	// STEP1+2: designate layers and compute per-layer training FLOPs. On the
+	// single-chip path every compute layer maps here; Softmax heads are
+	// evaluated by the host (the golden-output error is injected at the
+	// network output, §3.2.3).
+	var mapped []*LayerMap
+	for _, l := range net.Layers {
+		switch l.Kind {
+		case dnn.Input, dnn.Softmax:
+			continue
+		case dnn.Conv, dnn.Pool, dnn.FC:
+			if err := checkFunctional(l); err != nil {
+				return nil, err
+			}
+			lm := &LayerMap{Layer: l, TrainFLOPs: dnn.LayerCost(l).TotalFLOPs()}
+			m.Maps[l.Index] = lm
+			mapped = append(mapped, lm)
+		default:
+			return nil, fmt.Errorf("compiler: layer %s kind %v not supported by the functional backend", l.Name, l.Kind)
+		}
+	}
+	if len(mapped) == 0 {
+		return nil, fmt.Errorf("compiler: %s has no compute layers", net.Name)
+	}
+
+	// STEP3a: minimum columns per layer from memory capacity. Each layer's
+	// MemHeavy tiles must hold its input features and errors, weights and
+	// gradients, and the in-flight partial batches (§4.1).
+	colCap := int64(chip.Rows) * int64(chip.MemHeavy.CapacityKB) * 1024
+	for _, lm := range mapped {
+		need := layerStateBytes(lm.Layer)
+		lm.MinCols = int((need + colCap - 1) / colCap)
+		if lm.MinCols < 1 {
+			lm.MinCols = 1
+		}
+	}
+
+	// STEP3b: load balancing. Allocate remaining columns greedily to the
+	// layer with the highest column-load = normalized FLOPs / normalized
+	// columns.
+	used := 0
+	alloc := make([]int, len(mapped))
+	var totalFLOPs int64
+	for i, lm := range mapped {
+		alloc[i] = lm.MinCols
+		used += lm.MinCols
+		totalFLOPs += lm.TrainFLOPs
+	}
+	if used > chip.Cols {
+		return nil, fmt.Errorf("compiler: %s needs %d columns but the chip has %d (use more chips via the analytic model)",
+			net.Name, used, chip.Cols)
+	}
+	for used < chip.Cols {
+		best, bestLoad := -1, -1.0
+		for i, lm := range mapped {
+			load := (float64(lm.TrainFLOPs) / float64(totalFLOPs)) / (float64(alloc[i]) / float64(chip.Cols))
+			if load > bestLoad {
+				best, bestLoad = i, load
+			}
+		}
+		alloc[best]++
+		used++
+	}
+
+	// Assign contiguous column ranges in layer order.
+	next := 0
+	for i, lm := range mapped {
+		for c := 0; c < alloc[i]; c++ {
+			lm.Cols = append(lm.Cols, next)
+			next++
+		}
+	}
+	m.TotalCols = next
+
+	// STEP4: distribute output features and assign home tiles: feature f of
+	// a layer homes on the left tiles of its consumer's columns (the
+	// consumer reads them locally); the final layer's outputs home on its
+	// own right flank.
+	for i, lm := range mapped {
+		var homeCols []int
+		if i+1 < len(mapped) {
+			homeCols = mapped[i+1].Cols
+		} else {
+			homeCols = []int{lm.Cols[len(lm.Cols)-1] + 1}
+		}
+		n := featureUnits(lm.Layer, chip, homeCols)
+		lm.Homes = make([]TileCoord, n)
+		for f := 0; f < n; f++ {
+			idx := f % (chip.Rows * len(homeCols))
+			lm.Homes[f] = TileCoord{Row: idx % chip.Rows, MCol: homeCols[idx/chip.Rows]}
+		}
+	}
+
+	// STEP5: array configuration — lanes bounded by the layer's output
+	// feature count so narrow layers redistribute lanes into columns.
+	for _, lm := range mapped {
+		lanes := chip.CompHeavy.Lanes
+		if lm.Layer.Kind == dnn.Conv && lm.Layer.OutChannels < lanes {
+			lanes = lm.Layer.OutChannels
+		}
+		if lm.Layer.Kind != dnn.Conv {
+			lanes = 1
+		}
+		lm.Array = ArrayConfig{Cols: chip.CompHeavy.ArrayCols, Lanes: lanes}
+	}
+
+	// STEP6: weight placement. The functional single-chip backend keeps
+	// weights on-chip when the per-tile share fits alongside features; the
+	// allocator enforces the final decision, so this is a planning estimate.
+	for _, lm := range mapped {
+		lm.WeightsOnChip = lm.Layer.HasWeights()
+	}
+	return m, nil
+}
+
+// checkFunctional rejects layer variants the functional backend does not
+// implement (they remain fully supported by the analytic model): grouped
+// convolutions, ceil-mode pools, non-square geometry, and convolutions whose
+// output grid does not tile the input exactly (the 2D-PE array's BP mode
+// inverts the forward geometry, which requires exact tiling).
+func checkFunctional(l *dnn.Layer) error {
+	if l.SharedWith >= 0 {
+		return fmt.Errorf("compiler: %s: weight-tied layers not supported functionally", l.Name)
+	}
+	switch l.Kind {
+	case dnn.Conv:
+		if l.Groups != 1 {
+			return fmt.Errorf("compiler: %s: grouped convolution not supported functionally", l.Name)
+		}
+		if l.In.H != l.In.W || l.ConvP.KH != l.ConvP.KW || l.ConvP.StrideH != l.ConvP.StrideW || l.ConvP.PadH != l.ConvP.PadW {
+			return fmt.Errorf("compiler: %s: non-square conv geometry", l.Name)
+		}
+		if (l.In.H+2*l.ConvP.PadH-l.ConvP.KH)%l.ConvP.StrideH != 0 {
+			return fmt.Errorf("compiler: %s: conv geometry not exactly invertible (needed by BP)", l.Name)
+		}
+	case dnn.Pool:
+		if l.PoolP.Ceiling {
+			return fmt.Errorf("compiler: %s: ceil-mode pooling not supported functionally", l.Name)
+		}
+		if l.In.H != l.In.W {
+			return fmt.Errorf("compiler: %s: non-square pool input", l.Name)
+		}
+	}
+	return nil
+}
+
+// layerStateBytes estimates the MemHeavy bytes a layer needs (STEP3a): two
+// copies of input features and errors, the partial batch under evaluation,
+// and resident weights + gradients.
+func layerStateBytes(l *dnn.Layer) int64 {
+	feat := int64(l.In.Elems()) * 4
+	state := 2*feat + 2*feat // features + errors, double-buffered
+	state += 2 * int64(l.Out.Elems()) * 4
+	if l.HasWeights() {
+		state += 2 * l.WeightBytes()
+	}
+	return state
+}
+
+// featureUnits returns the number of distributable feature units a layer
+// produces: channels for conv/pool layers, one per-home-tile neuron slice
+// for FC layers.
+func featureUnits(l *dnn.Layer, chip arch.ChipConfig, homeCols []int) int {
+	switch l.Kind {
+	case dnn.Conv, dnn.Pool:
+		return l.Out.C
+	case dnn.FC:
+		n := chip.Rows * len(homeCols)
+		if n > l.OutNeurons {
+			n = l.OutNeurons
+		}
+		return n
+	default:
+		return 0
+	}
+}
+
+// MappedLayers returns the mapped layers in network order.
+func (m *Mapping) MappedLayers() []*LayerMap {
+	var out []*LayerMap
+	for _, lm := range m.Maps {
+		if lm != nil {
+			out = append(out, lm)
+		}
+	}
+	return out
+}
+
+// HomeOf returns the home tile of feature f of layer index li.
+func (m *Mapping) HomeOf(li, f int) TileCoord {
+	lm := m.Maps[li]
+	return lm.Homes[f%len(lm.Homes)]
+}

@@ -1,0 +1,90 @@
+package compiler
+
+import (
+	"testing"
+
+	"scaledeep/internal/arch"
+	"scaledeep/internal/dnn"
+	"scaledeep/internal/tensor"
+)
+
+// miniAlexNet is AlexNet's 5-CONV/3-SAMP/3-FC structure scaled to 32×32
+// inputs and narrow layers — the same topology shape as the paper's primary
+// benchmark, small enough to train functionally on the simulator.
+func miniAlexNet() *dnn.Network {
+	b := dnn.NewBuilder("mini-alexnet")
+	in := b.Input(3, 32, 32)
+	c1 := b.Conv(in, "c1", 8, 5, 1, 2, tensor.ActReLU)
+	s1 := b.MaxPool(c1, "s1", 2, 2) // 16
+	c2 := b.Conv(s1, "c2", 12, 3, 1, 1, tensor.ActReLU)
+	s2 := b.MaxPool(c2, "s2", 2, 2) // 8
+	c3 := b.Conv(s2, "c3", 12, 3, 1, 1, tensor.ActReLU)
+	c4 := b.Conv(c3, "c4", 12, 3, 1, 1, tensor.ActReLU)
+	c5 := b.Conv(c4, "c5", 8, 3, 1, 1, tensor.ActReLU)
+	s3 := b.MaxPool(c5, "s3", 2, 2) // 4
+	f1 := b.FC(s3, "f1", 24, tensor.ActReLU)
+	f2 := b.FC(f1, "f2", 16, tensor.ActReLU)
+	f3 := b.FC(f2, "f3", 10, tensor.ActNone)
+	_ = f3
+	return b.Build()
+}
+
+// TestMiniAlexNetFunctionalTraining runs the paper's primary-benchmark
+// topology shape end-to-end through compile → simulate → train, checking
+// weight-for-weight equivalence with the software reference.
+func TestMiniAlexNetFunctionalTraining(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mini-AlexNet functional training is slow")
+	}
+	net := miniAlexNet()
+	chip := arch.Baseline().Cluster.Conv
+	chip.Rows, chip.Cols = 4, 12
+	chip.MemHeavy.CapacityKB = 1024
+
+	const mb = 1
+	const lr = float32(0.03125)
+	inputs := mkInputs(net, mb, 7)
+	golden := []*tensor.Tensor{tensor.New(10)}
+	tensor.NewRNG(9).FillUniform(golden[0], 1)
+
+	ref := dnn.NewExecutor(net, 42)
+	ref.NoBias = true
+	out := ref.Forward(inputs[0])
+	grad := out.Clone()
+	tensor.Sub(grad, out, golden[0])
+	ref.BackwardFrom(grad)
+	ref.Step(lr, 1)
+
+	init := dnn.NewExecutor(net, 42)
+	init.NoBias = true
+	opts := Options{Minibatch: mb, Iterations: 1, Training: true, LR: lr}
+	c, m, st := runSim(t, net, chip, opts, init, inputs, golden)
+	for _, l := range net.Layers {
+		if !l.HasWeights() {
+			continue
+		}
+		diff := tensor.MaxAbsDiff(c.ReadWeights(m, l.Index), ref.Weights[l.Index])
+		if diff > 1e-3 {
+			t.Errorf("mini-AlexNet layer %s diverges by %v", l.Name, diff)
+		}
+	}
+	t.Logf("mini-AlexNet: %d programs, %d instructions, %d cycles, %d FLOPs",
+		len(c.Programs), c.TotalInstructions(), st.Cycles, st.FLOPs)
+}
+
+// TestMapRejectsOversizedNetwork: a network whose memory minimum exceeds the
+// chip must be refused with a clear error (multi-chip mapping is the
+// analytic model's job).
+func TestMapRejectsOversizedNetwork(t *testing.T) {
+	b := dnn.NewBuilder("huge")
+	in := b.Input(64, 64, 64)
+	var cur = in
+	for i := 0; i < 6; i++ {
+		cur = b.Conv(cur, "c"+string(rune('0'+i)), 64, 3, 1, 1, tensor.ActReLU)
+	}
+	net := b.Build()
+	chip := testChip(4) // tiny chip
+	if _, err := Map(net, chip); err == nil {
+		t.Fatal("oversized network accepted on a tiny chip")
+	}
+}

@@ -1,0 +1,96 @@
+package compiler
+
+import (
+	"testing"
+
+	"scaledeep/internal/dnn"
+	"scaledeep/internal/tensor"
+)
+
+// TestOffChipWeightsTrainingEquivalence validates STEP6's other placement
+// (§3.2.3: "weights and gradients for the other layers are stored in the
+// external memory"): training with all weights streamed from external
+// memory must produce the same trained weights as the on-chip placement and
+// the software reference.
+func TestOffChipWeightsTrainingEquivalence(t *testing.T) {
+	net := convPoolFCNet()
+	const mb = 2
+	const iters = 2
+	const lr = float32(0.015625)
+
+	inputs := mkInputs(net, mb, 11)
+	golden := make([]*tensor.Tensor, mb)
+	rng := tensor.NewRNG(13)
+	for i := range golden {
+		golden[i] = tensor.New(5)
+		rng.FillUniform(golden[i], 1)
+	}
+
+	ref := dnn.NewExecutor(net, 42)
+	ref.NoBias = true
+	for it := 0; it < iters; it++ {
+		for i, in := range inputs {
+			out := ref.Forward(in)
+			grad := out.Clone()
+			tensor.Sub(grad, out, golden[i])
+			ref.BackwardFrom(grad)
+		}
+		ref.Step(lr, 1)
+	}
+
+	init := dnn.NewExecutor(net, 42)
+	init.NoBias = true
+	opts := Options{Minibatch: mb, Iterations: iters, Training: true, LR: lr, WeightsOffChip: true}
+	c, m, st := runSim(t, net, testChip(8), opts, init, inputs, golden)
+	for _, l := range net.Layers {
+		if !l.HasWeights() {
+			continue
+		}
+		diff := tensor.MaxAbsDiff(c.ReadWeights(m, l.Index), ref.Weights[l.Index])
+		if diff > 1e-3 {
+			t.Errorf("layer %s off-chip trained weights diverge by %v", l.Name, diff)
+		}
+	}
+	if st.ExtMemBytes == 0 {
+		t.Error("off-chip weights produced no external-memory traffic")
+	}
+}
+
+// TestOffChipWeightsIncreaseExtTraffic: streaming weights from external
+// memory must raise the external channel traffic well above the on-chip
+// placement (the bandwidth pressure STEP6 trades against capacity).
+func TestOffChipWeightsIncreaseExtTraffic(t *testing.T) {
+	net := convPoolFCNet()
+	e := dnn.NewExecutor(net, 42)
+	e.NoBias = true
+	inputs := mkInputs(net, 1, 7)
+
+	run := func(off bool) int64 {
+		opts := Options{Minibatch: 1, Training: false, WeightsOffChip: off}
+		_, _, st := runSim(t, net, testChip(8), opts, e, inputs, nil)
+		return st.ExtMemBytes
+	}
+	on := run(false)
+	offchip := run(true)
+	if offchip <= on*2 {
+		t.Errorf("ext traffic on-chip %d vs off-chip %d — expected a large increase", on, offchip)
+	}
+}
+
+// TestOffChipWeightsEvalEquivalence covers the FP-only path.
+func TestOffChipWeightsEvalEquivalence(t *testing.T) {
+	net := convPoolFCNet()
+	e := dnn.NewExecutor(net, 42)
+	e.NoBias = true
+	inputs := mkInputs(net, 2, 7)
+	opts := Options{Minibatch: 2, Training: false, WeightsOffChip: true}
+	c, m, _ := runSim(t, net, testChip(8), opts, e, inputs, nil)
+	for i, in := range inputs {
+		want := e.Forward(in)
+		got := c.ReadOutput(m, i)
+		diff := tensor.MaxAbsDiff(tensor.FromSlice(got, len(got)), tensor.FromSlice(want.Data, want.Len()))
+		if diff > 1e-4 {
+			t.Errorf("image %d off-chip FP differs by %v", i, diff)
+		}
+	}
+}

@@ -1,0 +1,235 @@
+package dnn
+
+import "scaledeep/internal/tensor"
+
+// This file quantifies the compute and data requirements of each layer and
+// training step — the analysis of §2.3 (Figs. 4 and 5) and the input to the
+// compiler's load balancing (§4.1 STEP2).
+
+// Step is one of the three phases of a training iteration (§2.2). DNN
+// evaluation performs only FP.
+type Step int
+
+const (
+	FP Step = iota // forward propagation
+	BP             // backpropagation of errors
+	WG             // weight gradient computation
+	NumSteps
+)
+
+func (s Step) String() string {
+	switch s {
+	case FP:
+		return "FP"
+	case BP:
+		return "BP"
+	case WG:
+		return "WG"
+	default:
+		return "?"
+	}
+}
+
+// KernelClass is one of the six computational kernels of Fig. 5.
+type KernelClass int
+
+const (
+	KConv   KernelClass = iota // nD-convolution
+	KMatMul                    // matrix multiply (FC FP/BP)
+	KAccum                     // nD-accumulate (feature/gradient accumulation)
+	KVecMul                    // vector element-wise multiply (FC WG)
+	KSamp                      // sub/up sampling
+	KActFn                     // activation function
+	NumKernelClasses
+)
+
+func (k KernelClass) String() string {
+	switch k {
+	case KConv:
+		return "nD-Convolution"
+	case KMatMul:
+		return "Matrix Multiply"
+	case KAccum:
+		return "nD-Accumulate"
+	case KVecMul:
+		return "Vector elem-mul"
+	case KSamp:
+		return "Sampling"
+	case KActFn:
+		return "Activation Fn"
+	default:
+		return "?"
+	}
+}
+
+// bytesPerElem is the storage size of one network value at single precision.
+// The half-precision design (Fig. 17) halves this.
+const bytesPerElem = 4
+
+// Cost holds FLOPs and bytes moved, broken down by training step and kernel
+// class, for one layer or a whole network, per single training input.
+type Cost struct {
+	FLOPs [NumSteps][NumKernelClasses]int64
+	Bytes [NumSteps][NumKernelClasses]int64
+}
+
+// AddCost accumulates o into c.
+func (c *Cost) AddCost(o Cost) {
+	for s := Step(0); s < NumSteps; s++ {
+		for k := KernelClass(0); k < NumKernelClasses; k++ {
+			c.FLOPs[s][k] += o.FLOPs[s][k]
+			c.Bytes[s][k] += o.Bytes[s][k]
+		}
+	}
+}
+
+// StepFLOPs returns total FLOPs for one step.
+func (c Cost) StepFLOPs(s Step) int64 {
+	var t int64
+	for k := KernelClass(0); k < NumKernelClasses; k++ {
+		t += c.FLOPs[s][k]
+	}
+	return t
+}
+
+// StepBytes returns total bytes for one step.
+func (c Cost) StepBytes(s Step) int64 {
+	var t int64
+	for k := KernelClass(0); k < NumKernelClasses; k++ {
+		t += c.Bytes[s][k]
+	}
+	return t
+}
+
+// TotalFLOPs returns FP+BP+WG FLOPs (one training iteration per input).
+func (c Cost) TotalFLOPs() int64 { return c.StepFLOPs(FP) + c.StepFLOPs(BP) + c.StepFLOPs(WG) }
+
+// TotalBytes returns FP+BP+WG bytes.
+func (c Cost) TotalBytes() int64 { return c.StepBytes(FP) + c.StepBytes(BP) + c.StepBytes(WG) }
+
+// KernelFLOPs returns total FLOPs across steps for one kernel class.
+func (c Cost) KernelFLOPs(k KernelClass) int64 {
+	return c.FLOPs[FP][k] + c.FLOPs[BP][k] + c.FLOPs[WG][k]
+}
+
+// KernelBytes returns total bytes across steps for one kernel class.
+func (c Cost) KernelBytes(k KernelClass) int64 {
+	return c.Bytes[FP][k] + c.Bytes[BP][k] + c.Bytes[WG][k]
+}
+
+// LayerCost computes the per-input cost of one layer. The accounting follows
+// §2.3: convolutions are 2·K²·Cin/g FLOPs per output element (multiply +
+// in-kernel add); cross-feature accumulation is a separate nD-accumulate;
+// FC FP/BP are 2·W matrix-multiply FLOPs; FC WG is a W-element vector
+// multiply plus a W-element gradient accumulate; sampling costs one
+// compare/add per window element; activations cost one FLOP per neuron.
+// Byte attribution per class follows the Fig. 5 conventions (accumulate ≈ 4
+// bytes/FLOP: one operand streamed, one in place; activation ≈ 8 bytes/FLOP:
+// read + write).
+func LayerCost(l *Layer) Cost {
+	var c Cost
+	inE := int64(l.In.Elems())
+	outE := int64(l.Out.Elems())
+	w := l.WeightCount()
+	switch l.Kind {
+	case Input:
+		// No compute; input fetch is charged to the first consumer.
+	case Conv:
+		convFLOPs := 2 * int64(l.ConvP.KH*l.ConvP.KW) * int64(l.In.C/l.Groups) * outE
+		accFLOPs := int64(l.In.C/l.Groups) * outE // partial-feature accumulation
+
+		c.FLOPs[FP][KConv] = convFLOPs
+		c.FLOPs[FP][KAccum] = accFLOPs
+		c.FLOPs[FP][KActFn] = actFLOPs(l.Act, outE)
+		c.Bytes[FP][KConv] = bytesPerElem * (inE + w + outE) // read features+weights, write partials
+		c.Bytes[FP][KAccum] = bytesPerElem * 2 * outE        // partial-feature transfers to home row/col
+		c.Bytes[FP][KActFn] = 2 * bytesPerElem * c.FLOPs[FP][KActFn]
+
+		// BP: errors convolved with transposed kernels — same arithmetic.
+		c.FLOPs[BP][KConv] = convFLOPs
+		c.FLOPs[BP][KAccum] = accFLOPs
+		c.FLOPs[BP][KActFn] = actFLOPs(l.Act, outE)
+		c.Bytes[BP][KConv] = bytesPerElem * (outE + w + inE)
+		c.Bytes[BP][KAccum] = bytesPerElem * 2 * inE
+		c.Bytes[BP][KActFn] = 2 * bytesPerElem * c.FLOPs[BP][KActFn]
+
+		// WG: features ⊛ errors (a convolution), then gradient accumulate.
+		c.FLOPs[WG][KConv] = convFLOPs
+		c.FLOPs[WG][KAccum] = w
+		c.Bytes[WG][KConv] = bytesPerElem * (inE + outE + w)
+		c.Bytes[WG][KAccum] = bytesPerElem * w
+	case FC:
+		c.FLOPs[FP][KMatMul] = 2 * w
+		c.FLOPs[FP][KActFn] = actFLOPs(l.Act, outE)
+		c.Bytes[FP][KMatMul] = bytesPerElem * (w + inE + outE)
+		c.Bytes[FP][KActFn] = 2 * bytesPerElem * c.FLOPs[FP][KActFn]
+
+		c.FLOPs[BP][KMatMul] = 2 * w
+		c.FLOPs[BP][KActFn] = actFLOPs(l.Act, outE)
+		c.Bytes[BP][KMatMul] = bytesPerElem * (w + inE + outE)
+		c.Bytes[BP][KActFn] = 2 * bytesPerElem * c.FLOPs[BP][KActFn]
+
+		c.FLOPs[WG][KVecMul] = w
+		c.FLOPs[WG][KAccum] = w
+		c.Bytes[WG][KVecMul] = bytesPerElem * w
+		c.Bytes[WG][KAccum] = bytesPerElem * w
+	case Pool:
+		win := int64(l.PoolP.Window * l.PoolP.Window)
+		c.FLOPs[FP][KSamp] = outE * win
+		c.Bytes[FP][KSamp] = bytesPerElem * (inE + outE)
+		c.FLOPs[BP][KSamp] = outE * win
+		c.Bytes[BP][KSamp] = bytesPerElem * (inE + outE)
+	case Concat:
+		// Pure data movement: charged as accumulate-class bytes with no FLOPs
+		// beyond the copies (modeled as zero-FLOP DMA traffic).
+		c.Bytes[FP][KAccum] = bytesPerElem * outE
+		c.Bytes[BP][KAccum] = bytesPerElem * outE
+	case Add:
+		c.FLOPs[FP][KAccum] = outE
+		c.Bytes[FP][KAccum] = bytesPerElem * outE
+		c.Bytes[BP][KAccum] = bytesPerElem * outE
+	case Slice:
+		c.Bytes[FP][KAccum] = bytesPerElem * outE
+		c.Bytes[BP][KAccum] = bytesPerElem * outE
+	case Mul:
+		c.FLOPs[FP][KVecMul] = outE
+		c.Bytes[FP][KVecMul] = bytesPerElem * outE
+		c.FLOPs[BP][KVecMul] = 2 * outE
+		c.Bytes[BP][KVecMul] = 2 * bytesPerElem * outE
+	case Act:
+		c.FLOPs[FP][KActFn] = actFLOPs(l.Act, outE)
+		c.Bytes[FP][KActFn] = 2 * bytesPerElem * c.FLOPs[FP][KActFn]
+		c.FLOPs[BP][KActFn] = actFLOPs(l.Act, outE)
+		c.Bytes[BP][KActFn] = 2 * bytesPerElem * c.FLOPs[BP][KActFn]
+	case Softmax:
+		c.FLOPs[FP][KActFn] = 3 * outE // exp, sum, normalize
+		c.Bytes[FP][KActFn] = 2 * bytesPerElem * outE
+		c.FLOPs[BP][KActFn] = outE
+		c.Bytes[BP][KActFn] = 2 * bytesPerElem * outE
+	}
+	return c
+}
+
+func actFLOPs(a tensor.ActKind, n int64) int64 {
+	if a == tensor.ActNone {
+		return 0
+	}
+	return n
+}
+
+// NetworkCost sums LayerCost over all layers.
+func NetworkCost(n *Network) Cost {
+	var c Cost
+	for _, l := range n.Layers {
+		c.AddCost(LayerCost(l))
+	}
+	return c
+}
+
+// FeatureBytes returns the storage for one copy of the layer's output
+// features at single precision (the MemHeavy capacity planner needs this,
+// §4.1 STEP3a).
+func (l *Layer) FeatureBytes() int64 { return int64(l.Out.Elems()) * bytesPerElem }
+
+// WeightBytes returns the storage for the layer's weights and biases.
+func (l *Layer) WeightBytes() int64 { return (l.WeightCount() + l.BiasCount()) * bytesPerElem }

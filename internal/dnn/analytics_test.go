@@ -1,0 +1,150 @@
+package dnn
+
+import (
+	"testing"
+
+	"scaledeep/internal/tensor"
+)
+
+func TestConvLayerCostKnownValues(t *testing.T) {
+	b := NewBuilder("one-conv")
+	in := b.Input(4, 8, 8)
+	c1 := b.Conv(in, "c1", 2, 3, 1, 1, tensor.ActReLU)
+	n := b.Softmax(c1).Build()
+	c := LayerCost(n.Layers[c1])
+	outE := int64(2 * 8 * 8)
+	wantConv := 2 * int64(3*3) * 4 * outE
+	if c.FLOPs[FP][KConv] != wantConv {
+		t.Fatalf("FP conv FLOPs = %d, want %d", c.FLOPs[FP][KConv], wantConv)
+	}
+	if c.FLOPs[FP][KAccum] != 4*outE {
+		t.Fatalf("FP accum FLOPs = %d", c.FLOPs[FP][KAccum])
+	}
+	if c.FLOPs[FP][KActFn] != outE {
+		t.Fatalf("FP act FLOPs = %d", c.FLOPs[FP][KActFn])
+	}
+	// BP and WG convolutions cost the same arithmetic as FP.
+	if c.FLOPs[BP][KConv] != wantConv || c.FLOPs[WG][KConv] != wantConv {
+		t.Fatal("BP/WG conv FLOPs differ from FP")
+	}
+	// WG accumulate is per-weight.
+	if c.FLOPs[WG][KAccum] != n.Layers[c1].WeightCount() {
+		t.Fatalf("WG accum = %d", c.FLOPs[WG][KAccum])
+	}
+}
+
+func TestFCLayerCostKnownValues(t *testing.T) {
+	b := NewBuilder("one-fc")
+	in := b.Input(1, 1, 100)
+	f1 := b.FC(in, "f1", 10, tensor.ActReLU)
+	n := b.Softmax(f1).Build()
+	c := LayerCost(n.Layers[f1])
+	if c.FLOPs[FP][KMatMul] != 2*1000 {
+		t.Fatalf("FP matmul = %d", c.FLOPs[FP][KMatMul])
+	}
+	if c.FLOPs[WG][KVecMul] != 1000 || c.FLOPs[WG][KAccum] != 1000 {
+		t.Fatalf("WG = %d/%d", c.FLOPs[WG][KVecMul], c.FLOPs[WG][KAccum])
+	}
+	// FC FP Bytes/FLOP should approach 2 for weight-dominated layers (§2.3).
+	bf := float64(c.Bytes[FP][KMatMul]) / float64(c.FLOPs[FP][KMatMul])
+	if bf < 1.8 || bf > 2.5 {
+		t.Fatalf("FC FP B/F = %v, want ≈2", bf)
+	}
+	// FC WG B/F = 4 per Fig. 4.
+	wgBF := float64(c.StepBytes(WG)) / float64(c.StepFLOPs(WG))
+	if wgBF < 3.5 || wgBF > 4.5 {
+		t.Fatalf("FC WG B/F = %v, want ≈4", wgBF)
+	}
+}
+
+func TestPoolLayerCost(t *testing.T) {
+	b := NewBuilder("one-pool")
+	in := b.Input(4, 8, 8)
+	p1 := b.MaxPool(in, "p1", 2, 2)
+	n := b.Softmax(p1).Build()
+	c := LayerCost(n.Layers[p1])
+	if c.FLOPs[FP][KSamp] != int64(4*4*4)*4 {
+		t.Fatalf("samp FLOPs = %d", c.FLOPs[FP][KSamp])
+	}
+	if c.StepFLOPs(WG) != 0 {
+		t.Fatal("SAMP layer has WG FLOPs (it has no weights)")
+	}
+	// SAMP B/F ≈ 5 for 2x2 windows (Fig. 4's highest class).
+	bf := float64(c.StepBytes(FP)) / float64(c.StepFLOPs(FP))
+	if bf < 1 || bf > 6 {
+		t.Fatalf("SAMP B/F = %v", bf)
+	}
+}
+
+func TestConvBFRatioOrdersOfMagnitudeBelowFC(t *testing.T) {
+	// §2.3: the B/F ratio varies by ~3 orders of magnitude between CONV and
+	// the memory-dominant layers.
+	b := NewBuilder("bf")
+	in := b.Input(96, 27, 27)
+	c1 := b.Conv(in, "mid", 256, 5, 1, 2, tensor.ActReLU)
+	f1 := b.FC(c1, "fc", 4096, tensor.ActNone)
+	n := b.Softmax(f1).Build()
+	cc := LayerCost(n.Layers[c1])
+	fc := LayerCost(n.Layers[f1])
+	convBF := float64(cc.StepBytes(FP)) / float64(cc.StepFLOPs(FP))
+	fcBF := float64(fc.StepBytes(FP)) / float64(fc.StepFLOPs(FP))
+	if fcBF/convBF < 50 {
+		t.Fatalf("FC/conv B/F ratio = %v, want ≫", fcBF/convBF)
+	}
+}
+
+func TestNetworkCostSumsLayers(t *testing.T) {
+	n := toyNet()
+	total := NetworkCost(n)
+	var manual Cost
+	for _, l := range n.Layers {
+		manual.AddCost(LayerCost(l))
+	}
+	if total.TotalFLOPs() != manual.TotalFLOPs() || total.TotalBytes() != manual.TotalBytes() {
+		t.Fatal("NetworkCost != sum of LayerCost")
+	}
+	if total.TotalFLOPs() <= 0 {
+		t.Fatal("zero network FLOPs")
+	}
+}
+
+func TestTrainingFLOPsRoughlyTripleEvaluation(t *testing.T) {
+	// Training = FP+BP+WG ≈ 3× FP for conv-dominated networks (§1: OverFeat
+	// 3.3 GOPs/eval vs ~15 POPs for 1.28M-image epoch ≈ 3.5×).
+	n := toyNet()
+	c := NetworkCost(n)
+	ratio := float64(c.TotalFLOPs()) / float64(c.StepFLOPs(FP))
+	if ratio < 2.5 || ratio > 3.5 {
+		t.Fatalf("train/eval FLOP ratio = %v, want ≈3", ratio)
+	}
+}
+
+func TestFeatureAndWeightBytes(t *testing.T) {
+	n := toyNet()
+	c1 := n.Layers[1]
+	if c1.FeatureBytes() != int64(8*16*16*4) {
+		t.Fatalf("feature bytes = %d", c1.FeatureBytes())
+	}
+	if c1.WeightBytes() != (c1.WeightCount()+8)*4 {
+		t.Fatalf("weight bytes = %d", c1.WeightBytes())
+	}
+}
+
+func TestStepAndKernelAggregates(t *testing.T) {
+	n := toyNet()
+	c := NetworkCost(n)
+	var sumKernels int64
+	for k := KernelClass(0); k < NumKernelClasses; k++ {
+		sumKernels += c.KernelFLOPs(k)
+	}
+	if sumKernels != c.TotalFLOPs() {
+		t.Fatalf("kernel sum %d != total %d", sumKernels, c.TotalFLOPs())
+	}
+	var sumBytes int64
+	for k := KernelClass(0); k < NumKernelClasses; k++ {
+		sumBytes += c.KernelBytes(k)
+	}
+	if sumBytes != c.TotalBytes() {
+		t.Fatal("kernel bytes do not sum to total")
+	}
+}

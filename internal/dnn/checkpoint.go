@@ -1,0 +1,152 @@
+package dnn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"scaledeep/internal/tensor"
+)
+
+// Checkpoint serialization: a compact binary format for an executor's
+// parameters, so trained models survive process restarts and can move
+// between the software reference and simulator harnesses.
+//
+// Layout (little-endian):
+//
+//	magic "SDW1" | layerCount u32 | per weighted layer:
+//	  layerIndex u32 | weightLen u32 | biasLen u32 | weights f32... | biases f32...
+//	crc32 (IEEE) of everything before it
+
+var checkpointMagic = [4]byte{'S', 'D', 'W', '1'}
+
+// SaveWeights writes the executor's parameters to w.
+func SaveWeights(w io.Writer, e *Executor) error {
+	cw := &crcWriter{w: w, crc: crc32.NewIEEE()}
+	if _, err := cw.Write(checkpointMagic[:]); err != nil {
+		return err
+	}
+	var count uint32
+	for _, t := range e.Weights {
+		if t != nil {
+			count++
+		}
+	}
+	if err := binary.Write(cw, binary.LittleEndian, count); err != nil {
+		return err
+	}
+	for i, t := range e.Weights {
+		if t == nil {
+			continue
+		}
+		hdr := []uint32{uint32(i), uint32(t.Len()), uint32(e.Biases[i].Len())}
+		if err := binary.Write(cw, binary.LittleEndian, hdr); err != nil {
+			return err
+		}
+		if err := binary.Write(cw, binary.LittleEndian, t.Data); err != nil {
+			return err
+		}
+		if err := binary.Write(cw, binary.LittleEndian, e.Biases[i].Data); err != nil {
+			return err
+		}
+	}
+	return binary.Write(w, binary.LittleEndian, cw.crc.Sum32())
+}
+
+// LoadWeights reads parameters saved by SaveWeights into e. The executor's
+// network must have the same weighted-layer shapes; mismatches and corrupted
+// streams are rejected.
+func LoadWeights(r io.Reader, e *Executor) error {
+	cr := &crcReader{r: bufio.NewReader(r), crc: crc32.NewIEEE()}
+	var magic [4]byte
+	if _, err := io.ReadFull(cr, magic[:]); err != nil {
+		return fmt.Errorf("dnn: checkpoint header: %w", err)
+	}
+	if magic != checkpointMagic {
+		return fmt.Errorf("dnn: bad checkpoint magic %q", magic)
+	}
+	var count uint32
+	if err := binary.Read(cr, binary.LittleEndian, &count); err != nil {
+		return err
+	}
+	for n := uint32(0); n < count; n++ {
+		var hdr [3]uint32
+		if err := binary.Read(cr, binary.LittleEndian, &hdr); err != nil {
+			return fmt.Errorf("dnn: checkpoint layer header: %w", err)
+		}
+		idx := int(hdr[0])
+		if idx >= len(e.Weights) || e.Weights[idx] == nil {
+			return fmt.Errorf("dnn: checkpoint layer %d does not exist in this network", idx)
+		}
+		if int(hdr[1]) != e.Weights[idx].Len() || int(hdr[2]) != e.Biases[idx].Len() {
+			return fmt.Errorf("dnn: checkpoint layer %d shape mismatch (%d/%d vs %d/%d)",
+				idx, hdr[1], hdr[2], e.Weights[idx].Len(), e.Biases[idx].Len())
+		}
+		if err := binary.Read(cr, binary.LittleEndian, e.Weights[idx].Data); err != nil {
+			return err
+		}
+		if err := binary.Read(cr, binary.LittleEndian, e.Biases[idx].Data); err != nil {
+			return err
+		}
+	}
+	want := cr.crc.Sum32()
+	var got uint32
+	if err := binary.Read(cr.r, binary.LittleEndian, &got); err != nil {
+		return fmt.Errorf("dnn: checkpoint checksum: %w", err)
+	}
+	if got != want {
+		return fmt.Errorf("dnn: checkpoint corrupted (crc %08x != %08x)", got, want)
+	}
+	return nil
+}
+
+type crcWriter struct {
+	w   io.Writer
+	crc crc32Hash
+}
+
+type crc32Hash interface {
+	io.Writer
+	Sum32() uint32
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.crc.Write(p[:n])
+	return n, err
+}
+
+type crcReader struct {
+	r   io.Reader
+	crc crc32Hash
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.crc.Write(p[:n])
+	return n, err
+}
+
+// CloneWeightsInto copies parameters from src to dst (same network shapes),
+// the in-memory analogue of save+load.
+func CloneWeightsInto(dst, src *Executor) error {
+	if len(dst.Weights) != len(src.Weights) {
+		return fmt.Errorf("dnn: executors have different layer counts")
+	}
+	for i := range src.Weights {
+		if (src.Weights[i] == nil) != (dst.Weights[i] == nil) {
+			return fmt.Errorf("dnn: layer %d weight presence mismatch", i)
+		}
+		if src.Weights[i] == nil {
+			continue
+		}
+		if !tensor.SameShape(src.Weights[i], dst.Weights[i]) {
+			return fmt.Errorf("dnn: layer %d shape mismatch", i)
+		}
+		copy(dst.Weights[i].Data, src.Weights[i].Data)
+		copy(dst.Biases[i].Data, src.Biases[i].Data)
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+package dnn
+
+import (
+	"bytes"
+	"testing"
+
+	"scaledeep/internal/tensor"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	net := toyNet()
+	src := NewExecutor(net, 42)
+	// Perturb so the round trip is meaningful.
+	in := tensor.New(3, 16, 16)
+	tensor.NewRNG(5).FillUniform(in, 1)
+	src.Forward(in)
+	src.Backward(1)
+	src.Step(0.1, 1)
+
+	var buf bytes.Buffer
+	if err := SaveWeights(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := NewExecutor(net, 7) // different init
+	if err := LoadWeights(&buf, dst); err != nil {
+		t.Fatal(err)
+	}
+	for i := range src.Weights {
+		if src.Weights[i] == nil {
+			continue
+		}
+		if tensor.MaxAbsDiff(src.Weights[i], dst.Weights[i]) != 0 {
+			t.Fatalf("layer %d weights differ after round trip", i)
+		}
+		if tensor.MaxAbsDiff(src.Biases[i], dst.Biases[i]) != 0 {
+			t.Fatalf("layer %d biases differ after round trip", i)
+		}
+	}
+	// Loaded executor computes identical outputs.
+	a := src.Forward(in)
+	b := dst.Forward(in)
+	if tensor.MaxAbsDiff(a, b) != 0 {
+		t.Fatal("outputs differ after checkpoint round trip")
+	}
+}
+
+func TestCheckpointDetectsCorruption(t *testing.T) {
+	net := toyNet()
+	src := NewExecutor(net, 42)
+	var buf bytes.Buffer
+	if err := SaveWeights(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[len(data)/2] ^= 0xFF
+	dst := NewExecutor(net, 7)
+	if err := LoadWeights(bytes.NewReader(data), dst); err == nil {
+		t.Fatal("corrupted checkpoint accepted")
+	}
+}
+
+func TestCheckpointRejectsWrongNetwork(t *testing.T) {
+	src := NewExecutor(toyNet(), 42)
+	var buf bytes.Buffer
+	if err := SaveWeights(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	b := NewBuilder("other")
+	in := b.Input(3, 16, 16)
+	c1 := b.Conv(in, "c1", 4, 3, 1, 1, tensor.ActReLU) // different width
+	other := b.Softmax(c1).Build()
+	dst := NewExecutor(other, 7)
+	if err := LoadWeights(&buf, dst); err == nil {
+		t.Fatal("checkpoint for a different network accepted")
+	}
+}
+
+func TestCheckpointRejectsBadMagic(t *testing.T) {
+	dst := NewExecutor(toyNet(), 7)
+	if err := LoadWeights(bytes.NewReader([]byte("NOPE....")), dst); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if err := LoadWeights(bytes.NewReader(nil), dst); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+}
+
+func TestCloneWeightsInto(t *testing.T) {
+	net := toyNet()
+	src := NewExecutor(net, 42)
+	dst := NewExecutor(net, 7)
+	if err := CloneWeightsInto(dst, src); err != nil {
+		t.Fatal(err)
+	}
+	in := tensor.New(3, 16, 16)
+	tensor.NewRNG(5).FillUniform(in, 1)
+	if tensor.MaxAbsDiff(src.Forward(in), dst.Forward(in)) != 0 {
+		t.Fatal("clone not exact")
+	}
+	// Mismatched networks rejected.
+	b := NewBuilder("tiny")
+	i2 := b.Input(1, 4, 4)
+	f := b.FC(i2, "f", 2, tensor.ActNone)
+	small := b.Softmax(f).Build()
+	if err := CloneWeightsInto(NewExecutor(small, 1), src); err == nil {
+		t.Fatal("mismatched clone accepted")
+	}
+}

@@ -1,0 +1,183 @@
+package dnn
+
+import (
+	"math"
+	"testing"
+
+	"scaledeep/internal/tensor"
+)
+
+func TestBackwardFromMatchesSoftmaxPath(t *testing.T) {
+	// Feeding SoftmaxCrossEntropyGrad through BackwardFrom on the softmax
+	// layer's input must equal Backward(label) on the full network.
+	n := toyNet()
+	a := NewExecutor(n, 42)
+	b := NewExecutor(n, 42)
+	in := tensor.New(3, 16, 16)
+	tensor.NewRNG(5).FillUniform(in, 1)
+	label := 3
+
+	a.Forward(in)
+	a.Backward(label)
+
+	out := b.Forward(in)
+	b.BackwardFrom(tensor.SoftmaxCrossEntropyGrad(out, label))
+
+	for i := range a.GradW {
+		if a.GradW[i] == nil {
+			continue
+		}
+		if d := tensor.MaxAbsDiff(a.GradW[i], b.GradW[i]); d > 1e-6 {
+			t.Fatalf("layer %d gradients differ by %v", i, d)
+		}
+	}
+}
+
+func TestGroupedConvBackwardFiniteDifference(t *testing.T) {
+	b := NewBuilder("g-bwd")
+	in := b.Input(4, 5, 5)
+	g := b.ConvG(in, "g", 4, 3, 1, 1, 2, tensor.ActTanh)
+	f := b.FC(g, "f", 3, tensor.ActNone)
+	_ = f
+	net := b.Softmax(f).Build()
+	_ = net
+
+	e := NewExecutor(net, 31)
+	input := tensor.New(4, 5, 5)
+	tensor.NewRNG(37).FillUniform(input, 1)
+	label := 1
+	e.Forward(input)
+	e.Backward(label)
+
+	const eps = 1e-2
+	for _, wi := range []int{0, 17, 35} {
+		analytic := float64(e.GradW[g].Data[wi])
+		w := e.Weights[g]
+		orig := w.Data[wi]
+		w.Data[wi] = orig + eps
+		e.Forward(input)
+		up := e.Loss(label)
+		w.Data[wi] = orig - eps
+		e.Forward(input)
+		dn := e.Loss(label)
+		w.Data[wi] = orig
+		numeric := (up - dn) / (2 * eps)
+		if math.Abs(numeric-analytic) > 2e-2*(1+math.Abs(numeric)) {
+			t.Errorf("grouped w[%d]: analytic %v numeric %v", wi, analytic, numeric)
+		}
+	}
+}
+
+func TestNoBiasFreezesBiases(t *testing.T) {
+	n := toyNet()
+	e := NewExecutor(n, 1)
+	e.NoBias = true
+	in := tensor.New(3, 16, 16)
+	tensor.NewRNG(5).FillUniform(in, 1)
+	e.Forward(in)
+	e.Backward(0)
+	e.Step(0.1, 1)
+	for i, bias := range e.Biases {
+		if bias == nil {
+			continue
+		}
+		for _, v := range bias.Data {
+			if v != 0 {
+				t.Fatalf("layer %d bias updated despite NoBias", i)
+			}
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	kinds := []LayerKind{Input, Conv, Pool, FC, Concat, Add, Softmax, LayerKind(99)}
+	for _, k := range kinds {
+		if k.String() == "" {
+			t.Errorf("empty string for kind %d", int(k))
+		}
+	}
+	for _, c := range []Class{ClassInput, ClassInitialConv, ClassMidConv, ClassFC, ClassSamp, ClassOther} {
+		if c.String() == "" {
+			t.Errorf("empty class string")
+		}
+	}
+	for s := Step(0); s < NumSteps; s++ {
+		if s.String() == "?" {
+			t.Errorf("step %d has no name", int(s))
+		}
+	}
+	for k := KernelClass(0); k < NumKernelClasses; k++ {
+		if k.String() == "?" {
+			t.Errorf("kernel %d has no name", int(k))
+		}
+	}
+	if (Shape{C: 3, H: 4, W: 5}).String() != "3x4x5" {
+		t.Error("shape string")
+	}
+}
+
+func TestHasWeightsAndBiasCount(t *testing.T) {
+	n := toyNet()
+	for _, l := range n.Layers {
+		want := l.Kind == Conv || l.Kind == FC
+		if l.HasWeights() != want {
+			t.Errorf("%s HasWeights = %v", l.Name, l.HasWeights())
+		}
+		if !want && l.BiasCount() != 0 {
+			t.Errorf("%s has biases", l.Name)
+		}
+	}
+}
+
+func TestBuilderMiscMethods(t *testing.T) {
+	b := NewBuilder("misc")
+	in := b.Input(4, 9, 9)
+	if b.LayerOut(in) != (Shape{C: 4, H: 9, W: 9}) {
+		t.Error("LayerOut")
+	}
+	mpc := b.MaxPoolCeil(in, "mpc", 2, 2) // 9 → ceil((9-2)/2)+1 = 5
+	if b.LayerOut(mpc).H != 5 {
+		t.Errorf("ceil pool out %v", b.LayerOut(mpc))
+	}
+	ap := b.AvgPool(mpc, "ap", 2, 2)
+	if b.LayerOut(ap).H != 2 {
+		t.Errorf("avg pool out %v", b.LayerOut(ap))
+	}
+	pw := b.PoolWith(ap, "pw", tensor.PoolParams{Kind: tensor.MaxPool, Window: 2, Stride: 1, Pad: 1})
+	if b.LayerOut(pw).H != 3 {
+		t.Errorf("padded pool out %v", b.LayerOut(pw))
+	}
+	n := b.Softmax(pw).Build()
+	if n.TotalWeights() != 0 || n.TotalConnections() != 0 {
+		t.Error("pool-only net has weights")
+	}
+}
+
+func TestBuilderReuseAfterBuildPanics(t *testing.T) {
+	b := NewBuilder("done")
+	in := b.Input(1, 2, 2)
+	b.Softmax(in).Build()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on reuse")
+		}
+	}()
+	b.Input(1, 2, 2)
+}
+
+func TestPredictArgmax(t *testing.T) {
+	b := NewBuilder("pred")
+	in := b.Input(1, 1, 4)
+	f := b.FC(in, "f", 3, tensor.ActNone)
+	net := b.Softmax(f).Build()
+	e := NewExecutor(net, 2)
+	// Rig weights so class 2 always wins.
+	e.Weights[f].Zero()
+	for c := 0; c < 4; c++ {
+		e.Weights[f].Data[2*4+c] = 5
+	}
+	x := tensor.FromSlice([]float32{1, 1, 1, 1}, 1, 1, 4)
+	if got := e.Predict(x); got != 2 {
+		t.Fatalf("Predict = %d", got)
+	}
+}

@@ -1,0 +1,209 @@
+// Package dnn models deep neural network topologies as DAGs of typed layers,
+// infers feature shapes, and computes the per-layer, per-training-step
+// (FP/BP/WG) compute and data requirements that drive both the workload
+// characterization (§2.3 of the paper) and the ScaleDeep compiler's workload
+// mapping (§4.1).
+package dnn
+
+import (
+	"fmt"
+
+	"scaledeep/internal/tensor"
+)
+
+// LayerKind enumerates the layer types in §2.2 plus the structural layers
+// (Concat, Add) needed for GoogLeNet and ResNet topologies.
+type LayerKind int
+
+const (
+	Input   LayerKind = iota
+	Conv              // convolutional layer with optional fused activation
+	Pool              // sampling (SAMP) layer
+	FC                // fully-connected layer with optional fused activation
+	Concat            // channel-wise concatenation (inception modules)
+	Add               // element-wise residual addition
+	Mul               // element-wise (Hadamard) product (LSTM gating)
+	Slice             // channel-range selection (sequence unrolling)
+	Act               // standalone activation (LSTM cell-state tanh)
+	Softmax           // classifier head
+)
+
+func (k LayerKind) String() string {
+	switch k {
+	case Input:
+		return "input"
+	case Conv:
+		return "conv"
+	case Pool:
+		return "pool"
+	case FC:
+		return "fc"
+	case Concat:
+		return "concat"
+	case Add:
+		return "add"
+	case Mul:
+		return "mul"
+	case Slice:
+		return "slice"
+	case Act:
+		return "act"
+	case Softmax:
+		return "softmax"
+	default:
+		return fmt.Sprintf("LayerKind(%d)", int(k))
+	}
+}
+
+// Shape is a (channels, height, width) feature-map shape. FC layers use
+// (neurons, 1, 1).
+type Shape struct{ C, H, W int }
+
+// Elems returns the element count.
+func (s Shape) Elems() int { return s.C * s.H * s.W }
+
+func (s Shape) String() string { return fmt.Sprintf("%dx%dx%d", s.C, s.H, s.W) }
+
+// Layer is one node of the network DAG. Parameter fields are used according
+// to Kind; Inputs holds indices of predecessor layers in Network.Layers.
+type Layer struct {
+	Index  int
+	Name   string
+	Kind   LayerKind
+	Inputs []int
+
+	// Conv parameters.
+	OutChannels int
+	ConvP       tensor.ConvParams
+	Groups      int // grouped convolution (AlexNet towers); 1 = dense
+
+	// Pool parameters.
+	PoolP tensor.PoolParams
+
+	// FC parameters.
+	OutNeurons int
+
+	// SharedWith ties this layer's weights to an earlier layer of identical
+	// parameter shape (recurrent topologies, §1: RNNs/LSTMs unroll into
+	// layers that reuse one weight matrix). -1 = own weights.
+	SharedWith int
+
+	// Slice parameters: channels [SliceFrom, SliceFrom+Out.C).
+	SliceFrom int
+
+	// Fused activation for Conv/FC.
+	Act tensor.ActKind
+
+	// Inferred shapes.
+	In  Shape // shape of (first) input
+	Out Shape
+}
+
+// HasWeights reports whether the layer carries learned parameters (and hence
+// participates in the WG step; SAMP layers do not, §2.2).
+func (l *Layer) HasWeights() bool { return l.Kind == Conv || l.Kind == FC }
+
+// WeightCount returns the number of learned weights (excluding biases).
+// Weight-tied layers introduce no new parameters.
+func (l *Layer) WeightCount() int64 {
+	if l.SharedWith >= 0 {
+		return 0
+	}
+	switch l.Kind {
+	case Conv:
+		return int64(l.OutChannels) * int64(l.In.C/l.Groups) * int64(l.ConvP.KH) * int64(l.ConvP.KW)
+	case FC:
+		return int64(l.OutNeurons) * int64(l.In.Elems())
+	default:
+		return 0
+	}
+}
+
+// BiasCount returns the number of bias parameters.
+func (l *Layer) BiasCount() int64 {
+	switch l.Kind {
+	case Conv:
+		return int64(l.OutChannels)
+	case FC:
+		return int64(l.OutNeurons)
+	default:
+		return 0
+	}
+}
+
+// Neurons returns the neuron count attributed to this layer: the paper's
+// Fig. 15 counts the outputs of CONV and FC layers (SAMP and structural
+// layers introduce no new neurons).
+func (l *Layer) Neurons() int64 {
+	if l.Kind == Conv || l.Kind == FC {
+		return int64(l.Out.Elems())
+	}
+	return 0
+}
+
+// Connections returns the number of weighted connections (MAC operations in
+// one FP evaluation), the unit in which Fig. 15 reports network size.
+func (l *Layer) Connections() int64 {
+	switch l.Kind {
+	case Conv:
+		perOutput := int64(l.In.C/l.Groups) * int64(l.ConvP.KH) * int64(l.ConvP.KW)
+		return int64(l.Out.Elems()) * perOutput
+	case FC:
+		return l.WeightCount()
+	default:
+		return 0
+	}
+}
+
+// Class is the layer class of the paper's workload analysis (§2.3, Fig. 4).
+type Class int
+
+const (
+	ClassInput Class = iota
+	ClassInitialConv
+	ClassMidConv
+	ClassFC
+	ClassSamp
+	ClassOther
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassInput:
+		return "input"
+	case ClassInitialConv:
+		return "initial-conv"
+	case ClassMidConv:
+		return "mid-conv"
+	case ClassFC:
+		return "fully-conn"
+	case ClassSamp:
+		return "sub-samp"
+	default:
+		return "other"
+	}
+}
+
+// initialConvMinSide is the output feature-map side above which a CONV layer
+// is classed "initial": the paper's initial CONV layers have feature sizes of
+// 24x24–231x231 while mid CONV layers are 12x12 (Fig. 4).
+const initialConvMinSide = 20
+
+// Class returns the workload class of the layer.
+func (l *Layer) Class() Class {
+	switch l.Kind {
+	case Input:
+		return ClassInput
+	case Conv:
+		if l.Out.H >= initialConvMinSide || l.Out.W >= initialConvMinSide {
+			return ClassInitialConv
+		}
+		return ClassMidConv
+	case FC:
+		return ClassFC
+	case Pool:
+		return ClassSamp
+	default:
+		return ClassOther
+	}
+}

@@ -1,0 +1,173 @@
+package dnn
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"scaledeep/internal/tensor"
+)
+
+// lstmNet unrolls a single LSTM cell over T steps (§1: ScaleDeep targets
+// "Long Short Term Memory (LSTM) networks"): per step,
+//
+//	z_t = [x_t ; h_{t-1}]
+//	i = σ(W_i z)   f = σ(W_f z)   o = σ(W_o z)   g = tanh(W_g z)
+//	c_t = f ⊙ c_{t-1} + i ⊙ g
+//	h_t = o ⊙ tanh(c_t)
+//
+// with the four gate matrices tied across steps 2..T. Step 1 uses its own
+// gates (h_0 = c_0 = 0 shrinks its input), and f⊙c_0 vanishes.
+func lstmNet(T, nx, nh, classes int) (*Network, [4]int) {
+	b := NewBuilder("lstm")
+	in := b.Input(T*nx, 1, 1)
+
+	gate := func(z int, name string, act tensor.ActKind, tied int) int {
+		if tied >= 0 {
+			return b.FCTied(z, name, tied, act)
+		}
+		return b.FC(z, name, nh, act)
+	}
+
+	// Step 1 (h0 = c0 = 0): c_1 = i⊙g, h_1 = o⊙tanh(c_1).
+	x0 := b.SliceChannels(in, "x0", 0, nx)
+	i1 := gate(x0, "i1", tensor.ActSigmoid, -1)
+	o1 := gate(x0, "o1", tensor.ActSigmoid, -1)
+	g1 := gate(x0, "g1", tensor.ActTanh, -1)
+	c := b.Mul("c1", i1, g1)
+	h := b.Mul("h1", o1, b.Activation(c, "tc1", tensor.ActTanh))
+
+	var tied [4]int // i, f, o, g matrices of the recurrent steps
+	for t := 1; t < T; t++ {
+		xt := b.SliceChannels(in, fmt.Sprintf("x%d", t), t*nx, nx)
+		z := b.Concat(fmt.Sprintf("z%d", t), xt, h)
+		var it, ft, ot, gt int
+		if t == 1 {
+			it = b.FC(z, "Wi", nh, tensor.ActSigmoid)
+			ft = b.FC(z, "Wf", nh, tensor.ActSigmoid)
+			ot = b.FC(z, "Wo", nh, tensor.ActSigmoid)
+			gt = b.FC(z, "Wg", nh, tensor.ActTanh)
+			tied = [4]int{it, ft, ot, gt}
+		} else {
+			it = b.FCTied(z, fmt.Sprintf("Wi%d", t), tied[0], tensor.ActSigmoid)
+			ft = b.FCTied(z, fmt.Sprintf("Wf%d", t), tied[1], tensor.ActSigmoid)
+			ot = b.FCTied(z, fmt.Sprintf("Wo%d", t), tied[2], tensor.ActSigmoid)
+			gt = b.FCTied(z, fmt.Sprintf("Wg%d", t), tied[3], tensor.ActTanh)
+		}
+		fc := b.Mul(fmt.Sprintf("fc%d", t), ft, c)
+		ig := b.Mul(fmt.Sprintf("ig%d", t), it, gt)
+		c = b.Add(fmt.Sprintf("c%d", t), fc, ig)
+		h = b.Mul(fmt.Sprintf("h%d", t), ot, b.Activation(c, fmt.Sprintf("tc%d", t), tensor.ActTanh))
+	}
+	head := b.FC(h, "head", classes, tensor.ActNone)
+	b.Softmax(head)
+	return b.Build(), tied
+}
+
+func TestLSTMGradientFiniteDifference(t *testing.T) {
+	net, tied := lstmNet(3, 2, 4, 2)
+	e := NewExecutor(net, 31)
+	input := tensor.New(3*2, 1, 1)
+	tensor.NewRNG(37).FillUniform(input, 1)
+	label := 0
+
+	e.Forward(input)
+	e.Backward(label)
+	const eps = 1e-2
+	// Check gradients of every tied gate matrix (the recurrence path) and
+	// one step-1 gate.
+	for gi, layer := range tied {
+		analytic := float64(e.GradW[layer].Data[3])
+		w := e.Weights[layer]
+		orig := w.Data[3]
+		w.Data[3] = orig + eps
+		e.Forward(input)
+		up := e.Loss(label)
+		w.Data[3] = orig - eps
+		e.Forward(input)
+		dn := e.Loss(label)
+		w.Data[3] = orig
+		numeric := (up - dn) / (2 * eps)
+		if math.Abs(numeric-analytic) > 3e-2*(1+math.Abs(numeric)) {
+			t.Errorf("gate %d shared w[3]: analytic %v numeric %v", gi, analytic, numeric)
+		}
+	}
+}
+
+func TestLSTMLearnsLongRangeDependency(t *testing.T) {
+	// The class is decided by the FIRST frame; the LSTM must carry it
+	// through the cell state to the end of the sequence.
+	const T, nx = 4, 2
+	net, _ := lstmNet(T, nx, 8, 2)
+	e := NewExecutor(net, 41)
+	rng := tensor.NewRNG(43)
+	mk := func(label int) *tensor.Tensor {
+		seq := tensor.New(T*nx, 1, 1)
+		rng.FillUniform(seq, 0.1)
+		if label == 1 {
+			seq.Data[0] += 2 // marker in frame 0 only
+			seq.Data[1] += 2
+		}
+		return seq
+	}
+	var first, last float64
+	for epoch := 0; epoch < 250; epoch++ {
+		var loss float64
+		for i := 0; i < 8; i++ {
+			label := i % 2
+			e.Forward(mk(label))
+			loss += e.Loss(label)
+			e.Backward(label)
+		}
+		e.Step(0.5, 8)
+		if epoch == 0 {
+			first = loss
+		}
+		last = loss
+	}
+	if last >= first*0.5 {
+		t.Fatalf("LSTM did not learn long-range dependency: first %v last %v", first, last)
+	}
+	correct := 0
+	for i := 0; i < 30; i++ {
+		if e.Predict(mk(i%2)) == i%2 {
+			correct++
+		}
+	}
+	if correct < 24 {
+		t.Fatalf("LSTM accuracy %d/30", correct)
+	}
+}
+
+func TestMulForwardBackwardKnownValues(t *testing.T) {
+	b := NewBuilder("mul")
+	in := b.Input(2, 1, 2)
+	a := b.SliceChannels(in, "a", 0, 1)
+	c := b.SliceChannels(in, "c", 1, 1)
+	m := b.Mul("m", a, c)
+	f := b.FC(m, "f", 2, tensor.ActNone)
+	net := b.Softmax(f).Build()
+	e := NewExecutor(net, 3)
+	x := tensor.FromSlice([]float32{2, 3, 4, 5}, 2, 1, 2)
+	e.Forward(x)
+	got := e.Acts[m]
+	if got.Data[0] != 8 || got.Data[1] != 15 {
+		t.Fatalf("mul forward = %v", got.Data)
+	}
+	e.Backward(0) // must route gradients through both factors without panic
+}
+
+func TestActivationLayer(t *testing.T) {
+	b := NewBuilder("act")
+	in := b.Input(1, 1, 3)
+	a := b.Activation(in, "tanh", tensor.ActTanh)
+	f := b.FC(a, "f", 2, tensor.ActNone)
+	net := b.Softmax(f).Build()
+	e := NewExecutor(net, 3)
+	x := tensor.FromSlice([]float32{0, 1, -1}, 1, 1, 3)
+	e.Forward(x)
+	got := e.Acts[a]
+	if got.Data[0] != 0 || math.Abs(float64(got.Data[1]-0.7615942)) > 1e-5 {
+		t.Fatalf("act forward = %v", got.Data)
+	}
+}

@@ -1,0 +1,333 @@
+package dnn
+
+import (
+	"fmt"
+
+	"scaledeep/internal/tensor"
+)
+
+// Network is a DAG of layers in topological order (every layer's inputs have
+// smaller indices). Layer 0 is always the Input layer.
+type Network struct {
+	Name   string
+	Layers []*Layer
+}
+
+// Builder constructs networks layer by layer, inferring shapes as it goes.
+// Methods return the new layer's index so topologies read like the papers
+// they come from:
+//
+//	b := dnn.NewBuilder("toy")
+//	in := b.Input(3, 32, 32)
+//	c1 := b.Conv(in, "c1", 16, 3, 1, 1, tensor.ActReLU)
+//	p1 := b.MaxPool(c1, "s1", 2, 2)
+//	f1 := b.FC(p1, "f1", 10, tensor.ActNone)
+//	net := b.Softmax(f1).Build()
+type Builder struct {
+	net  *Network
+	done bool
+}
+
+// NewBuilder starts a network definition.
+func NewBuilder(name string) *Builder {
+	return &Builder{net: &Network{Name: name}}
+}
+
+func (b *Builder) add(l *Layer) int {
+	if b.done {
+		panic("dnn: builder reused after Build")
+	}
+	if l.SharedWith == 0 { // zero value → no sharing (ties to layer 0 are meaningless)
+		l.SharedWith = -1
+	}
+	l.Index = len(b.net.Layers)
+	b.net.Layers = append(b.net.Layers, l)
+	return l.Index
+}
+
+func (b *Builder) layer(i int) *Layer {
+	if i < 0 || i >= len(b.net.Layers) {
+		panic(fmt.Sprintf("dnn: layer index %d out of range", i))
+	}
+	return b.net.Layers[i]
+}
+
+// Input declares the network input shape. Must be the first layer.
+func (b *Builder) Input(c, h, w int) int {
+	if len(b.net.Layers) != 0 {
+		panic("dnn: Input must be the first layer")
+	}
+	s := Shape{C: c, H: h, W: w}
+	return b.add(&Layer{Name: "input", Kind: Input, In: s, Out: s})
+}
+
+// Conv adds a square-kernel convolutional layer with fused activation.
+func (b *Builder) Conv(in int, name string, outCh, k, stride, pad int, act tensor.ActKind) int {
+	return b.ConvG(in, name, outCh, k, stride, pad, 1, act)
+}
+
+// ConvG adds a grouped convolutional layer (AlexNet's two-tower CONV layers
+// use groups=2, which halves the weight count — Fig. 15's 60.9M weights for
+// AlexNet reflects the grouped variant).
+func (b *Builder) ConvG(in int, name string, outCh, k, stride, pad, groups int, act tensor.ActKind) int {
+	p := b.layer(in)
+	if p.Out.C%groups != 0 || outCh%groups != 0 {
+		panic(fmt.Sprintf("dnn: %s groups=%d does not divide channels %d→%d", name, groups, p.Out.C, outCh))
+	}
+	cp := tensor.ConvParams{KH: k, KW: k, StrideH: stride, StrideW: stride, PadH: pad, PadW: pad}
+	oh, ow := cp.ConvOutShape(p.Out.H, p.Out.W)
+	return b.add(&Layer{
+		Name: name, Kind: Conv, Inputs: []int{in},
+		OutChannels: outCh, ConvP: cp, Groups: groups, Act: act,
+		In: p.Out, Out: Shape{C: outCh, H: oh, W: ow},
+	})
+}
+
+// MaxPool adds a max-sampling layer.
+func (b *Builder) MaxPool(in int, name string, window, stride int) int {
+	return b.pool(in, name, tensor.PoolParams{Kind: tensor.MaxPool, Window: window, Stride: stride})
+}
+
+// MaxPoolCeil adds a max-sampling layer with ceil-mode output sizing.
+func (b *Builder) MaxPoolCeil(in int, name string, window, stride int) int {
+	return b.pool(in, name, tensor.PoolParams{Kind: tensor.MaxPool, Window: window, Stride: stride, Ceiling: true})
+}
+
+// AvgPool adds an average-sampling layer.
+func (b *Builder) AvgPool(in int, name string, window, stride int) int {
+	return b.pool(in, name, tensor.PoolParams{Kind: tensor.AvgPool, Window: window, Stride: stride})
+}
+
+// LayerOut returns the inferred output shape of an already-added layer,
+// letting topology helpers (e.g. ResNet blocks) decide whether a projection
+// shortcut is needed before Build.
+func (b *Builder) LayerOut(i int) Shape { return b.layer(i).Out }
+
+// PoolWith adds a sampling layer with explicit parameters (padded or
+// ceil-mode pools, as in GoogLeNet's same-size inception pools).
+func (b *Builder) PoolWith(in int, name string, pp tensor.PoolParams) int {
+	return b.pool(in, name, pp)
+}
+
+func (b *Builder) pool(in int, name string, pp tensor.PoolParams) int {
+	p := b.layer(in)
+	oh, ow := pp.OutShape(p.Out.H, p.Out.W)
+	return b.add(&Layer{
+		Name: name, Kind: Pool, Inputs: []int{in}, PoolP: pp,
+		In: p.Out, Out: Shape{C: p.Out.C, H: oh, W: ow},
+	})
+}
+
+// FC adds a fully-connected layer (flattens its input).
+func (b *Builder) FC(in int, name string, neurons int, act tensor.ActKind) int {
+	p := b.layer(in)
+	return b.add(&Layer{
+		Name: name, Kind: FC, Inputs: []int{in},
+		OutNeurons: neurons, Act: act,
+		In: p.Out, Out: Shape{C: neurons, H: 1, W: 1},
+	})
+}
+
+// FCTied adds a fully-connected layer whose weights alias an earlier FC
+// layer of identical shape — the unrolled-recurrence primitive (§1). The
+// output width comes from the tied layer.
+func (b *Builder) FCTied(in int, name string, tiedTo int, act tensor.ActKind) int {
+	p := b.layer(in)
+	t := b.layer(tiedTo)
+	if t.Kind != FC {
+		panic(fmt.Sprintf("dnn: %s ties to non-FC layer %s", name, t.Name))
+	}
+	if t.In.Elems() != p.Out.Elems() {
+		panic(fmt.Sprintf("dnn: %s input %d does not match tied layer's %d", name, p.Out.Elems(), t.In.Elems()))
+	}
+	return b.add(&Layer{
+		Name: name, Kind: FC, Inputs: []int{in},
+		OutNeurons: t.OutNeurons, Act: act, SharedWith: tiedTo,
+		In: p.Out, Out: Shape{C: t.OutNeurons, H: 1, W: 1},
+	})
+}
+
+// SliceChannels adds a channel-range selection [from, from+n) of its input —
+// how an unrolled sequence picks step t's frame out of a packed input.
+func (b *Builder) SliceChannels(in int, name string, from, n int) int {
+	p := b.layer(in)
+	if from < 0 || from+n > p.Out.C {
+		panic(fmt.Sprintf("dnn: %s slice [%d,%d) exceeds %d channels", name, from, from+n, p.Out.C))
+	}
+	return b.add(&Layer{
+		Name: name, Kind: Slice, Inputs: []int{in}, SliceFrom: from,
+		In: p.Out, Out: Shape{C: n, H: p.Out.H, W: p.Out.W},
+	})
+}
+
+// Concat adds a channel-wise concatenation of same-spatial-size inputs
+// (inception modules).
+func (b *Builder) Concat(name string, ins ...int) int {
+	if len(ins) < 2 {
+		panic("dnn: Concat needs at least 2 inputs")
+	}
+	first := b.layer(ins[0]).Out
+	c := 0
+	for _, i := range ins {
+		s := b.layer(i).Out
+		if s.H != first.H || s.W != first.W {
+			panic(fmt.Sprintf("dnn: Concat %s spatial mismatch %v vs %v", name, s, first))
+		}
+		c += s.C
+	}
+	return b.add(&Layer{
+		Name: name, Kind: Concat, Inputs: append([]int(nil), ins...),
+		In: first, Out: Shape{C: c, H: first.H, W: first.W},
+	})
+}
+
+// Add adds an element-wise residual addition of two same-shape inputs.
+func (b *Builder) Add(name string, a, c int) int {
+	sa, sc := b.layer(a).Out, b.layer(c).Out
+	if sa != sc {
+		panic(fmt.Sprintf("dnn: Add %s shape mismatch %v vs %v", name, sa, sc))
+	}
+	return b.add(&Layer{
+		Name: name, Kind: Add, Inputs: []int{a, c},
+		In: sa, Out: sa,
+	})
+}
+
+// Mul adds an element-wise (Hadamard) product of two same-shape inputs —
+// the gating primitive of LSTM cells (§1: ScaleDeep targets LSTMs too).
+func (b *Builder) Mul(name string, x, y int) int {
+	sx, sy := b.layer(x).Out, b.layer(y).Out
+	if sx != sy {
+		panic(fmt.Sprintf("dnn: Mul %s shape mismatch %v vs %v", name, sx, sy))
+	}
+	return b.add(&Layer{
+		Name: name, Kind: Mul, Inputs: []int{x, y},
+		In: sx, Out: sx,
+	})
+}
+
+// Activation adds a standalone activation layer (e.g. the tanh applied to
+// an LSTM cell state, which belongs to no weighted layer).
+func (b *Builder) Activation(in int, name string, act tensor.ActKind) int {
+	p := b.layer(in)
+	return b.add(&Layer{
+		Name: name, Kind: Act, Inputs: []int{in}, Act: act,
+		In: p.Out, Out: p.Out,
+	})
+}
+
+// Softmax adds the classifier head over a flattened input.
+func (b *Builder) Softmax(in int) *Builder {
+	p := b.layer(in)
+	b.add(&Layer{
+		Name: "softmax", Kind: Softmax, Inputs: []int{in},
+		In: p.Out, Out: Shape{C: p.Out.Elems(), H: 1, W: 1},
+	})
+	return b
+}
+
+// Build finalizes and validates the network.
+func (b *Builder) Build() *Network {
+	if b.done {
+		panic("dnn: Build called twice")
+	}
+	b.done = true
+	if err := b.net.Validate(); err != nil {
+		panic(err)
+	}
+	return b.net
+}
+
+// Validate checks structural invariants: topological order, a single Input
+// at index 0, and in-range predecessor references.
+func (n *Network) Validate() error {
+	if len(n.Layers) == 0 {
+		return fmt.Errorf("dnn: %s has no layers", n.Name)
+	}
+	if n.Layers[0].Kind != Input {
+		return fmt.Errorf("dnn: %s layer 0 is %v, want input", n.Name, n.Layers[0].Kind)
+	}
+	for i, l := range n.Layers {
+		if l.Index != i {
+			return fmt.Errorf("dnn: %s layer %d has index %d", n.Name, i, l.Index)
+		}
+		if i > 0 && len(l.Inputs) == 0 {
+			return fmt.Errorf("dnn: %s layer %s has no inputs", n.Name, l.Name)
+		}
+		for _, in := range l.Inputs {
+			if in < 0 || in >= i {
+				return fmt.Errorf("dnn: %s layer %s input %d not topologically earlier", n.Name, l.Name, in)
+			}
+		}
+		if l.Kind == Input && i != 0 {
+			return fmt.Errorf("dnn: %s has a second input layer at %d", n.Name, i)
+		}
+		if l.SharedWith >= 0 {
+			t := n.Layers[l.SharedWith]
+			if l.SharedWith >= i || t.Kind != l.Kind {
+				return fmt.Errorf("dnn: %s has invalid weight tie to %d", l.Name, l.SharedWith)
+			}
+		}
+	}
+	return nil
+}
+
+// OutputLayer returns the final layer.
+func (n *Network) OutputLayer() *Layer { return n.Layers[len(n.Layers)-1] }
+
+// CountByKind returns the number of layers of each kind, the format of
+// Fig. 15's "Layers (CONV/FC/SAMP)" column.
+func (n *Network) CountByKind() map[LayerKind]int {
+	m := map[LayerKind]int{}
+	for _, l := range n.Layers {
+		m[l.Kind]++
+	}
+	return m
+}
+
+// TotalNeurons sums layer neuron counts (Fig. 15 "Neurons").
+func (n *Network) TotalNeurons() int64 {
+	var s int64
+	for _, l := range n.Layers {
+		s += l.Neurons()
+	}
+	return s
+}
+
+// TotalWeights sums learned weights (Fig. 15 "Weights"); biases excluded, as
+// they are negligible at the paper's reporting precision.
+func (n *Network) TotalWeights() int64 {
+	var s int64
+	for _, l := range n.Layers {
+		s += l.WeightCount()
+	}
+	return s
+}
+
+// TotalConnections sums weighted connections (Fig. 15 "Connections").
+func (n *Network) TotalConnections() int64 {
+	var s int64
+	for _, l := range n.Layers {
+		s += l.Connections()
+	}
+	return s
+}
+
+// IsLinearChain reports whether every layer has exactly one input and is used
+// by at most one consumer — the class of topologies the functional compiler
+// backend supports end-to-end (see DESIGN.md §6).
+func (n *Network) IsLinearChain() bool {
+	consumers := make([]int, len(n.Layers))
+	for _, l := range n.Layers {
+		if len(l.Inputs) > 1 {
+			return false
+		}
+		for _, in := range l.Inputs {
+			consumers[in]++
+			if consumers[in] > 1 {
+				return false
+			}
+		}
+	}
+	return true
+}

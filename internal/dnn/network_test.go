@@ -1,0 +1,171 @@
+package dnn
+
+import (
+	"testing"
+
+	"scaledeep/internal/tensor"
+)
+
+func toyNet() *Network {
+	b := NewBuilder("toy")
+	in := b.Input(3, 16, 16)
+	c1 := b.Conv(in, "c1", 8, 3, 1, 1, tensor.ActReLU)
+	p1 := b.MaxPool(c1, "s1", 2, 2)
+	c2 := b.Conv(p1, "c2", 16, 3, 1, 1, tensor.ActReLU)
+	p2 := b.MaxPool(c2, "s2", 2, 2)
+	f1 := b.FC(p2, "f1", 10, tensor.ActNone)
+	return b.Softmax(f1).Build()
+}
+
+func TestBuilderShapeInference(t *testing.T) {
+	n := toyNet()
+	shapes := []Shape{
+		{3, 16, 16}, // input
+		{8, 16, 16}, // c1 (pad 1)
+		{8, 8, 8},   // s1
+		{16, 8, 8},  // c2
+		{16, 4, 4},  // s2
+		{10, 1, 1},  // f1
+		{10, 1, 1},  // softmax
+	}
+	for i, want := range shapes {
+		if n.Layers[i].Out != want {
+			t.Fatalf("layer %d (%s) out = %v, want %v", i, n.Layers[i].Name, n.Layers[i].Out, want)
+		}
+	}
+}
+
+func TestBuilderStrideAndPad(t *testing.T) {
+	b := NewBuilder("strides")
+	in := b.Input(3, 227, 227)
+	c1 := b.Conv(in, "c1", 96, 11, 4, 0, tensor.ActReLU) // AlexNet C1: 55x55
+	n := b.Softmax(c1).Build()
+	if n.Layers[c1].Out != (Shape{96, 55, 55}) {
+		t.Fatalf("AlexNet C1 shape = %v", n.Layers[c1].Out)
+	}
+}
+
+func TestWeightAndConnectionCounts(t *testing.T) {
+	n := toyNet()
+	c1 := n.Layers[1]
+	if c1.WeightCount() != 8*3*3*3 {
+		t.Fatalf("c1 weights = %d", c1.WeightCount())
+	}
+	if c1.BiasCount() != 8 {
+		t.Fatalf("c1 biases = %d", c1.BiasCount())
+	}
+	// connections = out elems × per-output fan-in
+	if c1.Connections() != int64(8*16*16)*int64(3*3*3) {
+		t.Fatalf("c1 connections = %d", c1.Connections())
+	}
+	f1 := n.Layers[5]
+	if f1.WeightCount() != 10*16*4*4 {
+		t.Fatalf("f1 weights = %d", f1.WeightCount())
+	}
+	if f1.Connections() != f1.WeightCount() {
+		t.Fatal("FC connections != weights")
+	}
+}
+
+func TestGroupedConvHalvesWeights(t *testing.T) {
+	b := NewBuilder("g")
+	in := b.Input(96, 27, 27)
+	dense := b.Conv(in, "dense", 256, 5, 1, 2, tensor.ActReLU)
+	net1 := b.Softmax(dense).Build()
+	b2 := NewBuilder("g2")
+	in2 := b2.Input(96, 27, 27)
+	grouped := b2.ConvG(in2, "grouped", 256, 5, 1, 2, 2, tensor.ActReLU)
+	net2 := b2.Softmax(grouped).Build()
+	if net2.Layers[grouped].WeightCount()*2 != net1.Layers[dense].WeightCount() {
+		t.Fatalf("grouped %d vs dense %d", net2.Layers[grouped].WeightCount(), net1.Layers[dense].WeightCount())
+	}
+}
+
+func TestNeuronsCountConvAndFCOnly(t *testing.T) {
+	n := toyNet()
+	want := int64(8*16*16 + 16*8*8 + 10)
+	if n.TotalNeurons() != want {
+		t.Fatalf("neurons = %d, want %d", n.TotalNeurons(), want)
+	}
+}
+
+func TestCountByKind(t *testing.T) {
+	n := toyNet()
+	m := n.CountByKind()
+	if m[Conv] != 2 || m[Pool] != 2 || m[FC] != 1 || m[Softmax] != 1 || m[Input] != 1 {
+		t.Fatalf("counts = %v", m)
+	}
+}
+
+func TestConcatShape(t *testing.T) {
+	b := NewBuilder("inception")
+	in := b.Input(16, 8, 8)
+	a := b.Conv(in, "a", 8, 1, 1, 0, tensor.ActReLU)
+	c := b.Conv(in, "c", 4, 3, 1, 1, tensor.ActReLU)
+	cc := b.Concat("cat", a, c)
+	n := b.Softmax(cc).Build()
+	if n.Layers[cc].Out != (Shape{12, 8, 8}) {
+		t.Fatalf("concat out = %v", n.Layers[cc].Out)
+	}
+	if n.IsLinearChain() {
+		t.Fatal("branching net reported as linear chain")
+	}
+}
+
+func TestAddShapeAndValidation(t *testing.T) {
+	b := NewBuilder("res")
+	in := b.Input(8, 8, 8)
+	c1 := b.Conv(in, "c1", 8, 3, 1, 1, tensor.ActReLU)
+	s := b.Add("res", in, c1)
+	n := b.Softmax(s).Build()
+	if n.Layers[s].Out != (Shape{8, 8, 8}) {
+		t.Fatalf("add out = %v", n.Layers[s].Out)
+	}
+}
+
+func TestAddPanicsOnShapeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	b := NewBuilder("bad")
+	in := b.Input(8, 8, 8)
+	c1 := b.Conv(in, "c1", 4, 3, 1, 1, tensor.ActReLU)
+	b.Add("res", in, c1)
+}
+
+func TestLinearChainDetection(t *testing.T) {
+	if !toyNet().IsLinearChain() {
+		t.Fatal("toy net should be linear")
+	}
+}
+
+func TestValidateCatchesBadTopology(t *testing.T) {
+	n := &Network{Name: "bad", Layers: []*Layer{{Index: 0, Kind: Conv, Name: "c"}}}
+	if err := n.Validate(); err == nil {
+		t.Fatal("expected error for missing input layer")
+	}
+}
+
+func TestLayerClassHeuristic(t *testing.T) {
+	b := NewBuilder("classes")
+	in := b.Input(3, 227, 227)
+	c1 := b.Conv(in, "c1", 96, 11, 4, 0, tensor.ActReLU) // 55x55 → initial
+	p1 := b.MaxPool(c1, "s1", 3, 2)
+	c2 := b.Conv(p1, "c2", 256, 3, 2, 0, tensor.ActReLU) // 13x13 → mid
+	f1 := b.FC(c2, "f1", 100, tensor.ActReLU)
+	n := b.Softmax(f1).Build()
+	if got := n.Layers[c1].Class(); got != ClassInitialConv {
+		t.Fatalf("c1 class = %v", got)
+	}
+	if got := n.Layers[c2].Class(); got != ClassMidConv {
+		t.Fatalf("c2 class = %v", got)
+	}
+	if got := n.Layers[p1].Class(); got != ClassSamp {
+		t.Fatalf("p1 class = %v", got)
+	}
+	if got := n.Layers[f1].Class(); got != ClassFC {
+		t.Fatalf("f1 class = %v", got)
+	}
+}

@@ -1,0 +1,168 @@
+package dnn
+
+import (
+	"math"
+	"testing"
+
+	"scaledeep/internal/tensor"
+)
+
+// elmanNet builds an unrolled Elman-style recurrent network over T steps:
+// the input packs the sequence as T frames of nx channels; each step t
+// computes h_t = tanh(W·[x_t ; h_{t-1}]) with W tied across steps 2..T
+// (§1: ScaleDeep "can be programmed to execute ... RNNs" — recurrence
+// unrolls into weight-tied layers). The first step has its own W0 (h_0 = 0
+// makes its input shape differ).
+func elmanNet(T, nx, nh, classes int) (*Network, int) {
+	b := NewBuilder("elman")
+	in := b.Input(T*nx, 1, 1)
+	x0 := b.SliceChannels(in, "x0", 0, nx)
+	h := b.FC(x0, "h0", nh, tensor.ActTanh)
+	var tied = -1
+	for t := 1; t < T; t++ {
+		xt := b.SliceChannels(in, "x"+string(rune('0'+t)), t*nx, nx)
+		cat := b.Concat("cat"+string(rune('0'+t)), xt, h)
+		if tied < 0 {
+			h = b.FC(cat, "hstep", nh, tensor.ActTanh)
+			tied = h
+		} else {
+			h = b.FCTied(cat, "hstep"+string(rune('0'+t)), tied, tensor.ActTanh)
+		}
+	}
+	head := b.FC(h, "head", classes, tensor.ActNone)
+	b.Softmax(head)
+	return b.Build(), tied
+}
+
+func TestTiedWeightsShareStorageAndGradients(t *testing.T) {
+	net, tied := elmanNet(4, 3, 5, 2)
+	e := NewExecutor(net, 11)
+	// Find the tied layers.
+	var tiedLayers []int
+	for _, l := range net.Layers {
+		if l.SharedWith == tied {
+			tiedLayers = append(tiedLayers, l.Index)
+		}
+	}
+	if len(tiedLayers) != 2 { // steps 3 and 4 tie to step 2
+		t.Fatalf("tied layers = %v", tiedLayers)
+	}
+	for _, i := range tiedLayers {
+		if e.Weights[i] != e.Weights[tied] || e.GradW[i] != e.GradW[tied] {
+			t.Fatalf("layer %d does not alias layer %d parameters", i, tied)
+		}
+		if net.Layers[i].WeightCount() != 0 {
+			t.Fatalf("tied layer %d reports new weights", i)
+		}
+	}
+}
+
+// Gradient check through the recurrence: the analytic gradient of the shared
+// matrix accumulates contributions from every unrolled step; finite
+// differences must agree.
+func TestTiedWeightGradientFiniteDifference(t *testing.T) {
+	net, tied := elmanNet(3, 2, 4, 2)
+	e := NewExecutor(net, 13)
+	input := tensor.New(3*2, 1, 1)
+	tensor.NewRNG(17).FillUniform(input, 1)
+	label := 1
+
+	e.Forward(input)
+	e.Backward(label)
+	const eps = 1e-2
+	for _, wi := range []int{0, 5, 11} {
+		analytic := float64(e.GradW[tied].Data[wi])
+		w := e.Weights[tied]
+		orig := w.Data[wi]
+		w.Data[wi] = orig + eps
+		e.Forward(input)
+		up := e.Loss(label)
+		w.Data[wi] = orig - eps
+		e.Forward(input)
+		dn := e.Loss(label)
+		w.Data[wi] = orig
+		numeric := (up - dn) / (2 * eps)
+		if math.Abs(numeric-analytic) > 3e-2*(1+math.Abs(numeric)) {
+			t.Errorf("shared w[%d]: analytic %v numeric %v", wi, analytic, numeric)
+		}
+	}
+}
+
+// The unrolled RNN learns a simple temporal task: classify whether the
+// sequence's energy arrives early or late.
+func TestRNNLearnsTemporalTask(t *testing.T) {
+	const T, nx = 4, 3
+	net, _ := elmanNet(T, nx, 6, 2)
+	e := NewExecutor(net, 19)
+	rng := tensor.NewRNG(23)
+	mk := func(label int) *tensor.Tensor {
+		seq := tensor.New(T*nx, 1, 1)
+		rng.FillUniform(seq, 0.1)
+		hot := 0 // energy in the first frame
+		if label == 1 {
+			hot = T - 1 // energy in the last frame
+		}
+		for c := 0; c < nx; c++ {
+			seq.Data[hot*nx+c] += 1
+		}
+		return seq
+	}
+	var first, last float64
+	for epoch := 0; epoch < 60; epoch++ {
+		var loss float64
+		for i := 0; i < 8; i++ {
+			label := i % 2
+			e.Forward(mk(label))
+			loss += e.Loss(label)
+			e.Backward(label)
+		}
+		e.Step(0.2, 8)
+		if epoch == 0 {
+			first = loss
+		}
+		last = loss
+	}
+	if last >= first*0.5 {
+		t.Fatalf("RNN did not learn: first %v last %v", first, last)
+	}
+	correct := 0
+	for i := 0; i < 30; i++ {
+		if e.Predict(mk(i%2)) == i%2 {
+			correct++
+		}
+	}
+	if correct < 24 {
+		t.Fatalf("RNN accuracy %d/30", correct)
+	}
+}
+
+func TestSliceForwardBackward(t *testing.T) {
+	b := NewBuilder("slice")
+	in := b.Input(6, 2, 2)
+	s1 := b.SliceChannels(in, "s1", 2, 3)
+	f := b.FC(s1, "f", 2, tensor.ActNone)
+	net := b.Softmax(f).Build()
+	e := NewExecutor(net, 3)
+	input := tensor.New(6, 2, 2)
+	for i := range input.Data {
+		input.Data[i] = float32(i)
+	}
+	e.Forward(input)
+	sl := e.Acts[s1]
+	if sl.Shape[0] != 3 || sl.Data[0] != input.At3(2, 0, 0) {
+		t.Fatalf("slice forward: %v", sl.Data)
+	}
+	e.Backward(0) // must not panic; error routes through the slice
+}
+
+func TestFCTiedValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic tying to a non-FC layer")
+		}
+	}()
+	b := NewBuilder("bad-tie")
+	in := b.Input(2, 4, 4)
+	c := b.Conv(in, "c", 2, 3, 1, 1, tensor.ActNone)
+	b.FCTied(c, "t", c, tensor.ActNone)
+}

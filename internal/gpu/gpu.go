@@ -1,0 +1,77 @@
+// Package gpu provides the TitanX (Maxwell) GPU baseline throughputs that
+// Fig. 18 compares against. The paper took these from publicly available
+// results ([4] soumith/convnet-benchmarks and [9] the Nervana zoo); we
+// encode the same published operating points — full training iterations
+// (forward + backward), single precision, as images per second. The numbers
+// are approximate transcriptions of the public tables; EXPERIMENTS.md
+// records the resulting speedup bands against the paper's.
+package gpu
+
+import "fmt"
+
+// Impl names a GPU software implementation of Fig. 18's legend.
+type Impl int
+
+const (
+	CuDNNR2 Impl = iota // TitanX + cuDNN R2 (the 2015 baseline)
+	Nervana             // TitanX + Nervana Neon
+	TensorFlow
+	CuDNNWinograd   // cuDNN with Winograd convolutions [35]
+	NervanaWinograd // Neon with Winograd convolutions
+	NumImpls
+)
+
+func (i Impl) String() string {
+	switch i {
+	case CuDNNR2:
+		return "TitanX-cuDNN-R2"
+	case Nervana:
+		return "TitanX-Nervana"
+	case TensorFlow:
+		return "TensorFlow"
+	case CuDNNWinograd:
+		return "TitanX-cuDNN-Winograd"
+	case NervanaWinograd:
+		return "TitanX-Nervana-Winograd"
+	default:
+		return fmt.Sprintf("Impl(%d)", int(i))
+	}
+}
+
+// trainImgPerSec holds published TitanX training throughput (images/s,
+// forward+backward, FP32) for the four networks Fig. 18 evaluates.
+var trainImgPerSec = map[string][NumImpls]float64{
+	// Source: soumith/convnet-benchmarks TitanX tables (2015-16) and the
+	// Nervana zoo; cuDNN-R2 era numbers are the oldest (slowest) column.
+	"AlexNet":   {560, 1580, 890, 1650, 1760},
+	"GoogLeNet": {170, 470, 290, 490, 540},
+	"OF-Fast":   {185, 550, 330, 570, 620},
+	"VGG-A":     {100, 250, 160, 330, 395},
+}
+
+// Networks lists the benchmarks with published GPU data (Fig. 18's x-axis).
+var Networks = []string{"AlexNet", "GoogLeNet", "OF-Fast", "VGG-A"}
+
+// TrainImagesPerSec returns the published training throughput, or ok=false
+// when no public data exists for the network (the paper compares only the
+// four networks above).
+func TrainImagesPerSec(network string, impl Impl) (float64, bool) {
+	row, ok := trainImgPerSec[network]
+	if !ok || impl < 0 || impl >= NumImpls {
+		return 0, false
+	}
+	return row[impl], true
+}
+
+// TitanXPeakTFLOPs is the Maxwell TitanX peak single-precision throughput;
+// §6.1 notes Pascal improved this ~1.5× (7 → 11 TFLOPs), scaling the
+// speedups accordingly.
+const TitanXPeakTFLOPs = 7.0
+
+// PascalScale is the Maxwell→Pascal peak-performance ratio the paper uses
+// for its Pascal projection (§6.1).
+const PascalScale = 11.0 / 7.0
+
+// TitanXPowerW is the board power of the TitanX — roughly one ScaleDeep
+// chip cluster (~320 W), which is why Fig. 18 compares at cluster level.
+const TitanXPowerW = 250.0

@@ -1,0 +1,103 @@
+package gpu
+
+import (
+	"testing"
+
+	"scaledeep/internal/arch"
+	"scaledeep/internal/perfmodel"
+	"scaledeep/internal/zoo"
+)
+
+func TestBaselinesPresent(t *testing.T) {
+	for _, n := range Networks {
+		for impl := Impl(0); impl < NumImpls; impl++ {
+			v, ok := TrainImagesPerSec(n, impl)
+			if !ok || v <= 0 {
+				t.Errorf("%s/%v missing", n, impl)
+			}
+		}
+	}
+	if _, ok := TrainImagesPerSec("LeNet", CuDNNR2); ok {
+		t.Error("unknown network resolved")
+	}
+	if _, ok := TrainImagesPerSec("AlexNet", NumImpls); ok {
+		t.Error("out-of-range impl resolved")
+	}
+}
+
+func TestImplementationOrdering(t *testing.T) {
+	// cuDNN-R2 is the slowest baseline; Winograd variants are the fastest —
+	// this is why Fig. 18's speedups shrink left to right in the legend.
+	for _, n := range Networks {
+		r2, _ := TrainImagesPerSec(n, CuDNNR2)
+		neon, _ := TrainImagesPerSec(n, Nervana)
+		tf, _ := TrainImagesPerSec(n, TensorFlow)
+		wg, _ := TrainImagesPerSec(n, NervanaWinograd)
+		if !(r2 < tf && tf < neon && neon < wg) {
+			t.Errorf("%s implementation ordering broken: r2=%v tf=%v neon=%v winograd=%v", n, r2, tf, neon, wg)
+		}
+	}
+}
+
+// Fig. 18: one ScaleDeep chip cluster (~320 W, comparable to a GPU card)
+// achieves 22×-28× over cuDNN-R2, 6×-15× over Nervana, 7×-11× over
+// TensorFlow, and 5×-11× over Winograd implementations.
+func TestFig18SpeedupBands(t *testing.T) {
+	cluster := arch.Baseline()
+	cluster.NumClusters = 1 // chip-cluster-level comparison
+
+	type band struct {
+		impl   Impl
+		lo, hi float64
+	}
+	bands := []band{
+		{CuDNNR2, 10, 60},
+		{Nervana, 5, 22},
+		{TensorFlow, 6, 35},
+		{CuDNNWinograd, 3.5, 20},
+		{NervanaWinograd, 3, 18},
+	}
+	for _, n := range Networks {
+		np, err := perfmodel.Model(zoo.Build(n), cluster)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range bands {
+			gpuRate, _ := TrainImagesPerSec(n, b.impl)
+			sp := np.TrainImagesPerSec / gpuRate
+			if sp < b.lo || sp > b.hi {
+				t.Errorf("%s vs %v: speedup %.1f outside [%v, %v]", n, b.impl, sp, b.lo, b.hi)
+			}
+		}
+		// The paper's headline: order-of-magnitude wins over the era's GPUs.
+		r2, _ := TrainImagesPerSec(n, CuDNNR2)
+		if np.TrainImagesPerSec/r2 < 10 {
+			t.Errorf("%s: cuDNN-R2 speedup below 10x", n)
+		}
+	}
+}
+
+func TestPascalProjection(t *testing.T) {
+	// §6.1: even granting Pascal its 1.5× peak scaling, ScaleDeep keeps a
+	// multi-x advantage (the paper reports 4.6×-7.3× vs cuDNN-R2-era
+	// softwre on Pascal).
+	cluster := arch.Baseline()
+	cluster.NumClusters = 1
+	for _, n := range Networks {
+		np, err := perfmodel.Model(zoo.Build(n), cluster)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best := 0.0
+		for impl := Impl(0); impl < NumImpls; impl++ {
+			if v, _ := TrainImagesPerSec(n, impl); v > best {
+				best = v
+			}
+		}
+		pascalBest := best * PascalScale
+		if np.TrainImagesPerSec/pascalBest < 1.5 {
+			t.Errorf("%s: advantage over projected Pascal = %.1f, should stay multi-x",
+				n, np.TrainImagesPerSec/pascalBest)
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package gpu
+
+import "testing"
+
+func TestImplStrings(t *testing.T) {
+	want := map[Impl]string{
+		CuDNNR2:         "TitanX-cuDNN-R2",
+		Nervana:         "TitanX-Nervana",
+		TensorFlow:      "TensorFlow",
+		CuDNNWinograd:   "TitanX-cuDNN-Winograd",
+		NervanaWinograd: "TitanX-Nervana-Winograd",
+	}
+	for impl, s := range want {
+		if impl.String() != s {
+			t.Errorf("%d.String() = %q, want %q", impl, impl.String(), s)
+		}
+	}
+	if Impl(99).String() == "" {
+		t.Error("unknown impl should still stringify")
+	}
+}
+
+func TestConstantsSane(t *testing.T) {
+	if TitanXPeakTFLOPs != 7.0 {
+		t.Error("Maxwell TitanX peak")
+	}
+	if PascalScale <= 1.4 || PascalScale >= 1.7 {
+		t.Errorf("Pascal scale %v, §6.1 says ~1.5x", PascalScale)
+	}
+	if TitanXPowerW < 200 || TitanXPowerW > 350 {
+		t.Error("TitanX power should be comparable to a chip cluster")
+	}
+}

@@ -1,0 +1,64 @@
+package isa
+
+// This file pins down the software ABI between the ScaleDeep compiler and
+// the hardware (simulator): how register values encode memory ports, coarse
+// operation modes and activation kinds. Addresses are in elements (one
+// network value), not bytes — the datapath is word-oriented and the
+// precision (FP32/FP16) fixes the byte width.
+
+// Port values name the memory a coarse operand lives in, from the issuing
+// CompHeavy tile's point of view.
+const (
+	PortLeft  int64 = 0 // the MemHeavy tile on the CompHeavy tile's left
+	PortRight int64 = 1 // the MemHeavy tile on its right
+	PortExt   int64 = 2 // external memory (chip-edge channels)
+
+	// PortTileBase + i addresses MemHeavy tile i of the chip in absolute
+	// terms (row-major over the MemHeavy grid). Used by DMA transfers that
+	// cross the chip (vertical/horizontal accumulation, home-tile stores).
+	PortTileBase int64 = 1000
+)
+
+// IsAbsTile reports whether a port value is an absolute MemHeavy tile
+// reference, returning the tile index.
+func IsAbsTile(port int64) (int, bool) {
+	if port >= PortTileBase {
+		return int(port - PortTileBase), true
+	}
+	return 0, false
+}
+
+// AbsTile builds an absolute MemHeavy tile port.
+func AbsTile(index int) int64 { return PortTileBase + int64(index) }
+
+// Coarse operation modes for NDCONV and MATMUL: the same 2D-PE array is
+// microcoded for the three training steps (§2.2 — BP and WG are "formulated
+// similarly as convolutions").
+const (
+	ModeFwd       int64 = 0 // FP: out (+)= in ⊛ kernel
+	ModeBwdData   int64 = 1 // BP: in-error (+)= out-error ⊛ᵀ kernel
+	ModeBwdWeight int64 = 2 // WG: dW (+)= in ⊛ out-error
+)
+
+// NDACTFN kinds: forward activation application, or multiplication of an
+// error range by the activation derivative (expressed via the stored FP
+// output, which is what the MemHeavy tile holds).
+const (
+	ActFnReLU    int64 = 0
+	ActFnTanh    int64 = 1
+	ActFnSigmoid int64 = 2
+
+	// ActFnDerivBase+k multiplies the destination range in place by the
+	// derivative of activation k evaluated at the source range's values.
+	ActFnDerivBase int64 = 16
+)
+
+// Sampling kinds for NDSUBSAMP / NDUPSAMP.
+const (
+	SampMax int64 = 0
+	SampAvg int64 = 1
+)
+
+// WUpdateLRShift is the fixed-point shift of WUPDATE's learning-rate
+// operand: lrScaled = lr × 2^WUpdateLRShift.
+const WUpdateLRShift = 16

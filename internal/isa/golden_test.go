@@ -1,0 +1,76 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+// fig13Style is a hand-written assembly program in the shape of the paper's
+// Fig. 13 listing: the FP step of a CONV layer — track the output features,
+// loop over output-feature batches, load weights, convolve over the input
+// features with accumulation, apply the activation, and store the result.
+const fig13Style = `
+# --- Program for COR.N0.Ch0.C43 --- (CONV layer FP)
+  0:  LDRI r40, 3456
+  1:  LDRI r41, 1
+  2:  LDRI r42, 1
+  3:  LDRI r43, 1000
+  4:  DMAMEMTRACK r43, r40, r41, r42, r42   ; track output features
+  5:  LDRI r31, 64                          ; minibatch loop counter
+  6:  LDRI r20, 8                           ; output feature batches
+  7:  LDRI r1, 0                            ; mode = forward
+  8:  LDRI r2, 100                          ; input feature address
+  9:  LDRI r3, 0                            ; left port
+ 10:  LDRI r4, 12
+ 11:  LDRI r5, 12                           ; 12x12 input feature
+ 12:  LDRI r6, 500                          ; kernel address
+ 13:  LDRI r7, 0
+ 14:  LDRI r8, 3                            ; 3x3 kernels
+ 15:  LDRI r9, 1                            ; stride
+ 16:  LDRI r10, 1                           ; pad
+ 17:  LDRI r11, 900                         ; partial output address
+ 18:  LDRI r12, 1                           ; right port
+ 19:  LDRI r13, 4                           ; 4 kernels per batch (lanes)
+ 20:  LDRI r14, 1                           ; accumulate
+ 21:  NDCONV r1, r2, r3, r4, r5, r6, r7, r8, r9, r10, r11, r12, r13, r14
+ 22:  LDRI r15, 0                           ; ReLU
+ 23:  LDRI r16, 576
+ 24:  NDACTFN r15, r11, r12, r16, r11, r12
+ 25:  LDRI r17, 2000
+ 26:  LDRI r18, 1004
+ 27:  DMASTORE r11, r12, r17, r18, r16, r14 ; pass features to home tile
+ 28:  SUBRI r20, r20, 1
+ 29:  BGTZ r20, -23
+ 30:  SUBRI r31, r31, 1
+ 31:  BGTZ r31, -25
+ 32:  HALT
+`
+
+func TestFig13StyleProgramAssembles(t *testing.T) {
+	p, err := Assemble("COR.N0.Ch0.C43", fig13Style)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Instrs) != 33 {
+		t.Fatalf("parsed %d instructions", len(p.Instrs))
+	}
+	groups := p.CountByGroup()
+	if groups[GroupCoarse] != 1 || groups[GroupOffload] != 1 ||
+		groups[GroupTransfer] != 1 || groups[GroupTrack] != 1 {
+		t.Fatalf("instruction mix: %v", groups)
+	}
+	// Binary round trip preserves the listing.
+	bin := EncodeProgram(p)
+	q, err := DecodeProgram(p.Tile, bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Disassemble(p) != Disassemble(q) {
+		t.Fatal("binary round trip altered the program")
+	}
+	// The loop structure survives: both backward branches present.
+	text := Disassemble(p)
+	if !strings.Contains(text, "BGTZ r20, -23") || !strings.Contains(text, "BGTZ r31, -25") {
+		t.Fatalf("loops lost:\n%s", text)
+	}
+}

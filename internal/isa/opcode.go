@@ -1,0 +1,177 @@
+// Package isa defines the ScaleDeep instruction set (Fig. 8, §3.2.2): 28
+// instructions in five groups — scalar control, coarse-grained data,
+// MemHeavy-tile offload, MemHeavy data transfer, and data-flow tracking —
+// together with a text assembler/disassembler and a compact binary encoding.
+// Each CompHeavy tile runs a single thread of one Program; the memory
+// hierarchy is entirely software-managed (no caches, no coherence).
+package isa
+
+import "fmt"
+
+// Opcode identifies one of the 28 ScaleDeep instructions.
+type Opcode uint8
+
+const (
+	// Scalar control instructions — executed on the CompHeavy tile's
+	// in-order scalar PE (loop tests, pointer arithmetic, branches).
+	LDRI   Opcode = iota // rd ← imm
+	MOVR                 // rd ← rs1
+	ADDR                 // rd ← rs1 + rs2
+	ADDRI                // rd ← rs1 + imm
+	SUBR                 // rd ← rs1 - rs2
+	SUBRI                // rd ← rs1 - imm
+	MULRI                // rd ← rs1 × imm
+	CMPLT                // rd ← (rs1 < rs2) ? 1 : 0
+	BEQZ                 // if rs1 == 0: pc += imm
+	BNEZ                 // if rs1 != 0: pc += imm
+	BGTZ                 // if rs1 > 0: pc += imm
+	BRANCH               // pc += imm
+	NOP                  // no operation
+	HALT                 // end of program
+
+	// Coarse-grained data instructions — executed on the 2D-PE array.
+	NDCONV // batch 2D convolution: one input feature × NK kernels
+	MATMUL // matrix multiplication
+
+	// MemHeavy tile offload instructions — high Bytes/FLOP operations
+	// executed by the SFUs of a connected MemHeavy tile.
+	NDACTFN   // activation function over a range
+	NDSUBSAMP // down-sampling (SAMP FP)
+	NDUPSAMP  // error up-sampling (SAMP BP)
+	NDACC     // range accumulation: dst += src
+	VECMUL    // element-wise vector multiply (FC WG)
+	WUPDATE   // SGD weight update: w ← w - lr·dw (end of minibatch)
+	MEMSET    // fill a range with a constant (gradient reset)
+
+	// MemHeavy data-transfer instructions.
+	DMALOAD  // load into a MemHeavy tile from another tile / external memory
+	DMASTORE // store from a MemHeavy tile to another tile / external memory
+	PASSBUFF // stream a range from a MemHeavy tile into a CompHeavy SM
+
+	// Data-flow track instructions (§3.2.4).
+	MEMTRACK    // arm a tracker on an address range of a connected tile
+	DMAMEMTRACK // arm a tracker on a remote tile through the DMA path
+
+	NumOpcodes
+)
+
+// Group classifies opcodes into the paper's five instruction types.
+type Group int
+
+const (
+	GroupScalar Group = iota
+	GroupCoarse
+	GroupOffload
+	GroupTransfer
+	GroupTrack
+)
+
+func (g Group) String() string {
+	switch g {
+	case GroupScalar:
+		return "scalar-control"
+	case GroupCoarse:
+		return "coarse-data"
+	case GroupOffload:
+		return "memheavy-offload"
+	case GroupTransfer:
+		return "data-transfer"
+	case GroupTrack:
+		return "dataflow-track"
+	default:
+		return "?"
+	}
+}
+
+// opInfo is the static description of one opcode.
+type opInfo struct {
+	name  string
+	group Group
+	// operand counts for the scalar encoding
+	hasDst  bool
+	numSrc  int
+	hasImm  bool
+	numArgs int // register-argument list length for coarse/offload/transfer ops
+}
+
+var opTable = [NumOpcodes]opInfo{
+	LDRI:   {name: "LDRI", group: GroupScalar, hasDst: true, hasImm: true},
+	MOVR:   {name: "MOVR", group: GroupScalar, hasDst: true, numSrc: 1},
+	ADDR:   {name: "ADDR", group: GroupScalar, hasDst: true, numSrc: 2},
+	ADDRI:  {name: "ADDRI", group: GroupScalar, hasDst: true, numSrc: 1, hasImm: true},
+	SUBR:   {name: "SUBR", group: GroupScalar, hasDst: true, numSrc: 2},
+	SUBRI:  {name: "SUBRI", group: GroupScalar, hasDst: true, numSrc: 1, hasImm: true},
+	MULRI:  {name: "MULRI", group: GroupScalar, hasDst: true, numSrc: 1, hasImm: true},
+	CMPLT:  {name: "CMPLT", group: GroupScalar, hasDst: true, numSrc: 2},
+	BEQZ:   {name: "BEQZ", group: GroupScalar, numSrc: 1, hasImm: true},
+	BNEZ:   {name: "BNEZ", group: GroupScalar, numSrc: 1, hasImm: true},
+	BGTZ:   {name: "BGTZ", group: GroupScalar, numSrc: 1, hasImm: true},
+	BRANCH: {name: "BRANCH", group: GroupScalar, hasImm: true},
+	NOP:    {name: "NOP", group: GroupScalar},
+	HALT:   {name: "HALT", group: GroupScalar},
+
+	// NDCONV mode, in, inPort, inH, inW, k, kPort, kSize, stride, pad, out, outPort, nk, acc
+	NDCONV: {name: "NDCONV", group: GroupCoarse, numArgs: 14},
+	// MATMUL mode, w, wPort, rows, cols, x, xPort, out, outPort, acc
+	MATMUL: {name: "MATMUL", group: GroupCoarse, numArgs: 10},
+
+	// NDACTFN kind, addr, port, size, out, outPort
+	NDACTFN: {name: "NDACTFN", group: GroupOffload, numArgs: 6},
+	// NDSUBSAMP kind, in, inPort, inH, inW, win, stride, pad, out, outPort
+	NDSUBSAMP: {name: "NDSUBSAMP", group: GroupOffload, numArgs: 10},
+	// NDUPSAMP kind, gradOut, gPort, inH, inW, win, stride, pad, dst, dstPort, fwdOut
+	NDUPSAMP: {name: "NDUPSAMP", group: GroupOffload, numArgs: 11},
+	// NDACC dst, dstPort, src, srcPort, size
+	NDACC: {name: "NDACC", group: GroupOffload, numArgs: 5},
+	// VECMUL dst, dstPort, g, gPort, gLen, x, xPort, xLen (outer product dst += g⊗x)
+	VECMUL: {name: "VECMUL", group: GroupOffload, numArgs: 8},
+	// WUPDATE w, wPort, dw, dwPort, size, lrScaled (lr × 2^16 fixed point)
+	WUPDATE: {name: "WUPDATE", group: GroupOffload, numArgs: 6},
+	// MEMSET dst, dstPort, size, value
+	MEMSET: {name: "MEMSET", group: GroupOffload, numArgs: 4},
+
+	// DMALOAD src, srcPort, dst, dstPort, size, acc
+	DMALOAD: {name: "DMALOAD", group: GroupTransfer, numArgs: 6},
+	// DMASTORE src, srcPort, dst, dstPort, size, acc
+	DMASTORE: {name: "DMASTORE", group: GroupTransfer, numArgs: 6},
+	// PASSBUFF src, srcPort, sm, size
+	PASSBUFF: {name: "PASSBUFF", group: GroupTransfer, numArgs: 4},
+
+	// MEMTRACK port, addr, size, numUpdates, numReads
+	MEMTRACK: {name: "MEMTRACK", group: GroupTrack, numArgs: 5},
+	// DMAMEMTRACK tile, addr, size, numUpdates, numReads
+	DMAMEMTRACK: {name: "DMAMEMTRACK", group: GroupTrack, numArgs: 5},
+}
+
+// String returns the mnemonic.
+func (o Opcode) String() string {
+	if int(o) < len(opTable) {
+		return opTable[o].name
+	}
+	return fmt.Sprintf("OP(%d)", int(o))
+}
+
+// Group returns the instruction's group.
+func (o Opcode) Group() Group { return opTable[o].group }
+
+// Valid reports whether o is a defined opcode.
+func (o Opcode) Valid() bool { return o < NumOpcodes }
+
+// ArgCount returns the register-argument list length for coarse / offload /
+// transfer / track opcodes (0 for scalar opcodes).
+func (o Opcode) ArgCount() int { return opTable[o].numArgs }
+
+// byName maps mnemonics back to opcodes for the assembler.
+var byName = func() map[string]Opcode {
+	m := make(map[string]Opcode, NumOpcodes)
+	for op := Opcode(0); op < NumOpcodes; op++ {
+		m[opTable[op].name] = op
+	}
+	return m
+}()
+
+// Lookup resolves a mnemonic; ok is false for unknown names.
+func Lookup(name string) (Opcode, bool) {
+	op, ok := byName[name]
+	return op, ok
+}

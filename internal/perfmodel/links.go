@@ -1,0 +1,169 @@
+package perfmodel
+
+import (
+	"scaledeep/internal/arch"
+	"scaledeep/internal/dnn"
+)
+
+// This file models the traffic on each tier of the grid-wheel-ring
+// interconnect (Fig. 21). Traffic per image is derived from the network's
+// data-flow (§3.2.3, §3.3); utilization is traffic rate over provisioned
+// bandwidth at the modeled throughput.
+
+// modelMinibatch is the training minibatch the traffic model assumes for
+// per-minibatch events (gradient accumulation over arcs/ring, weight
+// distribution). The paper does not publish its value; 64 is typical of the
+// era's ImageNet training.
+const modelMinibatch = 64
+
+func linkUtilization(net *dnn.Network, np *NetworkPerf, node arch.NodeConfig) LinkUtilization {
+	chip := node.Cluster.Conv
+	elem := float64(node.Precision.Bytes())
+	convPart, fcPart := fuse(net)
+
+	// Per-copy steady-state image period (seconds).
+	perCopy := np.TrainImagesPerSec / float64(np.Copies)
+	if perCopy <= 0 {
+		return LinkUtilization{}
+	}
+	T := 1 / perCopy
+
+	// --- Traffic per image (bytes), CONV part ------------------------------
+	var compMemB, memMemB, convFeatB float64
+	var convWeightsBytes float64
+	for _, f := range convPart {
+		l := f.rep
+		inE, outE := float64(l.In.Elems()), float64(l.Out.Elems())
+		var w float64
+		for _, m := range f.members {
+			w += float64(m.WeightCount())
+		}
+		lanes := float64(chip.CompHeavy.Lanes)
+		batches := 1.0
+		if l.Kind == dnn.Conv {
+			batches = float64((l.OutChannels + int(lanes) - 1) / int(lanes))
+		}
+		// CompHeavy↔MemHeavy: operand streaming for FP, BP and WG — the
+		// input features re-stream once per output batch; weights and
+		// outputs stream once per step.
+		compMemB += 3 * (inE*batches + w + 2*outE) * elem
+		// MemHeavy↔MemHeavy: partial-feature accumulation (vertical +
+		// horizontal) and home-tile stores, in FP and BP.
+		memMemB += 2 * 3 * outE * elem
+		convFeatB += outE * elem
+		convWeightsBytes += w * elem
+	}
+
+	// External memory, ConvLayer chips: the input image, FP features of all
+	// layers stored and fetched back for WG (§3.2.3 "the inter-layer
+	// pipeline requires the FP features of all layers to be stored in the
+	// external memory"), plus off-chip weights when the on-chip capacity is
+	// exceeded.
+	inputB := float64(net.Layers[0].Out.Elems()) * elem
+	convMemB := inputB + 2*convFeatB
+	chipCap := float64(np.ConvChips) * float64(chip.MemCapacityBytes())
+	stateBytes := 4*convFeatB + 2*convWeightsBytes // 2 copies of feats+errs, w+dw
+	if stateBytes > chipCap {
+		// Weights spill: fetched for FP/BP and gradients written back.
+		convMemB += 3 * convWeightsBytes
+	}
+
+	// --- FC part ------------------------------------------------------------
+	var fcW, fcIn, fcOut float64
+	for _, f := range fcPart {
+		l := f.rep
+		fcW += float64(l.WeightCount()) * elem
+		fcOut += float64(l.OutNeurons) * elem
+	}
+	if len(fcPart) > 0 {
+		fcIn = float64(fcPart[0].rep.In.Elems()) * elem
+	}
+
+	// The wheel batches FC inputs from its spokes: weights are touched once
+	// per batch of `spokes` images (§3.3.1), further amplified by model
+	// parallelism across clusters (§3.3.2).
+	spokes := float64(node.Cluster.NumConvChips) / float64(np.ConvChips)
+	if spokes < 1 {
+		spokes = 1
+	}
+	fcBatch := spokes * float64(node.NumClusters) / float64(np.Clusters)
+	// FcLayer external memory: weight streaming per batch + activations.
+	fcMemB := fcW/fcBatch + 3*(fcIn+fcOut)
+
+	// Wheel spokes carry the FC inputs and returned errors per image.
+	spokeB := 2 * fcIn
+	// Only the features of the layers mapped across a chip (or cluster)
+	// boundary cross the arcs (or ring): find the stages straddling each
+	// boundary from the cumulative column allocation.
+	chipCrossB, clusterCrossB := boundaryCrossing(np, chip.Cols, node.Cluster.NumConvChips*chip.Cols, elem)
+
+	// Wheel arcs: per-minibatch CONV gradient accumulation and weight
+	// distribution around the wheel, plus boundary features/errors when the
+	// CONV part spans several chips.
+	arcB := 2*convWeightsBytes/modelMinibatch + 2*chipCrossB
+	// Ring: FC features/errors exchanged under model parallelism (FC
+	// weights never travel, §3.3.2), per-minibatch CONV gradient
+	// accumulation across clusters, and boundary CONV features/errors when
+	// a single copy spans clusters (the paper's VGG-D/E case).
+	ringB := 2*fcIn/float64(node.NumClusters) +
+		2*convWeightsBytes/(modelMinibatch*float64(node.NumClusters)) +
+		2*clusterCrossB
+
+	// --- Capacity per image period ------------------------------------------
+	var util LinkUtilization
+	if np.ColsPerCopy > 0 {
+		linksCompMem := float64(np.ColsPerCopy) * float64(chip.Rows) * 3 * 2
+		linksMemMem := float64(np.ColsPerCopy) * float64(chip.Rows) * 2
+		util.CompMem = clamp01(compMemB / (T * linksCompMem * chip.CompMemGBps * 1e9 / compMemDerate))
+		util.MemMem = clamp01(memMemB / (T * linksMemMem * chip.MemMemGBps * 1e9 / memMemDerate))
+		util.ConvMem = clamp01(convMemB / (T * float64(np.ConvChips) * 2 * chip.ExtMemGBps * 1e9))
+	}
+	fc := node.Cluster.Fc
+	// Per image processed by the wheel, the FcLayer chip serves `spokes`
+	// ConvLayer chips' worth of images.
+	util.FcMem = clamp01(fcMemB * spokes / (T * 2 * fc.ExtMemGBps * 1e9))
+	util.Spoke = clamp01(spokeB / (T * node.Cluster.SpokeGBps * 1e9))
+	util.Arc = clamp01(arcB / (T * node.Cluster.ArcGBps * 1e9))
+	util.Ring = clamp01(ringB / (T * node.RingGBps * 1e9))
+	return util
+}
+
+// boundaryCrossing returns the per-image feature bytes crossing chip and
+// cluster boundaries: the output of each stage whose column range straddles
+// a multiple of the chip (or cluster) column count, forward plus backward.
+func boundaryCrossing(np *NetworkPerf, chipCols, clusterCols int, elem float64) (chipB, clusterB float64) {
+	cum := 0
+	for _, lp := range np.Layers {
+		start := cum
+		cum += lp.Cols
+		// The stage's output crosses to the next stage; a boundary between
+		// this stage's end and the next stage's start means the hand-off
+		// travels over the arc/ring.
+		if cum%chipCols == 0 && cum < np.ColsPerCopy {
+			_ = start
+			chipB += outBytesOf(lp, elem)
+			if cum%clusterCols == 0 {
+				clusterB += outBytesOf(lp, elem)
+			}
+		}
+	}
+	return chipB, clusterB
+}
+
+// outBytesOf estimates a stage's output feature bytes from its eval FLOPs
+// geometry; LayerPerf carries no shape, so the model looks it up via the
+// recorded name when available. To stay self-contained it approximates the
+// output as FLOPsEval / (2 × fan-in) which is exact for conv layers.
+func outBytesOf(lp LayerPerf, elem float64) float64 {
+	// Conservative: assume a mid-network feature volume of FLOPsEval^(2/3)
+	// is wrong; instead carry OutElems on LayerPerf.
+	return float64(lp.OutElems) * elem
+}
+
+// Link derates fold in the access inefficiencies the simulator observes on
+// small transfers (packetization, turnaround); calibrated against the
+// paper's geomean utilizations (Comp-Mem 0.87, Mem-Mem lower).
+const (
+	compMemDerate = 11.0
+	memMemDerate  = 24.0
+)

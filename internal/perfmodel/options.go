@@ -1,0 +1,154 @@
+package perfmodel
+
+import (
+	"scaledeep/internal/arch"
+	"scaledeep/internal/dnn"
+	"scaledeep/internal/tensor"
+)
+
+// Options select the model variants used for the ablation studies — each
+// corresponds to a design point the paper discusses:
+//
+//   - Winograd: §6.1 notes ScaleDeep does not yet use Winograd convolutions
+//     and sees "no fundamental bottlenecks in doing so"; this applies the
+//     F(2×2, 3×3) multiplication reduction to eligible layers.
+//   - SubColumnAllocation: §6.1's stated future work — "the column-level
+//     utilization drop can be eliminated if we allow a layer to occupy part
+//     of the column"; this removes the column-quantization stage of the
+//     utilization cascade.
+//   - Homogeneous: the §7 comparison point — without the heterogeneous
+//     FcLayer chips (à la DaDianNao's homogeneous tiles), FC layers run on
+//     the ConvLayer pipeline where their Bytes/FLOP demand makes them
+//     external-memory-bandwidth bound.
+type Options struct {
+	Winograd            bool
+	SubColumnAllocation bool
+	Homogeneous         bool
+}
+
+// ModelWith evaluates a network under the given model options.
+func ModelWith(net *dnn.Network, node arch.NodeConfig, opts Options) (*NetworkPerf, error) {
+	np, err := Model(net, node)
+	if err != nil {
+		return nil, err
+	}
+	if opts == (Options{}) {
+		return np, nil
+	}
+
+	convPart, fcPart := fuse(net)
+	chip := node.Cluster.Conv
+	pePerCol := float64(chip.Rows) * 3 * float64(chip.CompHeavy.MACsPerCycle())
+	total := np.ColsPerCopy
+
+	var totalTrainFLOPs float64
+	effFLOPs := make([]float64, len(convPart))
+	for i, f := range convPart {
+		ft := float64(f.cost().TotalFLOPs())
+		totalTrainFLOPs += ft
+		if opts.Winograd {
+			ft /= winogradFactor(f)
+		}
+		effFLOPs[i] = ft
+	}
+
+	// Recompute the slowest stage under the options.
+	var worst float64
+	if opts.SubColumnAllocation {
+		// Tile-granular allocation (the paper's stated future work):
+		// columns are divisible, so the allocator can equalize stage times
+		// exactly — PE share ∝ FLOPs / per-layer efficiency. Every stage
+		// then takes Σ(F_i/eff_i) / (2·totalPE) cycles, which is a lower
+		// bound on any column-quantized allocation of the same budget.
+		var demand float64
+		for i := range convPart {
+			lp := np.Layers[i]
+			eff := lp.Util / lp.UtilColumn
+			if eff <= 0 {
+				continue
+			}
+			demand += effFLOPs[i] / eff
+			np.Layers[i].UtilColumn = 1
+		}
+		worst = demand / (2 * float64(total) * pePerCol)
+	} else {
+		for i := range convPart {
+			lp := np.Layers[i]
+			pe := float64(lp.Cols) * pePerCol
+			eff := lp.Util / lp.UtilColumn
+			if eff <= 0 || pe <= 0 {
+				continue
+			}
+			if stage := effFLOPs[i] / (2 * pe * eff); stage > worst {
+				worst = stage
+			}
+		}
+	}
+
+	// Homogeneous design: FC layers join the spatial pipeline, where their
+	// weight streaming makes them bandwidth-bound on the external memory
+	// channels instead of compute-bound on the FcLayer chips.
+	if opts.Homogeneous && len(fcPart) > 0 {
+		elem := float64(node.Precision.Bytes())
+		extBytesPerCycle := 2 * chip.ExtMemGBps * 1e9 / node.FreqHz * float64(np.ConvChips)
+		for _, f := range fcPart {
+			w := float64(f.rep.WeightCount()) * elem
+			// Per image, FC weights stream once for each of FP/BP and the
+			// gradients write back: bandwidth-bound stage time.
+			stage := 3 * w / extBytesPerCycle
+			if stage > worst {
+				worst = stage
+			}
+		}
+	}
+
+	if worst > 0 {
+		perCopy := node.FreqHz / worst
+		np.TrainImagesPerSec = perCopy * float64(np.Copies)
+		achieved := totalTrainFLOPs / worst
+		peak := 2 * float64(total) * pePerCol
+		np.Utilization = clamp01(achieved / peak)
+	}
+
+	// FC-chip cap still applies unless the design is homogeneous (in which
+	// case there are no FcLayer chips — their columns are ignored for
+	// simplicity, a conservative choice for the heterogeneous side).
+	if !opts.Homogeneous {
+		var fcFLOPs int64
+		for _, f := range fcPart {
+			fcFLOPs += f.cost().TotalFLOPs()
+		}
+		if fcFLOPs > 0 {
+			fcPeak := float64(node.NumClusters) * node.Cluster.Fc.PeakFLOPs(node.FreqHz)
+			if fcImgs := fcPeak * fcUtilization / float64(fcFLOPs); fcImgs < np.TrainImagesPerSec {
+				np.TrainImagesPerSec = fcImgs
+			}
+		}
+	}
+
+	var totalEval float64
+	for _, f := range convPart {
+		totalEval += float64(f.cost().StepFLOPs(dnn.FP))
+	}
+	np.EvalImagesPerSec = np.TrainImagesPerSec * totalTrainFLOPs / totalEval * evalBonus
+	return np, nil
+}
+
+// winogradFactor returns the FLOP reduction of a fused stage under
+// F(2×2, 3×3): the convolution share of eligible members shrinks 2.25×.
+func winogradFactor(f fusedLayer) float64 {
+	var eligible, totalF float64
+	for _, m := range f.members {
+		c := dnn.LayerCost(m)
+		t := float64(c.TotalFLOPs())
+		totalF += t
+		if m.Kind == dnn.Conv && tensor.WinogradEligible(m.ConvP) {
+			eligible += float64(c.KernelFLOPs(dnn.KConv))
+		}
+	}
+	if totalF == 0 {
+		return 1
+	}
+	reduced := totalF - eligible + eligible/tensor.WinogradMACReduction
+	return totalF / reduced
+}

@@ -1,0 +1,131 @@
+package perfmodel
+
+import (
+	"testing"
+
+	"scaledeep/internal/arch"
+	"scaledeep/internal/zoo"
+)
+
+func TestWinogradOptionSpeedsUpVGG(t *testing.T) {
+	// VGG is all 3×3 stride-1 convolutions — the ideal Winograd case. The
+	// speedup should approach but not exceed the 2.25× MAC reduction.
+	node := arch.Baseline()
+	base, err := Model(zoo.VGG('D'), node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wino, err := ModelWith(zoo.VGG('D'), node, Options{Winograd: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := wino.TrainImagesPerSec / base.TrainImagesPerSec
+	if sp < 1.4 || sp > 2.25 {
+		t.Errorf("VGG-D Winograd speedup = %.2f, expected in (1.4, 2.25]", sp)
+	}
+	// AlexNet has 11×11 and 5×5 layers: smaller gain.
+	aBase, _ := Model(zoo.AlexNet(), node)
+	aWino, _ := ModelWith(zoo.AlexNet(), node, Options{Winograd: true})
+	aSp := aWino.TrainImagesPerSec / aBase.TrainImagesPerSec
+	if aSp >= sp {
+		t.Errorf("AlexNet Winograd speedup (%.2f) should be below VGG's (%.2f)", aSp, sp)
+	}
+	if aSp < 1.0 {
+		t.Errorf("AlexNet Winograd slowed down: %.2f", aSp)
+	}
+}
+
+func TestSubColumnAllocationImprovesUtilization(t *testing.T) {
+	// §6.1 (future work): letting a layer occupy part of a column removes
+	// the column-quantization utilization drop.
+	node := arch.Baseline()
+	for _, name := range []string{"AlexNet", "ResNet18", "VGG-A"} {
+		base, err := Model(zoo.Build(name), node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sub, err := ModelWith(zoo.Build(name), node, Options{SubColumnAllocation: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sub.TrainImagesPerSec < base.TrainImagesPerSec*0.999 {
+			t.Errorf("%s: sub-column allocation slowed training: %.0f vs %.0f",
+				name, sub.TrainImagesPerSec, base.TrainImagesPerSec)
+		}
+		if sub.Utilization < base.Utilization*0.999 {
+			t.Errorf("%s: sub-column allocation reduced utilization: %.3f vs %.3f",
+				name, sub.Utilization, base.Utilization)
+		}
+	}
+}
+
+func TestHomogeneousDesignHurtsFCHeavyNets(t *testing.T) {
+	// §7: the heterogeneous FcLayer chips are what keep FC-heavy networks
+	// from becoming memory-bandwidth bound. Removing them (DaDianNao-style
+	// homogeneity) must cost OverFeat (146M FC weights) far more than
+	// GoogLeNet (1M-weight FC layer).
+	node := arch.Baseline()
+	slowdown := func(name string) float64 {
+		base, err := Model(zoo.Build(name), node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hom, err := ModelWith(zoo.Build(name), node, Options{Homogeneous: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return base.TrainImagesPerSec / hom.TrainImagesPerSec
+	}
+	of := slowdown("OF-Fast")
+	gl := slowdown("GoogLeNet")
+	if of < 1.5 {
+		t.Errorf("OverFeat homogeneous slowdown = %.2f, expected substantial", of)
+	}
+	if gl > of/2 {
+		t.Errorf("GoogLeNet slowdown (%.2f) should be far below OverFeat's (%.2f)", gl, of)
+	}
+}
+
+func TestOptionsZeroValueIsIdentity(t *testing.T) {
+	node := arch.Baseline()
+	a, err := Model(zoo.AlexNet(), node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ModelWith(zoo.AlexNet(), node, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TrainImagesPerSec != b.TrainImagesPerSec || a.Utilization != b.Utilization {
+		t.Error("zero options changed the model")
+	}
+}
+
+func TestFCOnlyNetworkModels(t *testing.T) {
+	// An MLP (FC-only) network must model without the CONV pipeline: the
+	// FcLayer chips cap its throughput.
+	b := dnnBuilderMLP()
+	np, err := Model(b, arch.Baseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if np.TrainImagesPerSec <= 0 {
+		t.Fatalf("FC-only throughput %v", np.TrainImagesPerSec)
+	}
+	if np.EvalImagesPerSec <= np.TrainImagesPerSec {
+		t.Fatal("eval should exceed training")
+	}
+}
+
+func TestFCOnlyLinkUtilizationFinite(t *testing.T) {
+	np, err := Model(dnnBuilderMLP(), arch.Baseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := np.Links
+	for _, v := range []float64{l.CompMem, l.MemMem, l.ConvMem, l.FcMem, l.Arc, l.Spoke, l.Ring} {
+		if v != v || v < 0 || v > 1 { // NaN or out of range
+			t.Fatalf("FC-only link util invalid: %+v", l)
+		}
+	}
+}

@@ -1,0 +1,465 @@
+// Package perfmodel is the analytic steady-state performance model of the
+// ScaleDeep node: it reproduces the paper's evaluation results — training
+// and evaluation throughput with the utilization cascade (Figs. 16, 17, 19),
+// average power and processing efficiency (Fig. 20), and link bandwidth
+// utilization (Fig. 21) — for arbitrary networks and node configurations.
+//
+// The model implements the performance structure §3.2.3 and §6.1 describe:
+// layers are spread over chip columns and operated as a nested pipeline
+// whose throughput the slowest layer limits; utilization decays through four
+// factors (column quantization → feature distribution → 2D-array residue →
+// instruction overhead); evaluation reuses the BP/WG CompHeavy tiles for FP
+// giving slightly over 3× the training throughput; and small networks are
+// replicated across chips and chip clusters.
+package perfmodel
+
+import (
+	"fmt"
+	"math"
+
+	"scaledeep/internal/arch"
+	"scaledeep/internal/dnn"
+)
+
+// instructionOverhead is the fraction of peak the generated code retains
+// after loop control, data transfer, inter-feature pipeline bubbles and
+// partial-window effects — the tail of Fig. 19's cascade. Calibrated so the
+// benchmark geomean utilization matches the paper's published 0.35. (The
+// paper splits this tail into an array-residue step (0.64 → 0.42) and a
+// program-overhead step (0.42 → 0.35); our geometric residue model is
+// milder than their measured one, so the calibrated constant absorbs the
+// difference.)
+const instructionOverhead = 0.68
+
+// evalBonus is the small extra speedup of evaluation beyond the 3× from
+// running FP on all three CompHeavy tile sets: no minibatch-end gradient
+// accumulation or weight distribution (§6.1: "higher than training by a
+// factor marginally over 3×").
+const evalBonus = 1.08
+
+// LayerPerf is the per-layer slice of the model (Fig. 19's table rows).
+// SAMP layers are fused into the preceding CONV layer (the paper's C1/S1
+// columns), so they do not appear as separate entries.
+type LayerPerf struct {
+	Name       string
+	Kind       dnn.LayerKind
+	Class      dnn.Class
+	FLOPsTrain int64 // FP+BP+WG FLOPs per image (fused SAMP included)
+	FLOPsEval  int64
+	OutElems   int64 // stage output feature elements (boundary traffic)
+
+	Cols    int // columns allocated (per network copy)
+	IdealPE float64
+
+	// Utilization cascade (Fig. 19): after column quantization, feature
+	// distribution, array residue, and instruction overhead.
+	UtilColumn  float64
+	UtilFeature float64
+	UtilArray   float64
+	Util        float64
+}
+
+// NetworkPerf is the model's output for one network on one node design.
+type NetworkPerf struct {
+	Net  *dnn.Network
+	Node arch.NodeConfig
+
+	Layers []LayerPerf
+
+	// Spatial realization.
+	ColsPerCopy int // Fig. 16's "Cols." row
+	ConvChips   int // chips per copy (CONV part)
+	Clusters    int // clusters per copy (1 unless the CONV part spans >4 chips)
+	Copies      int // parallel copies across the node
+
+	// Aggregate utilization of the CompHeavy 2D-PEs (Fig. 16 right axis).
+	Utilization float64
+
+	// Steady-state throughput (Fig. 16/17 left axis).
+	TrainImagesPerSec float64
+	EvalImagesPerSec  float64
+
+	// Link utilizations (Fig. 21).
+	Links LinkUtilization
+}
+
+// LinkUtilization holds Fig. 21's three tiers.
+type LinkUtilization struct {
+	CompMem float64 // CompHeavy ↔ MemHeavy on-chip links
+	MemMem  float64 // MemHeavy ↔ MemHeavy on-chip links
+	ConvMem float64 // ConvLayer chip external memory channels
+	FcMem   float64 // FcLayer chip external memory channels
+	Arc     float64 // wheel arcs (adjacent ConvLayer chips)
+	Spoke   float64 // wheel spokes (ConvLayer → FcLayer)
+	Ring    float64 // ring of chip clusters
+}
+
+// fusedLayer is the column-allocation granularity: one CONV stage with any
+// SAMP layer that directly consumes it (the paper's C1/S1 columns in
+// Fig. 19), or one whole module (a GoogLeNet inception module's layers share
+// a stage — Fig. 15 counts them as one CONV layer). rep is the member whose
+// geometry drives the array-residue model (the largest convolution).
+type fusedLayer struct {
+	rep     *dnn.Layer
+	members []*dnn.Layer
+}
+
+func (f fusedLayer) name() string { return f.rep.Name }
+
+func (f fusedLayer) cost() dnn.Cost {
+	var c dnn.Cost
+	for _, m := range f.members {
+		c.AddCost(dnn.LayerCost(m))
+	}
+	return c
+}
+
+// stateElems returns the input-feature elements the stage must hold (the
+// memory-minimum driver): the first member's inputs plus module-internal
+// features.
+func (f fusedLayer) stateElems() (in, out int64) {
+	in = int64(f.members[0].In.Elems())
+	out = int64(f.rep.Out.Elems())
+	return
+}
+
+// modulePrefix groups layers that belong to one named module ("inc3a/1x1" →
+// "inc3a"); layers without '/' stand alone.
+func modulePrefix(name string) string {
+	for i := 0; i < len(name); i++ {
+		if name[i] == '/' {
+			return name[:i]
+		}
+	}
+	return ""
+}
+
+// fuse splits the network into ConvLayer-chip stages (modules and CONV
+// layers with their directly-consuming SAMP layers) and FcLayer-chip stages
+// (FC layers).
+func fuse(net *dnn.Network) (convPart, fcPart []fusedLayer) {
+	groupOf := map[int]int{} // layer index → convPart index
+	moduleGroup := map[string]int{}
+	addTo := func(gi int, l *dnn.Layer) {
+		convPart[gi].members = append(convPart[gi].members, l)
+		groupOf[l.Index] = gi
+		if l.Kind == dnn.Conv &&
+			dnn.LayerCost(l).TotalFLOPs() > dnn.LayerCost(convPart[gi].rep).TotalFLOPs() {
+			convPart[gi].rep = l
+		}
+	}
+	for _, l := range net.Layers {
+		switch l.Kind {
+		case dnn.Conv:
+			if mod := modulePrefix(l.Name); mod != "" {
+				if gi, ok := moduleGroup[mod]; ok {
+					addTo(gi, l)
+					continue
+				}
+				moduleGroup[mod] = len(convPart)
+			}
+			convPart = append(convPart, fusedLayer{rep: l, members: []*dnn.Layer{l}})
+			groupOf[l.Index] = len(convPart) - 1
+		case dnn.Pool:
+			// A pool inside a module or directly consuming a mapped stage
+			// fuses into it; otherwise it stands alone.
+			if mod := modulePrefix(l.Name); mod != "" {
+				if gi, ok := moduleGroup[mod]; ok {
+					convPart[gi].members = append(convPart[gi].members, l)
+					groupOf[l.Index] = gi
+					continue
+				}
+			}
+			if gi, ok := groupOf[l.Inputs[0]]; ok {
+				convPart[gi].members = append(convPart[gi].members, l)
+				groupOf[l.Index] = gi
+				continue
+			}
+			convPart = append(convPart, fusedLayer{rep: l, members: []*dnn.Layer{l}})
+			groupOf[l.Index] = len(convPart) - 1
+		case dnn.Concat, dnn.Add, dnn.Mul, dnn.Slice, dnn.Act:
+			// Structural/elementwise layers fold into their first input's
+			// stage when one exists.
+			if gi, ok := groupOf[l.Inputs[0]]; ok {
+				convPart[gi].members = append(convPart[gi].members, l)
+				groupOf[l.Index] = gi
+			}
+		case dnn.FC:
+			fcPart = append(fcPart, fusedLayer{rep: l, members: []*dnn.Layer{l}})
+		}
+	}
+	return convPart, fcPart
+}
+
+// Model evaluates a network on a node design.
+func Model(net *dnn.Network, node arch.NodeConfig) (*NetworkPerf, error) {
+	if err := node.Validate(); err != nil {
+		return nil, err
+	}
+	convPart, fcPart := fuse(net)
+	if len(convPart) == 0 && len(fcPart) == 0 {
+		return nil, fmt.Errorf("perfmodel: %s has no compute layers", net.Name)
+	}
+	chip := node.Cluster.Conv
+	np := &NetworkPerf{Net: net, Node: node}
+
+	// --- Column allocation (§4.1 STEP3 at node scale) ---------------------
+	// Memory-driven minimum per layer, then the replication decision: small
+	// networks are replicated (in power-of-two copies) across the node's
+	// ConvLayer chips; a network whose minimum exceeds one cluster's CONV
+	// columns is mapped once, spanning clusters (the paper's VGG-D/E case).
+	minCols := minColumns(convPart, chip, node.Precision)
+	totalMin := 0
+	for _, c := range minCols {
+		totalMin += c
+	}
+	nodeConvCols := node.NumClusters * node.Cluster.NumConvChips * chip.Cols
+	clusterCols := node.Cluster.NumConvChips * chip.Cols
+	if totalMin == 0 {
+		// FC-only network (e.g. an MLP/autoencoder): the FcLayer chips do
+		// all the work; one nominal column keeps the pipeline math defined.
+		totalMin = 1
+	}
+	if totalMin > nodeConvCols {
+		return nil, fmt.Errorf("perfmodel: %s needs %d columns, node has %d", net.Name, totalMin, nodeConvCols)
+	}
+	if len(convPart) == 0 {
+		// FC-only network: no CONV pipeline to lay out.
+		np.ColsPerCopy = 0
+		np.Copies = 1
+		np.ConvChips = 0
+		np.Clusters = 1
+		var fcFLOPs int64
+		for _, f := range fcPart {
+			fcFLOPs += f.cost().TotalFLOPs()
+		}
+		fcPeak := float64(node.NumClusters) * node.Cluster.Fc.PeakFLOPs(node.FreqHz)
+		np.TrainImagesPerSec = fcPeak * fcUtilization / float64(fcFLOPs)
+		var fcEval int64
+		for _, f := range fcPart {
+			fcEval += f.cost().StepFLOPs(dnn.FP)
+		}
+		np.Utilization = fcUtilization
+		np.EvalImagesPerSec = np.TrainImagesPerSec * float64(fcFLOPs) / float64(fcEval) * evalBonus
+		np.Links = linkUtilization(net, np, node)
+		return np, nil
+	}
+	copies := 1
+	if totalMin <= clusterCols {
+		maxCopies := node.NumClusters * node.Cluster.NumConvChips // one per chip
+		for copies*2 <= nodeConvCols/totalMin && copies*2 <= maxCopies {
+			copies *= 2
+		}
+	}
+	np.Copies = copies
+	target := nodeConvCols / copies
+	cols := distributeColumns(convPart, minCols, target)
+	total := 0
+	for _, c := range cols {
+		total += c
+	}
+	np.ColsPerCopy = total
+	np.ConvChips = (total + chip.Cols - 1) / chip.Cols
+	np.Clusters = (np.ConvChips + node.Cluster.NumConvChips - 1) / node.Cluster.NumConvChips
+
+	// --- Utilization cascade (Fig. 19) -------------------------------------
+	pePerCol := float64(chip.Rows) * 3 * float64(chip.CompHeavy.MACsPerCycle())
+	var totalTrainFLOPs, totalEvalFLOPs int64
+	for _, f := range convPart {
+		c := f.cost()
+		totalTrainFLOPs += c.TotalFLOPs()
+		totalEvalFLOPs += c.StepFLOPs(dnn.FP)
+	}
+	var worstCycles float64 // slowest pipeline stage, cycles/image at peak
+	for i, f := range convPart {
+		c := f.cost()
+		lp := LayerPerf{
+			Name:       f.name(),
+			Kind:       f.rep.Kind,
+			Class:      f.rep.Class(),
+			FLOPsTrain: c.TotalFLOPs(),
+			FLOPsEval:  c.StepFLOPs(dnn.FP),
+			OutElems:   int64(f.members[len(f.members)-1].Out.Elems()),
+			Cols:       cols[i],
+		}
+		lp.IdealPE = float64(lp.FLOPsTrain) / float64(totalTrainFLOPs)
+
+		// Stage 1: column quantization — allocated share vs ideal share.
+		alloc := float64(cols[i]) / float64(total)
+		lp.UtilColumn = clamp01(lp.IdealPE / alloc)
+
+		// Stage 2: feature distribution across the columns' MemHeavy tiles.
+		lp.UtilFeature = lp.UtilColumn * featureDistributionUtil(f.rep, chip.Rows*cols[i])
+
+		// Stage 3: 2D-array residue (rows vs feature size, lanes vs feature
+		// count), mitigated by the array reconfigurability of §3.1.1.
+		lp.UtilArray = lp.UtilFeature * arrayResidueUtil(f.rep, chip.CompHeavy)
+
+		// Stage 4: instruction overhead.
+		lp.Util = lp.UtilArray * instructionOverhead
+
+		np.Layers = append(np.Layers, lp)
+
+		pe := float64(cols[i]) * pePerCol
+		eff := lp.Util / lp.UtilColumn // per-PE efficiency excluding allocation skew
+		if eff > 0 {
+			stage := float64(lp.FLOPsTrain) / (2 * pe * eff)
+			if stage > worstCycles {
+				worstCycles = stage
+			}
+		}
+	}
+
+	// Overall PE utilization: achieved FLOPs over peak while the pipeline
+	// runs at the slowest stage's pace.
+	if worstCycles > 0 {
+		achieved := float64(totalTrainFLOPs) / worstCycles // FLOPs per cycle
+		peak := 2 * float64(total) * pePerCol
+		np.Utilization = clamp01(achieved / peak)
+	}
+
+	// --- Throughput ---------------------------------------------------------
+	freq := node.FreqHz
+	if worstCycles > 0 {
+		perCopyTrain := freq / worstCycles
+		np.TrainImagesPerSec = perCopyTrain * float64(np.Copies)
+	}
+
+	// The FcLayer chips process the FC layers of all copies as batches; they
+	// cap throughput only if the FC work exceeds their capacity (§3.3.1).
+	var fcFLOPs int64
+	for _, f := range fcPart {
+		fcFLOPs += f.cost().TotalFLOPs()
+	}
+	if fcFLOPs > 0 {
+		fcPeak := float64(node.NumClusters) * node.Cluster.Fc.PeakFLOPs(freq)
+		fcImgs := fcPeak * fcUtilization / float64(fcFLOPs)
+		if fcImgs < np.TrainImagesPerSec {
+			np.TrainImagesPerSec = fcImgs
+		}
+	}
+
+	// Evaluation re-purposes the BP/WG tile sets for FP and skips the
+	// minibatch-end gradient work: throughput scales by the train/eval FLOP
+	// ratio (≈3× for conv-dominated nets) plus the small bonus.
+	np.EvalImagesPerSec = np.TrainImagesPerSec * float64(totalTrainFLOPs) / float64(totalEvalFLOPs) * evalBonus
+
+	np.Links = linkUtilization(net, np, node)
+	return np, nil
+}
+
+// fcUtilization is the modeled efficiency of the FcLayer chips on batched
+// matrix multiplication (high B/F work; bandwidth-provisioned per §3.2.5).
+const fcUtilization = 0.5
+
+func clamp01(v float64) float64 {
+	if v > 1 {
+		return 1
+	}
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// minColumns is STEP3a at node scale: each fused layer's memory-capacity
+// minimum — two copies of input features and errors plus the partial batch
+// under evaluation. Weights go off-chip when on-chip residence would not
+// fit (STEP6), so they do not enter the minimum.
+func minColumns(convPart []fusedLayer, chip arch.ChipConfig, prec arch.Precision) []int {
+	colCapBytes := float64(chip.Rows) * float64(chip.MemHeavy.CapacityKB) * 1024
+	elem := float64(prec.Bytes())
+	cols := make([]int, len(convPart))
+	for i, f := range convPart {
+		in, out := f.stateElems()
+		state := 4*float64(in)*elem + 2*float64(out)*elem
+		cols[i] = int(math.Ceil(state / colCapBytes))
+		if cols[i] < 1 {
+			cols[i] = 1
+		}
+	}
+	return cols
+}
+
+// distributeColumns is STEP3b: starting from the memory minimum, surplus
+// columns up to the per-copy target go to the layer with the highest
+// column-load (normalized FLOPs over normalized columns).
+func distributeColumns(convPart []fusedLayer, minCols []int, target int) []int {
+	cols := append([]int(nil), minCols...)
+	flops := make([]float64, len(convPart))
+	var totalFLOPs float64
+	used := 0
+	for i, f := range convPart {
+		flops[i] = float64(f.cost().TotalFLOPs())
+		totalFLOPs += flops[i]
+		used += cols[i]
+	}
+	for used < target {
+		best, bestLoad := -1, -1.0
+		for i := range convPart {
+			load := (flops[i] / totalFLOPs) / (float64(cols[i]) / float64(target))
+			if load > bestLoad {
+				best, bestLoad = i, load
+			}
+		}
+		cols[best]++
+		used++
+	}
+	return cols
+}
+
+// featureDistributionUtil models Fig. 19's second stage: features distribute
+// over the layer's MemHeavy tiles; a count that does not divide the tile
+// count leaves final-column tiles underfilled.
+func featureDistributionUtil(l *dnn.Layer, tiles int) float64 {
+	n := l.Out.C
+	if l.Kind == dnn.FC {
+		n = l.OutNeurons
+	}
+	if n <= 0 || tiles <= 0 {
+		return 1
+	}
+	if n >= tiles {
+		full := n / tiles
+		return float64(n) / (float64(full+boolInt(n%tiles > 0)) * float64(tiles))
+	}
+	return float64(n) / float64(tiles)
+}
+
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// arrayResidueUtil models Fig. 19's third stage: the final iteration of a
+// convolution leaves array rows unused when the feature size is not a
+// multiple of the array rows, and lanes idle when the output feature count
+// does not fill the vector width. The horizontal array split (§3.1.1)
+// halves the effective row count when that fits better.
+func arrayResidueUtil(l *dnn.Layer, ch arch.CompHeavyConfig) float64 {
+	if l.Kind != dnn.Conv {
+		return 1
+	}
+	rowsOptions := []int{ch.ArrayRows}
+	if ch.ArrayRows%2 == 0 {
+		rowsOptions = append(rowsOptions, ch.ArrayRows/2) // split configuration
+	}
+	best := 0.0
+	h := l.Out.H
+	for _, rows := range rowsOptions {
+		u := float64(h) / (math.Ceil(float64(h)/float64(rows)) * float64(rows))
+		if u > best {
+			best = u
+		}
+	}
+	laneU := 1.0
+	if l.OutChannels < ch.Lanes {
+		laneU = float64(l.OutChannels) / float64(ch.Lanes)
+	} else if rem := l.OutChannels % ch.Lanes; rem != 0 {
+		batches := float64(l.OutChannels/ch.Lanes + 1)
+		laneU = float64(l.OutChannels) / (batches * float64(ch.Lanes))
+	}
+	return best * laneU
+}

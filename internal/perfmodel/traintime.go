@@ -1,0 +1,26 @@
+package perfmodel
+
+import "time"
+
+// TimeToTrain converts the modeled steady-state throughput into the wall
+// time for an `epochs`-epoch training run over `images` training inputs —
+// the intro's motivating quantity (§1: training is exa-scale; software
+// implementations "may take several days to weeks to train large-scale
+// networks").
+func TimeToTrain(np *NetworkPerf, images int64, epochs int) time.Duration {
+	if np.TrainImagesPerSec <= 0 {
+		return time.Duration(1<<63 - 1)
+	}
+	secs := float64(images) * float64(epochs) / np.TrainImagesPerSec
+	return time.Duration(secs * float64(time.Second))
+}
+
+// TimeToTrainAt is the same conversion for an arbitrary throughput (e.g. a
+// GPU baseline).
+func TimeToTrainAt(imagesPerSec float64, images int64, epochs int) time.Duration {
+	if imagesPerSec <= 0 {
+		return time.Duration(1<<63 - 1)
+	}
+	secs := float64(images) * float64(epochs) / imagesPerSec
+	return time.Duration(secs * float64(time.Second))
+}

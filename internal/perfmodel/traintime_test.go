@@ -1,0 +1,42 @@
+package perfmodel
+
+import (
+	"testing"
+	"time"
+
+	"scaledeep/internal/arch"
+	"scaledeep/internal/zoo"
+)
+
+const (
+	imagenetImages = 1_280_000
+	epochs         = 90 // §1: "50-100 epochs to converge"
+)
+
+func TestTimeToTrainImageNet(t *testing.T) {
+	node := arch.Baseline()
+	np, err := Model(zoo.VGG('E'), node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt := TimeToTrain(np, imagenetImages, epochs)
+	// The full node trains VGG-E's 90 ImageNet epochs in ~1 day — the
+	// paper's pitch against the "days to weeks" of contemporary software.
+	if tt < 6*time.Hour || tt > 5*24*time.Hour {
+		t.Errorf("VGG-E time-to-train = %v, expected ~1 day", tt)
+	}
+	// A TitanX at ~100 img/s (cuDNN-R2 era) needs weeks.
+	gpu := TimeToTrainAt(100, imagenetImages, epochs)
+	if gpu < 10*24*time.Hour {
+		t.Errorf("GPU baseline time-to-train = %v, should be weeks", gpu)
+	}
+	if float64(gpu)/float64(tt) < 6 {
+		t.Errorf("node advantage = %.1fx, should be large", float64(gpu)/float64(tt))
+	}
+}
+
+func TestTimeToTrainDegenerate(t *testing.T) {
+	if TimeToTrainAt(0, 10, 1) < time.Duration(1<<62) {
+		t.Error("zero throughput should yield effectively infinite time")
+	}
+}

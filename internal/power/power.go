@@ -1,0 +1,76 @@
+// Package power models ScaleDeep's power and energy (Fig. 14's component
+// powers scaled by activity, reproducing Fig. 20's average power and
+// processing efficiency): compute power scales with 2D-PE utilization,
+// interconnect power with link utilization, and memory power — dominated by
+// leakage — stays near its peak (§6.2).
+package power
+
+import (
+	"math"
+
+	"scaledeep/internal/arch"
+	"scaledeep/internal/perfmodel"
+)
+
+// Breakdown is one network's average-power result (a bar of Fig. 20).
+type Breakdown struct {
+	ComputeW      float64
+	MemoryW       float64
+	InterconnectW float64
+
+	TotalW     float64
+	NormPeak   float64 // total / node peak power (Fig. 20 left axis)
+	AchievedGF float64 // achieved GFLOP/s during training
+	Efficiency float64 // GFLOPs/W (Fig. 20 right axis)
+}
+
+// memoryActivityFloor is the fraction of peak memory power that remains at
+// zero activity (leakage-dominated scratchpads, §6.2: "memory power ...
+// remains largely constant").
+const memoryActivityFloor = 0.85
+
+// Average computes the training-time average power of a node running the
+// modeled network.
+func Average(np *perfmodel.NetworkPerf, node arch.NodeConfig) Breakdown {
+	peak := node.PowerW()
+	logic := peak * node.PowerFrac[0]
+	mem := peak * node.PowerFrac[1]
+	intc := peak * node.PowerFrac[2]
+
+	linkU := meanLinkUtil(np.Links)
+	b := Breakdown{
+		ComputeW:      logic * np.Utilization,
+		MemoryW:       mem * (memoryActivityFloor + (1-memoryActivityFloor)*np.Utilization),
+		InterconnectW: intc * linkU,
+	}
+	b.TotalW = b.ComputeW + b.MemoryW + b.InterconnectW
+	b.NormPeak = b.TotalW / peak
+
+	// Achieved compute rate: training images/s × FLOPs/image.
+	var trainFLOPs float64
+	for _, lp := range np.Layers {
+		trainFLOPs += float64(lp.FLOPsTrain)
+	}
+	b.AchievedGF = np.TrainImagesPerSec * trainFLOPs / 1e9
+	if b.TotalW > 0 {
+		b.Efficiency = b.AchievedGF / b.TotalW
+	}
+	return b
+}
+
+// meanLinkUtil averages the link tiers, weighting the on-chip tiers
+// (which carry most of the interconnect power, Fig. 14's per-chip
+// interconnect fractions) above the cluster/node tiers.
+func meanLinkUtil(l perfmodel.LinkUtilization) float64 {
+	onChip := (2*l.CompMem + l.MemMem) / 3
+	offChip := (l.ConvMem + l.FcMem + l.Arc + l.Spoke + l.Ring) / 5
+	return 0.7*onChip + 0.3*offChip
+}
+
+// EnergyPerImage returns the training energy per image in joules.
+func EnergyPerImage(b Breakdown, np *perfmodel.NetworkPerf) float64 {
+	if np.TrainImagesPerSec <= 0 {
+		return math.Inf(1)
+	}
+	return b.TotalW / np.TrainImagesPerSec
+}

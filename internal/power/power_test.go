@@ -1,0 +1,80 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"scaledeep/internal/arch"
+	"scaledeep/internal/perfmodel"
+	"scaledeep/internal/zoo"
+)
+
+func TestFig20AveragePowerAndEfficiency(t *testing.T) {
+	node := arch.Baseline()
+	var effs []float64
+	for _, name := range zoo.Names {
+		np, err := perfmodel.Model(zoo.Build(name), node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := Average(np, node)
+		// Average power is a proper fraction of the peak (Fig. 20 left axis
+		// plots it normalized).
+		if b.NormPeak <= 0.1 || b.NormPeak >= 1.0 {
+			t.Errorf("%s normalized power = %v", name, b.NormPeak)
+		}
+		if math.Abs(b.TotalW-(b.ComputeW+b.MemoryW+b.InterconnectW)) > 1e-9 {
+			t.Errorf("%s breakdown does not sum", name)
+		}
+		// Memory power is near-constant (leakage dominated, §6.2): it stays
+		// above the floor fraction of the peak memory budget.
+		memPeak := node.PowerW() * node.PowerFrac[1]
+		if b.MemoryW < memoryActivityFloor*memPeak-1e-9 {
+			t.Errorf("%s memory power dipped below the leakage floor", name)
+		}
+		if b.Efficiency <= 0 {
+			t.Errorf("%s efficiency %v", name, b.Efficiency)
+		}
+		effs = append(effs, b.Efficiency)
+	}
+	// §6.2: 331.7 GFLOPs/W average processing efficiency.
+	var s float64
+	for _, e := range effs {
+		s += math.Log(e)
+	}
+	geo := math.Exp(s / float64(len(effs)))
+	if geo < 200 || geo > 500 {
+		t.Errorf("efficiency geomean = %.1f GFLOPs/W, paper 331.7", geo)
+	}
+}
+
+func TestComputePowerTracksUtilization(t *testing.T) {
+	// §6.2: "compute and interconnect powers scale proportional to the
+	// 2D-PE and link utilizations".
+	node := arch.Baseline()
+	hi, _ := perfmodel.Model(zoo.OverFeatFast(), node) // high utilization
+	lo, _ := perfmodel.Model(zoo.VGG('D'), node)       // low utilization
+	bh := Average(hi, node)
+	bl := Average(lo, node)
+	if hi.Utilization > lo.Utilization && bh.ComputeW <= bl.ComputeW {
+		t.Errorf("compute power does not track utilization: %v@%v vs %v@%v",
+			bh.ComputeW, hi.Utilization, bl.ComputeW, lo.Utilization)
+	}
+}
+
+func TestEnergyPerImage(t *testing.T) {
+	node := arch.Baseline()
+	np, _ := perfmodel.Model(zoo.AlexNet(), node)
+	b := Average(np, node)
+	e := EnergyPerImage(b, np)
+	// ~1 kW over tens of thousands of images/s → tens of millijoules.
+	if e < 0.001 || e > 10 {
+		t.Errorf("AlexNet training energy = %v J/image", e)
+	}
+	// A larger network costs more energy per image.
+	npE, _ := perfmodel.Model(zoo.VGG('E'), node)
+	bE := Average(npE, node)
+	if EnergyPerImage(bE, npE) <= e {
+		t.Error("VGG-E should cost more energy per image than AlexNet")
+	}
+}

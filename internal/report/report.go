@@ -1,0 +1,336 @@
+// Package report renders the paper's tables and figures as text: each
+// FigXX function regenerates one artifact of the evaluation from the
+// underlying models, in the same rows/series the paper reports. The
+// benchmark harness (bench_test.go) and the sdreport tool both use these.
+package report
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"scaledeep/internal/arch"
+	"scaledeep/internal/dnn"
+	"scaledeep/internal/gpu"
+	"scaledeep/internal/perfmodel"
+	"scaledeep/internal/power"
+	"scaledeep/internal/workload"
+	"scaledeep/internal/zoo"
+)
+
+// Fig01 renders the FLOPs-growth chart data (Fig. 1).
+func Fig01() string {
+	var b strings.Builder
+	b.WriteString("Fig. 1 — DNN evaluation: scalar FLOPs per image (billions)\n")
+	for _, e := range workload.FLOPsGrowth(zoo.All()) {
+		fmt.Fprintf(&b, "  %-10s (%d)  %6.2f\n", e.Name, e.Year, float64(e.FLOPs)/1e9)
+	}
+	return b.String()
+}
+
+// Fig04 renders OverFeat's per-layer-class breakdown (Fig. 4).
+func Fig04() string {
+	n := zoo.OverFeatFast()
+	m := workload.ByClass(n)
+	classes := []dnn.Class{dnn.ClassInitialConv, dnn.ClassMidConv, dnn.ClassFC, dnn.ClassSamp}
+	var total int64
+	for _, c := range classes {
+		total += m[c].FLOPsFPBP
+	}
+	var b strings.Builder
+	b.WriteString("Fig. 4 — OverFeat compute and data requirements by layer class\n")
+	b.WriteString("  class          FP+BP%   B/F(FP+BP)  B/F(WG)   features      weights\n")
+	for _, c := range classes {
+		cb := m[c]
+		fmt.Fprintf(&b, "  %-13s %6.1f%%   %9.4f  %7.3f   %4d-%-6d  %8.2gM-%-.2gM\n",
+			c, 100*cb.FPBPShare(total), cb.BFRatioFPBP(), cb.BFRatioWG(),
+			cb.FeatureCountMin, cb.FeatureCountMax,
+			float64(cb.WeightsMin)/1e6, float64(cb.WeightsMax)/1e6)
+	}
+	return b.String()
+}
+
+// Fig05 renders the kernel-class summary across the suite (Fig. 5).
+func Fig05() string {
+	rows := workload.KernelSummary(zoo.All())
+	var b strings.Builder
+	b.WriteString("Fig. 5 — operations in DNN training (11-network suite)\n")
+	b.WriteString("  kernel            FLOPs%    Bytes/FLOP\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-16s %6.2f%%    %8.3f\n", r.Kernel, 100*r.FLOPsShare, r.BytesPerFL)
+	}
+	return b.String()
+}
+
+// Fig14 renders the micro-architectural parameter derivations (Fig. 14).
+func Fig14() string {
+	n := arch.Baseline()
+	freq := n.FreqHz
+	conv, fc := n.Cluster.Conv, n.Cluster.Fc
+	var b strings.Builder
+	b.WriteString("Fig. 14 — ScaleDeep configuration (single precision)\n")
+	fmt.Fprintf(&b, "  node: %d clusters × (%d ConvLayer + 1 FcLayer) chips @ %.0f MHz\n",
+		n.NumClusters, n.Cluster.NumConvChips, freq/1e6)
+	ch, mh := n.TotalTiles()
+	fmt.Fprintf(&b, "  tiles: %d CompHeavy + %d MemHeavy = %d\n", ch, mh, ch+mh)
+	fmt.Fprintf(&b, "  %-22s %10s %10s %12s\n", "component", "peak", "power", "GFLOPs/W")
+	row := func(name string, flops, watts float64) {
+		fmt.Fprintf(&b, "  %-22s %9.1fG %9.2fW %11.1f\n", name, flops/1e9, watts, flops/watts/1e9)
+	}
+	row("Conv CompHeavy tile", conv.CompHeavy.PeakFLOPs(freq), conv.CompHeavy.PowerW)
+	row("Conv MemHeavy tile", conv.MemHeavy.PeakFLOPs(freq), conv.MemHeavy.PowerW)
+	row("Fc CompHeavy tile", fc.CompHeavy.PeakFLOPs(freq), fc.CompHeavy.PowerW)
+	row("Fc MemHeavy tile", fc.MemHeavy.PeakFLOPs(freq), fc.MemHeavy.PowerW)
+	row("ConvLayer chip", conv.PeakFLOPs(freq), conv.PowerW)
+	row("FcLayer chip", fc.PeakFLOPs(freq), fc.PowerW)
+	row("chip cluster", n.Cluster.PeakFLOPs(freq), n.Cluster.PowerW())
+	row("node", n.PeakFLOPs(), n.PowerW())
+	return b.String()
+}
+
+// Fig15 renders the benchmark table (Fig. 15).
+func Fig15() string {
+	var b strings.Builder
+	b.WriteString("Fig. 15 — DNN benchmarks\n")
+	b.WriteString("  network     layers(C/F/S)  neurons(M)  weights(M)  connections(B)\n")
+	for _, name := range zoo.Names {
+		n := zoo.Build(name)
+		c, f, s := zoo.LayerCounts(n)
+		fmt.Fprintf(&b, "  %-10s  %3d/%d/%d       %8.2f   %8.1f    %10.2f\n",
+			name, c, f, s,
+			float64(n.TotalNeurons())/1e6, float64(n.TotalWeights())/1e6,
+			float64(n.TotalConnections())/1e9)
+	}
+	return b.String()
+}
+
+// PerfRow is one network's modeled performance, used by Fig16/Fig17.
+type PerfRow struct {
+	Name string
+	Perf *perfmodel.NetworkPerf
+}
+
+// ModelSuite runs the performance model on the whole suite.
+func ModelSuite(node arch.NodeConfig) ([]PerfRow, error) {
+	rows := make([]PerfRow, 0, len(zoo.Names))
+	for _, name := range zoo.Names {
+		np, err := perfmodel.Model(zoo.Build(name), node)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		rows = append(rows, PerfRow{Name: name, Perf: np})
+	}
+	return rows, nil
+}
+
+func perfFigure(title string, node arch.NodeConfig) string {
+	rows, err := ModelSuite(node)
+	if err != nil {
+		return title + ": " + err.Error() + "\n"
+	}
+	var b strings.Builder
+	b.WriteString(title)
+	b.WriteString("  network      cols  train img/s   eval img/s   util\n")
+	var utils []float64
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-10s  %5d  %11.0f  %11.0f   %4.2f\n",
+			r.Name, r.Perf.ColsPerCopy, r.Perf.TrainImagesPerSec, r.Perf.EvalImagesPerSec, r.Perf.Utilization)
+		utils = append(utils, r.Perf.Utilization)
+	}
+	fmt.Fprintf(&b, "  geomean utilization: %.2f\n", geomean(utils))
+	return b.String()
+}
+
+// Fig16 renders single-precision training/evaluation performance (Fig. 16).
+func Fig16() string {
+	return perfFigure("Fig. 16 — single precision: training & evaluation performance\n", arch.Baseline())
+}
+
+// Fig17 renders half-precision performance (Fig. 17).
+func Fig17() string {
+	return perfFigure("Fig. 17 — half precision: training & evaluation performance\n", arch.HalfPrecision())
+}
+
+// Fig18 renders the GPU speedup comparison (Fig. 18).
+func Fig18() string {
+	cluster := arch.Baseline()
+	cluster.NumClusters = 1
+	var b strings.Builder
+	b.WriteString("Fig. 18 — ScaleDeep chip-cluster speedup over TitanX GPU (training)\n")
+	fmt.Fprintf(&b, "  %-10s", "network")
+	for impl := gpu.Impl(0); impl < gpu.NumImpls; impl++ {
+		fmt.Fprintf(&b, " %22s", impl)
+	}
+	b.WriteString("\n")
+	geo := make([]float64, gpu.NumImpls)
+	for i := range geo {
+		geo[i] = 1
+	}
+	for _, name := range gpu.Networks {
+		np, err := perfmodel.Model(zoo.Build(name), cluster)
+		if err != nil {
+			return b.String() + err.Error()
+		}
+		fmt.Fprintf(&b, "  %-10s", name)
+		for impl := gpu.Impl(0); impl < gpu.NumImpls; impl++ {
+			rate, _ := gpu.TrainImagesPerSec(name, impl)
+			sp := np.TrainImagesPerSec / rate
+			geo[impl] *= sp
+			fmt.Fprintf(&b, " %21.1fx", sp)
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "  %-10s", "geomean")
+	for impl := range geo {
+		fmt.Fprintf(&b, " %21.1fx", math.Pow(geo[impl], 1/float64(len(gpu.Networks))))
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// Fig19 renders AlexNet's layer-wise utilization cascade (Fig. 19).
+func Fig19() string {
+	np, err := perfmodel.Model(zoo.AlexNet(), arch.Baseline())
+	if err != nil {
+		return err.Error()
+	}
+	var b strings.Builder
+	b.WriteString("Fig. 19 — AlexNet compute utilization cascade\n")
+	b.WriteString("  stage    cols  FLOPs(G)  u(col)  u(feat)  u(array)  u(final)\n")
+	for _, lp := range np.Layers {
+		fmt.Fprintf(&b, "  %-7s  %4d  %8.2f  %6.2f  %7.2f  %8.2f  %8.2f\n",
+			lp.Name, lp.Cols, float64(lp.FLOPsTrain)/1e9,
+			lp.UtilColumn, lp.UtilFeature, lp.UtilArray, lp.Util)
+	}
+	fmt.Fprintf(&b, "  overall utilization: %.2f\n", np.Utilization)
+	return b.String()
+}
+
+// Fig20 renders average power and processing efficiency (Fig. 20).
+func Fig20() string {
+	node := arch.Baseline()
+	rows, err := ModelSuite(node)
+	if err != nil {
+		return err.Error()
+	}
+	var b strings.Builder
+	b.WriteString("Fig. 20 — average power and processing efficiency (training)\n")
+	b.WriteString("  network      norm.power  compute  memory  interconn   GFLOPs/W\n")
+	var effs []float64
+	for _, r := range rows {
+		pb := power.Average(r.Perf, node)
+		fmt.Fprintf(&b, "  %-10s   %9.2f  %6.0fW  %5.0fW  %8.0fW   %8.1f\n",
+			r.Name, pb.NormPeak, pb.ComputeW, pb.MemoryW, pb.InterconnectW, pb.Efficiency)
+		effs = append(effs, pb.Efficiency)
+	}
+	fmt.Fprintf(&b, "  geomean efficiency: %.1f GFLOPs/W\n", geomean(effs))
+	return b.String()
+}
+
+// Fig21 renders link bandwidth utilization (Fig. 21).
+func Fig21() string {
+	rows, err := ModelSuite(arch.Baseline())
+	if err != nil {
+		return err.Error()
+	}
+	var b strings.Builder
+	b.WriteString("Fig. 21 — bandwidth utilization of links\n")
+	b.WriteString("  network      comp-mem  mem-mem  conv-mem  fc-mem    arc  spoke   ring\n")
+	for _, r := range rows {
+		l := r.Perf.Links
+		fmt.Fprintf(&b, "  %-10s   %8.2f  %7.2f  %8.2f  %6.2f  %5.2f  %5.2f  %5.2f\n",
+			r.Name, l.CompMem, l.MemMem, l.ConvMem, l.FcMem, l.Arc, l.Spoke, l.Ring)
+	}
+	return b.String()
+}
+
+// TimeToTrain renders the intro's motivating comparison (§1): wall time to
+// train 90 ImageNet epochs on the ScaleDeep node vs a cuDNN-R2-era TitanX.
+func TimeToTrain() string {
+	const images = 1_280_000
+	const epochs = 90
+	node := arch.Baseline()
+	var b strings.Builder
+	b.WriteString("Intro (§1) — time to train 90 ImageNet epochs\n")
+	b.WriteString("  network      ScaleDeep node    TitanX cuDNN-R2\n")
+	for _, name := range gpu.Networks {
+		np, err := perfmodel.Model(zoo.Build(name), node)
+		if err != nil {
+			return err.Error()
+		}
+		sd := perfmodel.TimeToTrain(np, images, epochs)
+		rate, _ := gpu.TrainImagesPerSec(name, gpu.CuDNNR2)
+		gp := perfmodel.TimeToTrainAt(rate, images, epochs)
+		fmt.Fprintf(&b, "  %-10s   %12.1f h    %12.1f d\n",
+			name, sd.Hours(), gp.Hours()/24)
+	}
+	return b.String()
+}
+
+// Ablations renders the design-choice studies: Winograd headroom, the
+// sub-column allocation future work, and the heterogeneity advantage.
+func Ablations() string {
+	node := arch.Baseline()
+	var b strings.Builder
+	b.WriteString("Ablations — design-choice studies\n")
+	row := func(label, netName string, opts perfmodel.Options, invert bool) {
+		base, err := perfmodel.Model(zoo.Build(netName), node)
+		if err != nil {
+			fmt.Fprintf(&b, "  %s: %v\n", label, err)
+			return
+		}
+		alt, err := perfmodel.ModelWith(zoo.Build(netName), node, opts)
+		if err != nil {
+			fmt.Fprintf(&b, "  %s: %v\n", label, err)
+			return
+		}
+		r := alt.TrainImagesPerSec / base.TrainImagesPerSec
+		if invert {
+			r = 1 / r
+		}
+		fmt.Fprintf(&b, "  %-52s %5.2fx\n", label, r)
+	}
+	row("Winograd F(2x2,3x3) on VGG-D (§6.1 extension)", "VGG-D", perfmodel.Options{Winograd: true}, false)
+	row("heterogeneity advantage on OverFeat (§7 vs homogeneous)", "OF-Fast", perfmodel.Options{Homogeneous: true}, true)
+	// Sub-column allocation reported as the suite geomean: some networks
+	// are already balanced (AlexNet gains nothing) while others gain a lot.
+	prod := 1.0
+	for _, name := range zoo.Names {
+		base, err := perfmodel.Model(zoo.Build(name), node)
+		if err != nil {
+			return err.Error()
+		}
+		alt, err := perfmodel.ModelWith(zoo.Build(name), node, perfmodel.Options{SubColumnAllocation: true})
+		if err != nil {
+			return err.Error()
+		}
+		prod *= alt.TrainImagesPerSec / base.TrainImagesPerSec
+	}
+	fmt.Fprintf(&b, "  %-52s %5.2fx\n",
+		"sub-column allocation, suite geomean (§6.1 future work)", math.Pow(prod, 1.0/float64(len(zoo.Names))))
+	return b.String()
+}
+
+// All renders every figure in order, plus the supplementary tables.
+func All() string {
+	parts := []string{
+		Fig01(), Fig04(), Fig05(), Fig14(), Fig15(),
+		Fig16(), Fig17(), Fig18(), Fig19(), Fig20(), Fig21(),
+		TimeToTrain(), Ablations(),
+	}
+	return strings.Join(parts, "\n")
+}
+
+func geomean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	var s float64
+	for _, v := range sorted {
+		s += math.Log(v)
+	}
+	return math.Exp(s / float64(len(sorted)))
+}

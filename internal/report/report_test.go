@@ -1,0 +1,53 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEveryFigureRenders(t *testing.T) {
+	figs := map[string]func() string{
+		"Fig01": Fig01, "Fig04": Fig04, "Fig05": Fig05, "Fig14": Fig14,
+		"Fig15": Fig15, "Fig16": Fig16, "Fig17": Fig17, "Fig18": Fig18,
+		"Fig19": Fig19, "Fig20": Fig20, "Fig21": Fig21,
+	}
+	for name, f := range figs {
+		out := f()
+		if len(out) < 80 {
+			t.Errorf("%s output too short:\n%s", name, out)
+		}
+		if strings.Contains(out, "error") || strings.Contains(out, "NaN") {
+			t.Errorf("%s contains errors:\n%s", name, out)
+		}
+	}
+}
+
+func TestAllContainsEveryBenchmarkAndFigure(t *testing.T) {
+	out := All()
+	for _, want := range []string{
+		"Fig. 1 ", "Fig. 4 ", "Fig. 5 ", "Fig. 14 ", "Fig. 15 ",
+		"Fig. 16 ", "Fig. 17 ", "Fig. 18 ", "Fig. 19 ", "Fig. 20 ", "Fig. 21 ",
+		"AlexNet", "VGG-E", "GoogLeNet", "ResNet34",
+		"TitanX-cuDNN-R2", "geomean",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("All() missing %q", want)
+		}
+	}
+}
+
+func TestFig14MatchesPaperHeadlines(t *testing.T) {
+	out := Fig14()
+	for _, want := range []string{"5184 CompHeavy + 1848 MemHeavy = 7032", "600 MHz"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig14 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig18HasGeomeanRow(t *testing.T) {
+	out := Fig18()
+	if !strings.Contains(out, "geomean") || !strings.Contains(out, "x") {
+		t.Errorf("Fig18 malformed:\n%s", out)
+	}
+}

@@ -1,0 +1,102 @@
+// Package sim is the ScaleDeep architectural simulator: an instruction-level
+// functional + timing model of the chip of §3.2 — CompHeavy tiles executing
+// compiled ScaleDeep programs on their scalar PEs and 2D-PE arrays, MemHeavy
+// tiles with scratchpads, SFUs, DMA engines and hardware data-flow trackers
+// (§3.2.4), connected by point-to-point links with finite bandwidth.
+//
+// The simulator runs in two modes: functional (scratchpads hold real float32
+// data and every coarse operation computes it, validated against the
+// internal/tensor reference) and timing-only (data-free, for large sweeps).
+// Synchronization is enforced exactly as in the hardware: reads of a tracked
+// range block until its declared number of updates arrive; overwrites block
+// until its declared reads drain. Deadlocks — the symptom of tracker
+// misprogramming — are detected and reported with a dump of blocked tiles.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Cycle is simulation time in clock cycles.
+type Cycle int64
+
+// event is one scheduled tile resumption.
+type event struct {
+	at   Cycle
+	tile int // CompHeavy tile index
+	seq  int // FIFO tiebreaker for determinism
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// engine drives the discrete-event simulation: each runnable CompHeavy tile
+// executes until it halts, blocks on a tracker, or advances its local clock
+// past a long operation; blocked tiles are woken by tracker state changes.
+type engine struct {
+	queue eventQueue
+	seq   int
+	now   Cycle
+}
+
+func (e *engine) schedule(tile int, at Cycle) {
+	e.seq++
+	heap.Push(&e.queue, event{at: at, tile: tile, seq: e.seq})
+}
+
+// peekTime returns the earliest pending event time.
+func (e *engine) peekTime() (Cycle, bool) {
+	if len(e.queue) == 0 {
+		return 0, false
+	}
+	return e.queue[0].at, true
+}
+
+func (e *engine) next() (event, bool) {
+	if len(e.queue) == 0 {
+		return event{}, false
+	}
+	ev := heap.Pop(&e.queue).(event)
+	if ev.at > e.now {
+		e.now = ev.at
+	}
+	return ev, true
+}
+
+// DeadlockError reports a simulation that stopped making progress with
+// unfinished programs — the observable symptom of misprogrammed MEMTRACK
+// counts.
+type DeadlockError struct {
+	Cycle   Cycle
+	Blocked []string // description of each blocked tile
+}
+
+func (d *DeadlockError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sim: deadlock at cycle %d; %d tiles blocked:\n", d.Cycle, len(d.Blocked))
+	blocked := append([]string(nil), d.Blocked...)
+	sort.Strings(blocked)
+	for _, s := range blocked {
+		fmt.Fprintf(&b, "  %s\n", s)
+	}
+	return b.String()
+}

@@ -1,0 +1,196 @@
+package sim
+
+import (
+	"fmt"
+
+	"scaledeep/internal/isa"
+)
+
+// maxInstructions bounds total executed instructions per Run as a runaway
+// guard (a program with a broken loop otherwise hangs the simulation).
+const maxInstructions = 1 << 30
+
+// runTile resumes one CompHeavy tile: scalar instructions execute inline;
+// each coarse/offload/transfer operation either blocks on a tracker
+// (suspending the tile until woken) or completes, advancing the tile's local
+// clock and rescheduling it, so tiles interleave in simulated-time order.
+func (m *Machine) runTile(ct *compTile) {
+	ct.blocked = ""
+	for {
+		if ct.pc >= len(ct.prog.Instrs) {
+			m.halt(ct)
+			return
+		}
+		ins := ct.prog.Instrs[ct.pc]
+		m.stats.Instructions++
+		if m.stats.Instructions > maxInstructions {
+			panic("sim: instruction budget exhausted (runaway program?)")
+		}
+		if ins.Op.Group() == isa.GroupScalar {
+			ct.scalarCycles++
+			ct.time++
+			if done := m.execScalar(ct, ins); done {
+				return
+			}
+			// Yield when another tile has an earlier pending event, so tiles
+			// interleave in simulated-time order (keeps tracker arbitration
+			// causally faithful even through long scalar stretches).
+			if ct.scalarCycles%32 == 0 {
+				if at, ok := m.eng.peekTime(); ok && at < ct.time {
+					m.eng.schedule(ct.index, ct.time)
+					return
+				}
+			}
+			continue
+		}
+		// Non-scalar: resolve operands and attempt the operation.
+		start := ct.time
+		ok, end := m.execCoarse(ct, ins)
+		if !ok {
+			return // blocked; tracker wake or NACK retry will reschedule
+		}
+		m.traceOp(ct, ins.Op.String(), start, end)
+		ct.nackRetries = 0
+		ct.pc++
+		ct.time = end
+		m.eng.schedule(ct.index, end)
+		return
+	}
+}
+
+func (m *Machine) halt(ct *compTile) {
+	ct.halted = true
+	m.finished++
+	if ct.time > m.stats.Cycles {
+		m.stats.Cycles = ct.time
+	}
+}
+
+// execScalar executes one scalar-control instruction. It returns true when
+// the tile halted.
+func (m *Machine) execScalar(ct *compTile, ins isa.Instr) bool {
+	r := &ct.regs
+	switch ins.Op {
+	case isa.LDRI:
+		r[ins.Dst] = int64(ins.Imm)
+	case isa.MOVR:
+		r[ins.Dst] = r[ins.Src1]
+	case isa.ADDR:
+		r[ins.Dst] = r[ins.Src1] + r[ins.Src2]
+	case isa.ADDRI:
+		r[ins.Dst] = r[ins.Src1] + int64(ins.Imm)
+	case isa.SUBR:
+		r[ins.Dst] = r[ins.Src1] - r[ins.Src2]
+	case isa.SUBRI:
+		r[ins.Dst] = r[ins.Src1] - int64(ins.Imm)
+	case isa.MULRI:
+		r[ins.Dst] = r[ins.Src1] * int64(ins.Imm)
+	case isa.CMPLT:
+		if r[ins.Src1] < r[ins.Src2] {
+			r[ins.Dst] = 1
+		} else {
+			r[ins.Dst] = 0
+		}
+	case isa.BEQZ:
+		if r[ins.Src1] == 0 {
+			ct.pc += int(ins.Imm)
+		}
+	case isa.BNEZ:
+		if r[ins.Src1] != 0 {
+			ct.pc += int(ins.Imm)
+		}
+	case isa.BGTZ:
+		if r[ins.Src1] > 0 {
+			ct.pc += int(ins.Imm)
+		}
+	case isa.BRANCH:
+		ct.pc += int(ins.Imm)
+	case isa.NOP:
+	case isa.HALT:
+		m.halt(ct)
+		return true
+	default:
+		panic(fmt.Sprintf("sim: unhandled scalar op %v", ins.Op))
+	}
+	ct.pc++
+	return false
+}
+
+// argv resolves the instruction's register-argument list to values.
+func (ct *compTile) argv(ins isa.Instr) []int64 {
+	vals := make([]int64, len(ins.Args))
+	for i, a := range ins.Args {
+		vals[i] = ct.regs[a]
+	}
+	return vals
+}
+
+// execCoarse dispatches a non-scalar instruction. It returns (false, _) if
+// the tile blocked, else (true, completionCycle).
+func (m *Machine) execCoarse(ct *compTile, ins isa.Instr) (bool, Cycle) {
+	v := ct.argv(ins)
+	switch ins.Op {
+	case isa.NDCONV:
+		return m.execNDConv(ct, v)
+	case isa.MATMUL:
+		return m.execMatMul(ct, v)
+	case isa.NDACTFN:
+		return m.execActFn(ct, v)
+	case isa.NDSUBSAMP:
+		return m.execSubsamp(ct, v)
+	case isa.NDUPSAMP:
+		return m.execUpsamp(ct, v)
+	case isa.NDACC:
+		return m.execAcc(ct, v)
+	case isa.VECMUL:
+		return m.execVecMul(ct, v)
+	case isa.WUPDATE:
+		return m.execWUpdate(ct, v)
+	case isa.MEMSET:
+		return m.execMemSet(ct, v)
+	case isa.DMALOAD, isa.DMASTORE:
+		return m.execDMA(ct, v)
+	case isa.PASSBUFF:
+		return m.execPassBuff(ct, v)
+	case isa.MEMTRACK, isa.DMAMEMTRACK:
+		return m.execMemTrack(ct, v)
+	default:
+		panic(fmt.Sprintf("sim: unhandled op %v", ins.Op))
+	}
+}
+
+// admit checks every access against its tracker. If any is blocked, the tile
+// suspends on that tracker and admit returns false. Otherwise all accesses
+// are noted (counted) and their trackers' waiters woken at `end`.
+func (m *Machine) admit(ct *compTile, accs []access, desc string, end Cycle) bool {
+	for _, a := range accs {
+		if t := a.blockedOn(); t != nil {
+			m.block(ct, t, a.write, desc)
+			return false
+		}
+	}
+	for _, a := range accs {
+		if t := a.note(); t != nil {
+			m.wake(t, end)
+		}
+		// Traffic accounting.
+		bytes := a.size * m.elemBytes
+		if a.loc.mem != nil {
+			a.loc.mem.bytesMoved += bytes
+			a.loc.mem.touch(a.addr, a.size)
+		} else {
+			a.loc.ext.bytes += bytes
+		}
+	}
+	return true
+}
+
+// execMemTrack arms a tracker (idempotent after a manifest pre-arm).
+func (m *Machine) execMemTrack(ct *compTile, v []int64) (bool, Cycle) {
+	loc := m.resolvePort(ct, v[0])
+	if loc.mem == nil {
+		panic("sim: MEMTRACK on external memory")
+	}
+	loc.mem.arm(v[1], v[2], int(v[3]), int(v[4]), false)
+	return true, ct.time + 1
+}

@@ -1,0 +1,300 @@
+package sim
+
+import (
+	"fmt"
+
+	"scaledeep/internal/arch"
+	"scaledeep/internal/isa"
+	"scaledeep/internal/tensor"
+)
+
+// Step indexes the three CompHeavy tiles per grid cell (§3.2.1: the chip has
+// three CompHeavy tiles per MemHeavy tile, one each for FP, BP and WG).
+type Step int
+
+const (
+	StepFP Step = iota
+	StepBP
+	StepWG
+	stepsPerCell
+)
+
+func (s Step) String() string {
+	switch s {
+	case StepFP:
+		return "FP"
+	case StepBP:
+		return "BP"
+	case StepWG:
+		return "WG"
+	default:
+		return "?"
+	}
+}
+
+// compTile models one CompHeavy tile: the scalar PE's register file and
+// program counter, plus the 2D-PE array whose occupancy provides coarse-op
+// timing.
+type compTile struct {
+	index int
+	row   int
+	ccol  int // compute column (0..Cols-1)
+	step  Step
+
+	prog *isa.Program
+	pc   int
+	regs [isa.NumRegs]int64
+
+	time        Cycle
+	halted      bool
+	blocked     string // non-empty description while waiting on a tracker
+	nackRetries int    // consecutive NACKed requests (bounded)
+
+	// activity statistics
+	arrayCycles  Cycle // cycles the 2D-PE array was busy
+	scalarCycles Cycle
+	flops        int64
+}
+
+func (c *compTile) name() string {
+	return fmt.Sprintf("comp[r%d,c%d,%s]", c.row, c.ccol, c.step)
+}
+
+// TrackerSpec is one entry of the compiler's tracker manifest: trackers are
+// armed before cycle 0 (the generated programs also carry MEMTRACK
+// instructions; arming is idempotent).
+type TrackerSpec struct {
+	MemTile    int // absolute MemHeavy tile index
+	Addr, Size int64
+	NumUpdates int
+	NumReads   int
+	Preloaded  bool // generation 0 content is pre-loaded by the harness
+}
+
+// Machine simulates one ScaleDeep chip. Functional mode carries real data
+// through the scratchpads; timing-only mode carries none.
+type Machine struct {
+	Chip       arch.ChipConfig
+	Functional bool
+
+	eng  engine
+	mem  []*memTile  // Rows × (Cols+1), column-major: index = mcol*Rows + row
+	comp []*compTile // Rows × Cols × 3
+	ext  *extMem
+
+	// pool argmax routing memory for NDUPSAMP (keyed by mem tile and
+	// forward-output address).
+	poolRoute map[[2]int64][]int32
+
+	elemBytes int64
+	half      bool // quantize functional data through binary16 (Fig. 17 mode)
+	freqHz    float64
+	finished  int
+	stats     Stats
+
+	tracing      bool
+	trace        []TraceEvent
+	traceLimit   int
+	traceDropped int
+}
+
+// NewMachine builds a simulator for one chip of the given configuration.
+func NewMachine(chip arch.ChipConfig, precision arch.Precision, functional bool) *Machine {
+	m := &Machine{
+		Chip:       chip,
+		Functional: functional,
+		ext:        &extMem{},
+		poolRoute:  map[[2]int64][]int32{},
+		elemBytes:  precision.Bytes(),
+		half:       precision == arch.Half,
+	}
+	capElems := int64(chip.MemHeavy.CapacityKB) * 1024 / m.elemBytes
+	for mcol := 0; mcol <= chip.Cols; mcol++ {
+		for row := 0; row < chip.Rows; row++ {
+			mt := &memTile{
+				index:      len(m.mem),
+				row:        row,
+				mcol:       mcol,
+				capacity:   capElems,
+				queueDepth: chip.MemHeavy.TrackQueueDepth,
+			}
+			if functional {
+				mt.data = make([]float32, capElems)
+			}
+			m.mem = append(m.mem, mt)
+		}
+	}
+	for ccol := 0; ccol < chip.Cols; ccol++ {
+		for row := 0; row < chip.Rows; row++ {
+			for s := Step(0); s < stepsPerCell; s++ {
+				m.comp = append(m.comp, &compTile{
+					index: len(m.comp), row: row, ccol: ccol, step: s,
+				})
+			}
+		}
+	}
+	return m
+}
+
+// memIndex returns the MemHeavy tile index at (row, mcol).
+func (m *Machine) memIndex(row, mcol int) int { return mcol*m.Chip.Rows + row }
+
+// MemTileIndex exposes memIndex for the compiler (absolute-port encoding).
+func (m *Machine) MemTileIndex(row, mcol int) int { return m.memIndex(row, mcol) }
+
+// compIndex returns the CompHeavy tile index at (row, ccol, step).
+func (m *Machine) compIndex(row, ccol int, s Step) int {
+	return (ccol*m.Chip.Rows+row)*int(stepsPerCell) + int(s)
+}
+
+// LoadProgram installs a program on the CompHeavy tile at (row, ccol, step).
+func (m *Machine) LoadProgram(row, ccol int, s Step, p *isa.Program) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if row < 0 || row >= m.Chip.Rows || ccol < 0 || ccol >= m.Chip.Cols {
+		return fmt.Errorf("sim: tile (r%d,c%d) outside %dx%d chip", row, ccol, m.Chip.Rows, m.Chip.Cols)
+	}
+	m.comp[m.compIndex(row, ccol, s)].prog = p
+	return nil
+}
+
+// ArmTrackers installs the compiler's tracker manifest.
+func (m *Machine) ArmTrackers(specs []TrackerSpec) {
+	for _, s := range specs {
+		m.mem[s.MemTile].arm(s.Addr, s.Size, s.NumUpdates, s.NumReads, s.Preloaded)
+	}
+}
+
+// WriteMem pre-loads values into a MemHeavy scratchpad (weights, constants).
+// In half-precision mode values are quantized through binary16, as the
+// hardware would store them.
+func (m *Machine) WriteMem(tile int, addr int64, vals []float32) {
+	mt := m.mem[tile]
+	mt.touch(addr, int64(len(vals)))
+	if mt.data != nil {
+		copy(mt.data[addr:], vals)
+		if m.half {
+			tensor.RoundHalfSlice(mt.data[addr : addr+int64(len(vals))])
+		}
+	}
+}
+
+// ReadMem reads values back from a scratchpad after simulation.
+func (m *Machine) ReadMem(tile int, addr, size int64) []float32 {
+	mt := m.mem[tile]
+	mt.touch(addr, size)
+	out := make([]float32, size)
+	if mt.data != nil {
+		copy(out, mt.data[addr:addr+size])
+	}
+	return out
+}
+
+// WriteExt pre-loads external memory (network inputs, golden outputs,
+// off-chip weights), quantizing in half-precision mode.
+func (m *Machine) WriteExt(addr int64, vals []float32) {
+	m.ext.write(addr, vals, false)
+	if m.half {
+		tensor.RoundHalfSlice(m.ext.data[addr : addr+int64(len(vals))])
+	}
+}
+
+// ReadExt reads external memory after simulation.
+func (m *Machine) ReadExt(addr, size int64) []float32 {
+	out := make([]float32, size)
+	copy(out, m.ext.read(addr, size))
+	return out
+}
+
+// Run executes all loaded programs to completion and returns the statistics.
+// It fails with a *DeadlockError if the machine stops making progress.
+func (m *Machine) Run() (Stats, error) {
+	active := 0
+	for _, ct := range m.comp {
+		if ct.prog != nil {
+			active++
+			m.eng.schedule(ct.index, 0)
+		}
+	}
+	if active == 0 {
+		return Stats{}, fmt.Errorf("sim: no programs loaded")
+	}
+	m.finished = 0
+	for {
+		ev, ok := m.eng.next()
+		if !ok {
+			break
+		}
+		ct := m.comp[ev.tile]
+		if ct.halted {
+			continue
+		}
+		if ev.at > ct.time {
+			ct.time = ev.at
+		}
+		m.runTile(ct)
+	}
+	if m.finished < active {
+		d := &DeadlockError{Cycle: m.eng.now}
+		for _, ct := range m.comp {
+			if ct.prog != nil && !ct.halted {
+				d.Blocked = append(d.Blocked, fmt.Sprintf("%s pc=%d: %s", ct.name(), ct.pc, ct.blocked))
+			}
+		}
+		return Stats{}, d
+	}
+	m.collectStats()
+	return m.stats, nil
+}
+
+// wake reschedules every waiter of t at the current cycle.
+func (m *Machine) wake(t *tracker, at Cycle) {
+	for _, w := range t.waitReaders {
+		m.eng.schedule(w.tile, at)
+	}
+	for _, w := range t.waitWriters {
+		m.eng.schedule(w.tile, at)
+	}
+	t.waitReaders = t.waitReaders[:0]
+	t.waitWriters = t.waitWriters[:0]
+}
+
+// block registers ct as a waiter on t. Queue overflow models the paper's
+// NACK: the tile retries after a backoff instead of queueing. Retries are
+// bounded: after nackRetryLimit consecutive NACKs the request is queued
+// regardless (modeling eventual delivery), so a genuine deadlock drains the
+// event queue and is reported instead of spinning forever.
+func (m *Machine) block(ct *compTile, t *tracker, write bool, desc string) {
+	ct.blocked = desc + " on " + t.String()
+	m.traceStall(ct, ct.blocked)
+	w := waiter{tile: ct.index, desc: desc}
+	mtQueue := &t.waitReaders
+	if write {
+		mtQueue = &t.waitWriters
+	}
+	if len(*mtQueue) >= m.queueLimit() && ct.nackRetries < nackRetryLimit {
+		// NACK: retry later without occupying a queue slot.
+		ct.nackRetries++
+		m.eng.schedule(ct.index, ct.time+nackRetryCycles)
+		m.stats.NACKs++
+		return
+	}
+	ct.nackRetries = 0
+	*mtQueue = append(*mtQueue, w)
+}
+
+func (m *Machine) queueLimit() int {
+	if m.Chip.MemHeavy.TrackQueueDepth <= 0 {
+		return 8
+	}
+	return m.Chip.MemHeavy.TrackQueueDepth
+}
+
+// nackRetryCycles is the backoff before a NACKed request retries;
+// nackRetryLimit bounds consecutive retries before the request queues
+// anyway (so deadlocks terminate and get reported).
+const (
+	nackRetryCycles = 16
+	nackRetryLimit  = 64
+)

@@ -1,0 +1,87 @@
+package sim
+
+import "fmt"
+
+// Stats aggregates one simulation run: the measurements behind the paper's
+// utilization (Fig. 16/19), power-activity (Fig. 20) and link-bandwidth
+// (Fig. 21) results.
+type Stats struct {
+	Cycles       Cycle
+	Instructions int64
+	FLOPs        int64
+	NACKs        int64
+
+	// Aggregate link traffic by class.
+	CompMemBytes int64
+	MemMemBytes  int64
+	ExtMemBytes  int64
+
+	// Per-tile activity.
+	ArrayBusy  []Cycle // per CompHeavy tile, cycles the 2D-PE array ran
+	SFUBusy    []Cycle // per MemHeavy tile
+	MemPeak    []int64 // per MemHeavy tile, high-water scratchpad element
+	ActiveComp int     // CompHeavy tiles that executed a program
+}
+
+// PEUtilization returns mean 2D-PE array busy fraction across tiles that ran
+// programs.
+func (s Stats) PEUtilization() float64 {
+	if s.Cycles == 0 || s.ActiveComp == 0 {
+		return 0
+	}
+	var busy Cycle
+	for _, b := range s.ArrayBusy {
+		busy += b
+	}
+	return float64(busy) / (float64(s.Cycles) * float64(s.ActiveComp))
+}
+
+// SFUUtilization returns mean SFU busy fraction across all MemHeavy tiles.
+func (s Stats) SFUUtilization() float64 {
+	if s.Cycles == 0 || len(s.SFUBusy) == 0 {
+		return 0
+	}
+	var busy Cycle
+	for _, b := range s.SFUBusy {
+		busy += b
+	}
+	return float64(busy) / (float64(s.Cycles) * float64(len(s.SFUBusy)))
+}
+
+// EffectiveFLOPs returns achieved FLOPs per cycle.
+func (s Stats) EffectiveFLOPs() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.FLOPs) / float64(s.Cycles)
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("cycles=%d instrs=%d flops=%d peUtil=%.3f sfuUtil=%.3f compMem=%dB memMem=%dB ext=%dB nacks=%d",
+		s.Cycles, s.Instructions, s.FLOPs, s.PEUtilization(), s.SFUUtilization(),
+		s.CompMemBytes, s.MemMemBytes, s.ExtMemBytes, s.NACKs)
+}
+
+// collectStats gathers per-tile counters after a run.
+func (m *Machine) collectStats() {
+	s := &m.stats
+	s.ArrayBusy = s.ArrayBusy[:0]
+	s.SFUBusy = s.SFUBusy[:0]
+	s.MemPeak = s.MemPeak[:0]
+	s.ActiveComp = 0
+	s.FLOPs = 0
+	for _, ct := range m.comp {
+		s.ArrayBusy = append(s.ArrayBusy, ct.arrayCycles)
+		s.FLOPs += ct.flops
+		if ct.prog != nil {
+			s.ActiveComp++
+		}
+		if ct.time > s.Cycles {
+			s.Cycles = ct.time
+		}
+	}
+	for _, mt := range m.mem {
+		s.SFUBusy = append(s.SFUBusy, mt.sfuCycles)
+		s.MemPeak = append(s.MemPeak, mt.peakAddr)
+	}
+}

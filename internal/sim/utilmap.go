@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// UtilizationMap renders the chip as Fig. 19 draws it: the per-tile busy
+// fractions of the 2D-PE arrays (FP/BP/WG CompHeavy tiles per grid cell)
+// and each MemHeavy column's SFU activity and scratchpad high-water mark.
+// Call after Run.
+func (m *Machine) UtilizationMap() string {
+	st := m.stats
+	if st.Cycles == 0 {
+		return "utilization map: no cycles simulated\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "chip utilization map (%d rows × %d compute columns, %d cycles)\n",
+		m.Chip.Rows, m.Chip.Cols, st.Cycles)
+	b.WriteString("per cell: FP/BP/WG 2D-PE busy %; '--' = no program\n")
+
+	cell := func(row, col int, s Step) string {
+		ct := m.comp[m.compIndex(row, col, s)]
+		if ct.prog == nil {
+			return "--"
+		}
+		pct := int(100 * float64(ct.arrayCycles) / float64(st.Cycles))
+		if pct > 99 {
+			pct = 99
+		}
+		return fmt.Sprintf("%2d", pct)
+	}
+
+	b.WriteString("      ")
+	for c := 0; c < m.Chip.Cols; c++ {
+		fmt.Fprintf(&b, "   c%-8d", c)
+	}
+	b.WriteByte('\n')
+	for r := 0; r < m.Chip.Rows; r++ {
+		fmt.Fprintf(&b, "  r%-2d ", r)
+		for c := 0; c < m.Chip.Cols; c++ {
+			fmt.Fprintf(&b, " %s/%s/%s ", cell(r, c, StepFP), cell(r, c, StepBP), cell(r, c, StepWG))
+		}
+		b.WriteByte('\n')
+	}
+
+	b.WriteString("MemHeavy columns: SFU busy % | scratchpad high-water KB\n")
+	for mcol := 0; mcol <= m.Chip.Cols; mcol++ {
+		var sfu Cycle
+		var peak int64
+		for row := 0; row < m.Chip.Rows; row++ {
+			mt := m.mem[m.memIndex(row, mcol)]
+			sfu += mt.sfuCycles
+			if mt.peakAddr > peak {
+				peak = mt.peakAddr
+			}
+		}
+		pct := int(100 * float64(sfu) / (float64(st.Cycles) * float64(m.Chip.Rows)))
+		fmt.Fprintf(&b, "  m%-2d  %2d%% | %dKB\n", mcol, pct, peak*m.elemBytes/1024)
+	}
+	return b.String()
+}

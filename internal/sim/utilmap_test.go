@@ -1,0 +1,39 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"scaledeep/internal/isa"
+)
+
+func TestUtilizationMapRenders(t *testing.T) {
+	m := newTestMachine()
+	if out := m.UtilizationMap(); !strings.Contains(out, "no cycles") {
+		t.Fatalf("pre-run map: %s", out)
+	}
+	left := m.MemTileIndex(0, 0)
+	m.WriteMem(left, 0, make([]float32, 64))
+	p := prog("t",
+		opInstr(isa.NDCONV, isa.ModeFwd, 0, isa.PortLeft, 6, 6, 40, isa.PortLeft, 3, 1, 0, 0, isa.PortRight, 1, 0),
+		opInstr(isa.NDACTFN, isa.ActFnReLU, 0, isa.PortRight, 16, 20, isa.PortRight),
+	)
+	if err := m.LoadProgram(0, 0, StepFP, p); err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, m)
+	out := m.UtilizationMap()
+	for _, want := range []string{"chip utilization map", "r0", "MemHeavy columns", "--"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("map missing %q:\n%s", want, out)
+		}
+	}
+	// The programmed tile shows nonzero utilization; unprogrammed cells "--".
+	line := strings.Split(out, "\n")[3] // r0 row
+	if !strings.Contains(line, "/--/--") {
+		t.Fatalf("r0 row should show BP/WG unprogrammed: %s", line)
+	}
+	if strings.HasPrefix(strings.TrimSpace(strings.TrimPrefix(line, "r0")), "--") {
+		t.Fatalf("FP tile should show utilization: %s", line)
+	}
+}

@@ -1,0 +1,95 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// ActKind selects the non-linear activation function. The MemHeavy tile's
+// SFUs implement ReLU, tanh and sigmoid directly (§3.1.2); the NDACTFN
+// instruction carries the kind as its `type` operand.
+type ActKind int
+
+const (
+	ActNone ActKind = iota
+	ActReLU
+	ActTanh
+	ActSigmoid
+)
+
+func (k ActKind) String() string {
+	switch k {
+	case ActNone:
+		return "none"
+	case ActReLU:
+		return "relu"
+	case ActTanh:
+		return "tanh"
+	case ActSigmoid:
+		return "sigmoid"
+	default:
+		return fmt.Sprintf("ActKind(%d)", int(k))
+	}
+}
+
+// Apply computes the activation of a scalar.
+func (k ActKind) Apply(x float32) float32 {
+	switch k {
+	case ActNone:
+		return x
+	case ActReLU:
+		if x < 0 {
+			return 0
+		}
+		return x
+	case ActTanh:
+		return float32(math.Tanh(float64(x)))
+	case ActSigmoid:
+		return float32(1 / (1 + math.Exp(-float64(x))))
+	default:
+		panic("tensor: unknown activation")
+	}
+}
+
+// Derivative computes dAct/dx given the activation *output* y. Expressing the
+// derivative in terms of the output (not the input) matches what the hardware
+// stores: MemHeavy tiles keep FP outputs, not pre-activation sums.
+func (k ActKind) Derivative(y float32) float32 {
+	switch k {
+	case ActNone:
+		return 1
+	case ActReLU:
+		if y > 0 {
+			return 1
+		}
+		return 0
+	case ActTanh:
+		return 1 - y*y
+	case ActSigmoid:
+		return y * (1 - y)
+	default:
+		panic("tensor: unknown activation")
+	}
+}
+
+// Activate applies the activation element-wise, returning a new tensor.
+func Activate(t *Tensor, k ActKind) *Tensor {
+	out := t.Clone()
+	for i, v := range out.Data {
+		out.Data[i] = k.Apply(v)
+	}
+	return out
+}
+
+// ActivateBackward computes gradIn = gradOut ⊙ act'(y) where y is the forward
+// activation output.
+func ActivateBackward(gradOut, y *Tensor, k ActKind) *Tensor {
+	if len(gradOut.Data) != len(y.Data) {
+		panic("tensor: ActivateBackward length mismatch")
+	}
+	out := gradOut.Clone()
+	for i := range out.Data {
+		out.Data[i] *= k.Derivative(y.Data[i])
+	}
+	return out
+}

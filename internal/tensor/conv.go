@@ -1,0 +1,180 @@
+package tensor
+
+import "fmt"
+
+// ConvParams describes a 2D convolution: kernel size, stride and symmetric
+// zero padding. ScaleDeep's NDCONV instruction carries the same parameters
+// (Rksize, Rstride, Rpad in the ISA of Fig. 8).
+type ConvParams struct {
+	KH, KW     int // kernel height/width
+	StrideH    int
+	StrideW    int
+	PadH, PadW int
+}
+
+// OutDim returns the output spatial size for an input of size in with kernel
+// k, stride s and padding p. Panics if the geometry is inconsistent.
+func OutDim(in, k, s, p int) int {
+	o := (in+2*p-k)/s + 1
+	if o <= 0 {
+		panic(fmt.Sprintf("tensor: conv output dim %d for in=%d k=%d s=%d p=%d", o, in, k, s, p))
+	}
+	return o
+}
+
+// ConvOutShape returns (outH, outW) for an input feature of (h, w).
+func (p ConvParams) ConvOutShape(h, w int) (int, int) {
+	return OutDim(h, p.KH, p.StrideH, p.PadH), OutDim(w, p.KW, p.StrideW, p.PadW)
+}
+
+// Conv2D computes the forward 2D convolution of a multi-channel input with a
+// weight bank. input is (Cin, H, W); weights is (Cout, Cin, KH, KW); bias is
+// (Cout) or nil; output is (Cout, OH, OW). This is the computation the
+// CompHeavy tile's 2D-PE array performs during the FP step of a CONV layer
+// (convolve each input feature with a kernel and accumulate across input
+// features, §2.2 of the paper).
+func Conv2D(input, weights, bias *Tensor, p ConvParams) *Tensor {
+	cin, h, w := input.Shape[0], input.Shape[1], input.Shape[2]
+	cout := weights.Shape[0]
+	if weights.Shape[1] != cin || weights.Shape[2] != p.KH || weights.Shape[3] != p.KW {
+		panic(fmt.Sprintf("tensor: Conv2D weight shape %v incompatible with input %v params %+v",
+			weights.Shape, input.Shape, p))
+	}
+	oh, ow := p.ConvOutShape(h, w)
+	out := New(cout, oh, ow)
+	for oc := 0; oc < cout; oc++ {
+		var b float32
+		if bias != nil {
+			b = bias.Data[oc]
+		}
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				acc := b
+				iy0 := oy*p.StrideH - p.PadH
+				ix0 := ox*p.StrideW - p.PadW
+				for ic := 0; ic < cin; ic++ {
+					for ky := 0; ky < p.KH; ky++ {
+						iy := iy0 + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						inRow := (ic*h + iy) * w
+						wRow := ((oc*cin+ic)*p.KH + ky) * p.KW
+						for kx := 0; kx < p.KW; kx++ {
+							ix := ix0 + kx
+							if ix < 0 || ix >= w {
+								continue
+							}
+							acc += input.Data[inRow+ix] * weights.Data[wRow+kx]
+						}
+					}
+				}
+				out.Data[(oc*oh+oy)*ow+ox] = acc
+			}
+		}
+	}
+	return out
+}
+
+// Conv2DBackwardData computes the gradient with respect to the layer input
+// (the BP step of a CONV layer): given the error at the layer output
+// gradOut (Cout, OH, OW), it propagates the error back through the weights
+// to produce (Cin, H, W). inH/inW give the forward input spatial size.
+func Conv2DBackwardData(gradOut, weights *Tensor, p ConvParams, inH, inW int) *Tensor {
+	cout, oh, ow := gradOut.Shape[0], gradOut.Shape[1], gradOut.Shape[2]
+	cin := weights.Shape[1]
+	if weights.Shape[0] != cout {
+		panic("tensor: Conv2DBackwardData cout mismatch")
+	}
+	gin := New(cin, inH, inW)
+	for oc := 0; oc < cout; oc++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				g := gradOut.Data[(oc*oh+oy)*ow+ox]
+				if g == 0 {
+					continue
+				}
+				iy0 := oy*p.StrideH - p.PadH
+				ix0 := ox*p.StrideW - p.PadW
+				for ic := 0; ic < cin; ic++ {
+					for ky := 0; ky < p.KH; ky++ {
+						iy := iy0 + ky
+						if iy < 0 || iy >= inH {
+							continue
+						}
+						ginRow := (ic*inH + iy) * inW
+						wRow := ((oc*cin+ic)*p.KH + ky) * p.KW
+						for kx := 0; kx < p.KW; kx++ {
+							ix := ix0 + kx
+							if ix < 0 || ix >= inW {
+								continue
+							}
+							gin.Data[ginRow+ix] += g * weights.Data[wRow+kx]
+						}
+					}
+				}
+			}
+		}
+	}
+	return gin
+}
+
+// Conv2DBackwardWeights computes the weight gradient (the WG step): it
+// accumulates the product of the FP input and the BP error into a
+// (Cout, Cin, KH, KW) gradient tensor. The result is accumulated into gradW
+// (so minibatch gradient accumulation — a commutative accumulation, which is
+// what lets ScaleDeep's data-flow trackers order updates freely — works by
+// repeated calls).
+func Conv2DBackwardWeights(input, gradOut, gradW *Tensor, p ConvParams) {
+	cin, h, w := input.Shape[0], input.Shape[1], input.Shape[2]
+	cout, oh, ow := gradOut.Shape[0], gradOut.Shape[1], gradOut.Shape[2]
+	if gradW.Shape[0] != cout || gradW.Shape[1] != cin || gradW.Shape[2] != p.KH || gradW.Shape[3] != p.KW {
+		panic("tensor: Conv2DBackwardWeights shape mismatch")
+	}
+	for oc := 0; oc < cout; oc++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				g := gradOut.Data[(oc*oh+oy)*ow+ox]
+				if g == 0 {
+					continue
+				}
+				iy0 := oy*p.StrideH - p.PadH
+				ix0 := ox*p.StrideW - p.PadW
+				for ic := 0; ic < cin; ic++ {
+					for ky := 0; ky < p.KH; ky++ {
+						iy := iy0 + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						inRow := (ic*h + iy) * w
+						wRow := ((oc*cin+ic)*p.KH + ky) * p.KW
+						for kx := 0; kx < p.KW; kx++ {
+							ix := ix0 + kx
+							if ix < 0 || ix >= w {
+								continue
+							}
+							gradW.Data[wRow+kx] += g * input.Data[inRow+ix]
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Conv2DBiasGradient accumulates the bias gradient (sum of gradOut over each
+// output feature) into gradB (Cout).
+func Conv2DBiasGradient(gradOut, gradB *Tensor) {
+	cout, oh, ow := gradOut.Shape[0], gradOut.Shape[1], gradOut.Shape[2]
+	if gradB.Len() != cout {
+		panic("tensor: Conv2DBiasGradient shape mismatch")
+	}
+	for oc := 0; oc < cout; oc++ {
+		var s float32
+		base := oc * oh * ow
+		for i := 0; i < oh*ow; i++ {
+			s += gradOut.Data[base+i]
+		}
+		gradB.Data[oc] += s
+	}
+}

@@ -1,0 +1,222 @@
+package tensor
+
+import (
+	"testing"
+)
+
+// handConv is an obviously-correct reference used to cross-check Conv2D on
+// random shapes: it iterates the mathematical definition with float64
+// accumulation disabled (same float32 order) so results match exactly.
+func handConv(input, weights, bias *Tensor, p ConvParams) *Tensor {
+	cin, h, w := input.Shape[0], input.Shape[1], input.Shape[2]
+	cout := weights.Shape[0]
+	oh, ow := p.ConvOutShape(h, w)
+	out := New(cout, oh, ow)
+	for oc := 0; oc < cout; oc++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				var acc float32
+				if bias != nil {
+					acc = bias.Data[oc]
+				}
+				for ic := 0; ic < cin; ic++ {
+					for ky := 0; ky < p.KH; ky++ {
+						for kx := 0; kx < p.KW; kx++ {
+							iy := oy*p.StrideH - p.PadH + ky
+							ix := ox*p.StrideW - p.PadW + kx
+							if iy < 0 || iy >= h || ix < 0 || ix >= w {
+								continue
+							}
+							acc += input.At3(ic, iy, ix) * weights.Data[((oc*cin+ic)*p.KH+ky)*p.KW+kx]
+						}
+					}
+				}
+				out.Set3(oc, oy, ox, acc)
+			}
+		}
+	}
+	return out
+}
+
+func TestConv2DIdentityKernel(t *testing.T) {
+	// A 1x1 kernel of value 1 with a single channel is the identity.
+	in := New(1, 4, 4)
+	for i := range in.Data {
+		in.Data[i] = float32(i)
+	}
+	w := FromSlice([]float32{1}, 1, 1, 1, 1)
+	out := Conv2D(in, w, nil, ConvParams{KH: 1, KW: 1, StrideH: 1, StrideW: 1})
+	if MaxAbsDiff(in, out) != 0 {
+		t.Fatal("1x1 identity conv changed input")
+	}
+}
+
+func TestConv2DKnownValues(t *testing.T) {
+	// 3x3 input, 2x2 kernel, stride 1, no pad: classic hand example.
+	in := FromSlice([]float32{
+		1, 2, 3,
+		4, 5, 6,
+		7, 8, 9,
+	}, 1, 3, 3)
+	w := FromSlice([]float32{1, 0, 0, -1}, 1, 1, 2, 2)
+	out := Conv2D(in, w, nil, ConvParams{KH: 2, KW: 2, StrideH: 1, StrideW: 1})
+	want := []float32{1 - 5, 2 - 6, 4 - 8, 5 - 9}
+	for i, v := range want {
+		if out.Data[i] != v {
+			t.Fatalf("out[%d] = %v, want %v", i, out.Data[i], v)
+		}
+	}
+}
+
+func TestConv2DPaddingAndStride(t *testing.T) {
+	in := New(1, 5, 5)
+	Fill(in, 1)
+	w := New(1, 1, 3, 3)
+	Fill(w, 1)
+	p := ConvParams{KH: 3, KW: 3, StrideH: 2, StrideW: 2, PadH: 1, PadW: 1}
+	out := Conv2D(in, w, nil, p)
+	if out.Shape[1] != 3 || out.Shape[2] != 3 {
+		t.Fatalf("out shape %v, want 3x3", out.Shape)
+	}
+	// Corner output (0,0) covers a 2x2 valid region; center covers 3x3.
+	if out.At3(0, 0, 0) != 4 {
+		t.Fatalf("corner = %v, want 4", out.At3(0, 0, 0))
+	}
+	if out.At3(0, 1, 1) != 9 {
+		t.Fatalf("center = %v, want 9", out.At3(0, 1, 1))
+	}
+}
+
+func TestConv2DBias(t *testing.T) {
+	in := New(1, 2, 2)
+	w := New(2, 1, 1, 1)
+	bias := FromSlice([]float32{3, -1}, 2)
+	out := Conv2D(in, w, bias, ConvParams{KH: 1, KW: 1, StrideH: 1, StrideW: 1})
+	if out.At3(0, 0, 0) != 3 || out.At3(1, 1, 1) != -1 {
+		t.Fatalf("bias not applied: %v", out.Data)
+	}
+}
+
+func TestConv2DMatchesHandReferenceRandom(t *testing.T) {
+	rng := NewRNG(11)
+	for trial := 0; trial < 20; trial++ {
+		cin := 1 + rng.Intn(4)
+		cout := 1 + rng.Intn(4)
+		k := 1 + rng.Intn(3)
+		h := k + rng.Intn(6)
+		wdt := k + rng.Intn(6)
+		p := ConvParams{KH: k, KW: k, StrideH: 1 + rng.Intn(2), StrideW: 1 + rng.Intn(2), PadH: rng.Intn(2), PadW: rng.Intn(2)}
+		in := New(cin, h, wdt)
+		rng.FillUniform(in, 1)
+		w := New(cout, cin, k, k)
+		rng.FillUniform(w, 1)
+		got := Conv2D(in, w, nil, p)
+		want := handConv(in, w, nil, p)
+		if MaxAbsDiff(got, want) > 1e-5 {
+			t.Fatalf("trial %d: conv mismatch %v", trial, MaxAbsDiff(got, want))
+		}
+	}
+}
+
+// numericGradInput estimates dLoss/dInput by central differences where
+// Loss = sum(weights ⊙ something)… here we use Loss = <gradOut, Conv2D(in)>.
+func numericGradInput(in, w, gradOut *Tensor, p ConvParams, i int) float64 {
+	const eps = 1e-2
+	orig := in.Data[i]
+	in.Data[i] = orig + eps
+	up := Conv2D(in, w, nil, p)
+	in.Data[i] = orig - eps
+	dn := Conv2D(in, w, nil, p)
+	in.Data[i] = orig
+	var dot float64
+	for j := range up.Data {
+		dot += float64(gradOut.Data[j]-0) * (float64(up.Data[j]) - float64(dn.Data[j]))
+	}
+	return dot / (2 * eps)
+}
+
+func TestConv2DBackwardDataFiniteDifference(t *testing.T) {
+	rng := NewRNG(13)
+	p := ConvParams{KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	in := New(2, 5, 5)
+	rng.FillUniform(in, 1)
+	w := New(3, 2, 3, 3)
+	rng.FillUniform(w, 1)
+	out := Conv2D(in, w, nil, p)
+	gradOut := New(out.Shape[0], out.Shape[1], out.Shape[2])
+	rng.FillUniform(gradOut, 1)
+	gin := Conv2DBackwardData(gradOut, w, p, 5, 5)
+	for _, i := range []int{0, 7, 24, 31, 49} {
+		num := numericGradInput(in, w, gradOut, p, i)
+		if diff := num - float64(gin.Data[i]); diff > 1e-2 || diff < -1e-2 {
+			t.Fatalf("grad input[%d]: analytic %v numeric %v", i, gin.Data[i], num)
+		}
+	}
+}
+
+func TestConv2DBackwardWeightsFiniteDifference(t *testing.T) {
+	rng := NewRNG(17)
+	p := ConvParams{KH: 2, KW: 2, StrideH: 2, StrideW: 2}
+	in := New(2, 6, 6)
+	rng.FillUniform(in, 1)
+	w := New(2, 2, 2, 2)
+	rng.FillUniform(w, 1)
+	out := Conv2D(in, w, nil, p)
+	gradOut := New(out.Shape[0], out.Shape[1], out.Shape[2])
+	rng.FillUniform(gradOut, 1)
+	gw := New(2, 2, 2, 2)
+	Conv2DBackwardWeights(in, gradOut, gw, p)
+	const eps = 1e-2
+	for _, i := range []int{0, 3, 9, 15} {
+		orig := w.Data[i]
+		w.Data[i] = orig + eps
+		up := Conv2D(in, w, nil, p)
+		w.Data[i] = orig - eps
+		dn := Conv2D(in, w, nil, p)
+		w.Data[i] = orig
+		var dot float64
+		for j := range up.Data {
+			dot += float64(gradOut.Data[j]) * (float64(up.Data[j]) - float64(dn.Data[j]))
+		}
+		num := dot / (2 * eps)
+		if diff := num - float64(gw.Data[i]); diff > 1e-2 || diff < -1e-2 {
+			t.Fatalf("grad w[%d]: analytic %v numeric %v", i, gw.Data[i], num)
+		}
+	}
+}
+
+func TestConv2DBackwardWeightsAccumulates(t *testing.T) {
+	rng := NewRNG(19)
+	p := ConvParams{KH: 2, KW: 2, StrideH: 1, StrideW: 1}
+	in := New(1, 3, 3)
+	rng.FillUniform(in, 1)
+	gradOut := New(1, 2, 2)
+	rng.FillUniform(gradOut, 1)
+	gw1 := New(1, 1, 2, 2)
+	Conv2DBackwardWeights(in, gradOut, gw1, p)
+	gw2 := gw1.Clone()
+	Conv2DBackwardWeights(in, gradOut, gw2, p)
+	for i := range gw2.Data {
+		if diff := gw2.Data[i] - 2*gw1.Data[i]; diff > 1e-5 || diff < -1e-5 {
+			t.Fatal("WG does not accumulate")
+		}
+	}
+}
+
+func TestConv2DBiasGradient(t *testing.T) {
+	g := FromSlice([]float32{1, 2, 3, 4, 10, 20, 30, 40}, 2, 2, 2)
+	gb := New(2)
+	Conv2DBiasGradient(g, gb)
+	if gb.Data[0] != 10 || gb.Data[1] != 100 {
+		t.Fatalf("bias grad = %v", gb.Data)
+	}
+}
+
+func TestOutDimPanicsOnImpossibleGeometry(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	OutDim(2, 5, 1, 0)
+}

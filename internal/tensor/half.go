@@ -1,0 +1,87 @@
+package tensor
+
+import "math"
+
+// IEEE 754 half-precision (binary16) conversion, used by the simulator's
+// FP16 mode (the Fig. 17 design represents all network data structures in
+// half precision). Rounding is round-to-nearest-even, matching hardware FMA
+// output quantization.
+
+// ToHalfBits converts a float32 to binary16 bits.
+func ToHalfBits(f float32) uint16 {
+	b := math.Float32bits(f)
+	sign := uint16(b>>16) & 0x8000
+	exp := int32(b>>23&0xFF) - 127 + 15
+	mant := b & 0x7FFFFF
+
+	switch {
+	case exp >= 31: // overflow or Inf/NaN
+		if int32(b>>23&0xFF) == 255 {
+			if mant != 0 {
+				return sign | 0x7E00 // NaN
+			}
+			return sign | 0x7C00 // Inf
+		}
+		return sign | 0x7C00 // overflow → Inf
+	case exp <= 0: // subnormal or underflow
+		if exp < -10 {
+			return sign // flush to zero
+		}
+		mant |= 0x800000 // implicit leading 1
+		shift := uint32(14 - exp)
+		half := mant >> shift
+		// round to nearest even
+		rem := mant & ((1 << shift) - 1)
+		mid := uint32(1) << (shift - 1)
+		if rem > mid || (rem == mid && half&1 == 1) {
+			half++
+		}
+		return sign | uint16(half)
+	default:
+		half := uint16(exp)<<10 | uint16(mant>>13)
+		rem := mant & 0x1FFF
+		if rem > 0x1000 || (rem == 0x1000 && half&1 == 1) {
+			half++ // may carry into the exponent, which is correct
+		}
+		return sign | half
+	}
+}
+
+// FromHalfBits converts binary16 bits to float32.
+func FromHalfBits(h uint16) float32 {
+	sign := uint32(h&0x8000) << 16
+	exp := uint32(h >> 10 & 0x1F)
+	mant := uint32(h & 0x3FF)
+	switch exp {
+	case 0:
+		if mant == 0 {
+			return math.Float32frombits(sign)
+		}
+		// subnormal: normalize
+		e := uint32(127 - 15 + 1)
+		for mant&0x400 == 0 {
+			mant <<= 1
+			e--
+		}
+		mant &= 0x3FF
+		return math.Float32frombits(sign | e<<23 | mant<<13)
+	case 31:
+		if mant == 0 {
+			return math.Float32frombits(sign | 0x7F800000)
+		}
+		return math.Float32frombits(sign | 0x7FC00000 | mant<<13)
+	default:
+		return math.Float32frombits(sign | (exp-15+127)<<23 | mant<<13)
+	}
+}
+
+// RoundHalf rounds a float32 through binary16 (the value a half-precision
+// datapath would store).
+func RoundHalf(f float32) float32 { return FromHalfBits(ToHalfBits(f)) }
+
+// RoundHalfSlice rounds a slice in place.
+func RoundHalfSlice(vals []float32) {
+	for i, v := range vals {
+		vals[i] = RoundHalf(v)
+	}
+}

@@ -1,0 +1,95 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHalfExactValues(t *testing.T) {
+	cases := map[float32]float32{
+		0: 0, 1: 1, -1: -1, 0.5: 0.5, 2: 2, -2: -2,
+		65504:          65504,          // max finite half
+		0.000061035156: 0.000061035156, // min normal half
+	}
+	for in, want := range cases {
+		if got := RoundHalf(in); got != want {
+			t.Errorf("RoundHalf(%v) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestHalfSpecials(t *testing.T) {
+	if !math.IsInf(float64(RoundHalf(1e10)), 1) {
+		t.Error("overflow should produce +Inf")
+	}
+	if !math.IsInf(float64(RoundHalf(float32(math.Inf(-1)))), -1) {
+		t.Error("-Inf should survive")
+	}
+	if !math.IsNaN(float64(RoundHalf(float32(math.NaN())))) {
+		t.Error("NaN should survive")
+	}
+	if RoundHalf(1e-10) != 0 {
+		t.Error("tiny values should flush to zero")
+	}
+	// Subnormal half survives (2^-24 is the smallest subnormal).
+	sub := float32(math.Ldexp(1, -24))
+	if RoundHalf(sub) != sub {
+		t.Errorf("smallest subnormal lost: %v", RoundHalf(sub))
+	}
+}
+
+func TestHalfRoundToNearestEven(t *testing.T) {
+	// 1 + 2^-11 is exactly halfway between 1 and 1+2^-10; RNE keeps 1.
+	halfway := float32(1 + math.Ldexp(1, -11))
+	if got := RoundHalf(halfway); got != 1 {
+		t.Errorf("halfway rounding = %v, want 1 (ties to even)", got)
+	}
+	// 1 + 3·2^-11 is halfway between 1+2^-10 and 1+2^-9; RNE rounds up to even.
+	halfway2 := float32(1 + 3*math.Ldexp(1, -11))
+	want := float32(1 + math.Ldexp(1, -9))
+	if got := RoundHalf(halfway2); got != want {
+		t.Errorf("halfway2 rounding = %v, want %v", got, want)
+	}
+}
+
+// Property: RoundHalf is idempotent and the error is bounded by half an ulp
+// (≤ 2^-11 relative for normal values).
+func TestHalfRoundingProperty(t *testing.T) {
+	f := func(x float32) bool {
+		if math.IsNaN(float64(x)) {
+			return true
+		}
+		r := RoundHalf(x)
+		if RoundHalf(r) != r && !math.IsNaN(float64(r)) {
+			return false // not idempotent
+		}
+		ax := math.Abs(float64(x))
+		if ax > 6e4 || ax < 1e-4 {
+			return true // outside the precise range; covered by specials
+		}
+		rel := math.Abs(float64(r)-float64(x)) / ax
+		return rel <= math.Ldexp(1, -11)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHalfBitsRoundTrip(t *testing.T) {
+	// Every one of the 65536 half patterns round-trips bit-exactly (modulo
+	// NaN payload normalization).
+	for i := 0; i <= 0xFFFF; i++ {
+		h := uint16(i)
+		f := FromHalfBits(h)
+		if math.IsNaN(float64(f)) {
+			if ToHalfBits(f)&0x7C00 != 0x7C00 {
+				t.Fatalf("NaN pattern %#x did not stay NaN", h)
+			}
+			continue
+		}
+		if got := ToHalfBits(f); got != h {
+			t.Fatalf("pattern %#x → %v → %#x", h, f, got)
+		}
+	}
+}

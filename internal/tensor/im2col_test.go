@@ -1,0 +1,70 @@
+package tensor
+
+import "testing"
+
+func TestIm2colKnownValues(t *testing.T) {
+	// 1 channel, 3x3 input, 2x2 kernel, stride 1: 4 receptive fields.
+	in := FromSlice([]float32{
+		1, 2, 3,
+		4, 5, 6,
+		7, 8, 9,
+	}, 1, 3, 3)
+	p := ConvParams{KH: 2, KW: 2, StrideH: 1, StrideW: 1}
+	m := Im2col(in, p)
+	if m.Shape[0] != 4 || m.Shape[1] != 4 {
+		t.Fatalf("im2col shape %v", m.Shape)
+	}
+	// First column = receptive field at output (0,0): [1,2,4,5].
+	want := []float32{1, 2, 4, 5}
+	for r, v := range want {
+		if m.Data[r*4+0] != v {
+			t.Fatalf("col 0 = [%v %v %v %v]", m.Data[0], m.Data[4], m.Data[8], m.Data[12])
+		}
+	}
+}
+
+func TestConv2DIm2colMatchesDirect(t *testing.T) {
+	rng := NewRNG(91)
+	for trial := 0; trial < 20; trial++ {
+		cin := 1 + rng.Intn(4)
+		cout := 1 + rng.Intn(4)
+		k := 1 + rng.Intn(3)
+		h := k + rng.Intn(8)
+		p := ConvParams{KH: k, KW: k, StrideH: 1 + rng.Intn(2), StrideW: 1 + rng.Intn(2),
+			PadH: rng.Intn(2), PadW: rng.Intn(2)}
+		in := New(cin, h, h)
+		w := New(cout, cin, k, k)
+		rng.FillUniform(in, 1)
+		rng.FillUniform(w, 1)
+		var bias *Tensor
+		if trial%3 == 0 {
+			bias = New(cout)
+			rng.FillUniform(bias, 1)
+		}
+		direct := Conv2D(in, w, bias, p)
+		lowered := Conv2DIm2col(in, w, bias, p)
+		if !SameShape(direct, lowered) {
+			t.Fatalf("trial %d shapes %v vs %v", trial, direct.Shape, lowered.Shape)
+		}
+		if d := MaxAbsDiff(direct, lowered); d > 1e-4 {
+			t.Fatalf("trial %d: im2col conv deviates by %v", trial, d)
+		}
+	}
+}
+
+func TestIm2colPaddingZeros(t *testing.T) {
+	in := New(1, 2, 2)
+	Fill(in, 7)
+	p := ConvParams{KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	m := Im2col(in, p)
+	// Corner receptive field includes 5 padding zeros.
+	zeros := 0
+	for r := 0; r < m.Shape[0]; r++ {
+		if m.Data[r*m.Shape[1]] == 0 {
+			zeros++
+		}
+	}
+	if zeros != 5 {
+		t.Fatalf("corner column has %d zeros, want 5", zeros)
+	}
+}

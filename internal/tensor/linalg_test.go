@@ -1,0 +1,213 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatVecKnownValues(t *testing.T) {
+	w := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	x := FromSlice([]float32{1, 0, -1}, 3)
+	out := MatVec(w, x, nil)
+	if out.Data[0] != -2 || out.Data[1] != -2 {
+		t.Fatalf("MatVec = %v", out.Data)
+	}
+	b := FromSlice([]float32{10, 20}, 2)
+	out = MatVec(w, x, b)
+	if out.Data[0] != 8 || out.Data[1] != 18 {
+		t.Fatalf("MatVec+bias = %v", out.Data)
+	}
+}
+
+func TestMatVecTKnownValues(t *testing.T) {
+	w := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	g := FromSlice([]float32{1, 1}, 2)
+	out := MatVecT(w, g)
+	want := []float32{5, 7, 9}
+	for i, v := range want {
+		if out.Data[i] != v {
+			t.Fatalf("MatVecT = %v", out.Data)
+		}
+	}
+}
+
+func TestOuterAccKnownValues(t *testing.T) {
+	gw := New(2, 3)
+	g := FromSlice([]float32{1, 2}, 2)
+	x := FromSlice([]float32{3, 4, 5}, 3)
+	OuterAcc(gw, g, x)
+	want := []float32{3, 4, 5, 6, 8, 10}
+	for i, v := range want {
+		if gw.Data[i] != v {
+			t.Fatalf("OuterAcc = %v", gw.Data)
+		}
+	}
+	OuterAcc(gw, g, x) // accumulates
+	if gw.Data[0] != 6 {
+		t.Fatal("OuterAcc does not accumulate")
+	}
+}
+
+func TestMatMulKnownValues(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4}, 2, 2)
+	b := FromSlice([]float32{5, 6, 7, 8}, 2, 2)
+	c := MatMul(a, b)
+	want := []float32{19, 22, 43, 50}
+	for i, v := range want {
+		if c.Data[i] != v {
+			t.Fatalf("MatMul = %v", c.Data)
+		}
+	}
+}
+
+// Property: MatVec distributes over vector addition: W(x+y) == Wx + Wy.
+func TestMatVecLinearityProperty(t *testing.T) {
+	rng := NewRNG(29)
+	for trial := 0; trial < 30; trial++ {
+		rows, cols := 1+rng.Intn(8), 1+rng.Intn(8)
+		w := New(rows, cols)
+		rng.FillUniform(w, 1)
+		x := New(cols)
+		y := New(cols)
+		rng.FillUniform(x, 1)
+		rng.FillUniform(y, 1)
+		xy := x.Clone()
+		Add(xy, y)
+		lhs := MatVec(w, xy, nil)
+		rhs := MatVec(w, x, nil)
+		Add(rhs, MatVec(w, y, nil))
+		if MaxAbsDiff(lhs, rhs) > 1e-4 {
+			t.Fatalf("trial %d: linearity violated by %v", trial, MaxAbsDiff(lhs, rhs))
+		}
+	}
+}
+
+// Property: <Wx, g> == <x, Wᵀg> (adjoint identity) — this is exactly why
+// MatVecT is the correct BP step for an FC layer.
+func TestMatVecAdjointProperty(t *testing.T) {
+	rng := NewRNG(31)
+	for trial := 0; trial < 30; trial++ {
+		rows, cols := 1+rng.Intn(8), 1+rng.Intn(8)
+		w := New(rows, cols)
+		x := New(cols)
+		g := New(rows)
+		rng.FillUniform(w, 1)
+		rng.FillUniform(x, 1)
+		rng.FillUniform(g, 1)
+		wx := MatVec(w, x, nil)
+		wtg := MatVecT(w, g)
+		var lhs, rhs float64
+		for i := range wx.Data {
+			lhs += float64(wx.Data[i]) * float64(g.Data[i])
+		}
+		for i := range x.Data {
+			rhs += float64(x.Data[i]) * float64(wtg.Data[i])
+		}
+		if math.Abs(lhs-rhs) > 1e-3 {
+			t.Fatalf("trial %d: adjoint identity violated: %v vs %v", trial, lhs, rhs)
+		}
+	}
+}
+
+func TestSoftmaxProperties(t *testing.T) {
+	f := func(raw []float32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		// Clamp to a sane range; softmax of ±Inf/NaN is out of scope.
+		xs := make([]float32, len(raw))
+		for i, v := range raw {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				v = 0
+			}
+			if v > 50 {
+				v = 50
+			}
+			if v < -50 {
+				v = -50
+			}
+			xs[i] = v
+		}
+		p := Softmax(FromSlice(xs, len(xs)))
+		var sum float64
+		for _, v := range p.Data {
+			if v < 0 || v > 1 {
+				return false
+			}
+			sum += float64(v)
+		}
+		return math.Abs(sum-1) < 1e-4
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoftmaxShiftInvariance(t *testing.T) {
+	x := FromSlice([]float32{1, 2, 3}, 3)
+	y := FromSlice([]float32{101, 102, 103}, 3)
+	if MaxAbsDiff(Softmax(x), Softmax(y)) > 1e-6 {
+		t.Fatal("softmax not shift invariant")
+	}
+}
+
+func TestCrossEntropy(t *testing.T) {
+	p := FromSlice([]float32{0.5, 0.25, 0.25}, 3)
+	if l := CrossEntropyLoss(p, 0); math.Abs(l-math.Log(2)) > 1e-6 {
+		t.Fatalf("loss = %v", l)
+	}
+	g := SoftmaxCrossEntropyGrad(p, 0)
+	if g.Data[0] != -0.5 || g.Data[1] != 0.25 {
+		t.Fatalf("grad = %v", g.Data)
+	}
+	// Gradient sums to zero.
+	if s := Sum(g); math.Abs(s) > 1e-6 {
+		t.Fatalf("grad sum = %v", s)
+	}
+}
+
+func TestActivations(t *testing.T) {
+	for _, k := range []ActKind{ActNone, ActReLU, ActTanh, ActSigmoid} {
+		if k.String() == "" {
+			t.Fatal("empty name")
+		}
+	}
+	if ActReLU.Apply(-3) != 0 || ActReLU.Apply(3) != 3 {
+		t.Fatal("relu wrong")
+	}
+	if ActSigmoid.Apply(0) != 0.5 {
+		t.Fatal("sigmoid(0) != 0.5")
+	}
+	if ActTanh.Apply(0) != 0 {
+		t.Fatal("tanh(0) != 0")
+	}
+}
+
+// Finite-difference check of activation derivatives expressed via the output.
+func TestActivationDerivatives(t *testing.T) {
+	const eps = 1e-3
+	for _, k := range []ActKind{ActReLU, ActTanh, ActSigmoid} {
+		for _, x := range []float32{-1.5, -0.2, 0.3, 1.7} {
+			if k == ActReLU && x > -2*eps && x < 2*eps {
+				continue // kink
+			}
+			y := k.Apply(x)
+			num := (float64(k.Apply(x+eps)) - float64(k.Apply(x-eps))) / (2 * eps)
+			ana := float64(k.Derivative(y))
+			if math.Abs(num-ana) > 1e-2 {
+				t.Fatalf("%v'(%v): numeric %v analytic %v", k, x, num, ana)
+			}
+		}
+	}
+}
+
+func TestActivateBackwardChainsGrad(t *testing.T) {
+	x := FromSlice([]float32{-1, 2}, 2)
+	y := Activate(x, ActReLU)
+	g := FromSlice([]float32{10, 10}, 2)
+	gin := ActivateBackward(g, y, ActReLU)
+	if gin.Data[0] != 0 || gin.Data[1] != 10 {
+		t.Fatalf("gin = %v", gin.Data)
+	}
+}

@@ -1,0 +1,183 @@
+// Package tensor provides the dense float32 tensor math that underlies DNN
+// training and evaluation: convolution (forward, backward-data,
+// backward-weights), pooling, matrix multiplication, activation functions and
+// their derivatives, softmax and cross-entropy loss.
+//
+// This package is the golden functional reference for the ScaleDeep
+// simulator: the simulator's scratchpad contents are checked
+// element-for-element against the outputs computed here.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tensor is a dense float32 tensor in row-major order. The shape convention
+// for feature maps is (channels, height, width); minibatches are represented
+// as slices of Tensors so that per-image pipelining mirrors the hardware.
+type Tensor struct {
+	Shape []int
+	Data  []float32
+}
+
+// New allocates a zero tensor with the given shape.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dimension %d in shape %v", d, shape))
+		}
+		n *= d
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]float32, n)}
+}
+
+// FromSlice wraps data in a tensor after validating the element count.
+func FromSlice(data []float32, shape ...int) *Tensor {
+	t := &Tensor{Shape: append([]int(nil), shape...)}
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(data) {
+		panic(fmt.Sprintf("tensor: shape %v needs %d elements, got %d", shape, n, len(data)))
+	}
+	t.Data = data
+	return t
+}
+
+// Len returns the number of elements.
+func (t *Tensor) Len() int { return len(t.Data) }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.Shape[i] }
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	c := &Tensor{Shape: append([]int(nil), t.Shape...), Data: make([]float32, len(t.Data))}
+	copy(c.Data, t.Data)
+	return c
+}
+
+// Zero sets all elements to 0.
+func (t *Tensor) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// At returns the element at (indices...) for a 3D (c,h,w) tensor.
+func (t *Tensor) At3(c, h, w int) float32 {
+	return t.Data[(c*t.Shape[1]+h)*t.Shape[2]+w]
+}
+
+// Set3 sets the element at (c,h,w).
+func (t *Tensor) Set3(c, h, w int, v float32) {
+	t.Data[(c*t.Shape[1]+h)*t.Shape[2]+w] = v
+}
+
+// SameShape reports whether a and b have identical shapes.
+func SameShape(a, b *Tensor) bool {
+	if len(a.Shape) != len(b.Shape) {
+		return false
+	}
+	for i := range a.Shape {
+		if a.Shape[i] != b.Shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Add accumulates src into dst element-wise. Shapes must match in length.
+func Add(dst, src *Tensor) {
+	if len(dst.Data) != len(src.Data) {
+		panic("tensor: Add length mismatch")
+	}
+	for i, v := range src.Data {
+		dst.Data[i] += v
+	}
+}
+
+// Scale multiplies every element by s.
+func Scale(t *Tensor, s float32) {
+	for i := range t.Data {
+		t.Data[i] *= s
+	}
+}
+
+// AXPY computes dst += alpha*src.
+func AXPY(dst *Tensor, alpha float32, src *Tensor) {
+	if len(dst.Data) != len(src.Data) {
+		panic("tensor: AXPY length mismatch")
+	}
+	for i, v := range src.Data {
+		dst.Data[i] += alpha * v
+	}
+}
+
+// Mul computes the element-wise (Hadamard) product dst = a*b.
+func Mul(dst, a, b *Tensor) {
+	if len(dst.Data) != len(a.Data) || len(a.Data) != len(b.Data) {
+		panic("tensor: Mul length mismatch")
+	}
+	for i := range dst.Data {
+		dst.Data[i] = a.Data[i] * b.Data[i]
+	}
+}
+
+// Sub computes dst = a-b element-wise.
+func Sub(dst, a, b *Tensor) {
+	if len(dst.Data) != len(a.Data) || len(a.Data) != len(b.Data) {
+		panic("tensor: Sub length mismatch")
+	}
+	for i := range dst.Data {
+		dst.Data[i] = a.Data[i] - b.Data[i]
+	}
+}
+
+// MaxAbsDiff returns the maximum absolute element-wise difference.
+func MaxAbsDiff(a, b *Tensor) float64 {
+	if len(a.Data) != len(b.Data) {
+		panic("tensor: MaxAbsDiff length mismatch")
+	}
+	var m float64
+	for i := range a.Data {
+		d := math.Abs(float64(a.Data[i] - b.Data[i]))
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Equal reports element-wise equality within tol.
+func Equal(a, b *Tensor, tol float64) bool {
+	return SameShape(a, b) && MaxAbsDiff(a, b) <= tol
+}
+
+// Sum returns the sum of all elements (float64 accumulator).
+func Sum(t *Tensor) float64 {
+	var s float64
+	for _, v := range t.Data {
+		s += float64(v)
+	}
+	return s
+}
+
+// Fill sets every element to v.
+func Fill(t *Tensor, v float32) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// String renders a short description (shape + first elements).
+func (t *Tensor) String() string {
+	n := len(t.Data)
+	if n > 8 {
+		n = 8
+	}
+	return fmt.Sprintf("Tensor%v%v…", t.Shape, t.Data[:n])
+}

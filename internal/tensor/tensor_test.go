@@ -1,0 +1,201 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewShapesAndLen(t *testing.T) {
+	a := New(3, 4, 5)
+	if a.Len() != 60 {
+		t.Fatalf("Len = %d, want 60", a.Len())
+	}
+	if a.Dim(0) != 3 || a.Dim(1) != 4 || a.Dim(2) != 5 {
+		t.Fatalf("dims wrong: %v", a.Shape)
+	}
+	for _, v := range a.Data {
+		if v != 0 {
+			t.Fatal("New not zeroed")
+		}
+	}
+}
+
+func TestNewPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero dimension")
+		}
+	}()
+	New(3, 0)
+}
+
+func TestFromSlicePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong length")
+		}
+	}()
+	FromSlice([]float32{1, 2, 3}, 2, 2)
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4}, 2, 2)
+	b := a.Clone()
+	b.Data[0] = 99
+	if a.Data[0] != 1 {
+		t.Fatal("Clone aliases data")
+	}
+}
+
+func TestAt3Set3RowMajor(t *testing.T) {
+	a := New(2, 3, 4)
+	a.Set3(1, 2, 3, 7)
+	if a.At3(1, 2, 3) != 7 {
+		t.Fatal("At3/Set3 mismatch")
+	}
+	if a.Data[1*12+2*4+3] != 7 {
+		t.Fatal("row-major layout wrong")
+	}
+}
+
+func TestElementwiseOps(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3}, 3)
+	b := FromSlice([]float32{4, 5, 6}, 3)
+	sum := a.Clone()
+	Add(sum, b)
+	want := []float32{5, 7, 9}
+	for i := range want {
+		if sum.Data[i] != want[i] {
+			t.Fatalf("Add[%d] = %v, want %v", i, sum.Data[i], want[i])
+		}
+	}
+	prod := New(3)
+	Mul(prod, a, b)
+	if prod.Data[2] != 18 {
+		t.Fatalf("Mul = %v", prod.Data)
+	}
+	diff := New(3)
+	Sub(diff, b, a)
+	if diff.Data[0] != 3 || diff.Data[2] != 3 {
+		t.Fatalf("Sub = %v", diff.Data)
+	}
+	ax := a.Clone()
+	AXPY(ax, 2, b)
+	if ax.Data[0] != 9 {
+		t.Fatalf("AXPY = %v", ax.Data)
+	}
+	Scale(ax, 0.5)
+	if ax.Data[0] != 4.5 {
+		t.Fatalf("Scale = %v", ax.Data)
+	}
+}
+
+func TestSumAndMaxAbsDiff(t *testing.T) {
+	a := FromSlice([]float32{1, -2, 3}, 3)
+	if Sum(a) != 2 {
+		t.Fatalf("Sum = %v", Sum(a))
+	}
+	b := FromSlice([]float32{1, -2, 5}, 3)
+	if MaxAbsDiff(a, b) != 2 {
+		t.Fatalf("MaxAbsDiff = %v", MaxAbsDiff(a, b))
+	}
+	if !Equal(a, a, 0) || Equal(a, b, 1) {
+		t.Fatal("Equal wrong")
+	}
+}
+
+// Property: Add is commutative (a+b == b+a element-wise).
+func TestAddCommutativeProperty(t *testing.T) {
+	f := func(xs, ys []float32) bool {
+		n := len(xs)
+		if len(ys) < n {
+			n = len(ys)
+		}
+		if n == 0 {
+			return true
+		}
+		a := FromSlice(append([]float32(nil), xs[:n]...), n)
+		b := FromSlice(append([]float32(nil), ys[:n]...), n)
+		ab := a.Clone()
+		Add(ab, b)
+		ba := b.Clone()
+		Add(ba, a)
+		for i := range ab.Data {
+			x, y := ab.Data[i], ba.Data[i]
+			if x != y && !(math.IsNaN(float64(x)) && math.IsNaN(float64(y))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: accumulation order does not change the result beyond float
+// rounding when accumulating the same set of update tensors — the
+// commutativity insight behind ScaleDeep's data-flow trackers (§3.2.4).
+// Exact float32 addition is not associative, so we check a tolerance.
+func TestAccumulationCommutativityProperty(t *testing.T) {
+	rng := NewRNG(7)
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(32)
+		k := 2 + rng.Intn(6)
+		updates := make([]*Tensor, k)
+		for i := range updates {
+			updates[i] = New(n)
+			rng.FillUniform(updates[i], 1)
+		}
+		fwd := New(n)
+		for _, u := range updates {
+			Add(fwd, u)
+		}
+		rev := New(n)
+		for i := k - 1; i >= 0; i-- {
+			Add(rev, updates[i])
+		}
+		if MaxAbsDiff(fwd, rev) > 1e-5 {
+			t.Fatalf("trial %d: accumulation order changed result by %v", trial, MaxAbsDiff(fwd, rev))
+		}
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("RNG not deterministic")
+		}
+	}
+	c := NewRNG(0)
+	if c.state == 0 {
+		t.Fatal("zero seed not remapped")
+	}
+}
+
+func TestRNGFloat32Range(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 1000; i++ {
+		v := r.Float32()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float32 out of range: %v", v)
+		}
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := NewRNG(2)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Fatalf("Intn missed values: %v", seen)
+	}
+}

@@ -1,0 +1,155 @@
+package tensor
+
+// Winograd minimal-filtering convolution F(2×2, 3×3) [Lavin 2015, the
+// paper's ref 35]: a 3×3 stride-1 convolution computed with 2.25× fewer
+// multiplications by transforming 4×4 input tiles and the 3×3 kernel into a
+// 4×4 element-wise product. §6.1 notes ScaleDeep's implementations do not
+// use Winograd and sees "no fundamental bottlenecks" to adopting it; this
+// implementation supports the ablation quantifying that headroom.
+
+// winogradKernel transforms a 3×3 kernel g into the 4×4 Winograd domain:
+// U = G g Gᵀ with G = [[1,0,0],[.5,.5,.5],[.5,-.5,.5],[0,0,1]].
+func winogradKernel(g []float32) [16]float32 {
+	// Gg (4×3)
+	var t [12]float32
+	for c := 0; c < 3; c++ {
+		g0, g1, g2 := g[0*3+c], g[1*3+c], g[2*3+c]
+		t[0*3+c] = g0
+		t[1*3+c] = 0.5 * (g0 + g1 + g2)
+		t[2*3+c] = 0.5 * (g0 - g1 + g2)
+		t[3*3+c] = g2
+	}
+	// (Gg)Gᵀ (4×4)
+	var u [16]float32
+	for r := 0; r < 4; r++ {
+		a0, a1, a2 := t[r*3+0], t[r*3+1], t[r*3+2]
+		u[r*4+0] = a0
+		u[r*4+1] = 0.5 * (a0 + a1 + a2)
+		u[r*4+2] = 0.5 * (a0 - a1 + a2)
+		u[r*4+3] = a2
+	}
+	return u
+}
+
+// winogradInput transforms a 4×4 input tile d into V = Bᵀ d B with
+// Bᵀ = [[1,0,-1,0],[0,1,1,0],[0,-1,1,0],[0,1,0,-1]].
+func winogradInput(d *[16]float32) [16]float32 {
+	var t [16]float32
+	for c := 0; c < 4; c++ {
+		d0, d1, d2, d3 := d[0*4+c], d[1*4+c], d[2*4+c], d[3*4+c]
+		t[0*4+c] = d0 - d2
+		t[1*4+c] = d1 + d2
+		t[2*4+c] = d2 - d1
+		t[3*4+c] = d1 - d3
+	}
+	var v [16]float32
+	for r := 0; r < 4; r++ {
+		t0, t1, t2, t3 := t[r*4+0], t[r*4+1], t[r*4+2], t[r*4+3]
+		v[r*4+0] = t0 - t2
+		v[r*4+1] = t1 + t2
+		v[r*4+2] = t2 - t1
+		v[r*4+3] = t1 - t3
+	}
+	return v
+}
+
+// winogradOutput maps the 4×4 element-wise product M back to the 2×2
+// output: Y = Aᵀ M A with Aᵀ = [[1,1,1,0],[0,1,-1,-1]].
+func winogradOutput(m *[16]float32) [4]float32 {
+	var t [8]float32
+	for c := 0; c < 4; c++ {
+		m0, m1, m2, m3 := m[0*4+c], m[1*4+c], m[2*4+c], m[3*4+c]
+		t[0*4+c] = m0 + m1 + m2
+		t[1*4+c] = m1 - m2 - m3
+	}
+	var y [4]float32
+	y[0] = t[0] + t[1] + t[2]
+	y[1] = t[1] - t[2] - t[3]
+	y[2] = t[4] + t[5] + t[6]
+	y[3] = t[5] - t[6] - t[7]
+	return y
+}
+
+// Conv2DWinograd computes the same result as Conv2D for 3×3 stride-1
+// convolutions using the F(2×2, 3×3) minimal-filtering algorithm. It panics
+// on unsupported geometry.
+func Conv2DWinograd(input, weights, bias *Tensor, p ConvParams) *Tensor {
+	if p.KH != 3 || p.KW != 3 || p.StrideH != 1 || p.StrideW != 1 {
+		panic("tensor: Conv2DWinograd supports 3x3 stride-1 only")
+	}
+	cin, h, w := input.Shape[0], input.Shape[1], input.Shape[2]
+	cout := weights.Shape[0]
+	oh, ow := p.ConvOutShape(h, w)
+	out := New(cout, oh, ow)
+
+	// Transform all kernels once.
+	u := make([][16]float32, cout*cin)
+	for oc := 0; oc < cout; oc++ {
+		for ic := 0; ic < cin; ic++ {
+			u[oc*cin+ic] = winogradKernel(weights.Data[(oc*cin+ic)*9 : (oc*cin+ic)*9+9])
+		}
+	}
+
+	tilesY := (oh + 1) / 2
+	tilesX := (ow + 1) / 2
+	var d, macc [16]float32
+	for ty := 0; ty < tilesY; ty++ {
+		for tx := 0; tx < tilesX; tx++ {
+			y0 := ty*2 - p.PadH
+			x0 := tx*2 - p.PadW
+			for oc := 0; oc < cout; oc++ {
+				for i := range macc {
+					macc[i] = 0
+				}
+				for ic := 0; ic < cin; ic++ {
+					// Gather the 4×4 input tile (zero padding outside).
+					for dy := 0; dy < 4; dy++ {
+						iy := y0 + dy
+						for dx := 0; dx < 4; dx++ {
+							ix := x0 + dx
+							if iy < 0 || iy >= h || ix < 0 || ix >= w {
+								d[dy*4+dx] = 0
+							} else {
+								d[dy*4+dx] = input.Data[(ic*h+iy)*w+ix]
+							}
+						}
+					}
+					v := winogradInput(&d)
+					uk := &u[oc*cin+ic]
+					for i := 0; i < 16; i++ {
+						macc[i] += v[i] * uk[i]
+					}
+				}
+				y := winogradOutput(&macc)
+				var bv float32
+				if bias != nil {
+					bv = bias.Data[oc]
+				}
+				for dy := 0; dy < 2; dy++ {
+					oy := ty*2 + dy
+					if oy >= oh {
+						continue
+					}
+					for dx := 0; dx < 2; dx++ {
+						ox := tx*2 + dx
+						if ox >= ow {
+							continue
+						}
+						out.Data[(oc*oh+oy)*ow+ox] = y[dy*2+dx] + bv
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// WinogradMACReduction is the multiplication reduction of F(2×2, 3×3):
+// 16 multiplies replace 36 per tile (2.25×).
+const WinogradMACReduction = 36.0 / 16.0
+
+// WinogradEligible reports whether a convolution geometry can use the
+// F(2×2, 3×3) transform.
+func WinogradEligible(p ConvParams) bool {
+	return p.KH == 3 && p.KW == 3 && p.StrideH == 1 && p.StrideW == 1
+}

@@ -1,0 +1,73 @@
+package tensor
+
+import "testing"
+
+func TestWinogradMatchesDirectConv(t *testing.T) {
+	rng := NewRNG(77)
+	for trial := 0; trial < 20; trial++ {
+		cin := 1 + rng.Intn(4)
+		cout := 1 + rng.Intn(4)
+		h := 4 + rng.Intn(12)
+		pad := rng.Intn(2)
+		p := ConvParams{KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: pad, PadW: pad}
+		in := New(cin, h, h)
+		w := New(cout, cin, 3, 3)
+		rng.FillUniform(in, 1)
+		rng.FillUniform(w, 1)
+		var bias *Tensor
+		if trial%2 == 0 {
+			bias = New(cout)
+			rng.FillUniform(bias, 1)
+		}
+		direct := Conv2D(in, w, bias, p)
+		wino := Conv2DWinograd(in, w, bias, p)
+		if !SameShape(direct, wino) {
+			t.Fatalf("trial %d: shapes %v vs %v", trial, direct.Shape, wino.Shape)
+		}
+		if d := MaxAbsDiff(direct, wino); d > 1e-4 {
+			t.Fatalf("trial %d: winograd deviates by %v", trial, d)
+		}
+	}
+}
+
+func TestWinogradOddOutputSizes(t *testing.T) {
+	// Output sizes that are not multiples of the 2×2 tile exercise the
+	// boundary handling.
+	rng := NewRNG(79)
+	for _, h := range []int{5, 7, 9} {
+		p := ConvParams{KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+		in := New(2, h, h)
+		w := New(3, 2, 3, 3)
+		rng.FillUniform(in, 1)
+		rng.FillUniform(w, 1)
+		if d := MaxAbsDiff(Conv2D(in, w, nil, p), Conv2DWinograd(in, w, nil, p)); d > 1e-4 {
+			t.Fatalf("h=%d: deviation %v", h, d)
+		}
+	}
+}
+
+func TestWinogradRejectsUnsupportedGeometry(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for 5x5 kernel")
+		}
+	}()
+	in := New(1, 8, 8)
+	w := New(1, 1, 5, 5)
+	Conv2DWinograd(in, w, nil, ConvParams{KH: 5, KW: 5, StrideH: 1, StrideW: 1})
+}
+
+func TestWinogradEligibility(t *testing.T) {
+	if !WinogradEligible(ConvParams{KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}) {
+		t.Error("3x3 s1 should be eligible")
+	}
+	if WinogradEligible(ConvParams{KH: 3, KW: 3, StrideH: 2, StrideW: 2}) {
+		t.Error("stride 2 should not be eligible")
+	}
+	if WinogradEligible(ConvParams{KH: 5, KW: 5, StrideH: 1, StrideW: 1}) {
+		t.Error("5x5 should not be eligible")
+	}
+	if WinogradMACReduction != 2.25 {
+		t.Errorf("MAC reduction = %v", WinogradMACReduction)
+	}
+}

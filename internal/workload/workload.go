@@ -1,0 +1,168 @@
+// Package workload reproduces the paper's DNN workload characterization
+// (§2.3): the FLOPs-growth series of Fig. 1, the per-layer-class compute and
+// data breakdown of Fig. 4, and the kernel-class summary of Fig. 5.
+package workload
+
+import (
+	"sort"
+
+	"scaledeep/internal/dnn"
+)
+
+// FLOPsGrowthEntry is one bar of Fig. 1: scalar FLOPs to evaluate a single
+// image, with the network's ILSVRC era.
+type FLOPsGrowthEntry struct {
+	Name  string
+	Year  int // year of the network's ImageNet entry
+	FLOPs int64
+}
+
+// year attributes each benchmark to its ILSVRC entry year, ordering Fig. 1's
+// 2012 vs 2014-15 groups.
+var year = map[string]int{
+	"AlexNet": 2012, "ZF": 2013, "CNN-S": 2013, "OF-Fast": 2013, "OF-Acc": 2013,
+	"GoogLeNet": 2014, "VGG-A": 2014, "VGG-D": 2014, "VGG-E": 2014,
+	"ResNet18": 2015, "ResNet34": 2015,
+}
+
+// FLOPsGrowth computes Fig. 1's series for the given networks, sorted by
+// ascending FLOPs as the paper plots it.
+func FLOPsGrowth(nets []*dnn.Network) []FLOPsGrowthEntry {
+	out := make([]FLOPsGrowthEntry, 0, len(nets))
+	for _, n := range nets {
+		c := dnn.NetworkCost(n)
+		out = append(out, FLOPsGrowthEntry{Name: n.Name, Year: year[n.Name], FLOPs: c.StepFLOPs(dnn.FP)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].FLOPs < out[j].FLOPs })
+	return out
+}
+
+// ClassBreakdown is one row of Fig. 4: the aggregate compute and data
+// requirements of one layer class.
+type ClassBreakdown struct {
+	Class dnn.Class
+
+	FeatureCountMin, FeatureCountMax int
+	FeatureSideMin, FeatureSideMax   int
+	WeightsMin, WeightsMax           int64
+
+	FLOPsFPBP   int64 // FP+BP FLOPs of the class
+	FLOPsWG     int64
+	BytesFPBP   int64
+	BytesWG     int64
+	FeatureByte int64 // total feature storage of the class
+	WeightByte  int64 // total weight storage of the class
+}
+
+// FPBPShare returns this class's share of total network FP+BP FLOPs.
+func (cb ClassBreakdown) FPBPShare(total int64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(cb.FLOPsFPBP) / float64(total)
+}
+
+// BFRatioFPBP returns the class's FP+BP Bytes/FLOP ratio.
+func (cb ClassBreakdown) BFRatioFPBP() float64 {
+	if cb.FLOPsFPBP == 0 {
+		return 0
+	}
+	return float64(cb.BytesFPBP) / float64(cb.FLOPsFPBP)
+}
+
+// BFRatioWG returns the class's WG Bytes/FLOP ratio.
+func (cb ClassBreakdown) BFRatioWG() float64 {
+	if cb.FLOPsWG == 0 {
+		return 0
+	}
+	return float64(cb.BytesWG) / float64(cb.FLOPsWG)
+}
+
+// ByClass computes Fig. 4's per-layer-class breakdown for a network.
+func ByClass(n *dnn.Network) map[dnn.Class]*ClassBreakdown {
+	m := map[dnn.Class]*ClassBreakdown{}
+	for _, l := range n.Layers {
+		cl := l.Class()
+		if cl == dnn.ClassInput || cl == dnn.ClassOther {
+			continue
+		}
+		cb := m[cl]
+		if cb == nil {
+			cb = &ClassBreakdown{Class: cl, FeatureCountMin: 1 << 30}
+			m[cl] = cb
+		}
+		cost := dnn.LayerCost(l)
+		cb.FLOPsFPBP += cost.StepFLOPs(dnn.FP) + cost.StepFLOPs(dnn.BP)
+		cb.FLOPsWG += cost.StepFLOPs(dnn.WG)
+		cb.BytesFPBP += cost.StepBytes(dnn.FP) + cost.StepBytes(dnn.BP)
+		cb.BytesWG += cost.StepBytes(dnn.WG)
+		cb.FeatureByte += l.FeatureBytes()
+		cb.WeightByte += l.WeightBytes()
+
+		if l.Out.C < cb.FeatureCountMin {
+			cb.FeatureCountMin = l.Out.C
+		}
+		if l.Out.C > cb.FeatureCountMax {
+			cb.FeatureCountMax = l.Out.C
+		}
+		side := l.Out.H
+		if cb.FeatureSideMin == 0 || side < cb.FeatureSideMin {
+			cb.FeatureSideMin = side
+		}
+		if side > cb.FeatureSideMax {
+			cb.FeatureSideMax = side
+		}
+		w := l.WeightCount()
+		if w > 0 {
+			if cb.WeightsMin == 0 || w < cb.WeightsMin {
+				cb.WeightsMin = w
+			}
+			if w > cb.WeightsMax {
+				cb.WeightsMax = w
+			}
+		}
+	}
+	return m
+}
+
+// KernelSummaryRow is one row of Fig. 5: the share of FLOPs and the
+// Bytes/FLOP ratio of one kernel class, aggregated across a benchmark suite.
+type KernelSummaryRow struct {
+	Kernel     dnn.KernelClass
+	FLOPsShare float64
+	BytesPerFL float64
+}
+
+// KernelSummary aggregates Fig. 5's kernel-class table over a suite of
+// networks (the paper uses all 11 benchmarks).
+func KernelSummary(nets []*dnn.Network) []KernelSummaryRow {
+	var flops, bytes [dnn.NumKernelClasses]int64
+	var total int64
+	for _, n := range nets {
+		c := dnn.NetworkCost(n)
+		for k := dnn.KernelClass(0); k < dnn.NumKernelClasses; k++ {
+			flops[k] += c.KernelFLOPs(k)
+			bytes[k] += c.KernelBytes(k)
+			total += c.KernelFLOPs(k)
+		}
+	}
+	rows := make([]KernelSummaryRow, 0, dnn.NumKernelClasses)
+	for k := dnn.KernelClass(0); k < dnn.NumKernelClasses; k++ {
+		row := KernelSummaryRow{Kernel: k}
+		if total > 0 {
+			row.FLOPsShare = float64(flops[k]) / float64(total)
+		}
+		if flops[k] > 0 {
+			row.BytesPerFL = float64(bytes[k]) / float64(flops[k])
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// TrainingFLOPsPerEpoch returns the total scalar FLOPs to train one epoch of
+// `images` inputs — the §1 observation that one OverFeat epoch on ImageNet's
+// 1.28M images is ~15 peta-operations, making training exa-scale.
+func TrainingFLOPsPerEpoch(n *dnn.Network, images int64) int64 {
+	return dnn.NetworkCost(n).TotalFLOPs() * images
+}

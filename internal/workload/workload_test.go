@@ -1,0 +1,176 @@
+package workload
+
+import (
+	"testing"
+
+	"scaledeep/internal/dnn"
+	"scaledeep/internal/zoo"
+)
+
+func TestFLOPsGrowthOrderingAndMagnitude(t *testing.T) {
+	entries := FLOPsGrowth(zoo.All())
+	if len(entries) != 11 {
+		t.Fatalf("%d entries", len(entries))
+	}
+	// Sorted ascending.
+	for i := 1; i < len(entries); i++ {
+		if entries[i].FLOPs < entries[i-1].FLOPs {
+			t.Fatal("entries not sorted")
+		}
+	}
+	// Fig. 1: AlexNet is the smallest, VGG-E the largest, ratio > 10×.
+	if entries[0].Name != "AlexNet" {
+		t.Errorf("smallest = %s, want AlexNet", entries[0].Name)
+	}
+	if entries[len(entries)-1].Name != "VGG-E" {
+		t.Errorf("largest = %s, want VGG-E", entries[len(entries)-1].Name)
+	}
+	ratio := float64(entries[len(entries)-1].FLOPs) / float64(entries[0].FLOPs)
+	if ratio < 10 {
+		t.Errorf("growth ratio = %.1f, paper shows >10x", ratio)
+	}
+	// Year attribution present for every benchmark.
+	for _, e := range entries {
+		if e.Year < 2012 || e.Year > 2015 {
+			t.Errorf("%s year = %d", e.Name, e.Year)
+		}
+	}
+}
+
+func TestFig4OverFeatClassBreakdown(t *testing.T) {
+	n := zoo.OverFeatFast()
+	m := ByClass(n)
+	ini := m[dnn.ClassInitialConv]
+	mid := m[dnn.ClassMidConv]
+	fc := m[dnn.ClassFC]
+	samp := m[dnn.ClassSamp]
+	if ini == nil || mid == nil || fc == nil || samp == nil {
+		t.Fatalf("missing classes: %v", m)
+	}
+
+	total := ini.FLOPsFPBP + mid.FLOPsFPBP + fc.FLOPsFPBP + samp.FLOPsFPBP
+
+	// Fig. 4 FP+BP FLOPs shares: initial ≈11%, mid ≈54%, FC ≈3%, SAMP ≈0.1%.
+	// (Shares below are of FP+BP only; WG splits similarly.) Bands are wide
+	// because the paper's shares include WG in "overall FLOPs".
+	checks := []struct {
+		name   string
+		share  float64
+		lo, hi float64
+	}{
+		{"initial-conv", ini.FPBPShare(total), 0.05, 0.35},
+		{"mid-conv", mid.FPBPShare(total), 0.50, 0.92},
+		{"fc", fc.FPBPShare(total), 0.01, 0.15},
+		{"samp", samp.FPBPShare(total), 0, 0.01},
+	}
+	for _, c := range checks {
+		if c.share < c.lo || c.share > c.hi {
+			t.Errorf("%s FP+BP share = %.3f, want in [%.2f, %.2f]", c.name, c.share, c.lo, c.hi)
+		}
+	}
+
+	// Fig. 4 B/F ladder: initial conv < mid conv ≪ FC < SAMP.
+	if !(ini.BFRatioFPBP() < mid.BFRatioFPBP()) {
+		t.Errorf("B/F: initial (%.4f) should be < mid (%.4f)", ini.BFRatioFPBP(), mid.BFRatioFPBP())
+	}
+	if !(mid.BFRatioFPBP() < fc.BFRatioFPBP()/10) {
+		t.Errorf("B/F: mid (%.4f) should be ≪ FC (%.2f)", mid.BFRatioFPBP(), fc.BFRatioFPBP())
+	}
+	if !(fc.BFRatioFPBP() < samp.BFRatioFPBP()) {
+		t.Errorf("B/F: FC (%.2f) should be < SAMP (%.2f)", fc.BFRatioFPBP(), samp.BFRatioFPBP())
+	}
+	// FC FP+BP B/F ≈ 2, SAMP ≈ 5 (Fig. 4).
+	if fc.BFRatioFPBP() < 1 || fc.BFRatioFPBP() > 3 {
+		t.Errorf("FC B/F = %.2f, paper ≈2", fc.BFRatioFPBP())
+	}
+	if samp.BFRatioFPBP() < 1 || samp.BFRatioFPBP() > 6 {
+		t.Errorf("SAMP B/F = %.2f, paper ≈5", samp.BFRatioFPBP())
+	}
+	// FC WG B/F ≈ 4 (Fig. 4).
+	if fc.BFRatioWG() < 3 || fc.BFRatioWG() > 5 {
+		t.Errorf("FC WG B/F = %.2f, paper ≈4", fc.BFRatioWG())
+	}
+
+	// Weight ranges: FC layers carry ~10× the weights of other classes.
+	if fc.WeightsMax < 10*mid.WeightsMax {
+		t.Errorf("FC max weights %d not ≫ mid conv %d", fc.WeightsMax, mid.WeightsMax)
+	}
+	// Initial conv: few, large features; mid conv: many, small features.
+	if !(ini.FeatureSideMin > mid.FeatureSideMax) {
+		t.Errorf("initial conv features (%d) should be larger than mid (%d)",
+			ini.FeatureSideMin, mid.FeatureSideMax)
+	}
+	if !(ini.FeatureCountMax <= mid.FeatureCountMax) {
+		t.Errorf("initial conv count %d should be ≤ mid %d", ini.FeatureCountMax, mid.FeatureCountMax)
+	}
+}
+
+func TestFig5KernelSummary(t *testing.T) {
+	rows := KernelSummary(zoo.All())
+	byKernel := map[dnn.KernelClass]KernelSummaryRow{}
+	var share float64
+	for _, r := range rows {
+		byKernel[r.Kernel] = r
+		share += r.FLOPsShare
+	}
+	if share < 0.999 || share > 1.001 {
+		t.Fatalf("shares sum to %v", share)
+	}
+	// Fig. 5: nD-convolution ≈93% of FLOPs; matmul ≈3%; accumulate ≈3%;
+	// everything else <1%.
+	conv := byKernel[dnn.KConv]
+	if conv.FLOPsShare < 0.85 || conv.FLOPsShare > 0.97 {
+		t.Errorf("conv share = %.3f, paper ≈0.93", conv.FLOPsShare)
+	}
+	if mm := byKernel[dnn.KMatMul].FLOPsShare; mm < 0.005 || mm > 0.08 {
+		t.Errorf("matmul share = %.3f, paper ≈0.03", mm)
+	}
+	if acc := byKernel[dnn.KAccum].FLOPsShare; acc < 0.01 || acc > 0.08 {
+		t.Errorf("accumulate share = %.3f, paper ≈0.03", acc)
+	}
+	for _, k := range []dnn.KernelClass{dnn.KVecMul, dnn.KSamp, dnn.KActFn} {
+		if s := byKernel[k].FLOPsShare; s > 0.012 {
+			t.Errorf("%v share = %.4f, paper <1%%", k, s)
+		}
+	}
+	// B/F ordering: conv lowest; matmul ≈2; vecmul/accumulate ≈4ish;
+	// sampling ≈5; activation ≈8 (the paper's B/F column).
+	if conv.BytesPerFL > 0.3 {
+		t.Errorf("conv B/F = %.3f, paper 0.14", conv.BytesPerFL)
+	}
+	if mm := byKernel[dnn.KMatMul].BytesPerFL; mm < 1 || mm > 3 {
+		t.Errorf("matmul B/F = %.2f, paper 2", mm)
+	}
+	if am := byKernel[dnn.KActFn].BytesPerFL; am < 4 || am > 9 {
+		t.Errorf("actfn B/F = %.2f, paper 8", am)
+	}
+	if sm := byKernel[dnn.KSamp].BytesPerFL; sm < 0.5 || sm > 6 {
+		t.Errorf("sampling B/F = %.2f, paper 5", sm)
+	}
+	if vm := byKernel[dnn.KVecMul].BytesPerFL; vm < 2 || vm > 6 {
+		t.Errorf("vecmul B/F = %.2f, paper 4", vm)
+	}
+}
+
+func TestTrainingFLOPsPerEpochIsPetaScale(t *testing.T) {
+	// §1: training OverFeat for 1 epoch on ImageNet (1.28M images) consumes
+	// ~15 peta-ops; 50-100 epochs make it exa-scale.
+	n := zoo.OverFeatFast()
+	perEpoch := TrainingFLOPsPerEpoch(n, 1_280_000)
+	if perEpoch < 5e15 || perEpoch > 50e15 {
+		t.Errorf("OverFeat epoch = %.1f PFLOPs, paper ~15", float64(perEpoch)/1e15)
+	}
+	if total := perEpoch * 75; total < 1e18 {
+		t.Errorf("75 epochs = %.2e FLOPs, should be exa-scale", float64(total))
+	}
+}
+
+func TestByClassSkipsInputAndStructural(t *testing.T) {
+	m := ByClass(zoo.GoogLeNet())
+	if _, ok := m[dnn.ClassInput]; ok {
+		t.Error("input class present")
+	}
+	if _, ok := m[dnn.ClassOther]; ok {
+		t.Error("structural class present")
+	}
+}

@@ -1,0 +1,310 @@
+// Package zoo instantiates the 11 benchmark DNNs of the paper's evaluation
+// (Fig. 15): AlexNet, ZF, CNN-S, OverFeat-Fast, OverFeat-Accurate, GoogLeNet,
+// VGG-A/D/E, and ResNet-18/34 — winners and strong entries from five years of
+// the ILSVRC challenge. Layer parameters come from the original papers;
+// the zoo tests check the resulting neuron/weight/connection counts against
+// Fig. 15's table.
+package zoo
+
+import (
+	"fmt"
+	"strings"
+
+	"scaledeep/internal/dnn"
+	"scaledeep/internal/tensor"
+)
+
+// Names lists the benchmarks in the order the paper's figures use
+// (Fig. 16's x-axis: roughly increasing size).
+var Names = []string{
+	"AlexNet", "ZF", "ResNet18", "GoogLeNet", "CNN-S", "OF-Fast",
+	"ResNet34", "OF-Acc", "VGG-A", "VGG-D", "VGG-E",
+}
+
+// Build constructs a benchmark network by name. It panics on unknown names
+// (the set is closed; see Names).
+func Build(name string) *dnn.Network {
+	switch name {
+	case "AlexNet":
+		return AlexNet()
+	case "ZF":
+		return ZF()
+	case "CNN-S":
+		return CNNS()
+	case "OF-Fast":
+		return OverFeatFast()
+	case "OF-Acc":
+		return OverFeatAccurate()
+	case "GoogLeNet":
+		return GoogLeNet()
+	case "VGG-A":
+		return VGG('A')
+	case "VGG-D":
+		return VGG('D')
+	case "VGG-E":
+		return VGG('E')
+	case "ResNet18":
+		return ResNet(18)
+	case "ResNet34":
+		return ResNet(34)
+	default:
+		panic(fmt.Sprintf("zoo: unknown benchmark %q", name))
+	}
+}
+
+// All builds every benchmark network.
+func All() []*dnn.Network {
+	nets := make([]*dnn.Network, len(Names))
+	for i, n := range Names {
+		nets[i] = Build(n)
+	}
+	return nets
+}
+
+const relu = tensor.ActReLU
+
+// AlexNet is the 2012 ILSVRC winner (Krizhevsky et al.), in its grouped
+// two-tower form: 5 CONV (C2/C4/C5 grouped), 3 SAMP, 3 FC, 60.9M weights.
+func AlexNet() *dnn.Network {
+	b := dnn.NewBuilder("AlexNet")
+	in := b.Input(3, 227, 227)
+	c1 := b.Conv(in, "c1", 96, 11, 4, 0, relu) // 96 x 55x55
+	s1 := b.MaxPool(c1, "s1", 3, 2)            // 27x27
+	c2 := b.ConvG(s1, "c2", 256, 5, 1, 2, 2, relu)
+	s2 := b.MaxPool(c2, "s2", 3, 2) // 13x13
+	c3 := b.Conv(s2, "c3", 384, 3, 1, 1, relu)
+	c4 := b.ConvG(c3, "c4", 384, 3, 1, 1, 2, relu)
+	c5 := b.ConvG(c4, "c5", 256, 3, 1, 1, 2, relu)
+	s3 := b.MaxPool(c5, "s3", 3, 2) // 6x6
+	f1 := b.FC(s3, "f1", 4096, relu)
+	f2 := b.FC(f1, "f2", 4096, relu)
+	f3 := b.FC(f2, "f3", 1000, tensor.ActNone)
+	return b.Softmax(f3).Build()
+}
+
+// ZF is the 2013 ILSVRC winner (Zeiler & Fergus / Clarifai): AlexNet-like
+// with a 7x7/2 first layer and denser mid layers.
+func ZF() *dnn.Network {
+	b := dnn.NewBuilder("ZF")
+	in := b.Input(3, 225, 225)
+	c1 := b.Conv(in, "c1", 96, 7, 2, 0, relu) // 110x110
+	s1 := b.MaxPoolCeil(c1, "s1", 3, 2)       // 55x55
+	c2 := b.Conv(s1, "c2", 256, 5, 2, 0, relu)
+	s2 := b.MaxPoolCeil(c2, "s2", 3, 2) // 13x13
+	c3 := b.Conv(s2, "c3", 384, 3, 1, 1, relu)
+	c4 := b.Conv(c3, "c4", 384, 3, 1, 1, relu)
+	c5 := b.Conv(c4, "c5", 256, 3, 1, 1, relu)
+	s3 := b.MaxPoolCeil(c5, "s3", 3, 2) // 6x6
+	f1 := b.FC(s3, "f1", 4096, relu)
+	f2 := b.FC(f1, "f2", 4096, relu)
+	f3 := b.FC(f2, "f3", 1000, tensor.ActNone)
+	return b.Softmax(f3).Build()
+}
+
+// CNNS is Chatfield et al.'s CNN-S ("Return of the Devil in the Details"),
+// the 2013-era medium-speed model: 5 CONV, 3 SAMP, 3 FC, ~80M weights.
+func CNNS() *dnn.Network {
+	b := dnn.NewBuilder("CNN-S")
+	in := b.Input(3, 224, 224)
+	c1 := b.Conv(in, "c1", 96, 7, 2, 0, relu) // 109x109
+	s1 := b.MaxPool(c1, "s1", 3, 3)           // 36x36
+	c2 := b.Conv(s1, "c2", 256, 5, 1, 0, relu)
+	s2 := b.MaxPool(c2, "s2", 2, 2) // 16x16
+	c3 := b.Conv(s2, "c3", 512, 3, 1, 1, relu)
+	c4 := b.Conv(c3, "c4", 512, 3, 1, 1, relu)
+	c5 := b.Conv(c4, "c5", 512, 3, 1, 1, relu)
+	s3 := b.MaxPool(c5, "s3", 3, 3) // 5x5
+	f1 := b.FC(s3, "f1", 4096, relu)
+	f2 := b.FC(f1, "f2", 4096, relu)
+	f3 := b.FC(f2, "f3", 1000, tensor.ActNone)
+	return b.Softmax(f3).Build()
+}
+
+// OverFeatFast is the fast model of Sermanet et al.'s OverFeat, the 2013
+// ILSVRC localization winner and the paper's running workload example
+// (§1, §2.3): ~0.82M neurons, ~145.9M weights.
+func OverFeatFast() *dnn.Network {
+	b := dnn.NewBuilder("OF-Fast")
+	in := b.Input(3, 231, 231)
+	c1 := b.Conv(in, "c1", 96, 11, 4, 0, relu) // 56x56
+	s1 := b.MaxPool(c1, "s1", 2, 2)            // 28x28
+	c2 := b.Conv(s1, "c2", 256, 5, 1, 0, relu) // 24x24
+	s2 := b.MaxPool(c2, "s2", 2, 2)            // 12x12
+	c3 := b.Conv(s2, "c3", 512, 3, 1, 1, relu)
+	c4 := b.Conv(c3, "c4", 1024, 3, 1, 1, relu)
+	c5 := b.Conv(c4, "c5", 1024, 3, 1, 1, relu)
+	s3 := b.MaxPool(c5, "s3", 2, 2) // 6x6
+	f1 := b.FC(s3, "f1", 3072, relu)
+	f2 := b.FC(f1, "f2", 4096, relu)
+	f3 := b.FC(f2, "f3", 1000, tensor.ActNone)
+	return b.Softmax(f3).Build()
+}
+
+// OverFeatAccurate is OverFeat's accurate model: 6 CONV, 3 SAMP, 3 FC,
+// ~2.05M neurons, ~144.6M weights.
+func OverFeatAccurate() *dnn.Network {
+	b := dnn.NewBuilder("OF-Acc")
+	in := b.Input(3, 221, 221)
+	c1 := b.Conv(in, "c1", 96, 7, 2, 0, relu) // 108x108
+	s1 := b.MaxPool(c1, "s1", 3, 3)           // 36x36
+	c2 := b.Conv(s1, "c2", 256, 7, 1, 0, relu)
+	s2 := b.MaxPool(c2, "s2", 2, 2) // 15x15
+	c3 := b.Conv(s2, "c3", 512, 3, 1, 1, relu)
+	c4 := b.Conv(c3, "c4", 512, 3, 1, 1, relu)
+	c5 := b.Conv(c4, "c5", 1024, 3, 1, 1, relu)
+	c6 := b.Conv(c5, "c6", 1024, 3, 1, 1, relu)
+	s3 := b.MaxPool(c6, "s3", 3, 3) // 5x5
+	f1 := b.FC(s3, "f1", 4096, relu)
+	f2 := b.FC(f1, "f2", 4096, relu)
+	f3 := b.FC(f2, "f3", 1000, tensor.ActNone)
+	return b.Softmax(f3).Build()
+}
+
+// inception adds a GoogLeNet inception module. The module is a four-way
+// branch (1x1, 3x3 with reduce, 5x5 with reduce, pooled projection) whose
+// outputs concatenate channel-wise. All convs inside share the stage name,
+// so paper-style layer counting (Fig. 15 counts GoogLeNet as 11 CONV layers)
+// sees one CONV layer per module.
+func inception(b *dnn.Builder, in int, stage string, c1, r3, c3, r5, c5, pp int) int {
+	b1 := b.Conv(in, stage+"/1x1", c1, 1, 1, 0, relu)
+	b2r := b.Conv(in, stage+"/3x3r", r3, 1, 1, 0, relu)
+	b2 := b.Conv(b2r, stage+"/3x3", c3, 3, 1, 1, relu)
+	b3r := b.Conv(in, stage+"/5x5r", r5, 1, 1, 0, relu)
+	b3 := b.Conv(b3r, stage+"/5x5", c5, 5, 1, 2, relu)
+	pool := b.PoolWith(in, stage+"/pool", tensor.PoolParams{Kind: tensor.MaxPool, Window: 3, Stride: 1, Pad: 1})
+	b4 := b.Conv(pool, stage+"/proj", pp, 1, 1, 0, relu)
+	return b.Concat(stage+"/cat", b1, b2, b3, b4)
+}
+
+// GoogLeNet is the 2014 ILSVRC winner (Szegedy et al.): 9 inception modules,
+// a single small FC layer, only 6.8M weights.
+func GoogLeNet() *dnn.Network {
+	b := dnn.NewBuilder("GoogLeNet")
+	in := b.Input(3, 224, 224)
+	c1 := b.Conv(in, "c1", 64, 7, 2, 3, relu) // 112x112
+	p1 := b.MaxPoolCeil(c1, "s1", 3, 2)       // 56x56
+	c2r := b.Conv(p1, "c2/reduce", 64, 1, 1, 0, relu)
+	c2 := b.Conv(c2r, "c2/3x3", 192, 3, 1, 1, relu)
+	p2 := b.MaxPoolCeil(c2, "s2", 3, 2) // 28x28
+	i3a := inception(b, p2, "inc3a", 64, 96, 128, 16, 32, 32)
+	i3b := inception(b, i3a, "inc3b", 128, 128, 192, 32, 96, 64)
+	p3 := b.MaxPoolCeil(i3b, "s3", 3, 2) // 14x14
+	i4a := inception(b, p3, "inc4a", 192, 96, 208, 16, 48, 64)
+	i4b := inception(b, i4a, "inc4b", 160, 112, 224, 24, 64, 64)
+	i4c := inception(b, i4b, "inc4c", 128, 128, 256, 24, 64, 64)
+	i4d := inception(b, i4c, "inc4d", 112, 144, 288, 32, 64, 64)
+	i4e := inception(b, i4d, "inc4e", 256, 160, 320, 32, 128, 128)
+	p4 := b.MaxPoolCeil(i4e, "s4", 3, 2) // 7x7
+	i5a := inception(b, p4, "inc5a", 256, 160, 320, 32, 128, 128)
+	i5b := inception(b, i5a, "inc5b", 384, 192, 384, 48, 128, 128)
+	p5 := b.AvgPool(i5b, "s5", 7, 1) // 1x1
+	f1 := b.FC(p5, "f1", 1000, tensor.ActNone)
+	return b.Softmax(f1).Build()
+}
+
+// VGG builds configuration A (11 weight layers), D (16) or E (19) of
+// Simonyan & Zisserman's VGG family.
+func VGG(config byte) *dnn.Network {
+	var plan [][]int // conv channel counts per block
+	switch config {
+	case 'A':
+		plan = [][]int{{64}, {128}, {256, 256}, {512, 512}, {512, 512}}
+	case 'D':
+		plan = [][]int{{64, 64}, {128, 128}, {256, 256, 256}, {512, 512, 512}, {512, 512, 512}}
+	case 'E':
+		plan = [][]int{{64, 64}, {128, 128}, {256, 256, 256, 256}, {512, 512, 512, 512}, {512, 512, 512, 512}}
+	default:
+		panic(fmt.Sprintf("zoo: unknown VGG config %c", config))
+	}
+	b := dnn.NewBuilder("VGG-" + string(config))
+	cur := b.Input(3, 224, 224)
+	for bi, block := range plan {
+		for ci, ch := range block {
+			cur = b.Conv(cur, fmt.Sprintf("c%d_%d", bi+1, ci+1), ch, 3, 1, 1, relu)
+		}
+		cur = b.MaxPool(cur, fmt.Sprintf("s%d", bi+1), 2, 2)
+	}
+	f1 := b.FC(cur, "f1", 4096, relu)
+	f2 := b.FC(f1, "f2", 4096, relu)
+	f3 := b.FC(f2, "f3", 1000, tensor.ActNone)
+	return b.Softmax(f3).Build()
+}
+
+// basicBlock adds a ResNet basic block (two 3x3 convs with a residual
+// shortcut; 1x1 projection when the shape changes).
+func basicBlock(b *dnn.Builder, in int, stage string, ch, stride int) int {
+	c1 := b.Conv(in, stage+"_a", ch, 3, stride, 1, relu)
+	c2 := b.Conv(c1, stage+"_b", ch, 3, 1, 1, tensor.ActNone)
+	short := in
+	if stride != 1 || channelsOf(b, in) != ch {
+		short = b.Conv(in, stage+"_proj", ch, 1, stride, 0, tensor.ActNone)
+	}
+	return b.Add(stage+"_add", short, c2)
+}
+
+func channelsOf(b *dnn.Builder, idx int) int { return b.LayerOut(idx).C }
+
+// ResNet builds ResNet-18 ([2,2,2,2] basic blocks) or ResNet-34 ([3,4,6,3])
+// from He et al. (2015), the 2015 ILSVRC winner family.
+func ResNet(depth int) *dnn.Network {
+	var blocks [4]int
+	switch depth {
+	case 18:
+		blocks = [4]int{2, 2, 2, 2}
+	case 34:
+		blocks = [4]int{3, 4, 6, 3}
+	default:
+		panic(fmt.Sprintf("zoo: unsupported ResNet depth %d", depth))
+	}
+	b := dnn.NewBuilder(fmt.Sprintf("ResNet%d", depth))
+	in := b.Input(3, 224, 224)
+	c1 := b.Conv(in, "c1", 64, 7, 2, 3, relu)                                                          // 112x112
+	cur := b.PoolWith(c1, "s1", tensor.PoolParams{Kind: tensor.MaxPool, Window: 3, Stride: 2, Pad: 1}) // 56x56
+	channels := [4]int{64, 128, 256, 512}
+	for gi, n := range blocks {
+		for bi := 0; bi < n; bi++ {
+			stride := 1
+			if gi > 0 && bi == 0 {
+				stride = 2
+			}
+			cur = basicBlock(b, cur, fmt.Sprintf("g%d_b%d", gi+1, bi+1), channels[gi], stride)
+		}
+	}
+	cur = b.AvgPool(cur, "s5", 7, 1)
+	f1 := b.FC(cur, "f1", 1000, tensor.ActNone)
+	return b.Softmax(f1).Build()
+}
+
+// LayerCounts reports CONV/FC/SAMP layer counts the way Fig. 15 does.
+// Layers whose name contains '/' belong to a module (a GoogLeNet inception
+// module or the conv2 reduce+3x3 pair) and count once per module — Fig. 15
+// counts GoogLeNet as 11 CONV layers. Standalone layers count individually,
+// except 1x1 residual projection shortcuts ("*_proj"), which the paper's
+// ResNet counts (17/33 CONV) exclude. Module-internal pools do not count as
+// SAMP layers.
+func LayerCounts(n *dnn.Network) (conv, fc, samp int) {
+	modules := map[string]bool{} // module name → already counted as conv
+	for _, l := range n.Layers {
+		if i := strings.Index(l.Name, "/"); i >= 0 {
+			if l.Kind == dnn.Conv {
+				mod := l.Name[:i]
+				if !modules[mod] {
+					modules[mod] = true
+					conv++
+				}
+			}
+			continue
+		}
+		switch l.Kind {
+		case dnn.Conv:
+			if !strings.HasSuffix(l.Name, "_proj") {
+				conv++
+			}
+		case dnn.FC:
+			fc++
+		case dnn.Pool:
+			samp++
+		}
+	}
+	return conv, fc, samp
+}

@@ -1,0 +1,232 @@
+package zoo
+
+import (
+	"testing"
+
+	"scaledeep/internal/dnn"
+)
+
+// fig15 holds the paper's benchmark table (Fig. 15). Tolerances in the tests
+// absorb small differences in input crop sizes and padding conventions
+// between the original papers and whatever variant the authors measured.
+var fig15 = []struct {
+	name               string
+	conv, fc, samp     int
+	neuronsM           float64
+	weightsM           float64
+	connectionsB       float64
+	skipSampExact      bool // paper counts ResNet SAMP oddly (5); we have 2
+	neuronTolerance    float64
+	connTolerance      float64
+	weightTolerancePct float64
+}{
+	{"AlexNet", 5, 3, 3, 0.65, 60.9, 0.66, false, 0.10, 0.15, 3},
+	{"ZF", 5, 3, 3, 1.51, 62.3, 1.10, false, 0.10, 0.15, 3},
+	{"CNN-S", 5, 3, 3, 1.70, 80.4, 2.57, false, 0.15, 0.15, 3},
+	{"OF-Fast", 5, 3, 3, 0.82, 145.9, 2.66, false, 0.10, 0.10, 3},
+	{"OF-Acc", 6, 3, 3, 2.05, 144.6, 5.22, false, 0.10, 0.10, 3},
+	{"GoogLeNet", 11, 1, 5, 2.64, 6.8, 2.44, false, 0.30, 0.40, 6},
+	{"VGG-A", 8, 3, 5, 7.43, 132.8, 7.46, false, 0.05, 0.05, 2},
+	{"VGG-D", 13, 3, 5, 13.5, 138.3, 15.3, false, 0.05, 0.05, 2},
+	{"VGG-E", 16, 3, 5, 14.9, 143.6, 19.4, false, 0.05, 0.05, 2},
+	{"ResNet18", 17, 1, 5, 2.31, 11.5, 1.79, true, 0.10, 0.05, 5},
+	{"ResNet34", 33, 1, 5, 3.56, 21.1, 3.64, true, 0.10, 0.05, 5},
+}
+
+func TestFig15BenchmarkTable(t *testing.T) {
+	for _, tc := range fig15 {
+		t.Run(tc.name, func(t *testing.T) {
+			n := Build(tc.name)
+			conv, fc, samp := LayerCounts(n)
+			if conv != tc.conv || fc != tc.fc {
+				t.Errorf("layer counts = %d/%d/%d, paper %d/%d/%d", conv, fc, samp, tc.conv, tc.fc, tc.samp)
+			}
+			if !tc.skipSampExact && samp != tc.samp {
+				t.Errorf("SAMP count = %d, paper %d", samp, tc.samp)
+			}
+			neurons := float64(n.TotalNeurons()) / 1e6
+			if rel(neurons, tc.neuronsM) > tc.neuronTolerance {
+				t.Errorf("neurons = %.2fM, paper %.2fM", neurons, tc.neuronsM)
+			}
+			weights := float64(n.TotalWeights()) / 1e6
+			if rel(weights, tc.weightsM) > tc.weightTolerancePct/100 {
+				t.Errorf("weights = %.1fM, paper %.1fM", weights, tc.weightsM)
+			}
+			conns := float64(n.TotalConnections()) / 1e9
+			if rel(conns, tc.connectionsB) > tc.connTolerance {
+				t.Errorf("connections = %.2fB, paper %.2fB", conns, tc.connectionsB)
+			}
+		})
+	}
+}
+
+func rel(got, want float64) float64 {
+	d := got - want
+	if d < 0 {
+		d = -d
+	}
+	return d / want
+}
+
+func TestBuildUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Build("LeNet-6000")
+}
+
+func TestAllBuildsEveryBenchmark(t *testing.T) {
+	nets := All()
+	if len(nets) != len(Names) {
+		t.Fatalf("All returned %d nets", len(nets))
+	}
+	for i, n := range nets {
+		if n.Name != Names[i] && !(Names[i] == "OF-Fast" || Names[i] == "OF-Acc") {
+			t.Errorf("net %d name %q, want %q", i, n.Name, Names[i])
+		}
+		if err := n.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", Names[i], err)
+		}
+	}
+}
+
+func TestAllNetworksEndInSoftmaxOver1000Classes(t *testing.T) {
+	for _, n := range All() {
+		out := n.OutputLayer()
+		if out.Kind != dnn.Softmax {
+			t.Errorf("%s does not end in softmax", n.Name)
+		}
+		if out.Out.Elems() != 1000 {
+			t.Errorf("%s output classes = %d", n.Name, out.Out.Elems())
+		}
+	}
+}
+
+func TestBenchmarkSuiteSpansPaperRanges(t *testing.T) {
+	// §5: the suite spans 0.65M-14.9M neurons, 6.8M-145.9M weights and
+	// 0.66B-19.4B connections.
+	var minN, maxN, minW, maxW int64
+	for i, n := range All() {
+		nn, w := n.TotalNeurons(), n.TotalWeights()
+		if i == 0 {
+			minN, maxN, minW, maxW = nn, nn, w, w
+			continue
+		}
+		if nn < minN {
+			minN = nn
+		}
+		if nn > maxN {
+			maxN = nn
+		}
+		if w < minW {
+			minW = w
+		}
+		if w > maxW {
+			maxW = w
+		}
+	}
+	if minN > 1_000_000 || maxN < 14_000_000 {
+		t.Errorf("neuron span %d-%d does not cover the paper's range", minN, maxN)
+	}
+	if minW > 8_000_000 || maxW < 140_000_000 {
+		t.Errorf("weight span %d-%d does not cover the paper's range", minW, maxW)
+	}
+}
+
+func TestAlexNetLayerShapes(t *testing.T) {
+	n := AlexNet()
+	byName := map[string]*dnn.Layer{}
+	for _, l := range n.Layers {
+		byName[l.Name] = l
+	}
+	checks := map[string]dnn.Shape{
+		"c1": {C: 96, H: 55, W: 55},
+		"s1": {C: 96, H: 27, W: 27},
+		"c2": {C: 256, H: 27, W: 27},
+		"s2": {C: 256, H: 13, W: 13},
+		"c5": {C: 256, H: 13, W: 13},
+		"s3": {C: 256, H: 6, W: 6},
+		"f1": {C: 4096, H: 1, W: 1},
+	}
+	for name, want := range checks {
+		if byName[name].Out != want {
+			t.Errorf("%s out = %v, want %v", name, byName[name].Out, want)
+		}
+	}
+}
+
+func TestGoogLeNetInceptionShapes(t *testing.T) {
+	n := GoogLeNet()
+	byName := map[string]*dnn.Layer{}
+	for _, l := range n.Layers {
+		byName[l.Name] = l
+	}
+	// Canonical inception output channels.
+	checks := map[string]int{
+		"inc3a/cat": 256, "inc3b/cat": 480,
+		"inc4a/cat": 512, "inc4e/cat": 832,
+		"inc5b/cat": 1024,
+	}
+	for name, wantC := range checks {
+		l := byName[name]
+		if l == nil {
+			t.Fatalf("layer %s missing", name)
+		}
+		if l.Out.C != wantC {
+			t.Errorf("%s channels = %d, want %d", name, l.Out.C, wantC)
+		}
+	}
+	if byName["inc3a/cat"].Out.H != 28 || byName["inc5b/cat"].Out.H != 7 {
+		t.Error("inception spatial sizes wrong")
+	}
+}
+
+func TestResNetShapesAndResiduals(t *testing.T) {
+	n := ResNet(18)
+	adds := 0
+	projs := 0
+	for _, l := range n.Layers {
+		if l.Kind == dnn.Add {
+			adds++
+		}
+		if l.Kind == dnn.Conv && len(l.Name) > 5 && l.Name[len(l.Name)-5:] == "_proj" {
+			projs++
+		}
+	}
+	if adds != 8 {
+		t.Errorf("ResNet18 has %d residual adds, want 8", adds)
+	}
+	if projs != 3 {
+		t.Errorf("ResNet18 has %d projections, want 3", projs)
+	}
+	if n.OutputLayer().In.Elems() != 1000 {
+		t.Errorf("head size %d", n.OutputLayer().In.Elems())
+	}
+}
+
+func TestVGGDepthOrdering(t *testing.T) {
+	a, d, e := VGG('A'), VGG('D'), VGG('E')
+	ca, _, _ := LayerCounts(a)
+	cd, _, _ := LayerCounts(d)
+	ce, _, _ := LayerCounts(e)
+	if !(ca < cd && cd < ce) {
+		t.Errorf("VGG conv depth ordering broken: %d %d %d", ca, cd, ce)
+	}
+	fa := dnn.NetworkCost(a).StepFLOPs(dnn.FP)
+	fe := dnn.NetworkCost(e).StepFLOPs(dnn.FP)
+	if fe <= 2*fa {
+		t.Errorf("VGG-E FLOPs (%d) should be well above 2x VGG-A (%d)", fe, fa)
+	}
+}
+
+func TestFig1FLOPsGrowthShape(t *testing.T) {
+	// Fig. 1: >10× growth in evaluation FLOPs from 2012 entries (AlexNet) to
+	// 2014-15 entries (VGG-D/E).
+	alex := dnn.NetworkCost(AlexNet()).StepFLOPs(dnn.FP)
+	vggE := dnn.NetworkCost(VGG('E')).StepFLOPs(dnn.FP)
+	if float64(vggE)/float64(alex) < 10 {
+		t.Errorf("VGG-E/AlexNet FLOP ratio = %.1f, paper shows >10x", float64(vggE)/float64(alex))
+	}
+}

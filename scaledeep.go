@@ -1,0 +1,206 @@
+// Package scaledeep is a from-scratch reproduction of the ScaleDeep system
+// (Venkataramani et al., ISCA 2017): a dense, scalable server architecture
+// for training and evaluating deep neural networks.
+//
+// The package is a facade over the implementation packages:
+//
+//   - network construction and the 11-benchmark model zoo (internal/dnn,
+//     internal/zoo) with per-layer compute/data analytics (§2.3);
+//   - the micro-architectural configuration hierarchy of Fig. 14
+//     (internal/arch): CompHeavy/MemHeavy tiles, ConvLayer/FcLayer chips,
+//     the wheel of chips per cluster and the ring of clusters;
+//   - the 28-instruction ScaleDeep ISA (internal/isa) and the two-phase
+//     compiler of §4 (internal/compiler);
+//   - the functional + timing simulator with hardware data-flow trackers
+//     (internal/sim, §3.2.4);
+//   - the analytic performance, power and GPU-baseline models that
+//     regenerate the evaluation figures (internal/perfmodel,
+//     internal/power, internal/gpu, internal/report).
+//
+// Quick start:
+//
+//	b := scaledeep.NewBuilder("mynet")
+//	in := b.Input(3, 32, 32)
+//	c1 := b.Conv(in, "c1", 16, 3, 1, 1, scaledeep.ReLU)
+//	p1 := b.MaxPool(c1, "p1", 2, 2)
+//	f1 := b.FC(p1, "f1", 10, scaledeep.NoAct)
+//	net := b.Softmax(f1).Build()
+//
+//	perf, _ := scaledeep.Model(net, scaledeep.Baseline())
+//	fmt.Printf("%.0f training images/s\n", perf.TrainImagesPerSec)
+package scaledeep
+
+import (
+	"io"
+
+	"scaledeep/internal/arch"
+	"scaledeep/internal/cluster"
+	"scaledeep/internal/compiler"
+	"scaledeep/internal/dnn"
+	"scaledeep/internal/perfmodel"
+	"scaledeep/internal/power"
+	"scaledeep/internal/sim"
+	"scaledeep/internal/tensor"
+	"scaledeep/internal/zoo"
+)
+
+// Network construction.
+type (
+	// Network is a DNN topology: a validated DAG of typed layers.
+	Network = dnn.Network
+	// Builder constructs networks layer by layer with shape inference.
+	Builder = dnn.Builder
+	// Layer is one node of a network.
+	Layer = dnn.Layer
+	// Tensor is a dense float32 tensor.
+	Tensor = tensor.Tensor
+	// Executor trains and evaluates a network in software (the golden
+	// reference the hardware path is validated against).
+	Executor = dnn.Executor
+)
+
+// Activation kinds for Conv/FC layers.
+const (
+	NoAct   = tensor.ActNone
+	ReLU    = tensor.ActReLU
+	Tanh    = tensor.ActTanh
+	Sigmoid = tensor.ActSigmoid
+)
+
+// NewBuilder starts a network definition.
+func NewBuilder(name string) *Builder { return dnn.NewBuilder(name) }
+
+// NewExecutor allocates a software executor with deterministic
+// pseudo-random initial weights.
+func NewExecutor(net *Network, seed uint64) *Executor { return dnn.NewExecutor(net, seed) }
+
+// NewTensor allocates a zero tensor.
+func NewTensor(shape ...int) *Tensor { return tensor.New(shape...) }
+
+// SaveWeights serializes an executor's trained parameters (with checksum).
+func SaveWeights(w io.Writer, e *Executor) error { return dnn.SaveWeights(w, e) }
+
+// LoadWeights restores parameters saved by SaveWeights into an executor of
+// the same network.
+func LoadWeights(r io.Reader, e *Executor) error { return dnn.LoadWeights(r, e) }
+
+// Benchmarks lists the 11 evaluation networks (Fig. 15).
+var Benchmarks = zoo.Names
+
+// Benchmark builds one of the paper's 11 benchmark networks by name.
+func Benchmark(name string) *Network { return zoo.Build(name) }
+
+// Architecture configuration.
+type (
+	// NodeConfig describes a full ScaleDeep node (Fig. 14).
+	NodeConfig = arch.NodeConfig
+	// ChipConfig describes one ConvLayer or FcLayer chip.
+	ChipConfig = arch.ChipConfig
+)
+
+// Baseline returns the single-precision node of Fig. 14: 7032 tiles,
+// 680 TFLOPs peak at 1.4 kW.
+func Baseline() NodeConfig { return arch.Baseline() }
+
+// HalfPrecision returns the FP16 design of Fig. 17 (~1.35 PFLOPs peak at
+// roughly the same power).
+func HalfPrecision() NodeConfig { return arch.HalfPrecision() }
+
+// Performance modeling.
+type (
+	// Performance is the analytic model's output for one network.
+	Performance = perfmodel.NetworkPerf
+	// PowerBreakdown is the average-power result of the power model.
+	PowerBreakdown = power.Breakdown
+)
+
+// Model evaluates a network's training/evaluation throughput, utilization
+// and link traffic on a node design (Figs. 16, 17, 19, 21).
+func Model(net *Network, node NodeConfig) (*Performance, error) {
+	return perfmodel.Model(net, node)
+}
+
+// ModelOptions select model variants for ablation studies: Winograd
+// convolutions, sub-column layer allocation (the paper's stated future
+// work), and a homogeneous (no FcLayer chips) design point.
+type ModelOptions = perfmodel.Options
+
+// ModelWith evaluates a network under ablation options.
+func ModelWith(net *Network, node NodeConfig, opts ModelOptions) (*Performance, error) {
+	return perfmodel.ModelWith(net, node, opts)
+}
+
+// AveragePower computes the training-time power breakdown and processing
+// efficiency (Fig. 20).
+func AveragePower(perf *Performance, node NodeConfig) PowerBreakdown {
+	return power.Average(perf, node)
+}
+
+// Node-level fabric (§3.3): the wheel of ConvLayer chips per cluster and
+// the ring of clusters, with the minibatch-boundary collectives (gradient
+// accumulation over arcs, ring all-reduce, weight distribution).
+type Fabric = cluster.Node
+
+// NewFabric builds the wheel-ring fabric for a node configuration, holding
+// convWeights conv parameters per chip and fcWeights FC parameters split
+// across clusters under model parallelism.
+func NewFabric(cfg NodeConfig, convWeights, fcWeights int) *Fabric {
+	return cluster.NewNode(cfg, convWeights, fcWeights)
+}
+
+// Compilation and functional simulation.
+type (
+	// Compiled is the compiler's output: per-tile ScaleDeep programs, the
+	// data-flow tracker manifest, and harness bindings.
+	Compiled = compiler.Compiled
+	// CompileOptions configure code generation.
+	CompileOptions = compiler.Options
+	// Machine is the functional + timing chip simulator.
+	Machine = sim.Machine
+	// SimStats are one simulation run's statistics.
+	SimStats = sim.Stats
+)
+
+// Compile maps a (linear-chain) network onto one chip and generates the
+// per-tile ScaleDeep programs (Fig. 13's full pipeline).
+func Compile(net *Network, chip ChipConfig, opts CompileOptions) (*Compiled, error) {
+	return compiler.Compile(net, chip, opts)
+}
+
+// NewMachine builds a chip simulator. Functional mode carries real data
+// through the scratchpads; otherwise the run is timing-only.
+func NewMachine(chip ChipConfig, functional bool) *Machine {
+	return sim.NewMachine(chip, arch.Single, functional)
+}
+
+// Simulate is the one-call harness: compile the network, install it on a
+// functional simulator, load weights from the executor and the given
+// minibatch, run to completion, and return the machine (for reading
+// outputs and trained weights) plus the run statistics.
+func Simulate(net *Network, chip ChipConfig, opts CompileOptions,
+	e *Executor, inputs, golden []*Tensor) (*Compiled, *Machine, SimStats, error) {
+	c, err := Compile(net, chip, opts)
+	if err != nil {
+		return nil, nil, SimStats{}, err
+	}
+	m := NewMachine(chip, true)
+	if err := c.Install(m); err != nil {
+		return nil, nil, SimStats{}, err
+	}
+	if err := c.LoadWeights(m, e); err != nil {
+		return nil, nil, SimStats{}, err
+	}
+	if err := c.LoadInputs(m, inputs); err != nil {
+		return nil, nil, SimStats{}, err
+	}
+	if opts.Training {
+		if err := c.LoadGolden(m, golden); err != nil {
+			return nil, nil, SimStats{}, err
+		}
+	}
+	st, err := m.Run()
+	if err != nil {
+		return nil, nil, SimStats{}, err
+	}
+	return c, m, st, nil
+}

@@ -1,0 +1,115 @@
+package scaledeep_test
+
+import (
+	"bytes"
+	"testing"
+
+	"scaledeep"
+	"scaledeep/internal/tensor"
+)
+
+// The facade test doubles as executable documentation: the package-level
+// quick-start must work exactly as written.
+func TestQuickstartFlow(t *testing.T) {
+	b := scaledeep.NewBuilder("mynet")
+	in := b.Input(3, 32, 32)
+	c1 := b.Conv(in, "c1", 16, 3, 1, 1, scaledeep.ReLU)
+	p1 := b.MaxPool(c1, "p1", 2, 2)
+	f1 := b.FC(p1, "f1", 10, scaledeep.NoAct)
+	net := b.Softmax(f1).Build()
+
+	perf, err := scaledeep.Model(net, scaledeep.Baseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perf.TrainImagesPerSec <= 0 || perf.EvalImagesPerSec <= perf.TrainImagesPerSec {
+		t.Fatalf("throughput: train %v eval %v", perf.TrainImagesPerSec, perf.EvalImagesPerSec)
+	}
+	pb := scaledeep.AveragePower(perf, scaledeep.Baseline())
+	if pb.Efficiency <= 0 {
+		t.Fatalf("efficiency %v", pb.Efficiency)
+	}
+}
+
+func TestBenchmarkAccess(t *testing.T) {
+	if len(scaledeep.Benchmarks) != 11 {
+		t.Fatalf("%d benchmarks", len(scaledeep.Benchmarks))
+	}
+	n := scaledeep.Benchmark("AlexNet")
+	if n.TotalWeights() < 60_000_000 {
+		t.Fatal("AlexNet weights off")
+	}
+}
+
+func TestSimulateRoundTrip(t *testing.T) {
+	b := scaledeep.NewBuilder("facade")
+	in := b.Input(2, 8, 8)
+	c1 := b.Conv(in, "c1", 4, 3, 1, 1, scaledeep.ReLU)
+	f1 := b.FC(c1, "f1", 3, scaledeep.NoAct)
+	_ = f1
+	net := b.Build()
+
+	chip := scaledeep.Baseline().Cluster.Conv
+	chip.Rows, chip.Cols = 3, 4
+
+	e := scaledeep.NewExecutor(net, 7)
+	e.NoBias = true
+	rng := tensor.NewRNG(9)
+	inputs := []*scaledeep.Tensor{scaledeep.NewTensor(2, 8, 8)}
+	rng.FillUniform(inputs[0], 1)
+
+	c, m, st, err := scaledeep.Simulate(net, chip,
+		scaledeep.CompileOptions{Minibatch: 1}, e, inputs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cycles <= 0 {
+		t.Fatal("no cycles simulated")
+	}
+	got := c.ReadOutput(m, 0)
+	want := e.Forward(inputs[0])
+	diff := tensor.MaxAbsDiff(tensor.FromSlice(got, len(got)), tensor.FromSlice(want.Data, want.Len()))
+	if diff > 1e-4 {
+		t.Fatalf("facade simulate output differs by %v", diff)
+	}
+}
+
+func TestFacadeAblationsAndFabric(t *testing.T) {
+	net := scaledeep.Benchmark("VGG-D")
+	base, err := scaledeep.Model(net, scaledeep.Baseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wino, err := scaledeep.ModelWith(net, scaledeep.Baseline(), scaledeep.ModelOptions{Winograd: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wino.TrainImagesPerSec <= base.TrainImagesPerSec {
+		t.Error("facade Winograd option had no effect")
+	}
+	fab := scaledeep.NewFabric(scaledeep.Baseline(), 64, 16)
+	if cycles := fab.MinibatchBoundary(0.1); cycles <= 0 {
+		t.Error("facade fabric boundary")
+	}
+}
+
+func TestFacadeCheckpointRoundTrip(t *testing.T) {
+	b := scaledeep.NewBuilder("ckpt")
+	in := b.Input(1, 4, 4)
+	f := b.FC(in, "f", 3, scaledeep.NoAct)
+	net := b.Softmax(f).Build()
+	src := scaledeep.NewExecutor(net, 5)
+	var buf bytes.Buffer
+	if err := scaledeep.SaveWeights(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := scaledeep.NewExecutor(net, 9)
+	if err := scaledeep.LoadWeights(&buf, dst); err != nil {
+		t.Fatal(err)
+	}
+	x := scaledeep.NewTensor(1, 4, 4)
+	tensor.NewRNG(1).FillUniform(x, 1)
+	if tensor.MaxAbsDiff(src.Forward(x), dst.Forward(x)) != 0 {
+		t.Fatal("facade checkpoint round trip not exact")
+	}
+}
