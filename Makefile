@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: build test check fmt vet race bench
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+# check is the pre-merge gate: formatting, static analysis, and the race
+# detector over the concurrency-sensitive packages.
+check: fmt vet race test
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./internal/telemetry/... ./internal/sim/...
+
+# bench compares the simulator hot path with telemetry detached vs attached
+# (the nil-sink fast path must not cost anything when disabled).
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkRunTelemetry' -benchmem ./internal/sim/

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	sdsim [-train] [-mb N] [-iters N]
+//	sdsim [-train] [-mb N] [-iters N] [-trace-out t.json] [-metrics-out m.json]
 package main
 
 import (
@@ -15,7 +15,9 @@ import (
 	"scaledeep/internal/arch"
 	"scaledeep/internal/compiler"
 	"scaledeep/internal/dnn"
+	"scaledeep/internal/report"
 	"scaledeep/internal/sim"
+	"scaledeep/internal/telemetry"
 	"scaledeep/internal/tensor"
 )
 
@@ -25,6 +27,9 @@ func main() {
 	iters := flag.Int("iters", 1, "training iterations")
 	traceN := flag.Int("trace", 0, "print the first N trace events (0 = off)")
 	utilMap := flag.Bool("map", false, "print the Fig.19-style chip utilization map")
+	traceOut := flag.String("trace-out", "", "write a Chrome/Perfetto trace-event JSON file")
+	metricsOut := flag.String("metrics-out", "", "write a metrics snapshot JSON file")
+	spanCap := flag.Int("span-cap", 1<<18, "span ring-buffer capacity for -trace-out")
 	flag.Parse()
 
 	b := dnn.NewBuilder("simnet")
@@ -39,7 +44,15 @@ func main() {
 	chip := arch.Baseline().Cluster.Conv
 	chip.Rows, chip.Cols = 3, 8
 
+	var spanTrace *telemetry.Trace
+	if *traceOut != "" {
+		spanTrace = telemetry.NewTrace(*spanCap)
+	}
+
 	opts := compiler.Options{Minibatch: *mb, Iterations: *iters, Training: *train, LR: 0.0625}
+	if spanTrace != nil {
+		opts.Spans = spanTrace
+	}
 	c, err := compiler.Compile(net, chip, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -49,6 +62,14 @@ func main() {
 	m := sim.NewMachine(chip, arch.Single, true)
 	if *traceN > 0 {
 		m.EnableTrace(*traceN)
+	}
+	if spanTrace != nil {
+		m.SetSpanSink(spanTrace)
+	}
+	var metrics *telemetry.Registry
+	if *metricsOut != "" {
+		metrics = telemetry.NewRegistry()
+		m.SetMetrics(metrics)
 	}
 	if err := c.Install(m); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -118,4 +139,39 @@ func main() {
 		fmt.Println()
 		fmt.Print(m.UtilizationMap())
 	}
+	if spanTrace != nil {
+		if err := writeChromeTrace(*traceOut, spanTrace); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d spans to %s", spanTrace.Len(), *traceOut)
+		if d := spanTrace.Dropped(); d > 0 {
+			fmt.Printf(" (%d dropped; raise -span-cap)", d)
+		}
+		fmt.Println(" — open in ui.perfetto.dev or chrome://tracing")
+	}
+	if *metricsOut != "" {
+		data, err := report.MetricsJSON(metrics)
+		if err == nil {
+			err = os.WriteFile(*metricsOut, data, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote metrics snapshot to %s\n", *metricsOut)
+	}
+}
+
+// writeChromeTrace exports the recorded spans as Chrome trace-event JSON.
+func writeChromeTrace(path string, tr *telemetry.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := telemetry.WriteChromeTrace(f, tr.Spans()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -12,12 +12,16 @@ import (
 	"scaledeep/internal/arch"
 	"scaledeep/internal/compiler"
 	"scaledeep/internal/dnn"
+	"scaledeep/internal/report"
 	"scaledeep/internal/sim"
+	"scaledeep/internal/telemetry"
 	"scaledeep/internal/tensor"
 )
 
 func main() {
 	iters := flag.Int("iters", 6, "training iterations")
+	traceOut := flag.String("trace-out", "", "write a Chrome/Perfetto trace-event JSON file")
+	metricsOut := flag.String("metrics-out", "", "write a metrics snapshot JSON file")
 	flag.Parse()
 	const mb = 2
 	const lr = float32(0.03125)
@@ -40,35 +44,43 @@ func main() {
 		rng.FillUniform(golden[i], 1)
 	}
 
+	var spanTrace *telemetry.Trace
+	if *traceOut != "" {
+		spanTrace = telemetry.NewTrace(0)
+	}
+
 	// Software reference.
 	ref := dnn.NewExecutor(net, 42)
 	ref.NoBias = true
+	if spanTrace != nil {
+		ref.Spans = spanTrace
+	}
 	for it := 0; it < *iters; it++ {
-		var loss float64
-		for i, img := range inputs {
-			out := ref.Forward(img)
-			grad := out.Clone()
-			tensor.Sub(grad, out, golden[i])
-			for _, v := range grad.Data {
-				loss += float64(v) * float64(v)
-			}
-			ref.BackwardFrom(grad)
-		}
-		ref.Step(lr, 1)
+		loss := ref.TrainEpoch(it, inputs, golden, lr)
 		fmt.Printf("iter %2d  reference L2 loss %.6f\n", it+1, loss)
 	}
 
 	// Hardware path.
 	chip := arch.Baseline().Cluster.Conv
 	chip.Rows, chip.Cols = 3, 6
-	c, err := compiler.Compile(net, chip, compiler.Options{
-		Minibatch: mb, Iterations: *iters, Training: true, LR: lr,
-	})
+	copts := compiler.Options{Minibatch: mb, Iterations: *iters, Training: true, LR: lr}
+	if spanTrace != nil {
+		copts.Spans = spanTrace
+	}
+	c, err := compiler.Compile(net, chip, copts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	m := sim.NewMachine(chip, arch.Single, true)
+	if spanTrace != nil {
+		m.SetSpanSink(spanTrace)
+	}
+	var metrics *telemetry.Registry
+	if *metricsOut != "" {
+		metrics = telemetry.NewRegistry()
+		m.SetMetrics(metrics)
+	}
 	init := dnn.NewExecutor(net, 42)
 	init.NoBias = true
 	if err := c.Install(m); err != nil {
@@ -111,5 +123,32 @@ func main() {
 	} else {
 		fmt.Println("WARNING: divergence exceeds tolerance")
 		os.Exit(1)
+	}
+
+	if spanTrace != nil {
+		f, err := os.Create(*traceOut)
+		if err == nil {
+			err = telemetry.WriteChromeTrace(f, spanTrace.Spans())
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d spans to %s — open in ui.perfetto.dev or chrome://tracing\n",
+			spanTrace.Len(), *traceOut)
+	}
+	if *metricsOut != "" {
+		data, err := report.MetricsJSON(metrics)
+		if err == nil {
+			err = os.WriteFile(*metricsOut, data, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote metrics snapshot to %s\n", *metricsOut)
 	}
 }

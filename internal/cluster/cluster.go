@@ -12,23 +12,57 @@ package cluster
 
 import (
 	"fmt"
+	"math"
 
 	"scaledeep/internal/arch"
+	"scaledeep/internal/telemetry"
 )
 
 // Link is a point-to-point connection with finite bandwidth.
 type Link struct {
 	GBps float64
-	busy int64 // cycles already committed
+	name string // telemetry track ("wheel0.arc1", "wheel2.spoke0", "ring3")
+	busy int64  // cycles already committed
 }
 
 // transferCycles returns the cycles to move `bytes` over the link at clock
-// freqHz, serialized after the link's committed traffic.
+// freqHz, serialized after the link's committed traffic. The duration is the
+// ceiling of bytes over the link's bytes-per-cycle; a zero-byte transfer
+// costs nothing.
 func (l *Link) transferCycles(bytes int64, freqHz float64) int64 {
-	bpc := l.GBps * 1e9 / freqHz
-	c := int64(float64(bytes)/bpc) + 1
-	l.busy += c
+	if bytes > 0 {
+		bpc := l.GBps * 1e9 / freqHz
+		l.busy += int64(math.Ceil(float64(bytes) / bpc))
+	}
 	return l.busy
+}
+
+// xfer runs one transfer over l and, when a span sink is attached, records
+// it on the link's track: the span covers the committed interval relative to
+// the node's accrued collective cycles, so serialized transfers render
+// back-to-back in the exported trace.
+func (n *Node) xfer(l *Link, op string, bytes int64) int64 {
+	before := l.busy
+	end := l.transferCycles(bytes, n.FreqHz)
+	if n.spans != nil && end > before {
+		n.spans.RecordSpan(telemetry.Span{
+			Track: l.name, Name: op,
+			Start: n.Cycles + before, Dur: end - before,
+		})
+	}
+	return end
+}
+
+// SetSpanSink attaches (or, with nil, detaches) a span recorder. Spans carry
+// cycle timestamps on per-link tracks, plus one summary span per collective
+// on the "node" track.
+func (n *Node) SetSpanSink(s telemetry.SpanSink) { n.spans = s }
+
+// collectiveSpan records one collective's summary span on the node track.
+func (n *Node) collectiveSpan(name string, dur int64) {
+	if n.spans != nil && dur > 0 {
+		n.spans.RecordSpan(telemetry.Span{Track: "node", Name: name, Start: n.Cycles, Dur: dur})
+	}
 }
 
 // ConvChip is one ConvLayer chip's node-level state: its locally accumulated
@@ -45,6 +79,7 @@ type ConvChip struct {
 // Wheel is one chip cluster: ConvLayer chips on the circumference, arcs
 // between neighbours, spokes to the central FcLayer chip (§3.3.1).
 type Wheel struct {
+	ID    int
 	Chips []*ConvChip
 	arcs  []*Link // arcs[i] connects chip i to chip (i+1) mod N
 	fc    fcChip
@@ -61,6 +96,8 @@ type Node struct {
 	ring   []*Link // ring[i] connects wheel i to wheel (i+1) mod K
 	FreqHz float64
 	Cycles int64 // total cycles consumed by node-level collectives
+
+	spans telemetry.SpanSink // nil = telemetry disabled
 }
 
 // NewNode builds the wheel-ring fabric from a node configuration, with
@@ -69,7 +106,7 @@ type Node struct {
 func NewNode(cfg arch.NodeConfig, convWeights, fcWeights int) *Node {
 	n := &Node{FreqHz: cfg.FreqHz}
 	for wi := 0; wi < cfg.NumClusters; wi++ {
-		w := &Wheel{}
+		w := &Wheel{ID: wi}
 		for ci := 0; ci < cfg.Cluster.NumConvChips; ci++ {
 			w.Chips = append(w.Chips, &ConvChip{
 				ID:      wi*cfg.Cluster.NumConvChips + ci,
@@ -77,18 +114,20 @@ func NewNode(cfg arch.NodeConfig, convWeights, fcWeights int) *Node {
 				Weights: make([]float32, convWeights),
 			})
 		}
-		for range w.Chips {
-			w.arcs = append(w.arcs, &Link{GBps: cfg.Cluster.ArcGBps})
+		for ai := range w.Chips {
+			w.arcs = append(w.arcs, &Link{GBps: cfg.Cluster.ArcGBps,
+				name: fmt.Sprintf("wheel%d.arc%d", wi, ai)})
 		}
-		for _, c := range w.Chips {
-			c.spoke = &Link{GBps: cfg.Cluster.SpokeGBps}
+		for ci, c := range w.Chips {
+			c.spoke = &Link{GBps: cfg.Cluster.SpokeGBps,
+				name: fmt.Sprintf("wheel%d.spoke%d", wi, ci)}
 		}
 		per := fcWeights / cfg.NumClusters
 		w.fc = fcChip{Grad: make([]float32, per), Weights: make([]float32, per)}
 		n.Wheels = append(n.Wheels, w)
 	}
-	for range n.Wheels {
-		n.ring = append(n.ring, &Link{GBps: cfg.RingGBps})
+	for wi := range n.Wheels {
+		n.ring = append(n.ring, &Link{GBps: cfg.RingGBps, name: fmt.Sprintf("ring%d", wi)})
 	}
 	return n
 }
@@ -117,7 +156,7 @@ func (n *Node) AccumulateWheel(w *Wheel) int64 {
 		}
 		var end int64
 		for h := 0; h < hops; h++ {
-			end = w.arcs[(i+h)%len(w.arcs)].transferCycles(bytes, n.FreqHz)
+			end = n.xfer(w.arcs[(i+h)%len(w.arcs)], "grad", bytes)
 		}
 		if end > worst {
 			worst = end
@@ -126,6 +165,7 @@ func (n *Node) AccumulateWheel(w *Wheel) int64 {
 			src.Grad[j] = 0
 		}
 	}
+	n.collectiveSpan(fmt.Sprintf("grad-accumulate.wheel%d", w.ID), worst)
 	return worst
 }
 
@@ -162,12 +202,13 @@ func (n *Node) RingAllReduce() int64 {
 	for _, l := range n.ring {
 		var end int64
 		for step := 0; step < 2*(k-1); step++ {
-			end = l.transferCycles(chunkBytes, n.FreqHz)
+			end = n.xfer(l, "ring-chunk", chunkBytes)
 		}
 		if end > worst {
 			worst = end
 		}
 	}
+	n.collectiveSpan("ring-all-reduce", worst)
 	return worst
 }
 
@@ -190,7 +231,7 @@ func (n *Node) DistributeWeights(lr float32) int64 {
 			}
 			var end int64
 			for h := 0; h < hops; h++ {
-				end = w.arcs[h%len(w.arcs)].transferCycles(bytes, n.FreqHz)
+				end = n.xfer(w.arcs[h%len(w.arcs)], "weights", bytes)
 			}
 			if end > worst {
 				worst = end
@@ -200,24 +241,26 @@ func (n *Node) DistributeWeights(lr float32) int64 {
 			root.Grad[j] = 0
 		}
 	}
+	n.collectiveSpan("weight-distribute", worst)
 	return worst
 }
 
 // MinibatchBoundary runs the full §3.3 collective sequence: wheel
 // accumulation, ring all-reduce, weight update and distribution. It returns
-// the total node-level cycles, which accrue on n.Cycles.
+// the total node-level cycles, which accrue on n.Cycles. Cycles advance
+// after each phase so recorded spans stack sequentially on the timeline.
 func (n *Node) MinibatchBoundary(lr float32) int64 {
+	start := n.Cycles
 	var wheelWorst int64
 	for _, w := range n.Wheels {
 		if c := n.AccumulateWheel(w); c > wheelWorst {
 			wheelWorst = c
 		}
 	}
-	ringC := n.RingAllReduce()
-	distC := n.DistributeWeights(lr)
-	total := wheelWorst + ringC + distC
-	n.Cycles += total
-	return total
+	n.Cycles += wheelWorst
+	n.Cycles += n.RingAllReduce()
+	n.Cycles += n.DistributeWeights(lr)
+	return n.Cycles - start
 }
 
 // SpokeSend models one image's FC-input transfer from a ConvLayer chip to
@@ -226,5 +269,5 @@ func (n *Node) SpokeSend(w *Wheel, chip int, bytes int64) (int64, error) {
 	if chip < 0 || chip >= len(w.Chips) {
 		return 0, fmt.Errorf("cluster: chip %d out of range", chip)
 	}
-	return w.Chips[chip].spoke.transferCycles(bytes, n.FreqHz), nil
+	return n.xfer(w.Chips[chip].spoke, "fc-input", bytes), nil
 }

@@ -2,6 +2,7 @@ package compiler
 
 import (
 	"fmt"
+	"time"
 
 	"scaledeep/internal/arch"
 	"scaledeep/internal/dnn"
@@ -162,11 +163,15 @@ func (c *Compiled) TotalInstructions() int {
 }
 
 // Compile is the convenience front-end: workload mapping followed by code
-// generation, the full pipeline of Fig. 13.
+// generation, the full pipeline of Fig. 13. When opts.Spans is set, the
+// map/bind/emit/finalize phases are recorded as wall-time spans on one
+// shared timeline.
 func Compile(net *dnn.Network, chip arch.ChipConfig, opts Options) (*Compiled, error) {
+	base := time.Now()
 	m, err := Map(net, chip)
 	if err != nil {
 		return nil, err
 	}
-	return Generate(m, opts)
+	phaseSpan(opts.Spans, base, base, "map")
+	return generate(m, opts, base)
 }

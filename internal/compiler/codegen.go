@@ -2,12 +2,27 @@ package compiler
 
 import (
 	"fmt"
+	"time"
 
 	"scaledeep/internal/arch"
 	"scaledeep/internal/dnn"
 	"scaledeep/internal/isa"
 	"scaledeep/internal/sim"
+	"scaledeep/internal/telemetry"
 )
+
+// phaseSpan records one compiler phase on the "compiler" track: wall-clock
+// microseconds relative to base (the pipeline's start).
+func phaseSpan(sink telemetry.SpanSink, base, start time.Time, name string) {
+	if sink == nil {
+		return
+	}
+	sink.RecordSpan(telemetry.Span{
+		Track: "compiler", Name: name,
+		Start: start.Sub(base).Microseconds(),
+		Dur:   time.Since(start).Microseconds(),
+	})
+}
 
 // Options configure code generation.
 type Options struct {
@@ -22,6 +37,9 @@ type Options struct {
 	// then streamed in when the layer executes). Gradients stay on-chip and
 	// the weight update writes back to external memory.
 	WeightsOffChip bool
+	// Spans, when non-nil, receives wall-time spans (track "compiler", µs
+	// timestamps) for the map/bind/emit/finalize phases of Fig. 13.
+	Spans telemetry.SpanSink
 }
 
 // External-memory layout (element addresses).
@@ -84,6 +102,12 @@ type gradMap = map[int]map[int]*region
 
 // Generate runs the code-generation phase on a mapping.
 func Generate(m *Mapping, opts Options) (*Compiled, error) {
+	return generate(m, opts, time.Now())
+}
+
+// generate is Generate with an explicit telemetry time base, so Compile can
+// put mapping and code generation on one phase timeline.
+func generate(m *Mapping, opts Options, base time.Time) (*Compiled, error) {
 	if opts.Minibatch < 1 {
 		opts.Minibatch = 1
 	}
@@ -107,21 +131,27 @@ func Generate(m *Mapping, opts Options) (*Compiled, error) {
 	last := g.maps[len(g.maps)-1].Layer
 	g.out.OutputElems = int64(last.Out.Elems())
 
-	if err := g.run(); err != nil {
+	if err := g.run(base); err != nil {
 		return nil, err
 	}
+	tFin := time.Now()
 	progs, trackers := g.em.finalize(opts.Iterations)
+	phaseSpan(opts.Spans, base, tFin, "finalize")
 	g.out.Programs = progs
 	g.out.Trackers = trackers
 	return g.out, nil
 }
 
-func (g *gen) run() error {
+func (g *gen) run(base time.Time) error {
+	// Bind phase: allocate every layer's feature/error/weight state to tiles.
+	tBind := time.Now()
 	for mi, lm := range g.maps {
 		g.allocLayerState(mi, lm)
 	}
-	// Per-layer persistent scratch (partial sums, staging) is allocated by
-	// the emitters on their first image.
+	phaseSpan(g.opts.Spans, base, tBind, "bind")
+	// Emit phase. Per-layer persistent scratch (partial sums, staging) is
+	// allocated by the emitters on their first image.
+	tEmit := time.Now()
 	for img := 0; img < g.opts.Minibatch; img++ {
 		// The head comes first: it shares BP tiles with the final layer, and
 		// its error-seeding ops must precede that layer's backward
@@ -150,6 +180,7 @@ func (g *gen) run() error {
 		}
 	}
 	g.emitBarrier()
+	phaseSpan(g.opts.Spans, base, tEmit, "emit")
 	return nil
 }
 

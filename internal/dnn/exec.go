@@ -2,7 +2,9 @@ package dnn
 
 import (
 	"fmt"
+	"time"
 
+	"scaledeep/internal/telemetry"
 	"scaledeep/internal/tensor"
 )
 
@@ -33,9 +35,14 @@ type Executor struct {
 	// functional backend folds no bias term, so equivalence tests set this.
 	NoBias bool
 
+	// Spans, when non-nil, receives wall-time spans (µs) for per-layer
+	// forward/backward work and per-epoch training timings (telemetry.go).
+	Spans telemetry.SpanSink
+
 	// Per-input forward state (valid after Forward).
-	Acts    []*tensor.Tensor // post-activation outputs per layer
-	poolArg [][]int32        // max-pool argmax indices per layer
+	Acts     []*tensor.Tensor // post-activation outputs per layer
+	poolArg  [][]int32        // max-pool argmax indices per layer
+	spanBase time.Time        // telemetry clock zero, set on first span
 }
 
 // NewExecutor allocates parameters for net, initialized with small
@@ -96,6 +103,10 @@ func sqrt32(x float32) float32 {
 // Forward runs FP for one input, storing per-layer activations.
 func (e *Executor) Forward(input *tensor.Tensor) *tensor.Tensor {
 	for i, l := range e.Net.Layers {
+		var t0 int64
+		if e.Spans != nil {
+			t0 = e.spanNow()
+		}
 		switch l.Kind {
 		case Input:
 			if input.Shape[0] != l.Out.C || input.Shape[1] != l.Out.H || input.Shape[2] != l.Out.W {
@@ -141,6 +152,9 @@ func (e *Executor) Forward(input *tensor.Tensor) *tensor.Tensor {
 		case Softmax:
 			e.Acts[i] = tensor.Softmax(flatten(e.Acts[l.Inputs[0]]))
 		}
+		if e.Spans != nil && l.Kind != Input {
+			e.layerSpan("dnn/fp", l.Name, t0)
+		}
 	}
 	return e.Acts[len(e.Net.Layers)-1]
 }
@@ -175,6 +189,10 @@ func (e *Executor) backprop(grads []*tensor.Tensor, label int) {
 	for i := n - 1; i >= 0; i-- {
 		l := e.Net.Layers[i]
 		g := grads[i]
+		var t0 int64
+		if e.Spans != nil {
+			t0 = e.spanNow()
+		}
 		if l.Kind == Softmax {
 			if g == nil {
 				if label < 0 {
@@ -183,6 +201,9 @@ func (e *Executor) backprop(grads []*tensor.Tensor, label int) {
 				g = tensor.SoftmaxCrossEntropyGrad(e.Acts[i], label)
 			}
 			accumGrad(grads, l.Inputs[0], reshapeLike(g, e.Acts[l.Inputs[0]]))
+			if e.Spans != nil {
+				e.layerSpan("dnn/bp", l.Name, t0)
+			}
 			continue
 		}
 		if g == nil {
@@ -239,6 +260,9 @@ func (e *Executor) backprop(grads []*tensor.Tensor, label int) {
 			hw := l.In.H * l.In.W
 			copy(full.Data[l.SliceFrom*hw:], g.Data)
 			accumGrad(grads, l.Inputs[0], full)
+		}
+		if e.Spans != nil && l.Kind != Input {
+			e.layerSpan("dnn/bp", l.Name, t0)
 		}
 	}
 }

@@ -1,0 +1,55 @@
+package dnn
+
+import (
+	"fmt"
+	"time"
+
+	"scaledeep/internal/telemetry"
+	"scaledeep/internal/tensor"
+)
+
+// spanNow returns the executor's telemetry clock: wall-clock microseconds
+// since the first recorded event.
+func (e *Executor) spanNow() int64 {
+	if e.spanBase.IsZero() {
+		e.spanBase = time.Now()
+	}
+	return time.Since(e.spanBase).Microseconds()
+}
+
+// layerSpan records one layer's work on a per-pass track ("dnn/fp",
+// "dnn/bp", ...). Callers check e.Spans != nil first.
+func (e *Executor) layerSpan(track, name string, start int64) {
+	e.Spans.RecordSpan(telemetry.Span{Track: track, Name: name, Start: start, Dur: e.spanNow() - start})
+}
+
+// TrainEpoch runs one regression-style training epoch: FP plus BP/WG from
+// the L2 error against each golden output, then a single SGD step over the
+// summed minibatch gradients (the loop sdtrain and the recurrent-network
+// examples previously open-coded). It returns the epoch's summed squared
+// error. When Spans is set, the epoch is recorded as one span on the "dnn"
+// track with per-layer FP/BP spans nested under it.
+func (e *Executor) TrainEpoch(epoch int, inputs, golden []*tensor.Tensor, lr float32) float64 {
+	if len(inputs) != len(golden) {
+		panic("dnn: inputs/golden length mismatch")
+	}
+	var start int64
+	if e.Spans != nil {
+		start = e.spanNow()
+	}
+	var loss float64
+	for i, img := range inputs {
+		out := e.Forward(img)
+		grad := out.Clone()
+		tensor.Sub(grad, out, golden[i])
+		for _, v := range grad.Data {
+			loss += float64(v) * float64(v)
+		}
+		e.BackwardFrom(grad)
+	}
+	e.Step(lr, 1)
+	if e.Spans != nil {
+		e.layerSpan("dnn", fmt.Sprintf("epoch%d", epoch), start)
+	}
+	return loss
+}

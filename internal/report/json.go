@@ -1,0 +1,25 @@
+package report
+
+import (
+	"bytes"
+
+	"scaledeep/internal/sim"
+	"scaledeep/internal/telemetry"
+)
+
+// MetricsJSON renders a metrics registry as indented JSON — the
+// machine-readable counterpart to the text figures, reusing the telemetry
+// snapshot format so sdsim/sdtrain -metrics-out and sdreport agree on schema.
+func MetricsJSON(reg *telemetry.Registry) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// SimMetricsJSON renders one simulator run's statistics as a metrics
+// snapshot, for runs that did not attach a live registry.
+func SimMetricsJSON(st sim.Stats) ([]byte, error) {
+	return MetricsJSON(sim.StatsRegistry(st))
+}

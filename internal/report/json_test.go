@@ -1,0 +1,72 @@
+package report
+
+import (
+	"encoding/json"
+	"testing"
+
+	"scaledeep/internal/sim"
+	"scaledeep/internal/telemetry"
+)
+
+func TestSimMetricsJSONRoundTrip(t *testing.T) {
+	st := sim.Stats{
+		Cycles: 1234, Instructions: 56, FLOPs: 7890,
+		CompMemBytes: 11, MemMemBytes: 22, ExtMemBytes: 33, NACKs: 4,
+	}
+	data, err := SimMetricsJSON(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Counters []struct {
+			Name   string            `json:"name"`
+			Labels map[string]string `json:"labels,omitempty"`
+			Value  int64             `json:"value"`
+		} `json:"counters"`
+		Gauges []struct {
+			Name  string  `json:"name"`
+			Value float64 `json:"value"`
+		} `json:"gauges"`
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v\n%s", err, data)
+	}
+	counters := map[string]int64{}
+	for _, c := range snap.Counters {
+		key := c.Name
+		if v := c.Labels["link"]; v != "" {
+			key += "/" + v
+		}
+		counters[key] = c.Value
+	}
+	want := map[string]int64{
+		"sim.flops":               st.FLOPs,
+		"sim.instructions":        st.Instructions,
+		"sim.nacks":               st.NACKs,
+		"sim.link.bytes/comp-mem": st.CompMemBytes,
+		"sim.link.bytes/mem-mem":  st.MemMemBytes,
+		"sim.link.bytes/ext":      st.ExtMemBytes,
+	}
+	for k, v := range want {
+		if counters[k] != v {
+			t.Errorf("%s = %d, want %d", k, counters[k], v)
+		}
+	}
+	gauges := map[string]float64{}
+	for _, g := range snap.Gauges {
+		gauges[g.Name] = g.Value
+	}
+	if gauges["sim.cycles"] != float64(st.Cycles) {
+		t.Errorf("sim.cycles gauge = %v, want %d", gauges["sim.cycles"], st.Cycles)
+	}
+}
+
+func TestMetricsJSONEmptyRegistry(t *testing.T) {
+	data, err := MetricsJSON(telemetry.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(data) {
+		t.Fatalf("invalid JSON: %s", data)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"scaledeep/internal/arch"
 	"scaledeep/internal/isa"
+	"scaledeep/internal/telemetry"
 	"scaledeep/internal/tensor"
 )
 
@@ -96,6 +97,14 @@ type Machine struct {
 	trace        []TraceEvent
 	traceLimit   int
 	traceDropped int
+
+	// Telemetry hooks (nil = disabled; see telemetry.go).
+	spans      telemetry.SpanSink
+	metrics    *telemetry.Registry
+	mNACKs     *telemetry.Counter
+	mDMAs      *telemetry.Counter
+	mOpCycles  *telemetry.Histogram
+	mLinkBytes [3]*telemetry.Counter // indexed by linkClass
 }
 
 // NewMachine builds a simulator for one chip of the given configuration.
@@ -245,6 +254,7 @@ func (m *Machine) Run() (Stats, error) {
 		return Stats{}, d
 	}
 	m.collectStats()
+	m.publishMetrics()
 	return m.stats, nil
 }
 
@@ -278,6 +288,9 @@ func (m *Machine) block(ct *compTile, t *tracker, write bool, desc string) {
 		ct.nackRetries++
 		m.eng.schedule(ct.index, ct.time+nackRetryCycles)
 		m.stats.NACKs++
+		if m.mNACKs != nil {
+			m.mNACKs.Inc()
+		}
 		return
 	}
 	ct.nackRetries = 0

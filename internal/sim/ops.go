@@ -178,9 +178,9 @@ func (m *Machine) addOperandTraffic(accs []access) {
 	for _, a := range accs {
 		bytes := a.size * m.elemBytes
 		if a.loc.ext != nil {
-			m.stats.ExtMemBytes += bytes
+			m.addLinkBytes(linkExt, bytes)
 		} else {
-			m.stats.CompMemBytes += bytes
+			m.addLinkBytes(linkCompMem, bytes)
 		}
 	}
 }
@@ -578,13 +578,9 @@ func (m *Machine) execDMA(ct *compTile, v []int64) (bool, Cycle) {
 	if dstLoc.ext != nil {
 		dstLoc.ext.busy = end
 	}
-	switch class {
-	case linkExt:
-		m.stats.ExtMemBytes += bytes
-	case linkMemMem:
-		m.stats.MemMemBytes += bytes
-	case linkCompMem:
-		m.stats.CompMemBytes += bytes
+	m.addLinkBytes(class, bytes)
+	if m.mDMAs != nil {
+		m.mDMAs.Inc()
 	}
 
 	if m.Functional {
@@ -623,6 +619,6 @@ func (m *Machine) execPassBuff(ct *compTile, v []int64) (bool, Cycle) {
 	if !m.admit(ct, accs, "PASSBUFF", end) {
 		return false, 0
 	}
-	m.stats.CompMemBytes += bytes
+	m.addLinkBytes(linkCompMem, bytes)
 	return true, end
 }

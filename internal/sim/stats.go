@@ -62,7 +62,10 @@ func (s Stats) String() string {
 		s.CompMemBytes, s.MemMemBytes, s.ExtMemBytes, s.NACKs)
 }
 
-// collectStats gathers per-tile counters after a run.
+// collectStats gathers per-tile counters after a run. Every re-aggregated
+// field is reset first — Cycles included, since each tile's final time
+// persists on the tile and re-deriving the max from a stale carry-over would
+// inflate a reused Machine's second run.
 func (m *Machine) collectStats() {
 	s := &m.stats
 	s.ArrayBusy = s.ArrayBusy[:0]
@@ -70,6 +73,7 @@ func (m *Machine) collectStats() {
 	s.MemPeak = s.MemPeak[:0]
 	s.ActiveComp = 0
 	s.FLOPs = 0
+	s.Cycles = 0
 	for _, ct := range m.comp {
 		s.ArrayBusy = append(s.ArrayBusy, ct.arrayCycles)
 		s.FLOPs += ct.flops

@@ -1,0 +1,100 @@
+package sim
+
+import "scaledeep/internal/telemetry"
+
+// This file wires the simulator into internal/telemetry: per-tile op and
+// stall spans through a SpanSink (alongside the existing TraceEvent path)
+// and live NACK/DMA/link-byte counters plus end-of-run stat gauges through a
+// metrics registry. Both are nil by default and every hot-path hook guards
+// with a nil check, so a machine without telemetry runs at full speed.
+
+// SetSpanSink attaches (or, with nil, detaches) a span recorder. Spans carry
+// cycle timestamps: one complete span per coarse operation on a per-tile
+// track, plus zero-duration stall spans when a tile blocks on a tracker.
+func (m *Machine) SetSpanSink(s telemetry.SpanSink) { m.spans = s }
+
+// opCycleBuckets are the histogram bounds for coarse-op durations (cycles).
+var opCycleBuckets = []float64{1, 4, 16, 64, 256, 1024, 4096, 16384, 65536}
+
+// SetMetrics attaches a metrics registry (nil detaches). NACKs, DMA
+// transfers and link bytes are counted live as the simulation runs; Run
+// publishes the remaining Stats-derived values when it completes.
+func (m *Machine) SetMetrics(reg *telemetry.Registry) {
+	m.metrics = reg
+	if reg == nil {
+		m.mNACKs, m.mDMAs, m.mOpCycles = nil, nil, nil
+		m.mLinkBytes = [3]*telemetry.Counter{}
+		return
+	}
+	m.mNACKs = reg.Counter("sim.nacks")
+	m.mDMAs = reg.Counter("sim.dma.transfers")
+	m.mOpCycles = reg.Histogram("sim.op.cycles", opCycleBuckets)
+	m.mLinkBytes[linkCompMem] = reg.Counter("sim.link.bytes", telemetry.Label{Key: "link", Value: "comp-mem"})
+	m.mLinkBytes[linkMemMem] = reg.Counter("sim.link.bytes", telemetry.Label{Key: "link", Value: "mem-mem"})
+	m.mLinkBytes[linkExt] = reg.Counter("sim.link.bytes", telemetry.Label{Key: "link", Value: "ext"})
+}
+
+// emitSpan forwards one op/stall span to the attached sink.
+func (m *Machine) emitSpan(track, name string, start, end Cycle, attrs ...telemetry.Attr) {
+	m.spans.RecordSpan(telemetry.Span{
+		Track: track, Name: name,
+		Start: int64(start), Dur: int64(end - start), Attrs: attrs,
+	})
+}
+
+// addLinkBytes accrues traffic on one link class, mirrored to the live
+// counter when metrics are attached.
+func (m *Machine) addLinkBytes(class linkClass, bytes int64) {
+	switch class {
+	case linkCompMem:
+		m.stats.CompMemBytes += bytes
+	case linkMemMem:
+		m.stats.MemMemBytes += bytes
+	case linkExt:
+		m.stats.ExtMemBytes += bytes
+	}
+	if c := m.mLinkBytes[class]; c != nil {
+		c.Add(bytes)
+	}
+}
+
+// publishMetrics syncs the attached registry with the final Stats.
+func (m *Machine) publishMetrics() {
+	if m.metrics == nil {
+		return
+	}
+	m.stats.Publish(m.metrics)
+}
+
+// syncCounter raises c to want (counters are monotonic; live increments have
+// usually arrived already and the sync is a no-op).
+func syncCounter(c *telemetry.Counter, want int64) {
+	if d := want - c.Value(); d > 0 {
+		c.Add(d)
+	}
+}
+
+// Publish writes the run's aggregate statistics into reg using the same
+// metric names the simulator's live counters use, so a snapshot taken after
+// Run matches the printed Stats exactly.
+func (s Stats) Publish(reg *telemetry.Registry) {
+	syncCounter(reg.Counter("sim.nacks"), s.NACKs)
+	syncCounter(reg.Counter("sim.link.bytes", telemetry.Label{Key: "link", Value: "comp-mem"}), s.CompMemBytes)
+	syncCounter(reg.Counter("sim.link.bytes", telemetry.Label{Key: "link", Value: "mem-mem"}), s.MemMemBytes)
+	syncCounter(reg.Counter("sim.link.bytes", telemetry.Label{Key: "link", Value: "ext"}), s.ExtMemBytes)
+	syncCounter(reg.Counter("sim.flops"), s.FLOPs)
+	syncCounter(reg.Counter("sim.instructions"), s.Instructions)
+	reg.Gauge("sim.cycles").Set(float64(s.Cycles))
+	reg.Gauge("sim.pe_utilization").Set(s.PEUtilization())
+	reg.Gauge("sim.sfu_utilization").Set(s.SFUUtilization())
+	reg.Gauge("sim.active_comp_tiles").Set(float64(s.ActiveComp))
+}
+
+// StatsRegistry builds a fresh registry holding one run's statistics — the
+// snapshot source for machine-readable reports when no live registry was
+// attached to the machine.
+func StatsRegistry(s Stats) *telemetry.Registry {
+	reg := telemetry.NewRegistry()
+	s.Publish(reg)
+	return reg
+}

@@ -1,0 +1,180 @@
+package sim
+
+import (
+	"encoding/json"
+	"testing"
+
+	"scaledeep/internal/arch"
+	"scaledeep/internal/isa"
+	"scaledeep/internal/telemetry"
+)
+
+// producerConsumer loads the tracker-synchronized pair from the trace tests:
+// a delayed producer DMA and a consumer that stalls on the tracker.
+func producerConsumer(t *testing.T, m *Machine) {
+	t.Helper()
+	mid := m.MemTileIndex(0, 1)
+	m.ArmTrackers([]TrackerSpec{{MemTile: mid, Addr: 0, Size: 2, NumUpdates: 1, NumReads: 1}})
+	m.WriteMem(m.MemTileIndex(0, 0), 0, []float32{5, 6})
+	delay := []isa.Instr{isa.Ldri(1, 100), isa.Subri(1, 1, 1), isa.Bgtz(1, -2)}
+	producer := prog("p", delay, opInstr(isa.DMASTORE, 0, isa.PortLeft, 0, isa.PortRight, 2, 0))
+	consumer := prog("c", opInstr(isa.DMASTORE, 0, isa.PortLeft, 300, isa.PortExt, 2, 0))
+	if err := m.LoadProgram(0, 0, StepFP, producer); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LoadProgram(0, 1, StepFP, consumer); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpanSinkRecordsOpsAndStalls(t *testing.T) {
+	m := newTestMachine()
+	tr := telemetry.NewTrace(0)
+	m.SetSpanSink(tr)
+	producerConsumer(t, m)
+	mustRun(t, m)
+
+	spans := tr.Spans()
+	if len(spans) == 0 {
+		t.Fatal("no spans recorded")
+	}
+	tracks := map[string]bool{}
+	var sawOp, sawStall bool
+	for _, s := range spans {
+		tracks[s.Track] = true
+		if s.Start < 0 || s.Dur < 0 {
+			t.Fatalf("negative span: %+v", s)
+		}
+		switch s.Name {
+		case "DMASTORE":
+			sawOp = true
+		case "STALL":
+			sawStall = true
+			if s.Dur != 0 || len(s.Attrs) == 0 {
+				t.Fatalf("stall span: %+v", s)
+			}
+		}
+	}
+	if !sawOp || !sawStall {
+		t.Fatalf("missing spans (op=%v stall=%v): %+v", sawOp, sawStall, spans)
+	}
+	if !tracks["comp[r0,c0,FP]"] || !tracks["comp[r0,c1,FP]"] {
+		t.Fatalf("missing per-tile tracks: %v", tracks)
+	}
+
+	// The exported Chrome trace must be valid JSON with sane events.
+	data, err := telemetry.MarshalChromeTrace(spans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []telemetry.ChromeEvent
+	if err := json.Unmarshal(data, &events); err != nil {
+		t.Fatalf("chrome trace does not parse: %v", err)
+	}
+	if len(events) < len(spans) {
+		t.Fatalf("chrome trace too short: %d events for %d spans", len(events), len(spans))
+	}
+}
+
+func TestMetricsMatchStats(t *testing.T) {
+	m := newTestMachine()
+	reg := telemetry.NewRegistry()
+	m.SetMetrics(reg)
+	producerConsumer(t, m)
+	st := mustRun(t, m)
+
+	snap := reg.Snapshot()
+	counters := map[string]int64{}
+	for _, c := range snap.Counters {
+		key := c.Name
+		if l, ok := c.Labels["link"]; ok {
+			key += "/" + l
+		}
+		counters[key] = c.Value
+	}
+	checks := map[string]int64{
+		"sim.nacks":               st.NACKs,
+		"sim.flops":               st.FLOPs,
+		"sim.instructions":        st.Instructions,
+		"sim.link.bytes/comp-mem": st.CompMemBytes,
+		"sim.link.bytes/mem-mem":  st.MemMemBytes,
+		"sim.link.bytes/ext":      st.ExtMemBytes,
+	}
+	for name, want := range checks {
+		if counters[name] != want {
+			t.Errorf("%s = %d, stats say %d", name, counters[name], want)
+		}
+	}
+	gauges := map[string]float64{}
+	for _, g := range snap.Gauges {
+		gauges[g.Name] = g.Value
+	}
+	if gauges["sim.cycles"] != float64(st.Cycles) {
+		t.Errorf("sim.cycles gauge = %v, stats say %d", gauges["sim.cycles"], st.Cycles)
+	}
+	if len(snap.Histograms) == 0 || snap.Histograms[0].Count == 0 {
+		t.Error("op-cycle histogram recorded nothing")
+	}
+}
+
+func TestStatsRegistryStandalone(t *testing.T) {
+	st := Stats{Cycles: 100, FLOPs: 42, NACKs: 3, CompMemBytes: 64}
+	snap := StatsRegistry(st).Snapshot()
+	var flops int64
+	for _, c := range snap.Counters {
+		if c.Name == "sim.flops" {
+			flops = c.Value
+		}
+	}
+	if flops != 42 {
+		t.Fatalf("sim.flops = %d", flops)
+	}
+}
+
+// benchMachine builds a machine running a DMA+scalar loop workload, with or
+// without telemetry attached.
+func benchMachine(b *testing.B, withTelemetry bool) (*Machine, *telemetry.Trace, *telemetry.Registry) {
+	b.Helper()
+	m := NewMachine(testChip(), arch.Single, false)
+	var groups [][]isa.Instr
+	for i := 0; i < 64; i++ {
+		groups = append(groups, opInstr(isa.DMASTORE, 0, isa.PortLeft, int64(100+i), isa.PortExt, 8, 0))
+	}
+	if err := m.LoadProgram(0, 0, StepFP, prog("b", groups...)); err != nil {
+		b.Fatal(err)
+	}
+	if withTelemetry {
+		tr := telemetry.NewTrace(1 << 12)
+		reg := telemetry.NewRegistry()
+		m.SetSpanSink(tr)
+		m.SetMetrics(reg)
+		return m, tr, reg
+	}
+	return m, nil, nil
+}
+
+// BenchmarkRunTelemetryOff measures the nil-sink fast path: the per-op cost
+// must match the pre-telemetry simulator (compare with ...TelemetryOn).
+func BenchmarkRunTelemetryOff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		m, _, _ := benchMachine(b, false)
+		b.StartTimer()
+		if _, err := m.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunTelemetryOn measures the same workload with a span sink and
+// metrics registry attached.
+func BenchmarkRunTelemetryOn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		m, _, _ := benchMachine(b, true)
+		b.StartTimer()
+		if _, err := m.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

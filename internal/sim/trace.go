@@ -3,6 +3,8 @@ package sim
 import (
 	"fmt"
 	"strings"
+
+	"scaledeep/internal/telemetry"
 )
 
 // TraceEvent is one recorded simulator event: a coarse operation's
@@ -42,6 +44,12 @@ func (m *Machine) Trace() []TraceEvent { return m.trace }
 func (m *Machine) TraceDropped() int { return m.traceDropped }
 
 func (m *Machine) traceOp(ct *compTile, op string, start, end Cycle) {
+	if m.spans != nil {
+		m.emitSpan(ct.name(), op, start, end)
+	}
+	if m.mOpCycles != nil {
+		m.mOpCycles.Observe(float64(end - start))
+	}
 	if !m.tracing {
 		return
 	}
@@ -53,6 +61,9 @@ func (m *Machine) traceOp(ct *compTile, op string, start, end Cycle) {
 }
 
 func (m *Machine) traceStall(ct *compTile, note string) {
+	if m.spans != nil {
+		m.emitSpan(ct.name(), "STALL", ct.time, ct.time, telemetry.Attr{Key: "note", Value: note})
+	}
 	if !m.tracing {
 		return
 	}

@@ -81,6 +81,65 @@ func TestTraceLimitDropsExcess(t *testing.T) {
 	}
 }
 
+func TestSummarizeAndFormatEmptyTrace(t *testing.T) {
+	sum := Summarize(nil)
+	if len(sum.OpCycles) != 0 || len(sum.Stalls) != 0 {
+		t.Fatalf("empty trace summarized to %+v", sum)
+	}
+	text := FormatTrace(nil)
+	if !strings.Contains(text, "cycles") || strings.Count(text, "\n") != 1 {
+		t.Fatalf("empty trace formatted to %q", text)
+	}
+}
+
+func TestSummarizeStallOnlyTrace(t *testing.T) {
+	events := []TraceEvent{
+		{Start: 10, End: 10, Tile: "comp[r0,c0,FP]", Op: "STALL", Note: "read on tracker"},
+		{Start: 12, End: 12, Tile: "comp[r0,c0,FP]", Op: "STALL", Note: "read on tracker"},
+		{Start: 15, End: 15, Tile: "comp[r1,c0,FP]", Op: "STALL", Note: "write on tracker"},
+	}
+	sum := Summarize(events)
+	if len(sum.OpCycles) != 0 {
+		t.Fatalf("stall-only trace produced op cycles: %v", sum.OpCycles)
+	}
+	if sum.Stalls["comp[r0,c0,FP]"] != 2 || sum.Stalls["comp[r1,c0,FP]"] != 1 {
+		t.Fatalf("stall counts: %v", sum.Stalls)
+	}
+	text := FormatTrace(events)
+	if strings.Count(text, "STALL") != 3 {
+		t.Fatalf("formatted stall-only trace:\n%s", text)
+	}
+}
+
+func TestSummarizeTraceAtDropLimit(t *testing.T) {
+	m := newTestMachine()
+	m.EnableTrace(3)
+	m.WriteMem(m.MemTileIndex(0, 0), 0, []float32{1})
+	var groups [][]isa.Instr
+	for i := 0; i < 6; i++ {
+		groups = append(groups, opInstr(isa.DMASTORE, 0, isa.PortLeft, int64(100+i), isa.PortExt, 1, 0))
+	}
+	if err := m.LoadProgram(0, 0, StepFP, prog("t", groups...)); err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, m)
+	if m.TraceDropped() == 0 {
+		t.Fatal("expected drops at the limit")
+	}
+	events := m.Trace()
+	if len(events) != 3 {
+		t.Fatalf("kept %d events, limit 3", len(events))
+	}
+	// The truncated trace still summarizes and formats cleanly.
+	sum := Summarize(events)
+	if sum.OpCycles["DMASTORE"] <= 0 {
+		t.Fatalf("summary of truncated trace: %+v", sum)
+	}
+	if lines := strings.Count(FormatTrace(events), "\n"); lines != 4 {
+		t.Fatalf("formatted truncated trace has %d lines", lines)
+	}
+}
+
 func TestTraceDisabledByDefault(t *testing.T) {
 	m := newTestMachine()
 	m.WriteMem(m.MemTileIndex(0, 0), 0, []float32{1})

@@ -1,0 +1,87 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// ChromeEvent is one entry of the Chrome trace-event format (the JSON array
+// flavor), loadable in Perfetto and chrome://tracing. Spans become complete
+// events (ph "X"); track names become thread-name metadata events (ph "M").
+type ChromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Ts   int64             `json:"ts"`
+	Dur  int64             `json:"dur"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// chromePid is the single synthetic process all tracks live under.
+const chromePid = 1
+
+// ChromeTrace converts spans to Chrome trace events. Each distinct track
+// becomes one thread (tid assigned by sorted track name, announced with a
+// thread_name metadata event); spans are emitted in ascending start order.
+// Negative starts or durations are clamped to 0 so the output always
+// satisfies the viewer's expectations.
+func ChromeTrace(spans []Span) []ChromeEvent {
+	tracks := map[string]int{}
+	for _, s := range spans {
+		tracks[s.Track] = 0
+	}
+	names := make([]string, 0, len(tracks))
+	for name := range tracks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	events := make([]ChromeEvent, 0, len(spans)+len(names))
+	for i, name := range names {
+		tracks[name] = i + 1
+		events = append(events, ChromeEvent{
+			Name: "thread_name", Ph: "M", Pid: chromePid, Tid: i + 1,
+			Args: map[string]string{"name": name},
+		})
+	}
+	ordered := append([]Span(nil), spans...)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Start < ordered[j].Start })
+	for _, s := range ordered {
+		ev := ChromeEvent{
+			Name: s.Name, Ph: "X", Ts: max64(s.Start, 0), Dur: max64(s.Dur, 0),
+			Pid: chromePid, Tid: tracks[s.Track],
+		}
+		if len(s.Attrs) > 0 {
+			ev.Args = make(map[string]string, len(s.Attrs))
+			for _, a := range s.Attrs {
+				ev.Args[a.Key] = a.Value
+			}
+		}
+		events = append(events, ev)
+	}
+	return events
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// MarshalChromeTrace renders spans as a Chrome trace-event JSON array.
+func MarshalChromeTrace(spans []Span) ([]byte, error) {
+	return json.Marshal(ChromeTrace(spans))
+}
+
+// WriteChromeTrace writes the Chrome trace-event JSON array for spans to w.
+func WriteChromeTrace(w io.Writer, spans []Span) error {
+	data, err := MarshalChromeTrace(spans)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}

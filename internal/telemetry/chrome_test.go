@@ -1,0 +1,89 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestChromeTraceJSONRoundTrip(t *testing.T) {
+	spans := []Span{
+		{Track: "comp[r0,c0,FP]", Name: "NDCONV", Start: 10, Dur: 40},
+		{Track: "comp[r0,c0,FP]", Name: "STALL", Start: 50, Dur: 0,
+			Attrs: []Attr{{Key: "note", Value: "read on tracker"}}},
+		{Track: "comp[r0,c1,FP]", Name: "DMALOAD", Start: 5, Dur: 12},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, spans); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("trace JSON does not parse: %v\n%s", err, buf.String())
+	}
+	var xEvents, mEvents int
+	for _, ev := range events {
+		ts, _ := ev["ts"].(float64)
+		dur, _ := ev["dur"].(float64)
+		if ts < 0 || dur < 0 {
+			t.Fatalf("negative ts/dur: %v", ev)
+		}
+		switch ev["ph"] {
+		case "X":
+			xEvents++
+		case "M":
+			mEvents++
+			if ev["name"] != "thread_name" {
+				t.Fatalf("unexpected metadata event %v", ev)
+			}
+		default:
+			t.Fatalf("unexpected phase %v", ev["ph"])
+		}
+	}
+	if xEvents != 3 {
+		t.Fatalf("complete events = %d, want 3", xEvents)
+	}
+	if mEvents != 2 {
+		t.Fatalf("thread_name events = %d, want 2 (one per track)", mEvents)
+	}
+}
+
+func TestChromeTraceTracksGetDistinctTids(t *testing.T) {
+	spans := []Span{
+		{Track: "a", Name: "x", Start: 0, Dur: 1},
+		{Track: "b", Name: "y", Start: 0, Dur: 1},
+	}
+	events := ChromeTrace(spans)
+	tids := map[string]int{}
+	for _, ev := range events {
+		if ev.Ph == "M" {
+			tids[ev.Args["name"]] = ev.Tid
+		}
+	}
+	if tids["a"] == tids["b"] || tids["a"] == 0 || tids["b"] == 0 {
+		t.Fatalf("tids = %v", tids)
+	}
+}
+
+func TestChromeTraceClampsNegatives(t *testing.T) {
+	events := ChromeTrace([]Span{{Track: "t", Name: "n", Start: -5, Dur: -1}})
+	for _, ev := range events {
+		if ev.Ts < 0 || ev.Dur < 0 {
+			t.Fatalf("negative values not clamped: %+v", ev)
+		}
+	}
+}
+
+func TestChromeTraceAttrsBecomeArgs(t *testing.T) {
+	events := ChromeTrace([]Span{{Track: "t", Name: "n", Start: 0, Dur: 1,
+		Attrs: []Attr{{Key: "k", Value: "v"}}}})
+	found := false
+	for _, ev := range events {
+		if ev.Ph == "X" && ev.Args["k"] == "v" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("span attrs not rendered into args")
+	}
+}

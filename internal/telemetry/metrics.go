@@ -1,0 +1,285 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one dimension of a metric (e.g. {link, comp-mem}).
+type Label struct {
+	Key   string
+	Value string
+}
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomically settable float64 value.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the last stored value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed buckets. Bucket i counts
+// observations v with bounds[i-1] < v ≤ bounds[i]; one overflow bucket
+// catches everything above the last bound.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds
+	counts  []atomic.Int64
+	total   atomic.Int64
+	sumBits atomic.Uint64 // float64 running sum, CAS-updated
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.total.Load() }
+
+// Sum returns the running sum of observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Registry holds named, labeled metrics. Metric lookup takes a mutex;
+// recording on a retrieved metric is lock-free, so hot paths should cache
+// the *Counter / *Gauge / *Histogram they use.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*counterEntry
+	gauges     map[string]*gaugeEntry
+	histograms map[string]*histogramEntry
+}
+
+type counterEntry struct {
+	name   string
+	labels []Label
+	c      Counter
+}
+
+type gaugeEntry struct {
+	name   string
+	labels []Label
+	g      Gauge
+}
+
+type histogramEntry struct {
+	name   string
+	labels []Label
+	h      *Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*counterEntry{},
+		gauges:     map[string]*gaugeEntry{},
+		histograms: map[string]*histogramEntry{},
+	}
+}
+
+func metricKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	sorted := append([]Label(nil), labels...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	var b strings.Builder
+	b.WriteString(name)
+	for _, l := range sorted {
+		b.WriteByte('|')
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+// Counter returns the counter with the given name and labels, creating it on
+// first use.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	key := metricKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.counters[key]
+	if !ok {
+		e = &counterEntry{name: name, labels: append([]Label(nil), labels...)}
+		r.counters[key] = e
+	}
+	return &e.c
+}
+
+// Gauge returns the gauge with the given name and labels, creating it on
+// first use.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	key := metricKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.gauges[key]
+	if !ok {
+		e = &gaugeEntry{name: name, labels: append([]Label(nil), labels...)}
+		r.gauges[key] = e
+	}
+	return &e.g
+}
+
+// Histogram returns the histogram with the given name, bucket upper bounds
+// and labels, creating it on first use. Bounds must be ascending; they are
+// fixed at creation and ignored on subsequent lookups.
+func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("telemetry: histogram %q bounds not ascending", name))
+		}
+	}
+	key := metricKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.histograms[key]
+	if !ok {
+		e = &histogramEntry{
+			name:   name,
+			labels: append([]Label(nil), labels...),
+			h: &Histogram{
+				bounds: append([]float64(nil), bounds...),
+				counts: make([]atomic.Int64, len(bounds)+1),
+			},
+		}
+		r.histograms[key] = e
+	}
+	return e.h
+}
+
+// CounterSnap is one counter in a snapshot.
+type CounterSnap struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  int64             `json:"value"`
+}
+
+// GaugeSnap is one gauge in a snapshot.
+type GaugeSnap struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value"`
+}
+
+// BucketSnap is one histogram bucket: the count of observations at or below
+// the upper bound LE (exclusive of lower buckets); LE is "+Inf" for the
+// overflow bucket. Counts are per-bucket, not cumulative.
+type BucketSnap struct {
+	LE    string `json:"le"`
+	Count int64  `json:"count"`
+}
+
+// HistogramSnap is one histogram in a snapshot.
+type HistogramSnap struct {
+	Name    string            `json:"name"`
+	Labels  map[string]string `json:"labels,omitempty"`
+	Count   int64             `json:"count"`
+	Sum     float64           `json:"sum"`
+	Buckets []BucketSnap      `json:"buckets"`
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry,
+// marshalable with encoding/json.
+type Snapshot struct {
+	Counters   []CounterSnap   `json:"counters"`
+	Gauges     []GaugeSnap     `json:"gauges"`
+	Histograms []HistogramSnap `json:"histograms"`
+}
+
+func labelMap(labels []Label) map[string]string {
+	if len(labels) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(labels))
+	for _, l := range labels {
+		m[l.Key] = l.Value
+	}
+	return m
+}
+
+// Snapshot copies the registry's current values, sorted by name then label
+// key for deterministic output.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var s Snapshot
+	for key, e := range r.counters {
+		_ = key
+		s.Counters = append(s.Counters, CounterSnap{Name: e.name, Labels: labelMap(e.labels), Value: e.c.Value()})
+	}
+	for _, e := range r.gauges {
+		s.Gauges = append(s.Gauges, GaugeSnap{Name: e.name, Labels: labelMap(e.labels), Value: e.g.Value()})
+	}
+	for _, e := range r.histograms {
+		hs := HistogramSnap{Name: e.name, Labels: labelMap(e.labels), Count: e.h.Count(), Sum: e.h.Sum()}
+		for i := range e.h.counts {
+			le := "+Inf"
+			if i < len(e.h.bounds) {
+				le = strconv.FormatFloat(e.h.bounds[i], 'g', -1, 64)
+			}
+			hs.Buckets = append(hs.Buckets, BucketSnap{LE: le, Count: e.h.counts[i].Load()})
+		}
+		s.Histograms = append(s.Histograms, hs)
+	}
+	sortSnaps(s.Counters, func(c CounterSnap) (string, map[string]string) { return c.Name, c.Labels })
+	sortSnaps(s.Gauges, func(g GaugeSnap) (string, map[string]string) { return g.Name, g.Labels })
+	sortSnaps(s.Histograms, func(h HistogramSnap) (string, map[string]string) { return h.Name, h.Labels })
+	return s
+}
+
+func sortSnaps[T any](snaps []T, key func(T) (string, map[string]string)) {
+	sort.Slice(snaps, func(i, j int) bool {
+		ni, li := key(snaps[i])
+		nj, lj := key(snaps[j])
+		if ni != nj {
+			return ni < nj
+		}
+		return fmt.Sprint(li) < fmt.Sprint(lj)
+	})
+}
+
+// WriteJSON writes an indented JSON snapshot of the registry.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}

@@ -1,0 +1,127 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("sim.nacks")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("sim.nacks") != c {
+		t.Fatal("same name+labels did not return the same counter")
+	}
+	g := r.Gauge("sim.cycles")
+	g.Set(1234.5)
+	if got := g.Value(); got != 1234.5 {
+		t.Fatalf("gauge = %v", got)
+	}
+}
+
+func TestLabeledCountersAreDistinct(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("link.bytes", Label{Key: "link", Value: "comp-mem"})
+	b := r.Counter("link.bytes", Label{Key: "link", Value: "mem-mem"})
+	if a == b {
+		t.Fatal("different labels returned the same counter")
+	}
+	a.Add(10)
+	b.Add(20)
+	// Label order must not matter.
+	c := r.Counter("multi", Label{Key: "x", Value: "1"}, Label{Key: "y", Value: "2"})
+	d := r.Counter("multi", Label{Key: "y", Value: "2"}, Label{Key: "x", Value: "1"})
+	if c != d {
+		t.Fatal("label order produced distinct counters")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("op.cycles", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500, 5000} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Sum() != 5556.5 {
+		t.Fatalf("sum = %v", h.Sum())
+	}
+	snap := r.Snapshot()
+	if len(snap.Histograms) != 1 {
+		t.Fatalf("histograms = %d", len(snap.Histograms))
+	}
+	hs := snap.Histograms[0]
+	wantCounts := []int64{2, 1, 1, 2} // ≤1, ≤10, ≤100, +Inf
+	if len(hs.Buckets) != len(wantCounts) {
+		t.Fatalf("buckets = %v", hs.Buckets)
+	}
+	for i, want := range wantCounts {
+		if hs.Buckets[i].Count != want {
+			t.Fatalf("bucket %d = %d, want %d (%v)", i, hs.Buckets[i].Count, want, hs.Buckets)
+		}
+	}
+	if hs.Buckets[3].LE != "+Inf" {
+		t.Fatalf("overflow bucket LE = %q", hs.Buckets[3].LE)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("flops").Add(42)
+	r.Gauge("util", Label{Key: "tile", Value: "comp[r0,c0,FP]"}).Set(0.75)
+	r.Histogram("lat", []float64{2, 8}).Observe(3)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("snapshot JSON does not parse: %v\n%s", err, buf.String())
+	}
+	if len(back.Counters) != 1 || back.Counters[0].Value != 42 {
+		t.Fatalf("counters round-trip: %+v", back.Counters)
+	}
+	if len(back.Gauges) != 1 || back.Gauges[0].Labels["tile"] != "comp[r0,c0,FP]" {
+		t.Fatalf("gauges round-trip: %+v", back.Gauges)
+	}
+	if len(back.Histograms) != 1 || back.Histograms[0].Count != 1 {
+		t.Fatalf("histograms round-trip: %+v", back.Histograms)
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	h := r.Histogram("h", []float64{10, 100})
+	g := r.Gauge("g")
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				h.Observe(float64(i % 200))
+				g.Set(float64(w))
+				// Lookup path must also be safe concurrently.
+				r.Counter("c").Value()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != workers*per {
+		t.Fatalf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if h.Count() != workers*per {
+		t.Fatalf("histogram count = %d", h.Count())
+	}
+}

@@ -1,0 +1,67 @@
+package telemetry
+
+import "sync"
+
+// defaultTraceCapacity bounds an unconfigured trace: big sweeps would
+// otherwise accumulate millions of spans.
+const defaultTraceCapacity = 1 << 16
+
+// Trace is a SpanSink backed by a bounded ring buffer: it keeps the most
+// recent capacity spans and counts evictions, so a long run degrades to a
+// trailing window instead of unbounded memory growth.
+type Trace struct {
+	mu      sync.Mutex
+	buf     []Span
+	head    int // index of the oldest span when full
+	n       int // valid spans in buf
+	dropped int64
+}
+
+// NewTrace returns a recorder keeping at most capacity spans
+// (capacity <= 0 selects a generous default).
+func NewTrace(capacity int) *Trace {
+	if capacity <= 0 {
+		capacity = defaultTraceCapacity
+	}
+	return &Trace{buf: make([]Span, 0, capacity)}
+}
+
+// RecordSpan appends a span, evicting the oldest when full.
+func (t *Trace) RecordSpan(s Span) {
+	t.mu.Lock()
+	if t.n < cap(t.buf) {
+		t.buf = append(t.buf, s)
+		t.n++
+	} else {
+		t.buf[t.head] = s
+		t.head = (t.head + 1) % t.n
+		t.dropped++
+	}
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of the recorded spans in record order
+// (oldest first).
+func (t *Trace) Spans() []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, 0, t.n)
+	for i := 0; i < t.n; i++ {
+		out = append(out, t.buf[(t.head+i)%t.n])
+	}
+	return out
+}
+
+// Len returns the number of retained spans.
+func (t *Trace) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}
+
+// Dropped returns how many spans were evicted to stay within capacity.
+func (t *Trace) Dropped() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}

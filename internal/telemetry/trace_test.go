@@ -1,0 +1,72 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+func span(track string, start int64) Span {
+	return Span{Track: track, Name: "op", Start: start, Dur: 1}
+}
+
+func TestTraceKeepsAllUnderCapacity(t *testing.T) {
+	tr := NewTrace(4)
+	for i := int64(0); i < 3; i++ {
+		tr.RecordSpan(span("t", i))
+	}
+	got := tr.Spans()
+	if len(got) != 3 || tr.Dropped() != 0 {
+		t.Fatalf("spans = %d dropped = %d", len(got), tr.Dropped())
+	}
+	for i, s := range got {
+		if s.Start != int64(i) {
+			t.Fatalf("out of order: %+v", got)
+		}
+	}
+}
+
+func TestTraceRingEvictsOldest(t *testing.T) {
+	tr := NewTrace(4)
+	for i := int64(0); i < 10; i++ {
+		tr.RecordSpan(span("t", i))
+	}
+	got := tr.Spans()
+	if len(got) != 4 {
+		t.Fatalf("kept %d spans, want 4", len(got))
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", tr.Dropped())
+	}
+	for i, s := range got {
+		if s.Start != int64(6+i) {
+			t.Fatalf("expected trailing window [6,10): %+v", got)
+		}
+	}
+}
+
+func TestTraceDefaultCapacity(t *testing.T) {
+	tr := NewTrace(0)
+	tr.RecordSpan(span("t", 1))
+	if tr.Len() != 1 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+}
+
+func TestTraceConcurrentRecord(t *testing.T) {
+	tr := NewTrace(128)
+	var wg sync.WaitGroup
+	const workers, per = 8, 500
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := int64(0); i < per; i++ {
+				tr.RecordSpan(span("t", i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := tr.Len() + int(tr.Dropped()); got != workers*per {
+		t.Fatalf("kept+dropped = %d, want %d", got, workers*per)
+	}
+}
