@@ -24,7 +24,11 @@ vet:
 race:
 	$(GO) test -race ./internal/telemetry/... ./internal/sim/...
 
-# bench compares the simulator hot path with telemetry detached vs attached
-# (the nil-sink fast path must not cost anything when disabled).
+# bench runs the tier-1 simulator benchmarks (the telemetry-off/on hot-path
+# pair among them: the nil-sink fast path must not cost anything when
+# disabled) and records the results as a test2json stream in BENCH_sim.json
+# so successive PRs leave a perf trajectory.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkRunTelemetry' -benchmem ./internal/sim/
+	$(GO) test -run '^$$' -bench . -benchmem -json ./internal/sim/ > BENCH_sim.json
+	@grep -o '"Output":"Benchmark[^"]*' BENCH_sim.json | sed 's/"Output":"//;s/\\t/\t/g;s/\\n//' || true
+	@echo "wrote BENCH_sim.json"

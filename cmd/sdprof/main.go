@@ -1,0 +1,157 @@
+// Command sdprof runs a workload on the ScaleDeep simulator with
+// per-instruction cycle attribution enabled and prints a ranked per-layer
+// bottleneck profile: cycles, share, achieved FLOP/cycle and bytes/cycle
+// against the chip's roofline, a compute/memory/interconnect-bound verdict,
+// and a stacked stall-breakdown bar — the Fig. 16-style analysis of which
+// layers keep the PE arrays busy and which stall on data movement.
+//
+// Usage:
+//
+//	sdprof [-net minivgg|simnet] [-train] [-mb N] [-iters N] [-top N] [-json] [-serve :6060]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+
+	"scaledeep/internal/arch"
+	"scaledeep/internal/compiler"
+	"scaledeep/internal/dnn"
+	"scaledeep/internal/profile"
+	"scaledeep/internal/report"
+	"scaledeep/internal/sim"
+	"scaledeep/internal/telemetry"
+	"scaledeep/internal/tensor"
+	"scaledeep/internal/zoo"
+)
+
+func main() {
+	netName := flag.String("net", "minivgg", "workload: minivgg (zoo.MiniVGG) or simnet (sdsim's network)")
+	train := flag.Bool("train", false, "profile training (FP+BP+WG) instead of evaluation")
+	mb := flag.Int("mb", 2, "minibatch size")
+	iters := flag.Int("iters", 1, "training iterations")
+	top := flag.Int("top", 0, "limit the table to the N worst layers (0 = all)")
+	jsonOut := flag.Bool("json", false, "emit the report as JSON instead of the table")
+	serveAddr := flag.String("serve", "", "also serve /metrics, /trace, /profile and /debug/pprof/ on this address and stay up after the run")
+	flag.Parse()
+
+	var nw *dnn.Network
+	switch *netName {
+	case "minivgg":
+		nw = zoo.MiniVGG()
+	case "simnet":
+		b := dnn.NewBuilder("simnet")
+		in := b.Input(3, 12, 12)
+		c1 := b.Conv(in, "c1", 6, 3, 1, 1, tensor.ActReLU)
+		p1 := b.MaxPool(c1, "s1", 2, 2)
+		c2 := b.Conv(p1, "c2", 8, 3, 1, 1, tensor.ActTanh)
+		b.FC(c2, "f1", 10, tensor.ActNone)
+		nw = b.Build()
+	default:
+		fmt.Fprintf(os.Stderr, "sdprof: unknown -net %q (want minivgg or simnet)\n", *netName)
+		os.Exit(2)
+	}
+
+	chip := arch.Baseline().Cluster.Conv
+	chip.Rows, chip.Cols = 3, 10
+
+	var spanTrace *telemetry.Trace
+	var metrics *telemetry.Registry
+	if *serveAddr != "" {
+		spanTrace = telemetry.NewTrace(0)
+		metrics = telemetry.NewRegistry()
+	}
+
+	opts := compiler.Options{Minibatch: *mb, Iterations: *iters, Training: *train, LR: 0.0625}
+	if spanTrace != nil {
+		opts.Spans = spanTrace
+	}
+	c, err := compiler.Compile(nw, chip, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	m := sim.NewMachine(chip, arch.Single, true)
+	m.EnableInstrProfile()
+	if spanTrace != nil {
+		m.SetSpanSink(spanTrace)
+	}
+	if metrics != nil {
+		m.SetMetrics(metrics)
+	}
+	profVar := telemetry.NewJSONVar(`{"state":"running"}`)
+	if *serveAddr != "" {
+		ln, err := net.Listen("tcp", *serveAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("observability endpoints on http://%s (/metrics /trace /profile /debug/pprof/)\n", ln.Addr())
+		go http.Serve(ln, telemetry.NewHTTPMux(metrics, spanTrace, profVar.Get))
+	}
+
+	if err := c.Install(m); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	e := dnn.NewExecutor(nw, 1)
+	e.NoBias = true
+	if err := c.LoadWeights(m, e); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	inShape := nw.Layers[0].Out
+	outDim := nw.Layers[len(nw.Layers)-1].Out.Elems()
+	rng := tensor.NewRNG(7)
+	inputs := make([]*tensor.Tensor, *mb)
+	golden := make([]*tensor.Tensor, *mb)
+	for i := range inputs {
+		inputs[i] = tensor.New(inShape.C, inShape.H, inShape.W)
+		rng.FillUniform(inputs[i], 1)
+		golden[i] = tensor.New(outDim)
+		rng.FillUniform(golden[i], 1)
+	}
+	if err := c.LoadInputs(m, inputs); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *train {
+		if err := c.LoadGolden(m, golden); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	st, err := m.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	rep, err := profile.Collect(c, m, st)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *jsonOut {
+		data, err := report.ProfileJSON(rep)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(data)
+		fmt.Println()
+	} else {
+		fmt.Print(rep.Text(*top))
+	}
+	if *serveAddr != "" {
+		if data, err := report.ProfileJSON(rep); err == nil {
+			profVar.Set(data)
+		}
+		fmt.Println("run complete; observability endpoints stay up — Ctrl-C to exit")
+		select {}
+	}
+}

@@ -4,17 +4,20 @@
 //
 // Usage:
 //
-//	sdsim [-train] [-mb N] [-iters N] [-trace-out t.json] [-metrics-out m.json]
+//	sdsim [-train] [-mb N] [-iters N] [-trace-out t.json] [-metrics-out m.json] [-serve :6060]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 
 	"scaledeep/internal/arch"
 	"scaledeep/internal/compiler"
 	"scaledeep/internal/dnn"
+	"scaledeep/internal/profile"
 	"scaledeep/internal/report"
 	"scaledeep/internal/sim"
 	"scaledeep/internal/telemetry"
@@ -30,6 +33,7 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write a Chrome/Perfetto trace-event JSON file")
 	metricsOut := flag.String("metrics-out", "", "write a metrics snapshot JSON file")
 	spanCap := flag.Int("span-cap", 1<<18, "span ring-buffer capacity for -trace-out")
+	serveAddr := flag.String("serve", "", "serve /metrics, /trace, /profile and /debug/pprof/ on this address and stay up after the run")
 	flag.Parse()
 
 	b := dnn.NewBuilder("simnet")
@@ -45,7 +49,7 @@ func main() {
 	chip.Rows, chip.Cols = 3, 8
 
 	var spanTrace *telemetry.Trace
-	if *traceOut != "" {
+	if *traceOut != "" || *serveAddr != "" {
 		spanTrace = telemetry.NewTrace(*spanCap)
 	}
 
@@ -67,9 +71,20 @@ func main() {
 		m.SetSpanSink(spanTrace)
 	}
 	var metrics *telemetry.Registry
-	if *metricsOut != "" {
+	if *metricsOut != "" || *serveAddr != "" {
 		metrics = telemetry.NewRegistry()
 		m.SetMetrics(metrics)
+	}
+	// The live endpoint comes up before Run so a long simulation can be
+	// inspected while in flight; /profile serves a placeholder until the
+	// per-layer report is built from the finished run.
+	profVar := telemetry.NewJSONVar(`{"state":"running"}`)
+	if *serveAddr != "" {
+		m.EnableInstrProfile()
+		if err := serveObservability(*serveAddr, metrics, spanTrace, profVar.Get); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 	if err := c.Install(m); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -139,7 +154,7 @@ func main() {
 		fmt.Println()
 		fmt.Print(m.UtilizationMap())
 	}
-	if spanTrace != nil {
+	if *traceOut != "" {
 		if err := writeChromeTrace(*traceOut, spanTrace); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -161,6 +176,26 @@ func main() {
 		}
 		fmt.Printf("wrote metrics snapshot to %s\n", *metricsOut)
 	}
+	if *serveAddr != "" {
+		if rep, err := profile.Collect(c, m, st); err == nil {
+			if data, jerr := report.ProfileJSON(rep); jerr == nil {
+				profVar.Set(data)
+			}
+		}
+		fmt.Println("run complete; observability endpoints stay up — Ctrl-C to exit")
+		select {}
+	}
+}
+
+// serveObservability starts the telemetry HTTP endpoint in the background.
+func serveObservability(addr string, reg *telemetry.Registry, tr *telemetry.Trace, fn telemetry.ProfileFunc) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("observability endpoints on http://%s (/metrics /trace /profile /debug/pprof/)\n", ln.Addr())
+	go http.Serve(ln, telemetry.NewHTTPMux(reg, tr, fn))
+	return nil
 }
 
 // writeChromeTrace exports the recorded spans as Chrome trace-event JSON.

@@ -7,11 +7,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 
 	"scaledeep/internal/arch"
 	"scaledeep/internal/compiler"
 	"scaledeep/internal/dnn"
+	"scaledeep/internal/profile"
 	"scaledeep/internal/report"
 	"scaledeep/internal/sim"
 	"scaledeep/internal/telemetry"
@@ -22,6 +25,7 @@ func main() {
 	iters := flag.Int("iters", 6, "training iterations")
 	traceOut := flag.String("trace-out", "", "write a Chrome/Perfetto trace-event JSON file")
 	metricsOut := flag.String("metrics-out", "", "write a metrics snapshot JSON file")
+	serveAddr := flag.String("serve", "", "serve /metrics, /trace, /profile and /debug/pprof/ on this address and stay up after the run")
 	flag.Parse()
 	const mb = 2
 	const lr = float32(0.03125)
@@ -45,7 +49,7 @@ func main() {
 	}
 
 	var spanTrace *telemetry.Trace
-	if *traceOut != "" {
+	if *traceOut != "" || *serveAddr != "" {
 		spanTrace = telemetry.NewTrace(0)
 	}
 
@@ -77,9 +81,19 @@ func main() {
 		m.SetSpanSink(spanTrace)
 	}
 	var metrics *telemetry.Registry
-	if *metricsOut != "" {
+	if *metricsOut != "" || *serveAddr != "" {
 		metrics = telemetry.NewRegistry()
 		m.SetMetrics(metrics)
+	}
+	// Bring the live endpoint up before Run; /profile serves a placeholder
+	// until the bottleneck report is built from the finished run.
+	profVar := telemetry.NewJSONVar(`{"state":"running"}`)
+	if *serveAddr != "" {
+		m.EnableInstrProfile()
+		if err := serveObservability(*serveAddr, metrics, spanTrace, profVar.Get); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 	init := dnn.NewExecutor(net, 42)
 	init.NoBias = true
@@ -125,7 +139,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	if spanTrace != nil {
+	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err == nil {
 			err = telemetry.WriteChromeTrace(f, spanTrace.Spans())
@@ -151,4 +165,24 @@ func main() {
 		}
 		fmt.Printf("wrote metrics snapshot to %s\n", *metricsOut)
 	}
+	if *serveAddr != "" {
+		if rep, err := profile.Collect(c, m, st); err == nil {
+			if data, jerr := report.ProfileJSON(rep); jerr == nil {
+				profVar.Set(data)
+			}
+		}
+		fmt.Println("run complete; observability endpoints stay up — Ctrl-C to exit")
+		select {}
+	}
+}
+
+// serveObservability starts the telemetry HTTP endpoint in the background.
+func serveObservability(addr string, reg *telemetry.Registry, tr *telemetry.Trace, fn telemetry.ProfileFunc) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("observability endpoints on http://%s (/metrics /trace /profile /debug/pprof/)\n", ln.Addr())
+	go http.Serve(ln, telemetry.NewHTTPMux(reg, tr, fn))
+	return nil
 }

@@ -59,6 +59,13 @@ type Compiled struct {
 	Programs map[progKey]*isa.Program
 	Trackers []sim.TrackerSpec
 
+	// LayerTags binds each program's instructions back to network layers:
+	// LayerTags[k][pc] is the dnn layer index instruction pc works for, or -1
+	// for control/synchronization scaffolding. The per-layer bottleneck
+	// profiler (internal/profile) joins this with the simulator's
+	// per-instruction cycle attribution.
+	LayerTags map[progKey][]int
+
 	// weightRegions[layerIdx][g] is the on-chip region holding the kernels
 	// (or FC row-slice) for input feature / slice g; nil entries mean the
 	// unit's weights live off-chip at extWeightAddrs[layerIdx][g].
@@ -135,11 +142,21 @@ func generate(m *Mapping, opts Options, base time.Time) (*Compiled, error) {
 		return nil, err
 	}
 	tFin := time.Now()
-	progs, trackers := g.em.finalize(opts.Iterations)
+	progs, layerTags, trackers := g.em.finalize(opts.Iterations)
 	phaseSpan(opts.Spans, base, tFin, "finalize")
 	g.out.Programs = progs
+	g.out.LayerTags = layerTags
 	g.out.Trackers = trackers
 	return g.out, nil
+}
+
+// LayerName resolves a LayerTags entry to the network layer's name
+// ("(other)" for scaffolding tagged -1).
+func (c *Compiled) LayerName(tag int) string {
+	if tag < 0 || tag >= len(c.Mapping.Net.Layers) {
+		return "(other)"
+	}
+	return c.Mapping.Net.Layers[tag].Name
 }
 
 func (g *gen) run(base time.Time) error {
@@ -155,11 +172,14 @@ func (g *gen) run(base time.Time) error {
 	for img := 0; img < g.opts.Minibatch; img++ {
 		// The head comes first: it shares BP tiles with the final layer, and
 		// its error-seeding ops must precede that layer's backward
-		// convolutions in program order.
+		// convolutions in program order. Its instructions are attributed to
+		// the final layer, on whose behalf the loss gradient is seeded.
 		if g.opts.Training {
+			g.em.setLayer(g.maps[len(g.maps)-1].Layer.Index)
 			g.emitHead(img)
 		}
 		for mi, lm := range g.maps {
+			g.em.setLayer(lm.Layer.Index)
 			switch lm.Layer.Kind {
 			case dnn.Conv:
 				g.emitConvFP(mi, lm, img)
@@ -179,6 +199,7 @@ func (g *gen) run(base time.Time) error {
 			}
 		}
 	}
+	g.em.setLayer(untaggedLayer)
 	g.emitBarrier()
 	phaseSpan(g.opts.Spans, base, tEmit, "emit")
 	return nil

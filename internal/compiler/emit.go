@@ -111,22 +111,57 @@ func C(v int64) opr { return opr{val: v} }
 // R makes a register operand.
 func R(r isa.Reg) opr { return opr{reg: r, isReg: true} }
 
-// tileProgram accumulates one tile's instructions per section.
+// tileProgram accumulates one tile's instructions per section, with a
+// parallel per-instruction layer tag (network layer index, or untaggedLayer
+// for control/synchronization scaffolding).
 type tileProgram struct {
 	prologue []isa.Instr
 	image    []isa.Instr
 	batch    []isa.Instr
+
+	prologueTags []int
+	imageTags    []int
+	batchTags    []int
 }
+
+// untaggedLayer marks instructions that belong to no network layer (loop
+// control, barriers, tracker arming).
+const untaggedLayer = -1
 
 // emitter builds all tile programs and the access ledger.
 type emitter struct {
 	alloc *allocator
 	progs map[progKey]*tileProgram
 	sec   section
+	layer int // layer tag applied to emitted instructions
 }
 
 func newEmitter(a *allocator) *emitter {
-	return &emitter{alloc: a, progs: map[progKey]*tileProgram{}}
+	return &emitter{alloc: a, progs: map[progKey]*tileProgram{}, layer: untaggedLayer}
+}
+
+// setLayer switches the layer tag for subsequently emitted instructions.
+func (e *emitter) setLayer(idx int) { e.layer = idx }
+
+// tagBuf returns the tag slice parallel to the current section's buffer.
+func (e *emitter) tagBuf(k progKey) *[]int {
+	tp := e.at(k)
+	switch e.sec {
+	case secPrologue:
+		return &tp.prologueTags
+	case secIter:
+		return &tp.imageTags
+	default:
+		return &tp.batchTags
+	}
+}
+
+// tag appends n copies of the current layer tag for tile k's section.
+func (e *emitter) tag(k progKey, n int) {
+	tags := e.tagBuf(k)
+	for i := 0; i < n; i++ {
+		*tags = append(*tags, e.layer)
+	}
 }
 
 func (e *emitter) at(k progKey) *tileProgram {
@@ -189,6 +224,7 @@ func wr(r *region) regAccess { return regAccess{r: r, write: true} }
 // constant operands through scratch registers, and records its accesses.
 func (e *emitter) op(k progKey, opcode isa.Opcode, operands []opr, accs ...regAccess) {
 	buf := e.buf(k)
+	n0 := len(*buf)
 	regs := make([]isa.Reg, len(operands))
 	next := isa.Reg(regScratch)
 	for i, o := range operands {
@@ -207,6 +243,7 @@ func (e *emitter) op(k progKey, opcode isa.Opcode, operands []opr, accs ...regAc
 		}
 	}
 	*buf = append(*buf, isa.WithArgs(opcode, regs...))
+	e.tag(k, len(*buf)-n0)
 	for _, a := range accs {
 		e.touch(k, a.r, a.write)
 	}
@@ -216,6 +253,7 @@ func (e *emitter) op(k progKey, opcode isa.Opcode, operands []opr, accs ...regAc
 func (e *emitter) raw(k progKey, ins ...isa.Instr) {
 	buf := e.buf(k)
 	*buf = append(*buf, ins...)
+	e.tag(k, len(ins))
 }
 
 // finalize assembles each tile's program:
@@ -226,28 +264,42 @@ func (e *emitter) raw(k progKey, ins ...isa.Instr) {
 //	<batch section: weight update + iteration barrier>
 //	dec iter; BGTZ iterLoop; HALT
 //
-// and derives the tracker manifest from the ledger.
-func (e *emitter) finalize(iterations int) (map[progKey]*isa.Program, []sim.TrackerSpec) {
+// and derives the tracker manifest from the ledger, plus a parallel
+// per-instruction layer-tag slice for each program (the profiler's
+// program→layer binding).
+func (e *emitter) finalize(iterations int) (map[progKey]*isa.Program, map[progKey][]int, []sim.TrackerSpec) {
 	// Derive trackers first: it also prepends the DMAMEMTRACK arming
 	// instructions to program prologues.
 	trackers := e.trackerManifest()
 	progs := map[progKey]*isa.Program{}
+	layerTags := map[progKey][]int{}
 	for k, tp := range e.progs {
 		var ins []isa.Instr
+		var tags []int
 		ins = append(ins, tp.prologue...)
+		tags = append(tags, tp.prologueTags...)
 		ins = append(ins, isa.Ldri(regIter, int32(iterations)))
+		tags = append(tags, untaggedLayer)
 		iterTop := len(ins)
 		ins = append(ins, tp.image...)
+		tags = append(tags, tp.imageTags...)
 		ins = append(ins, tp.batch...)
+		tags = append(tags, tp.batchTags...)
 		ins = append(ins, isa.Subri(regIter, regIter, 1))
 		ins = append(ins, isa.Bgtz(regIter, int32(iterTop-(len(ins)+1))))
 		ins = append(ins, isa.Halt())
+		tags = append(tags, untaggedLayer, untaggedLayer, untaggedLayer)
+		if len(tags) != len(ins) {
+			panic(fmt.Sprintf("compiler: layer tags out of sync on %v: %d tags for %d instrs",
+				k, len(tags), len(ins)))
+		}
 		progs[k] = &isa.Program{
 			Tile:   fmt.Sprintf("r%d.c%d.%s", k.Row, k.CCol, k.Step),
 			Instrs: ins,
 		}
+		layerTags[k] = tags
 	}
-	return progs, trackers
+	return progs, layerTags, trackers
 }
 
 // trackerManifest derives one TrackerSpec per multi-tile region from the
@@ -328,6 +380,11 @@ func (e *emitter) emitTrackInstr(r *region, spec sim.TrackerSpec) {
 	}
 	ins = append(ins, isa.WithArgs(isa.DMAMEMTRACK, regs...))
 	tp.prologue = append(ins, tp.prologue...)
+	pre := make([]int, len(ins), len(ins)+len(tp.prologueTags))
+	for i := range pre {
+		pre[i] = untaggedLayer
+	}
+	tp.prologueTags = append(pre, tp.prologueTags...)
 }
 
 func lessKey(a, b progKey) bool {

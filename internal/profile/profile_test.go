@@ -1,0 +1,177 @@
+package profile
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"scaledeep/internal/arch"
+	"scaledeep/internal/compiler"
+	"scaledeep/internal/dnn"
+	"scaledeep/internal/sim"
+	"scaledeep/internal/tensor"
+)
+
+func testChip() arch.ChipConfig {
+	return arch.ChipConfig{
+		Kind: arch.ConvLayerChip,
+		Rows: 3, Cols: 8,
+		CompHeavy:  arch.CompHeavyConfig{ArrayRows: 4, ArrayCols: 2, Lanes: 2},
+		MemHeavy:   arch.MemHeavyConfig{CapacityKB: 256, NumSFU: 8, TrackerSlots: 64, TrackQueueDepth: 8},
+		ExtMemGBps: 150, CompMemGBps: 24, MemMemGBps: 36,
+	}
+}
+
+func testNet() *dnn.Network {
+	b := dnn.NewBuilder("profnet")
+	in := b.Input(3, 8, 8)
+	c1 := b.Conv(in, "c1", 4, 3, 1, 1, tensor.ActReLU)
+	p1 := b.MaxPool(c1, "p1", 2, 2)
+	c2 := b.Conv(p1, "c2", 6, 3, 1, 1, tensor.ActTanh)
+	b.FC(c2, "f1", 5, tensor.ActNone)
+	return b.Build()
+}
+
+// run compiles and executes the test net, returning everything Collect needs.
+func run(t *testing.T, profiled bool) (*compiler.Compiled, *sim.Machine, sim.Stats) {
+	t.Helper()
+	net := testNet()
+	chip := testChip()
+	const mb = 2
+	c, err := compiler.Compile(net, chip, compiler.Options{Minibatch: mb, Iterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sim.NewMachine(chip, arch.Single, true)
+	if profiled {
+		m.EnableInstrProfile()
+	}
+	if err := c.Install(m); err != nil {
+		t.Fatal(err)
+	}
+	e := dnn.NewExecutor(net, 1)
+	e.NoBias = true
+	if err := c.LoadWeights(m, e); err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRNG(5)
+	inputs := make([]*tensor.Tensor, mb)
+	for i := range inputs {
+		inputs[i] = tensor.New(3, 8, 8)
+		rng.FillUniform(inputs[i], 1)
+	}
+	if err := c.LoadInputs(m, inputs); err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, m, st
+}
+
+func TestCollectRequiresInstrProfile(t *testing.T) {
+	c, m, st := run(t, false)
+	if _, err := Collect(c, m, st); err == nil {
+		t.Fatal("Collect succeeded without EnableInstrProfile, want error")
+	}
+}
+
+func TestCollectPerLayerReport(t *testing.T) {
+	c, m, st := run(t, true)
+	rep, err := Collect(c, m, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Workload != "profnet" {
+		t.Errorf("workload = %q", rep.Workload)
+	}
+	if rep.PeakFPC <= 0 || rep.PeakBPC <= 0 || rep.Ridge <= 0 {
+		t.Errorf("bad peaks: FPC=%v BPC=%v ridge=%v", rep.PeakFPC, rep.PeakBPC, rep.Ridge)
+	}
+	if len(rep.Layers) == 0 {
+		t.Fatal("no layers in report")
+	}
+
+	// Every mapped layer appears, each with a verdict and stall fractions
+	// summing to 1 within rounding error.
+	names := map[string]bool{}
+	for _, l := range rep.Layers {
+		names[l.Layer] = true
+		switch l.Bound {
+		case ComputeBound, MemoryBound, InterconnectBound:
+		default:
+			t.Errorf("layer %s has verdict %q", l.Layer, l.Bound)
+		}
+		sum := 0.0
+		for _, v := range l.Stalls {
+			if v < 0 || v > 1 {
+				t.Errorf("layer %s stall fraction out of range: %v", l.Layer, l.Stalls)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("layer %s stall fractions sum to %v, want 1", l.Layer, sum)
+		}
+		if l.Cycles <= 0 {
+			t.Errorf("layer %s has %d cycles", l.Layer, l.Cycles)
+		}
+	}
+	for _, want := range []string{"c1", "p1", "c2", "f1"} {
+		if !names[want] {
+			t.Errorf("layer %s missing from report (have %v)", want, names)
+		}
+	}
+
+	// Ranking is by cycles, descending; shares sum to 1.
+	shares := 0.0
+	for i, l := range rep.Layers {
+		shares += l.Share
+		if i > 0 && l.Cycles > rep.Layers[i-1].Cycles {
+			t.Errorf("layers not ranked by cycles at %d", i)
+		}
+	}
+	if math.Abs(shares-1) > 1e-9 {
+		t.Errorf("shares sum to %v, want 1", shares)
+	}
+
+	// The conv layers do real arithmetic: non-zero FLOPs and bytes.
+	for _, l := range rep.Layers {
+		if (l.Layer == "c1" || l.Layer == "c2") && (l.FLOPs == 0 || l.Bytes == 0) {
+			t.Errorf("layer %s: FLOPs=%d Bytes=%d, want non-zero", l.Layer, l.FLOPs, l.Bytes)
+		}
+	}
+
+	// Chip-wide fractions (including drain/idle) also sum to 1.
+	chipSum := 0.0
+	for _, v := range rep.Chip {
+		chipSum += v
+	}
+	if math.Abs(chipSum-1) > 1e-9 {
+		t.Errorf("chip stall fractions sum to %v, want 1", chipSum)
+	}
+}
+
+func TestTextRendersRankedTable(t *testing.T) {
+	c, m, st := run(t, true)
+	rep, err := Collect(c, m, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rep.Text(2)
+	if !strings.Contains(out, "per-layer bottleneck profile — profnet") {
+		t.Errorf("missing header:\n%s", out)
+	}
+	if !strings.Contains(out, "verdict") || !strings.Contains(out, "breakdown") {
+		t.Errorf("missing table columns:\n%s", out)
+	}
+	if !strings.Contains(out, "more layers") {
+		t.Errorf("top=2 did not elide remaining layers:\n%s", out)
+	}
+	full := rep.Text(0)
+	for _, want := range []string{"c1", "c2", "f1", "p1"} {
+		if !strings.Contains(full, want) {
+			t.Errorf("full table missing layer %s:\n%s", want, full)
+		}
+	}
+}

@@ -2,7 +2,11 @@ package report
 
 import (
 	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
 
+	"scaledeep/internal/profile"
 	"scaledeep/internal/sim"
 	"scaledeep/internal/telemetry"
 )
@@ -12,14 +16,32 @@ import (
 // snapshot format so sdsim/sdtrain -metrics-out and sdreport agree on schema.
 func MetricsJSON(reg *telemetry.Registry) ([]byte, error) {
 	var buf bytes.Buffer
-	if err := reg.WriteJSON(&buf); err != nil {
+	if err := WriteMetricsJSON(&buf, reg); err != nil {
 		return nil, err
 	}
 	return buf.Bytes(), nil
+}
+
+// WriteMetricsJSON streams the registry snapshot to w, propagating writer
+// errors (a full disk fails the export instead of truncating it silently).
+func WriteMetricsJSON(w io.Writer, reg *telemetry.Registry) error {
+	if reg == nil {
+		return fmt.Errorf("report: nil metrics registry")
+	}
+	return reg.WriteJSON(w)
 }
 
 // SimMetricsJSON renders one simulator run's statistics as a metrics
 // snapshot, for runs that did not attach a live registry.
 func SimMetricsJSON(st sim.Stats) ([]byte, error) {
 	return MetricsJSON(sim.StatsRegistry(st))
+}
+
+// ProfileJSON renders a per-layer bottleneck report (internal/profile) as
+// indented JSON — the machine-readable form of sdprof's table.
+func ProfileJSON(r *profile.Report) ([]byte, error) {
+	if r == nil {
+		return nil, fmt.Errorf("report: nil profile report")
+	}
+	return json.MarshalIndent(r, "", "  ")
 }

@@ -1,0 +1,57 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"scaledeep/internal/profile"
+	"scaledeep/internal/telemetry"
+)
+
+func TestMetricsJSONNilRegistry(t *testing.T) {
+	if _, err := MetricsJSON(nil); err == nil {
+		t.Fatal("MetricsJSON(nil) succeeded, want error")
+	} else if !strings.Contains(err.Error(), "nil metrics registry") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+// failingWriter rejects every write, emulating a full disk mid-export.
+type failingWriter struct{}
+
+func (failingWriter) Write(p []byte) (int, error) {
+	return 0, fmt.Errorf("disk full")
+}
+
+func TestWriteMetricsJSONPropagatesWriterError(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("a.counter").Add(1)
+	if err := WriteMetricsJSON(failingWriter{}, reg); err == nil {
+		t.Fatal("WriteMetricsJSON to a failing writer succeeded, want error")
+	} else if !strings.Contains(err.Error(), "disk full") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestProfileJSON(t *testing.T) {
+	if _, err := ProfileJSON(nil); err == nil {
+		t.Fatal("ProfileJSON(nil) succeeded, want error")
+	}
+	rep := &profile.Report{
+		Workload: "w", Cycles: 10, PeakFPC: 192, PeakBPC: 40, Ridge: 4.8,
+		Chip: map[string]float64{"compute": 1},
+	}
+	data, err := ProfileJSON(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back profile.Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, data)
+	}
+	if back.Workload != "w" || back.Cycles != 10 {
+		t.Errorf("round trip lost fields: %+v", back)
+	}
+}

@@ -16,6 +16,14 @@ const maxInstructions = 1 << 30
 // clock and rescheduling it, so tiles interleave in simulated-time order.
 func (m *Machine) runTile(ct *compTile) {
 	ct.blocked = ""
+	if m.instrProfile && ct.pcProf == nil {
+		n := len(ct.prog.Instrs)
+		ct.pcProf = &instrProf{
+			attr:  make([]CycleAttribution, n),
+			flops: make([]int64, n),
+			bytes: make([]int64, n),
+		}
+	}
 	for {
 		if ct.pc >= len(ct.prog.Instrs) {
 			m.halt(ct)
@@ -29,6 +37,7 @@ func (m *Machine) runTile(ct *compTile) {
 		if ins.Op.Group() == isa.GroupScalar {
 			ct.scalarCycles++
 			ct.time++
+			m.account(ct, AttrCompute, 1)
 			if done := m.execScalar(ct, ins); done {
 				return
 			}
@@ -45,16 +54,43 @@ func (m *Machine) runTile(ct *compTile) {
 		}
 		// Non-scalar: resolve operands and attempt the operation.
 		start := ct.time
+		flops0 := ct.flops
+		m.opQueueWait, m.opBytes = 0, 0
 		ok, end := m.execCoarse(ct, ins)
 		if !ok {
 			return // blocked; tracker wake or NACK retry will reschedule
 		}
 		m.traceOp(ct, ins.Op.String(), start, end)
+		// Attribute the op's span: the leading queue-for-busy-resource part
+		// is contention, the remainder is the operation itself (compute for
+		// array/SFU work, dma-wait for transfers).
+		total := end - start
+		wait := m.opQueueWait
+		if wait > total {
+			wait = total
+		}
+		m.account(ct, AttrLinkContend, wait)
+		m.account(ct, opBusyBucket(ins.Op), total-wait)
+		if p := ct.pcProf; p != nil && ct.pc < len(p.flops) {
+			p.flops[ct.pc] += ct.flops - flops0
+			p.bytes[ct.pc] += m.opBytes
+		}
 		ct.nackRetries = 0
 		ct.pc++
 		ct.time = end
 		m.eng.schedule(ct.index, end)
 		return
+	}
+}
+
+// opBusyBucket classifies a coarse op's occupied span: transfers are
+// dma-wait, everything else (array, SFU offload, tracker arming) is compute.
+func opBusyBucket(op isa.Opcode) AttrBucket {
+	switch op {
+	case isa.DMALOAD, isa.DMASTORE, isa.PASSBUFF:
+		return AttrDMAWait
+	default:
+		return AttrCompute
 	}
 }
 

@@ -33,6 +33,16 @@ func (s Step) String() string {
 	}
 }
 
+// waitCause records why a suspended tile is off the event queue, so the gap
+// until its wake event can be attributed to the right bucket.
+type waitCause int
+
+const (
+	waitNone   waitCause = iota
+	waitNACK             // backing off after a tracker queue-full NACK
+	waitQueued           // parked in a tracker wait queue
+)
+
 // compTile models one CompHeavy tile: the scalar PE's register file and
 // program counter, plus the 2D-PE array whose occupancy provides coarse-op
 // timing.
@@ -48,13 +58,24 @@ type compTile struct {
 
 	time        Cycle
 	halted      bool
-	blocked     string // non-empty description while waiting on a tracker
-	nackRetries int    // consecutive NACKed requests (bounded)
+	blocked     string    // non-empty description while waiting on a tracker
+	waitCause   waitCause // why the tile is suspended (attribution)
+	nackRetries int       // consecutive NACKed requests (bounded)
 
 	// activity statistics
 	arrayCycles  Cycle // cycles the 2D-PE array was busy
 	scalarCycles Cycle
 	flops        int64
+	attr         CycleAttribution // where every elapsed cycle went
+	pcProf       *instrProf       // per-instruction accounting (nil unless enabled)
+}
+
+// instrProf is the optional per-instruction breakdown behind the layer
+// profiler: slices are indexed by program counter.
+type instrProf struct {
+	attr  []CycleAttribution
+	flops []int64
+	bytes []int64
 }
 
 func (c *compTile) name() string {
@@ -93,6 +114,13 @@ type Machine struct {
 	finished  int
 	stats     Stats
 
+	// Cycle-attribution scratch: execCoarse implementations report how much
+	// of the op's span was queueing for a busy resource, and how many
+	// operand/link bytes it moved, through these per-op accumulators.
+	instrProfile bool
+	opQueueWait  Cycle
+	opBytes      int64
+
 	tracing      bool
 	trace        []TraceEvent
 	traceLimit   int
@@ -104,7 +132,8 @@ type Machine struct {
 	mNACKs     *telemetry.Counter
 	mDMAs      *telemetry.Counter
 	mOpCycles  *telemetry.Histogram
-	mLinkBytes [3]*telemetry.Counter // indexed by linkClass
+	mOpClass   map[string]*telemetry.Histogram // sim.op.cycles{op=...}, lazily built
+	mLinkBytes [3]*telemetry.Counter           // indexed by linkClass
 }
 
 // NewMachine builds a simulator for one chip of the given configuration.
@@ -240,8 +269,20 @@ func (m *Machine) Run() (Stats, error) {
 			continue
 		}
 		if ev.at > ct.time {
+			// The gap between the tile's own clock and its wake event is
+			// time it spent suspended; attribute it by the suspension cause.
+			d := ev.at - ct.time
+			switch ct.waitCause {
+			case waitNACK:
+				m.account(ct, AttrTrackNACK, d)
+			case waitQueued:
+				m.account(ct, AttrTrackWait, d)
+			default:
+				m.account(ct, AttrIdle, d)
+			}
 			ct.time = ev.at
 		}
+		ct.waitCause = waitNone
 		m.runTile(ct)
 	}
 	if m.finished < active {
@@ -286,6 +327,7 @@ func (m *Machine) block(ct *compTile, t *tracker, write bool, desc string) {
 	if len(*mtQueue) >= m.queueLimit() && ct.nackRetries < nackRetryLimit {
 		// NACK: retry later without occupying a queue slot.
 		ct.nackRetries++
+		ct.waitCause = waitNACK
 		m.eng.schedule(ct.index, ct.time+nackRetryCycles)
 		m.stats.NACKs++
 		if m.mNACKs != nil {
@@ -294,6 +336,7 @@ func (m *Machine) block(ct *compTile, t *tracker, write bool, desc string) {
 		return
 	}
 	ct.nackRetries = 0
+	ct.waitCause = waitQueued
 	*mtQueue = append(*mtQueue, w)
 }
 
@@ -311,3 +354,44 @@ const (
 	nackRetryCycles = 16
 	nackRetryLimit  = 64
 )
+
+// account charges d cycles of tile ct to bucket b, mirrored into the
+// per-instruction profile (at the current pc) when enabled.
+func (m *Machine) account(ct *compTile, b AttrBucket, d Cycle) {
+	if d <= 0 {
+		return
+	}
+	ct.attr[b] += d
+	if p := ct.pcProf; p != nil && ct.pc < len(p.attr) {
+		p.attr[ct.pc][b] += d
+	}
+}
+
+// EnableInstrProfile turns on per-instruction accounting (cycles by bucket,
+// FLOPs, operand/link bytes, all indexed by program counter) for every tile.
+// Call before Run; the layer profiler (internal/profile) consumes the result
+// through InstrProfile.
+func (m *Machine) EnableInstrProfile() { m.instrProfile = true }
+
+// InstrProfile is one tile's per-instruction accounting, slices indexed by
+// program counter. Wait cycles are charged to the instruction that was
+// blocked; drain and idle time have no program counter and appear only in
+// Stats.Attr.
+type InstrProfile struct {
+	Attr  []CycleAttribution
+	FLOPs []int64
+	Bytes []int64
+}
+
+// InstrProfile returns the accounting of the program on tile (row, ccol,
+// step), or nil if no program ran there or profiling was not enabled.
+func (m *Machine) InstrProfile(row, ccol int, s Step) *InstrProfile {
+	if row < 0 || row >= m.Chip.Rows || ccol < 0 || ccol >= m.Chip.Cols {
+		return nil
+	}
+	ct := m.comp[m.compIndex(row, ccol, s)]
+	if ct.pcProf == nil {
+		return nil
+	}
+	return &InstrProfile{Attr: ct.pcProf.attr, FLOPs: ct.pcProf.flops, Bytes: ct.pcProf.bytes}
+}

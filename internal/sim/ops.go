@@ -327,12 +327,15 @@ func actKind(kind int64) tensor.ActKind {
 	}
 }
 
-// offloadEnd computes the completion time of an SFU operation on loc.
+// offloadEnd computes the completion time of an SFU operation on loc. Time
+// spent waiting for an SFU busy with an earlier request is reported as the
+// op's contention share.
 func (m *Machine) offloadEnd(ct *compTile, loc location, elems int64) Cycle {
 	start := ct.time
 	if loc.mem != nil && loc.mem.sfuBusy > start {
 		start = loc.mem.sfuBusy
 	}
+	m.opQueueWait = start - ct.time
 	return start + m.sfuCycles(elems)
 }
 
@@ -557,6 +560,7 @@ func (m *Machine) execDMA(ct *compTile, v []int64) (bool, Cycle) {
 	if dstLoc.ext != nil && dstLoc.ext.busy > start {
 		start = dstLoc.ext.busy
 	}
+	m.opQueueWait = start - ct.time
 	end := start + m.linkCycles(bytes, gbps)
 
 	accs := []access{

@@ -22,13 +22,14 @@ var opCycleBuckets = []float64{1, 4, 16, 64, 256, 1024, 4096, 16384, 65536}
 func (m *Machine) SetMetrics(reg *telemetry.Registry) {
 	m.metrics = reg
 	if reg == nil {
-		m.mNACKs, m.mDMAs, m.mOpCycles = nil, nil, nil
+		m.mNACKs, m.mDMAs, m.mOpCycles, m.mOpClass = nil, nil, nil, nil
 		m.mLinkBytes = [3]*telemetry.Counter{}
 		return
 	}
 	m.mNACKs = reg.Counter("sim.nacks")
 	m.mDMAs = reg.Counter("sim.dma.transfers")
 	m.mOpCycles = reg.Histogram("sim.op.cycles", opCycleBuckets)
+	m.mOpClass = map[string]*telemetry.Histogram{}
 	m.mLinkBytes[linkCompMem] = reg.Counter("sim.link.bytes", telemetry.Label{Key: "link", Value: "comp-mem"})
 	m.mLinkBytes[linkMemMem] = reg.Counter("sim.link.bytes", telemetry.Label{Key: "link", Value: "mem-mem"})
 	m.mLinkBytes[linkExt] = reg.Counter("sim.link.bytes", telemetry.Label{Key: "link", Value: "ext"})
@@ -42,9 +43,26 @@ func (m *Machine) emitSpan(track, name string, start, end Cycle, attrs ...teleme
 	})
 }
 
+// opClassHistogram returns the per-instruction-class duration histogram for
+// one mnemonic (sim.op.cycles{op=...}), built on first use.
+func (m *Machine) opClassHistogram(op string) *telemetry.Histogram {
+	if m.mOpClass == nil {
+		return nil
+	}
+	h, ok := m.mOpClass[op]
+	if !ok {
+		h = m.metrics.Histogram("sim.op.cycles", opCycleBuckets,
+			telemetry.Label{Key: "op", Value: op})
+		m.mOpClass[op] = h
+	}
+	return h
+}
+
 // addLinkBytes accrues traffic on one link class, mirrored to the live
-// counter when metrics are attached.
+// counter when metrics are attached. The per-op accumulator feeds the
+// instruction profiler's bytes/cycle view.
 func (m *Machine) addLinkBytes(class linkClass, bytes int64) {
+	m.opBytes += bytes
 	switch class {
 	case linkCompMem:
 		m.stats.CompMemBytes += bytes
@@ -84,6 +102,11 @@ func (s Stats) Publish(reg *telemetry.Registry) {
 	syncCounter(reg.Counter("sim.link.bytes", telemetry.Label{Key: "link", Value: "ext"}), s.ExtMemBytes)
 	syncCounter(reg.Counter("sim.flops"), s.FLOPs)
 	syncCounter(reg.Counter("sim.instructions"), s.Instructions)
+	total := s.AttrTotal()
+	for b := AttrBucket(0); b < NumAttrBuckets; b++ {
+		syncCounter(reg.Counter("sim.cycles.attr",
+			telemetry.Label{Key: "bucket", Value: b.String()}), int64(total[b]))
+	}
 	reg.Gauge("sim.cycles").Set(float64(s.Cycles))
 	reg.Gauge("sim.pe_utilization").Set(s.PEUtilization())
 	reg.Gauge("sim.sfu_utilization").Set(s.SFUUtilization())

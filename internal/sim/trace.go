@@ -50,6 +50,9 @@ func (m *Machine) traceOp(ct *compTile, op string, start, end Cycle) {
 	if m.mOpCycles != nil {
 		m.mOpCycles.Observe(float64(end - start))
 	}
+	if h := m.opClassHistogram(op); h != nil {
+		h.Observe(float64(end - start))
+	}
 	if !m.tracing {
 		return
 	}

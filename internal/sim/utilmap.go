@@ -22,18 +22,15 @@ func (m *Machine) UtilizationMap() string {
 	cell := func(row, col int, s Step) string {
 		ct := m.comp[m.compIndex(row, col, s)]
 		if ct.prog == nil {
-			return "--"
+			return " --"
 		}
 		pct := int(100 * float64(ct.arrayCycles) / float64(st.Cycles))
-		if pct > 99 {
-			pct = 99
-		}
-		return fmt.Sprintf("%2d", pct)
+		return fmt.Sprintf("%3d", pct)
 	}
 
 	b.WriteString("      ")
 	for c := 0; c < m.Chip.Cols; c++ {
-		fmt.Fprintf(&b, "   c%-8d", c)
+		fmt.Fprintf(&b, "   c%-9d", c)
 	}
 	b.WriteByte('\n')
 	for r := 0; r < m.Chip.Rows; r++ {
@@ -56,7 +53,7 @@ func (m *Machine) UtilizationMap() string {
 			}
 		}
 		pct := int(100 * float64(sfu) / (float64(st.Cycles) * float64(m.Chip.Rows)))
-		fmt.Fprintf(&b, "  m%-2d  %2d%% | %dKB\n", mcol, pct, peak*m.elemBytes/1024)
+		fmt.Fprintf(&b, "  m%-2d  %3d%% | %dKB\n", mcol, pct, peak*m.elemBytes/1024)
 	}
 	return b.String()
 }

@@ -30,10 +30,40 @@ func TestUtilizationMapRenders(t *testing.T) {
 	}
 	// The programmed tile shows nonzero utilization; unprogrammed cells "--".
 	line := strings.Split(out, "\n")[3] // r0 row
-	if !strings.Contains(line, "/--/--") {
+	if !strings.Contains(line, "/ --/ --") {
 		t.Fatalf("r0 row should show BP/WG unprogrammed: %s", line)
 	}
 	if strings.HasPrefix(strings.TrimSpace(strings.TrimPrefix(line, "r0")), "--") {
 		t.Fatalf("FP tile should show utilization: %s", line)
+	}
+}
+
+// TestUtilizationMapPinned pins the exact rendering for a tiny grid, in
+// particular that a fully-busy tile prints 100 (the old cell format clamped
+// to 99).
+func TestUtilizationMapPinned(t *testing.T) {
+	m := newTestMachine() // 2 rows × 2 compute columns
+	dummy := prog("t")
+	full := m.comp[m.compIndex(0, 0, StepFP)]
+	full.prog, full.arrayCycles = dummy, 200
+	half := m.comp[m.compIndex(1, 1, StepWG)]
+	half.prog, half.arrayCycles = dummy, 100
+	m.stats.Cycles = 200
+	m.mem[m.memIndex(0, 1)].sfuCycles = 300
+	m.mem[m.memIndex(0, 1)].peakAddr = 512
+
+	got := m.UtilizationMap()
+	want := "" +
+		"chip utilization map (2 rows × 2 compute columns, 200 cycles)\n" +
+		"per cell: FP/BP/WG 2D-PE busy %; '--' = no program\n" +
+		"         c0           c1        \n" +
+		"  r0   100/ --/ --   --/ --/ -- \n" +
+		"  r1    --/ --/ --   --/ --/ 50 \n" +
+		"MemHeavy columns: SFU busy % | scratchpad high-water KB\n" +
+		"  m0     0% | 0KB\n" +
+		"  m1    75% | 2KB\n" +
+		"  m2     0% | 0KB\n"
+	if got != want {
+		t.Fatalf("rendered map mismatch:\ngot:\n%s\nwant:\n%s", got, want)
 	}
 }

@@ -1,0 +1,104 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// This file is the live observability endpoint: an http.ServeMux exposing
+// the metrics registry, the span ring buffer, a pluggable profile document,
+// and the stdlib pprof handlers — so a long simulation can be inspected
+// while it runs (`sdsim -serve :6060`).
+
+// ProfileFunc supplies the current bottleneck-profile JSON for /profile.
+// It is called on every request and may return an evolving document.
+type ProfileFunc func() ([]byte, error)
+
+// JSONVar is a concurrency-safe holder for a JSON document that becomes
+// available mid-run: Get serves a placeholder until Set publishes the real
+// thing. Its Get method satisfies ProfileFunc.
+type JSONVar struct {
+	mu          sync.Mutex
+	data        []byte
+	placeholder []byte
+}
+
+// NewJSONVar builds a holder whose Get returns the placeholder object until
+// Set is called.
+func NewJSONVar(placeholder string) *JSONVar {
+	return &JSONVar{placeholder: []byte(placeholder)}
+}
+
+// Set publishes the document.
+func (v *JSONVar) Set(data []byte) {
+	v.mu.Lock()
+	v.data = data
+	v.mu.Unlock()
+}
+
+// Get returns the published document, or the placeholder before Set.
+func (v *JSONVar) Get() ([]byte, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.data == nil {
+		return v.placeholder, nil
+	}
+	return v.data, nil
+}
+
+// NewHTTPMux builds the observability endpoint:
+//
+//	/metrics  — registry snapshot (JSON)
+//	/trace    — span buffer as Chrome trace-event JSON (Perfetto-loadable)
+//	/profile  — whatever profileFn returns (JSON), e.g. the sdprof report
+//	/debug/pprof/ — stdlib runtime profiling
+//
+// Any argument may be nil; the endpoint then serves an empty-but-valid JSON
+// document. Counters and the span buffer are safe to read concurrently with
+// a running producer, so the mux can be served while a simulation is in
+// flight.
+func NewHTTPMux(reg *Registry, tr *Trace, profileFn ProfileFunc) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		src := reg
+		if src == nil {
+			src = NewRegistry()
+		}
+		if err := src.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var spans []Span
+		if tr != nil {
+			spans = tr.Spans()
+		}
+		if err := WriteChromeTrace(w, spans); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/profile", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if profileFn == nil {
+			json.NewEncoder(w).Encode(map[string]string{"state": "unavailable"})
+			return
+		}
+		data, err := profileFn()
+		if err != nil {
+			w.WriteHeader(http.StatusInternalServerError)
+			json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+			return
+		}
+		w.Write(data)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,123 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", path, err)
+	}
+	return resp, body
+}
+
+func wantJSON(t *testing.T, resp *http.Response, body []byte, path string) {
+	t.Helper()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("GET %s: status %d, want 200", path, resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("GET %s: Content-Type %q, want application/json", path, ct)
+	}
+	if !json.Valid(body) {
+		t.Errorf("GET %s: body is not valid JSON: %s", path, body)
+	}
+}
+
+func TestHTTPMuxEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("sim.flops").Add(42)
+	tr := NewTrace(8)
+	tr.RecordSpan(Span{Track: "tile", Name: "NDCONV", Start: 0, Dur: 10})
+	pv := NewJSONVar(`{"state":"running"}`)
+
+	srv := httptest.NewServer(NewHTTPMux(reg, tr, pv.Get))
+	defer srv.Close()
+
+	resp, body := get(t, srv, "/metrics")
+	wantJSON(t, resp, body, "/metrics")
+	var snap struct {
+		Counters []struct {
+			Name  string `json:"name"`
+			Value int64  `json:"value"`
+		} `json:"counters"`
+	}
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("/metrics: %v", err)
+	}
+	found := false
+	for _, c := range snap.Counters {
+		if c.Name == "sim.flops" && c.Value == 42 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("/metrics missing sim.flops=42: %s", body)
+	}
+
+	resp, body = get(t, srv, "/trace")
+	wantJSON(t, resp, body, "/trace")
+	var events []map[string]any
+	if err := json.Unmarshal(body, &events); err != nil {
+		t.Fatalf("/trace: %v", err)
+	}
+	if len(events) == 0 {
+		t.Error("/trace returned no events for a non-empty span buffer")
+	}
+
+	// /profile serves the placeholder until Set, then the published report.
+	resp, body = get(t, srv, "/profile")
+	wantJSON(t, resp, body, "/profile")
+	var state map[string]string
+	if err := json.Unmarshal(body, &state); err != nil || state["state"] != "running" {
+		t.Errorf("/profile placeholder = %s, want {\"state\":\"running\"}", body)
+	}
+	pv.Set([]byte(`{"workload":"x"}`))
+	resp, body = get(t, srv, "/profile")
+	wantJSON(t, resp, body, "/profile")
+	var doc map[string]string
+	if err := json.Unmarshal(body, &doc); err != nil || doc["workload"] != "x" {
+		t.Errorf("/profile after Set = %s, want the published document", body)
+	}
+
+	resp, body = get(t, srv, "/debug/pprof/")
+	if resp.StatusCode != http.StatusOK || len(body) == 0 {
+		t.Errorf("/debug/pprof/: status %d, %d bytes", resp.StatusCode, len(body))
+	}
+}
+
+func TestHTTPMuxNilSources(t *testing.T) {
+	srv := httptest.NewServer(NewHTTPMux(nil, nil, nil))
+	defer srv.Close()
+	for _, path := range []string{"/metrics", "/trace", "/profile"} {
+		resp, body := get(t, srv, path)
+		wantJSON(t, resp, body, path)
+	}
+}
+
+func TestHTTPMuxProfileError(t *testing.T) {
+	srv := httptest.NewServer(NewHTTPMux(nil, nil, func() ([]byte, error) {
+		return nil, fmt.Errorf("boom")
+	}))
+	defer srv.Close()
+	resp, body := get(t, srv, "/profile")
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Errorf("/profile with failing source: status %d, want 500", resp.StatusCode)
+	}
+	var e map[string]string
+	if err := json.Unmarshal(body, &e); err != nil || e["error"] != "boom" {
+		t.Errorf("/profile error body = %s", body)
+	}
+}

@@ -230,6 +230,26 @@ func VGG(config byte) *dnn.Network {
 	return b.Softmax(f3).Build()
 }
 
+// MiniVGG is a scaled-down VGG-style workload — stacked 3×3 same-padding
+// conv pairs with 2×2 max-pool block boundaries and a small classifier —
+// sized so the functional simulator can execute it on a single small chip.
+// It is the reference workload of cmd/sdprof: the pipeline of wide early
+// convs feeding narrow late layers reproduces, in miniature, the per-layer
+// utilization spread the paper discusses for VGG (Fig. 16).
+func MiniVGG() *dnn.Network {
+	b := dnn.NewBuilder("MiniVGG")
+	cur := b.Input(3, 16, 16)
+	for bi, block := range [][]int{{6, 6}, {10, 10}} {
+		for ci, ch := range block {
+			cur = b.Conv(cur, fmt.Sprintf("c%d_%d", bi+1, ci+1), ch, 3, 1, 1, relu)
+		}
+		cur = b.MaxPool(cur, fmt.Sprintf("s%d", bi+1), 2, 2)
+	}
+	f1 := b.FC(cur, "f1", 10, tensor.ActNone)
+	_ = f1
+	return b.Build()
+}
+
 // basicBlock adds a ResNet basic block (two 3x3 convs with a residual
 // shortcut; 1x1 projection when the shape changes).
 func basicBlock(b *dnn.Builder, in int, stage string, ch, stride int) int {
