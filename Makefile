@@ -22,13 +22,18 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/telemetry/... ./internal/sim/...
+	$(GO) test -race ./internal/telemetry/... ./internal/sim/... ./internal/sweep/... ./internal/cluster/...
 
 # bench runs the tier-1 simulator benchmarks (the telemetry-off/on hot-path
 # pair among them: the nil-sink fast path must not cost anything when
 # disabled) and records the results as a test2json stream in BENCH_sim.json
-# so successive PRs leave a perf trajectory.
+# so successive PRs leave a perf trajectory. The sweep benchmark times the
+# same 8-job grid serially and sharded across GOMAXPROCS workers and records
+# the wall-clock ratio (speedup-x) in BENCH_sweep.json.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -json ./internal/sim/ > BENCH_sim.json
 	@grep -o '"Output":"Benchmark[^"]*' BENCH_sim.json | sed 's/"Output":"//;s/\\t/\t/g;s/\\n//' || true
 	@echo "wrote BENCH_sim.json"
+	$(GO) test -run '^$$' -bench Grid -json ./internal/sweep/ > BENCH_sweep.json
+	@grep -o '"Output":"Benchmark[^"]*' BENCH_sweep.json | sed 's/"Output":"//;s/\\t/\t/g;s/\\n//' || true
+	@echo "wrote BENCH_sweep.json"

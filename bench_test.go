@@ -8,6 +8,7 @@ package scaledeep_test
 // measured for every entry.
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -22,6 +23,8 @@ import (
 	"scaledeep/internal/power"
 	"scaledeep/internal/report"
 	"scaledeep/internal/sim"
+	"scaledeep/internal/sweep"
+	"scaledeep/internal/telemetry"
 	"scaledeep/internal/tensor"
 	"scaledeep/internal/workload"
 	"scaledeep/internal/zoo"
@@ -166,21 +169,29 @@ func benchPerfFigure(b *testing.B, node arch.NodeConfig) {
 	b.ReportMetric(alex, "alexnet-img/s")
 }
 
-// BenchmarkFig18_GPUSpeedup computes the chip-cluster vs TitanX speedups
-// and reports the cuDNN-R2 geomean (paper band: 22×-28×).
+// BenchmarkFig18_GPUSpeedup computes the chip-cluster vs TitanX speedups —
+// one sweep-engine job per network — and reports the cuDNN-R2 geomean
+// (paper band: 22×-28×).
 func BenchmarkFig18_GPUSpeedup(b *testing.B) {
 	cluster := arch.Baseline()
 	cluster.NumClusters = 1
 	var geo float64
 	for i := 0; i < b.N; i++ {
+		speedups, err := sweep.Map(context.Background(), gpu.Networks, sweep.Options{},
+			func(_ context.Context, _ int, name string, _ *telemetry.Registry) (float64, error) {
+				np, err := perfmodel.Model(zoo.Build(name), cluster)
+				if err != nil {
+					return 0, err
+				}
+				rate, _ := gpu.TrainImagesPerSec(name, gpu.CuDNNR2)
+				return np.TrainImagesPerSec / rate, nil
+			})
+		if err != nil {
+			b.Fatal(err)
+		}
 		prod := 1.0
-		for _, name := range gpu.Networks {
-			np, err := perfmodel.Model(zoo.Build(name), cluster)
-			if err != nil {
-				b.Fatal(err)
-			}
-			rate, _ := gpu.TrainImagesPerSec(name, gpu.CuDNNR2)
-			prod *= np.TrainImagesPerSec / rate
+		for _, sp := range speedups {
+			prod *= sp
 		}
 		geo = math.Pow(prod, 1.0/float64(len(gpu.Networks)))
 	}
@@ -376,22 +387,30 @@ func BenchmarkAblation_Winograd(b *testing.B) {
 
 // BenchmarkAblation_SubColumnAllocation quantifies §6.1's stated future
 // work: sub-column layer allocation removes the column-quantization stage
-// of the utilization cascade.
+// of the utilization cascade. Each network's base-vs-subcolumn pair is one
+// sweep-engine job.
 func BenchmarkAblation_SubColumnAllocation(b *testing.B) {
 	node := arch.Baseline()
 	var gain float64
 	for i := 0; i < b.N; i++ {
+		ratios, err := sweep.Map(context.Background(), zoo.Names, sweep.Options{},
+			func(_ context.Context, _ int, name string, _ *telemetry.Registry) (float64, error) {
+				base, err := perfmodel.Model(zoo.Build(name), node)
+				if err != nil {
+					return 0, err
+				}
+				sub, err := perfmodel.ModelWith(zoo.Build(name), node, perfmodel.Options{SubColumnAllocation: true})
+				if err != nil {
+					return 0, err
+				}
+				return sub.TrainImagesPerSec / base.TrainImagesPerSec, nil
+			})
+		if err != nil {
+			b.Fatal(err)
+		}
 		prod := 1.0
-		for _, name := range zoo.Names {
-			base, err := perfmodel.Model(zoo.Build(name), node)
-			if err != nil {
-				b.Fatal(err)
-			}
-			sub, err := perfmodel.ModelWith(zoo.Build(name), node, perfmodel.Options{SubColumnAllocation: true})
-			if err != nil {
-				b.Fatal(err)
-			}
-			prod *= sub.TrainImagesPerSec / base.TrainImagesPerSec
+		for _, r := range ratios {
+			prod *= r
 		}
 		gain = math.Pow(prod, 1.0/float64(len(zoo.Names)))
 	}

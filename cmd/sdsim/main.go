@@ -5,14 +5,22 @@
 // Usage:
 //
 //	sdsim [-train] [-mb N] [-iters N] [-trace-out t.json] [-metrics-out m.json] [-serve :6060]
+//	sdsim -batch 1,2,4 [-parallel N] [-train] [-metrics-out m.json] [-serve :6060]
+//
+// With -batch, sdsim sweeps the listed minibatch sizes through the sharded
+// sweep engine instead of running a single simulation; -parallel sets the
+// worker count and -serve adds a live /progress endpoint.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
+	"strconv"
+	"strings"
 
 	"scaledeep/internal/arch"
 	"scaledeep/internal/compiler"
@@ -20,6 +28,7 @@ import (
 	"scaledeep/internal/profile"
 	"scaledeep/internal/report"
 	"scaledeep/internal/sim"
+	"scaledeep/internal/sweep"
 	"scaledeep/internal/telemetry"
 	"scaledeep/internal/tensor"
 )
@@ -34,7 +43,14 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write a metrics snapshot JSON file")
 	spanCap := flag.Int("span-cap", 1<<18, "span ring-buffer capacity for -trace-out")
 	serveAddr := flag.String("serve", "", "serve /metrics, /trace, /profile and /debug/pprof/ on this address and stay up after the run")
+	batch := flag.String("batch", "", "comma-separated minibatch sizes to sweep instead of a single run")
+	parallel := flag.Int("parallel", 0, "batch-mode worker-pool size (0 = GOMAXPROCS)")
 	flag.Parse()
+
+	if *batch != "" {
+		runBatch(*batch, *parallel, *train, *iters, *metricsOut, *serveAddr)
+		return
+	}
 
 	b := dnn.NewBuilder("simnet")
 	in := b.Input(3, 12, 12)
@@ -183,6 +199,76 @@ func main() {
 			}
 		}
 		fmt.Println("run complete; observability endpoints stay up — Ctrl-C to exit")
+		select {}
+	}
+}
+
+// runBatch sweeps the listed minibatch sizes through the sharded sweep
+// engine and prints one table row per size. Rows come out in list order and
+// are byte-identical for any -parallel value.
+func runBatch(batch string, parallel int, train bool, iters int, metricsOut, serveAddr string) {
+	grid := sweep.Grid{
+		Workloads: []string{"simnet"},
+		Archs:     []string{"baseline"},
+		Modes:     []string{"eval"},
+	}
+	if train {
+		grid.Modes = []string{"train"}
+		grid.Iterations = iters
+	}
+	for _, s := range strings.Split(batch, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sdsim: bad -batch entry %q\n", s)
+			os.Exit(1)
+		}
+		grid.Minibatches = append(grid.Minibatches, n)
+	}
+	jobs, err := grid.Jobs()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	metrics := telemetry.NewRegistry()
+	progVar := telemetry.NewJSONVar(fmt.Sprintf(`{"state":"running","done":0,"total":%d}`, len(jobs)))
+	if serveAddr != "" {
+		mux := telemetry.NewHTTPMux(metrics, nil, nil)
+		telemetry.HandleJSON(mux, "/progress", progVar.Get)
+		ln, err := net.Listen("tcp", serveAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("observability endpoints on http://%s (/progress /metrics /debug/pprof/)\n", ln.Addr())
+		go http.Serve(ln, mux)
+	}
+	results, err := sweep.RunGrid(context.Background(), grid, sweep.Options{
+		Workers: parallel,
+		Metrics: metrics,
+		Progress: func(done, total int) {
+			progVar.Set([]byte(fmt.Sprintf(`{"state":"running","done":%d,"total":%d}`, done, total)))
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	progVar.Set([]byte(fmt.Sprintf(`{"state":"done","done":%d,"total":%d}`, len(results), len(results))))
+	fmt.Print(sweep.FormatText(results))
+	if metricsOut != "" {
+		data, err := report.MetricsJSON(metrics)
+		if err == nil {
+			err = os.WriteFile(metricsOut, data, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote merged metrics snapshot to %s\n", metricsOut)
+	}
+	if serveAddr != "" {
+		fmt.Println("batch complete; observability endpoints stay up — Ctrl-C to exit")
 		select {}
 	}
 }

@@ -1,0 +1,153 @@
+// Command sdsweep runs a grid of independent simulations — the cross
+// product of workload × arch × minibatch × mode — sharded across a
+// goroutine worker pool, and renders the results as a text, CSV or JSON
+// table. Results are keyed by grid index, so the table bytes are identical
+// whatever -parallel is.
+//
+// Usage:
+//
+//	sdsweep [-workloads simnet,trainnet] [-archs baseline,half] \
+//	        [-mb 1,2,4] [-modes eval,train] [-iters N] [-parallel N] \
+//	        [-format text|csv|json] [-out table.csv] [-metrics-out m.json] \
+//	        [-progress] [-serve :6060]
+//
+// With -serve, /progress reports live completion counts while the sweep
+// runs (alongside the usual /metrics, /trace, /profile, /debug/pprof/).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"scaledeep/internal/report"
+	"scaledeep/internal/sweep"
+	"scaledeep/internal/telemetry"
+)
+
+func main() {
+	workloads := flag.String("workloads", "simnet", "comma-separated workloads: "+strings.Join(sweep.Workloads(), ", "))
+	archs := flag.String("archs", "baseline", "comma-separated chip configs: "+strings.Join(sweep.Archs(), ", "))
+	mbs := flag.String("mb", "2", "comma-separated minibatch sizes")
+	modes := flag.String("modes", "eval", "comma-separated modes: eval, train")
+	iters := flag.Int("iters", 1, "training iterations per train-mode job")
+	parallel := flag.Int("parallel", 0, "worker-pool size (0 = GOMAXPROCS)")
+	format := flag.String("format", "text", "output format: text, csv or json")
+	out := flag.String("out", "", "write the table to this file instead of stdout")
+	metricsOut := flag.String("metrics-out", "", "write the merged per-job metrics snapshot JSON file")
+	progress := flag.Bool("progress", false, "print per-job completion lines to stderr")
+	serveAddr := flag.String("serve", "", "serve /progress, /metrics and /debug/pprof/ on this address and stay up after the run")
+	flag.Parse()
+
+	grid := sweep.Grid{
+		Workloads:   splitList(*workloads),
+		Archs:       splitList(*archs),
+		Modes:       splitList(*modes),
+		Iterations:  *iters,
+		Minibatches: []int{},
+	}
+	for _, s := range splitList(*mbs) {
+		mb, err := strconv.Atoi(s)
+		if err != nil {
+			fatalf("sdsweep: bad -mb entry %q", s)
+		}
+		grid.Minibatches = append(grid.Minibatches, mb)
+	}
+	jobs, err := grid.Jobs()
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	merged := telemetry.NewRegistry()
+	progVar := telemetry.NewJSONVar(fmt.Sprintf(`{"state":"running","done":0,"total":%d}`, len(jobs)))
+	if *serveAddr != "" {
+		mux := telemetry.NewHTTPMux(merged, nil, nil)
+		telemetry.HandleJSON(mux, "/progress", progVar.Get)
+		ln, err := net.Listen("tcp", *serveAddr)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "observability endpoints on http://%s (/progress /metrics /debug/pprof/)\n", ln.Addr())
+		go http.Serve(ln, mux)
+	}
+
+	start := time.Now()
+	opts := sweep.Options{
+		Workers: *parallel,
+		Metrics: merged,
+		Progress: func(done, total int) {
+			progVar.Set([]byte(fmt.Sprintf(`{"state":"running","done":%d,"total":%d,"elapsed_ms":%d}`,
+				done, total, time.Since(start).Milliseconds())))
+			if *progress {
+				fmt.Fprintf(os.Stderr, "sweep: %d/%d jobs\n", done, total)
+			}
+		},
+	}
+	results, err := sweep.RunGrid(context.Background(), grid, opts)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	progVar.Set([]byte(fmt.Sprintf(`{"state":"done","done":%d,"total":%d,"elapsed_ms":%d}`,
+		len(results), len(results), time.Since(start).Milliseconds())))
+
+	dst := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		dst = f
+	}
+	switch *format {
+	case "text":
+		fmt.Fprint(dst, sweep.FormatText(results))
+	case "csv":
+		err = sweep.WriteCSV(dst, results)
+	case "json":
+		err = sweep.WriteJSON(dst, results)
+	default:
+		fatalf("sdsweep: unknown -format %q (want text, csv or json)", *format)
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if *out != "" {
+		fmt.Printf("wrote %d-job sweep table to %s (%.0f ms)\n", len(results), *out, time.Since(start).Seconds()*1e3)
+	}
+	if *metricsOut != "" {
+		data, err := report.MetricsJSON(merged)
+		if err == nil {
+			err = os.WriteFile(*metricsOut, data, 0o644)
+		}
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("wrote merged metrics snapshot to %s\n", *metricsOut)
+	}
+	if *serveAddr != "" {
+		fmt.Println("sweep complete; observability endpoints stay up — Ctrl-C to exit")
+		select {}
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

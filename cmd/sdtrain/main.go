@@ -2,14 +2,21 @@
 // software reference executor and on the compiled ScaleDeep simulator,
 // demonstrating functional equivalence of the hardware path (the validation
 // strategy of DESIGN.md §5).
+//
+// With -batch, sdtrain runs the equivalence check once per listed iteration
+// count, sharded across -parallel workers by the sweep engine, and reports
+// the per-job worst weight divergence.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
+	"strconv"
+	"strings"
 
 	"scaledeep/internal/arch"
 	"scaledeep/internal/compiler"
@@ -17,6 +24,7 @@ import (
 	"scaledeep/internal/profile"
 	"scaledeep/internal/report"
 	"scaledeep/internal/sim"
+	"scaledeep/internal/sweep"
 	"scaledeep/internal/telemetry"
 	"scaledeep/internal/tensor"
 )
@@ -26,9 +34,16 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write a Chrome/Perfetto trace-event JSON file")
 	metricsOut := flag.String("metrics-out", "", "write a metrics snapshot JSON file")
 	serveAddr := flag.String("serve", "", "serve /metrics, /trace, /profile and /debug/pprof/ on this address and stay up after the run")
+	batch := flag.String("batch", "", "comma-separated iteration counts: run the equivalence check once per count via the sweep engine")
+	parallel := flag.Int("parallel", 0, "batch-mode worker-pool size (0 = GOMAXPROCS)")
 	flag.Parse()
 	const mb = 2
 	const lr = float32(0.03125)
+
+	if *batch != "" {
+		runBatch(*batch, *parallel, *metricsOut)
+		return
+	}
 
 	b := dnn.NewBuilder("trainnet")
 	in := b.Input(2, 10, 10)
@@ -174,6 +189,134 @@ func main() {
 		fmt.Println("run complete; observability endpoints stay up — Ctrl-C to exit")
 		select {}
 	}
+}
+
+// runBatch shards one reference-vs-hardware equivalence check per listed
+// iteration count across the sweep engine's worker pool. Each job is fully
+// self-contained (own network, executors, machine, RNG), so jobs are
+// independent and the report comes out in list order for any -parallel.
+func runBatch(batch string, parallel int, metricsOut string) {
+	var counts []int
+	for _, s := range strings.Split(batch, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "sdtrain: bad -batch entry %q\n", s)
+			os.Exit(1)
+		}
+		counts = append(counts, n)
+	}
+	metrics := telemetry.NewRegistry()
+	type check struct {
+		Iters  int
+		Cycles int64
+		Worst  float64
+	}
+	results, err := sweep.Map(context.Background(), counts,
+		sweep.Options{Workers: parallel, Metrics: metrics},
+		func(_ context.Context, _ int, iters int, reg *telemetry.Registry) (check, error) {
+			cycles, worst, err := trainOnce(iters, reg)
+			return check{Iters: iters, Cycles: cycles, Worst: worst}, err
+		})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%8s %12s %24s\n", "iters", "cycles", "worst divergence")
+	failed := false
+	for _, r := range results {
+		verdict := "✓"
+		if r.Worst >= 1e-3 {
+			verdict = "DIVERGED"
+			failed = true
+		}
+		fmt.Printf("%8d %12d %20.3g %s\n", r.Iters, r.Cycles, r.Worst, verdict)
+	}
+	if metricsOut != "" {
+		data, err := report.MetricsJSON(metrics)
+		if err == nil {
+			err = os.WriteFile(metricsOut, data, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote merged metrics snapshot to %s\n", metricsOut)
+	}
+	if failed {
+		fmt.Println("WARNING: divergence exceeds tolerance")
+		os.Exit(1)
+	}
+	fmt.Println("hardware and software training paths are equivalent at every iteration count ✓")
+}
+
+// trainOnce runs the full equivalence check for one iteration count and
+// returns the simulated cycle count and the worst trained-weight divergence
+// between the hardware path and the software reference.
+func trainOnce(iters int, reg *telemetry.Registry) (int64, float64, error) {
+	const mb = 2
+	const lr = float32(0.03125)
+
+	b := dnn.NewBuilder("trainnet")
+	in := b.Input(2, 10, 10)
+	c1 := b.Conv(in, "c1", 4, 3, 1, 1, tensor.ActTanh)
+	p1 := b.MaxPool(c1, "s1", 2, 2)
+	b.FC(p1, "f1", 4, tensor.ActNone)
+	net := b.Build()
+
+	rng := tensor.NewRNG(3)
+	inputs := make([]*tensor.Tensor, mb)
+	golden := make([]*tensor.Tensor, mb)
+	for i := range inputs {
+		inputs[i] = tensor.New(2, 10, 10)
+		rng.FillUniform(inputs[i], 1)
+		golden[i] = tensor.New(4)
+		rng.FillUniform(golden[i], 1)
+	}
+
+	ref := dnn.NewExecutor(net, 42)
+	ref.NoBias = true
+	for it := 0; it < iters; it++ {
+		ref.TrainEpoch(it, inputs, golden, lr)
+	}
+
+	chip := arch.Baseline().Cluster.Conv
+	chip.Rows, chip.Cols = 3, 6
+	c, err := compiler.Compile(net, chip, compiler.Options{Minibatch: mb, Iterations: iters, Training: true, LR: lr})
+	if err != nil {
+		return 0, 0, err
+	}
+	m := sim.NewMachine(chip, arch.Single, true)
+	if reg != nil {
+		m.SetMetrics(reg)
+	}
+	init := dnn.NewExecutor(net, 42)
+	init.NoBias = true
+	if err := c.Install(m); err != nil {
+		return 0, 0, err
+	}
+	if err := c.LoadWeights(m, init); err != nil {
+		return 0, 0, err
+	}
+	if err := c.LoadInputs(m, inputs); err != nil {
+		return 0, 0, err
+	}
+	if err := c.LoadGolden(m, golden); err != nil {
+		return 0, 0, err
+	}
+	st, err := m.Run()
+	if err != nil {
+		return 0, 0, err
+	}
+	worst := 0.0
+	for _, l := range net.Layers {
+		if !l.HasWeights() {
+			continue
+		}
+		if diff := tensor.MaxAbsDiff(c.ReadWeights(m, l.Index), ref.Weights[l.Index]); diff > worst {
+			worst = diff
+		}
+	}
+	return int64(st.Cycles), worst, nil
 }
 
 // serveObservability starts the telemetry HTTP endpoint in the background.

@@ -18,11 +18,15 @@ import (
 	"scaledeep/internal/telemetry"
 )
 
-// Link is a point-to-point connection with finite bandwidth.
+// Link is a point-to-point connection with finite bandwidth. busy counts
+// the cycles committed in the current collective epoch: each collective
+// resets the links it uses (beginCollective), so the cycle count a
+// collective returns covers only its own traffic and consecutive
+// MinibatchBoundary calls with identical traffic cost identical cycles.
 type Link struct {
 	GBps float64
 	name string // telemetry track ("wheel0.arc1", "wheel2.spoke0", "ring3")
-	busy int64  // cycles already committed
+	busy int64  // cycles committed in the current collective epoch
 }
 
 // transferCycles returns the cycles to move `bytes` over the link at clock
@@ -58,6 +62,31 @@ func (n *Node) xfer(l *Link, op string, bytes int64) int64 {
 // on the "node" track.
 func (n *Node) SetSpanSink(s telemetry.SpanSink) { n.spans = s }
 
+// beginCollective opens a new timing epoch on the given links: committed
+// traffic from earlier collectives is dropped so this collective's transfers
+// serialize only against each other. Span starts remain globally ordered
+// because xfer offsets them by n.Cycles, which MinibatchBoundary advances
+// after every phase — spans from consecutive collectives therefore render
+// back-to-back instead of double-counting prior epochs.
+func beginCollective(links []*Link) {
+	for _, l := range links {
+		l.busy = 0
+	}
+}
+
+// maxBusy returns the collective's duration over the given links: each link
+// drains its committed transfers independently, so the collective completes
+// when the busiest link does.
+func maxBusy(links []*Link) int64 {
+	var worst int64
+	for _, l := range links {
+		if l.busy > worst {
+			worst = l.busy
+		}
+	}
+	return worst
+}
+
 // collectiveSpan records one collective's summary span on the node track.
 func (n *Node) collectiveSpan(name string, dur int64) {
 	if n.spans != nil && dur > 0 {
@@ -88,6 +117,25 @@ type Wheel struct {
 type fcChip struct {
 	Grad    []float32
 	Weights []float32
+}
+
+// routeArcs returns the arc links on the shorter of the two paths around the
+// wheel between chip 0 and chip i (ascending on a tie), in hop order walking
+// away from chip 0. Arc j connects chip j to chip j+1, so the ascending path
+// 0→1→…→i uses arcs 0..i-1 and the descending path 0→N-1→…→i uses arcs
+// N-1 down to i. Charging the arcs actually on the chosen route splits
+// broadcast and accumulation traffic both ways around the wheel instead of
+// serializing every chip's transfers on the low-index arcs.
+func (w *Wheel) routeArcs(i int) []*Link {
+	n := len(w.arcs)
+	if i <= n-i {
+		return w.arcs[:i] // ascending: arcs 0..i-1
+	}
+	route := make([]*Link, 0, n-i)
+	for a := n - 1; a >= i; a-- {
+		route = append(route, w.arcs[a]) // descending through the wrap
+	}
+	return route
 }
 
 // Node is the ring of chip clusters (§3.3.2).
@@ -122,7 +170,13 @@ func NewNode(cfg arch.NodeConfig, convWeights, fcWeights int) *Node {
 			c.spoke = &Link{GBps: cfg.Cluster.SpokeGBps,
 				name: fmt.Sprintf("wheel%d.spoke%d", wi, ci)}
 		}
+		// Split FC weights across wheels; the first fcWeights mod NumClusters
+		// wheels take one extra so the per-wheel counts sum to fcWeights even
+		// when the division is uneven.
 		per := fcWeights / cfg.NumClusters
+		if wi < fcWeights%cfg.NumClusters {
+			per++
+		}
 		w.fc = fcChip{Grad: make([]float32, per), Weights: make([]float32, per)}
 		n.Wheels = append(n.Wheels, w)
 	}
@@ -140,31 +194,24 @@ func (n *Node) AccumulateWheel(w *Wheel) int64 {
 	if len(w.Chips) == 0 {
 		return 0
 	}
+	beginCollective(w.arcs)
 	root := w.Chips[0]
 	bytes := int64(len(root.Grad)) * 4
-	var worst int64
 	// Chips forward their partial sums toward chip 0 around the shorter arc
-	// path; the pipeline depth is the farthest hop count.
+	// path; the collective lasts until the busiest arc drains.
 	for i := len(w.Chips) - 1; i >= 1; i-- {
 		src := w.Chips[i]
 		for j := range root.Grad {
 			root.Grad[j] += src.Grad[j]
 		}
-		hops := i
-		if back := len(w.Chips) - i; back < hops {
-			hops = back
-		}
-		var end int64
-		for h := 0; h < hops; h++ {
-			end = n.xfer(w.arcs[(i+h)%len(w.arcs)], "grad", bytes)
-		}
-		if end > worst {
-			worst = end
+		for _, arc := range w.routeArcs(i) {
+			n.xfer(arc, "grad", bytes)
 		}
 		for j := range src.Grad {
 			src.Grad[j] = 0
 		}
 	}
+	worst := maxBusy(w.arcs)
 	n.collectiveSpan(fmt.Sprintf("grad-accumulate.wheel%d", w.ID), worst)
 	return worst
 }
@@ -197,17 +244,14 @@ func (n *Node) RingAllReduce() int64 {
 	}
 	// Timing: chunked ring all-reduce moves 2·(K-1)/K of the data over each
 	// ring link, all links active in parallel.
+	beginCollective(n.ring)
 	chunkBytes := int64(size) * 4 / int64(k)
-	var worst int64
 	for _, l := range n.ring {
-		var end int64
 		for step := 0; step < 2*(k-1); step++ {
-			end = n.xfer(l, "ring-chunk", chunkBytes)
-		}
-		if end > worst {
-			worst = end
+			n.xfer(l, "ring-chunk", chunkBytes)
 		}
 	}
+	worst := maxBusy(n.ring)
 	n.collectiveSpan("ring-all-reduce", worst)
 	return worst
 }
@@ -218,6 +262,7 @@ func (n *Node) RingAllReduce() int64 {
 func (n *Node) DistributeWeights(lr float32) int64 {
 	var worst int64
 	for _, w := range n.Wheels {
+		beginCollective(w.arcs)
 		root := w.Chips[0]
 		for j := range root.Weights {
 			root.Weights[j] -= lr * root.Grad[j]
@@ -225,17 +270,12 @@ func (n *Node) DistributeWeights(lr float32) int64 {
 		bytes := int64(len(root.Weights)) * 4
 		for i := 1; i < len(w.Chips); i++ {
 			copy(w.Chips[i].Weights, root.Weights)
-			hops := i
-			if back := len(w.Chips) - i; back < hops {
-				hops = back
+			for _, arc := range w.routeArcs(i) {
+				n.xfer(arc, "weights", bytes)
 			}
-			var end int64
-			for h := 0; h < hops; h++ {
-				end = n.xfer(w.arcs[h%len(w.arcs)], "weights", bytes)
-			}
-			if end > worst {
-				worst = end
-			}
+		}
+		if wb := maxBusy(w.arcs); wb > worst {
+			worst = wb
 		}
 		for j := range root.Grad {
 			root.Grad[j] = 0

@@ -5,6 +5,7 @@
 package report
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -15,6 +16,8 @@ import (
 	"scaledeep/internal/gpu"
 	"scaledeep/internal/perfmodel"
 	"scaledeep/internal/power"
+	"scaledeep/internal/sweep"
+	"scaledeep/internal/telemetry"
 	"scaledeep/internal/workload"
 	"scaledeep/internal/zoo"
 )
@@ -111,17 +114,19 @@ type PerfRow struct {
 	Perf *perfmodel.NetworkPerf
 }
 
-// ModelSuite runs the performance model on the whole suite.
+// ModelSuite runs the performance model on the whole suite, sharded across
+// the sweep engine's worker pool. Rows come back in zoo.Names order
+// regardless of which model finishes first, so every figure built on top is
+// deterministic.
 func ModelSuite(node arch.NodeConfig) ([]PerfRow, error) {
-	rows := make([]PerfRow, 0, len(zoo.Names))
-	for _, name := range zoo.Names {
-		np, err := perfmodel.Model(zoo.Build(name), node)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", name, err)
-		}
-		rows = append(rows, PerfRow{Name: name, Perf: np})
-	}
-	return rows, nil
+	return sweep.Map(context.Background(), zoo.Names, sweep.Options{},
+		func(_ context.Context, _ int, name string, _ *telemetry.Registry) (PerfRow, error) {
+			np, err := perfmodel.Model(zoo.Build(name), node)
+			if err != nil {
+				return PerfRow{}, fmt.Errorf("%s: %w", name, err)
+			}
+			return PerfRow{Name: name, Perf: np}, nil
+		})
 }
 
 func perfFigure(title string, node arch.NodeConfig) string {

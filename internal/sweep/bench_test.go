@@ -1,0 +1,65 @@
+package sweep
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// benchGrid is the fixed 8-job grid the sweep benchmarks run: enough
+// independent simulations to keep every core of a 4-core CI runner busy,
+// small enough that one serial pass stays under a second.
+func benchGrid() Grid {
+	return Grid{
+		Workloads:   []string{"simnet", "trainnet"},
+		Archs:       []string{"baseline"},
+		Minibatches: []int{1, 2},
+		Modes:       []string{"eval", "train"},
+	}
+}
+
+// BenchmarkGridSerial is the one-worker baseline.
+func BenchmarkGridSerial(b *testing.B) {
+	benchGridWorkers(b, 1)
+}
+
+// BenchmarkGridParallel shards the same grid across GOMAXPROCS workers.
+func BenchmarkGridParallel(b *testing.B) {
+	benchGridWorkers(b, 0)
+}
+
+func benchGridWorkers(b *testing.B, workers int) {
+	b.Helper()
+	g := benchGrid()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunGrid(context.Background(), g, Options{Workers: workers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGridSpeedup measures the same grid serially and sharded in each
+// iteration and reports the wall-clock ratio — the headline number of
+// BENCH_sweep.json. On a single-core runner the ratio is ~1 by
+// construction; the CI gate's 4-core runner is where the ≥2× shows up.
+func BenchmarkGridSpeedup(b *testing.B) {
+	g := benchGrid()
+	var serial, parallel time.Duration
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		if _, err := RunGrid(context.Background(), g, Options{Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+		serial += time.Since(t0)
+		t0 = time.Now()
+		if _, err := RunGrid(context.Background(), g, Options{}); err != nil {
+			b.Fatal(err)
+		}
+		parallel += time.Since(t0)
+	}
+	b.ReportMetric(serial.Seconds()/parallel.Seconds(), "speedup-x")
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
+	b.ReportMetric(serial.Seconds()*1e3/float64(b.N), "serial-ms")
+	b.ReportMetric(parallel.Seconds()*1e3/float64(b.N), "parallel-ms")
+}

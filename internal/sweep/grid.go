@@ -1,0 +1,247 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"scaledeep/internal/arch"
+	"scaledeep/internal/compiler"
+	"scaledeep/internal/dnn"
+	"scaledeep/internal/sim"
+	"scaledeep/internal/telemetry"
+	"scaledeep/internal/tensor"
+	"scaledeep/internal/zoo"
+)
+
+// Grid is a sweep specification: the cross product of its axes, enumerated
+// workload-major (workload, then arch, then minibatch, then mode) so job
+// indices — and therefore table row order — are stable for a given spec.
+type Grid struct {
+	Workloads   []string // workload names (see Workloads)
+	Archs       []string // chip configs (see Archs)
+	Minibatches []int    // minibatch sizes, each ≥ 1
+	Modes       []string // "eval" (FP only) and/or "train" (FP+BP+WG)
+	Iterations  int      // training iterations per job; 0 means 1
+}
+
+// Workloads lists the cycle-simulator workload catalog: networks small
+// enough for the functional simulator to execute whole, mirroring the nets
+// the CLI tools simulate (sdsim's simnet, sdtrain's trainnet, sdprof's
+// MiniVGG reference workload).
+func Workloads() []string { return []string{"simnet", "trainnet", "minivgg"} }
+
+// Archs lists the chip configurations a grid can sweep: the Fig. 14
+// single-precision baseline and the Fig. 17 half-precision design.
+func Archs() []string { return []string{"baseline", "half"} }
+
+// Job is one grid point.
+type Job struct {
+	Index     int
+	Workload  string
+	Arch      string
+	Minibatch int
+	Mode      string
+	Iters     int
+}
+
+// Name returns the job's stable identifier, e.g. "simnet/baseline/mb2/eval".
+func (j Job) Name() string {
+	return fmt.Sprintf("%s/%s/mb%d/%s", j.Workload, j.Arch, j.Minibatch, j.Mode)
+}
+
+// Result is one completed simulation, keyed by the job that produced it.
+type Result struct {
+	Job
+	Cycles       int64
+	Instructions int64
+	FLOPs        int64
+	PEUtil       float64
+	CompMemBytes int64
+	MemMemBytes  int64
+	ExtMemBytes  int64
+	NACKs        int64
+	// Checksum is the sum of the last image's output vector — a functional
+	// fingerprint that makes cross-parallelism determinism checkable from
+	// the table itself.
+	Checksum float32
+}
+
+// Jobs enumerates and validates the grid.
+func (g Grid) Jobs() ([]Job, error) {
+	if len(g.Workloads) == 0 || len(g.Archs) == 0 || len(g.Minibatches) == 0 || len(g.Modes) == 0 {
+		return nil, fmt.Errorf("sweep: grid needs at least one workload, arch, minibatch and mode")
+	}
+	iters := g.Iterations
+	if iters <= 0 {
+		iters = 1
+	}
+	var jobs []Job
+	for _, wl := range g.Workloads {
+		if _, err := buildWorkload(wl); err != nil {
+			return nil, err
+		}
+		for _, ar := range g.Archs {
+			if _, _, err := chipFor(ar); err != nil {
+				return nil, err
+			}
+			for _, mb := range g.Minibatches {
+				if mb < 1 {
+					return nil, fmt.Errorf("sweep: minibatch %d out of range", mb)
+				}
+				for _, mode := range g.Modes {
+					if mode != "eval" && mode != "train" {
+						return nil, fmt.Errorf("sweep: unknown mode %q (want eval or train)", mode)
+					}
+					jobs = append(jobs, Job{
+						Index: len(jobs), Workload: wl, Arch: ar,
+						Minibatch: mb, Mode: mode, Iters: iters,
+					})
+				}
+			}
+		}
+	}
+	return jobs, nil
+}
+
+// RunGrid runs every grid point on the cycle-level simulator and returns the
+// results in job order. Each job compiles its own program, simulates on its
+// own machine and records into its own telemetry registry, so jobs shard
+// cleanly across opts.Workers.
+func RunGrid(ctx context.Context, g Grid, opts Options) ([]Result, error) {
+	jobs, err := g.Jobs()
+	if err != nil {
+		return nil, err
+	}
+	return Map(ctx, jobs, opts, func(ctx context.Context, _ int, job Job, reg *telemetry.Registry) (Result, error) {
+		return runJob(job, reg)
+	})
+}
+
+// buildWorkload constructs a fresh network for a catalog entry. Every call
+// returns a new DAG so parallel jobs never share layer state.
+func buildWorkload(name string) (*dnn.Network, error) {
+	switch strings.ToLower(name) {
+	case "simnet": // sdsim's demo network
+		b := dnn.NewBuilder("simnet")
+		in := b.Input(3, 12, 12)
+		c1 := b.Conv(in, "c1", 6, 3, 1, 1, tensor.ActReLU)
+		p1 := b.MaxPool(c1, "s1", 2, 2)
+		c2 := b.Conv(p1, "c2", 8, 3, 1, 1, tensor.ActTanh)
+		b.FC(c2, "f1", 10, tensor.ActNone)
+		return b.Build(), nil
+	case "trainnet": // sdtrain's demo network
+		b := dnn.NewBuilder("trainnet")
+		in := b.Input(2, 10, 10)
+		c1 := b.Conv(in, "c1", 4, 3, 1, 1, tensor.ActTanh)
+		p1 := b.MaxPool(c1, "s1", 2, 2)
+		b.FC(p1, "f1", 4, tensor.ActNone)
+		return b.Build(), nil
+	case "minivgg": // sdprof's reference workload
+		return zoo.MiniVGG(), nil
+	}
+	return nil, fmt.Errorf("sweep: unknown workload %q (want %s)", name, strings.Join(Workloads(), ", "))
+}
+
+// chipFor maps an arch name to the simulated chip configuration and
+// datapath precision. The chip is cut down to the same 3-row grid the CLI
+// tools simulate so one job fits comfortably in a test run.
+func chipFor(name string) (arch.ChipConfig, arch.Precision, error) {
+	switch strings.ToLower(name) {
+	case "baseline":
+		chip := arch.Baseline().Cluster.Conv
+		chip.Rows, chip.Cols = 3, 8
+		return chip, arch.Single, nil
+	case "half":
+		chip := arch.HalfPrecision().Cluster.Conv
+		chip.Rows, chip.Cols = 3, 8
+		return chip, arch.Half, nil
+	}
+	return arch.ChipConfig{}, 0, fmt.Errorf("sweep: unknown arch %q (want %s)", name, strings.Join(Archs(), ", "))
+}
+
+// runJob compiles and simulates one grid point. Inputs are seeded from the
+// same fixed PRNG stream per job spec, so a job's result depends only on its
+// spec — never on which worker ran it or when.
+func runJob(job Job, reg *telemetry.Registry) (Result, error) {
+	fail := func(err error) (Result, error) {
+		return Result{}, fmt.Errorf("sweep: %s: %w", job.Name(), err)
+	}
+	net, err := buildWorkload(job.Workload)
+	if err != nil {
+		return Result{}, err
+	}
+	chip, prec, err := chipFor(job.Arch)
+	if err != nil {
+		return Result{}, err
+	}
+	train := job.Mode == "train"
+	iters := 1
+	if train {
+		iters = job.Iters
+	}
+	c, err := compiler.Compile(net, chip, compiler.Options{
+		Minibatch: job.Minibatch, Iterations: iters, Training: train, LR: 0.0625,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	m := sim.NewMachine(chip, prec, true)
+	if reg != nil {
+		m.SetMetrics(reg)
+	}
+	if err := c.Install(m); err != nil {
+		return fail(err)
+	}
+	e := dnn.NewExecutor(net, 1)
+	e.NoBias = true
+	if err := c.LoadWeights(m, e); err != nil {
+		return fail(err)
+	}
+	inShape := net.Layers[0].Out
+	outElems := net.OutputLayer().Out.Elems()
+	rng := tensor.NewRNG(7)
+	inputs := make([]*tensor.Tensor, job.Minibatch)
+	golden := make([]*tensor.Tensor, job.Minibatch)
+	for i := range inputs {
+		inputs[i] = tensor.New(inShape.C, inShape.H, inShape.W)
+		rng.FillUniform(inputs[i], 1)
+		golden[i] = tensor.New(outElems)
+		rng.FillUniform(golden[i], 1)
+	}
+	if err := c.LoadInputs(m, inputs); err != nil {
+		return fail(err)
+	}
+	if train {
+		if err := c.LoadGolden(m, golden); err != nil {
+			return fail(err)
+		}
+	}
+	st, err := m.Run()
+	if err != nil {
+		return fail(err)
+	}
+	var checksum float32
+	for _, v := range c.ReadOutput(m, job.Minibatch-1) {
+		checksum += v
+	}
+	if reg != nil {
+		// Per-job labeled metrics survive the merge individually (the
+		// unlabeled sim.* series aggregate across the whole sweep).
+		lbl := telemetry.Label{Key: "job", Value: job.Name()}
+		reg.Counter("sweep.job.cycles", lbl).Add(int64(st.Cycles))
+		reg.Counter("sweep.jobs").Inc()
+	}
+	return Result{
+		Job:          job,
+		Cycles:       int64(st.Cycles),
+		Instructions: st.Instructions,
+		FLOPs:        st.FLOPs,
+		PEUtil:       st.PEUtilization(),
+		CompMemBytes: st.CompMemBytes,
+		MemMemBytes:  st.MemMemBytes,
+		ExtMemBytes:  st.ExtMemBytes,
+		NACKs:        st.NACKs,
+		Checksum:     checksum,
+	}, nil
+}

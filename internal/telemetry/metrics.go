@@ -182,6 +182,96 @@ func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Hi
 	return e.h
 }
 
+// MergeFrom folds src's metrics into r: counters add, histograms add their
+// per-bucket counts and running sums, gauges take src's value (so when
+// several registries are merged in sequence, the last merged gauge wins —
+// callers wanting per-source gauges should label them per source). A
+// histogram present in both registries must have identical bucket bounds.
+//
+// This is the aggregation step of a parallel sweep: each job records into an
+// isolated registry (no cross-job lock contention, no interleaved label
+// creation), and the engine merges them in job order at the end so the
+// combined snapshot is deterministic regardless of completion order.
+func (r *Registry) MergeFrom(src *Registry) error {
+	if src == nil || src == r {
+		return nil
+	}
+	type histCopy struct {
+		name   string
+		labels []Label
+		bounds []float64
+		counts []int64
+		total  int64
+		sum    float64
+	}
+	src.mu.Lock()
+	type counterCopy struct {
+		name   string
+		labels []Label
+		value  int64
+	}
+	ccs := make([]counterCopy, 0, len(src.counters))
+	for _, e := range src.counters {
+		ccs = append(ccs, counterCopy{e.name, e.labels, e.c.Value()})
+	}
+	type gaugeCopy struct {
+		name   string
+		labels []Label
+		value  float64
+	}
+	gcs := make([]gaugeCopy, 0, len(src.gauges))
+	for _, e := range src.gauges {
+		gcs = append(gcs, gaugeCopy{e.name, e.labels, e.g.Value()})
+	}
+	hcs := make([]histCopy, 0, len(src.histograms))
+	for _, e := range src.histograms {
+		hc := histCopy{name: e.name, labels: e.labels, bounds: e.h.bounds,
+			total: e.h.Count(), sum: e.h.Sum()}
+		hc.counts = make([]int64, len(e.h.counts))
+		for i := range e.h.counts {
+			hc.counts[i] = e.h.counts[i].Load()
+		}
+		hcs = append(hcs, hc)
+	}
+	src.mu.Unlock()
+
+	for _, c := range ccs {
+		if c.value != 0 {
+			r.Counter(c.name, c.labels...).Add(c.value)
+		}
+	}
+	for _, g := range gcs {
+		r.Gauge(g.name, g.labels...).Set(g.value)
+	}
+	for _, hc := range hcs {
+		h := r.Histogram(hc.name, hc.bounds, hc.labels...)
+		if len(h.bounds) != len(hc.bounds) {
+			return fmt.Errorf("telemetry: merge of histogram %q: bucket count %d != %d", hc.name, len(h.bounds), len(hc.bounds))
+		}
+		for i, b := range h.bounds {
+			if b != hc.bounds[i] {
+				return fmt.Errorf("telemetry: merge of histogram %q: bound %v != %v", hc.name, b, hc.bounds[i])
+			}
+		}
+		for i, c := range hc.counts {
+			if c != 0 {
+				h.counts[i].Add(c)
+			}
+		}
+		if hc.total != 0 {
+			h.total.Add(hc.total)
+			for {
+				old := h.sumBits.Load()
+				next := math.Float64bits(math.Float64frombits(old) + hc.sum)
+				if h.sumBits.CompareAndSwap(old, next) {
+					break
+				}
+			}
+		}
+	}
+	return nil
+}
+
 // CounterSnap is one counter in a snapshot.
 type CounterSnap struct {
 	Name   string            `json:"name"`

@@ -3,6 +3,7 @@ package telemetry
 import (
 	"bytes"
 	"encoding/json"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -123,5 +124,98 @@ func TestConcurrentRecording(t *testing.T) {
 	}
 	if h.Count() != workers*per {
 		t.Fatalf("histogram count = %d", h.Count())
+	}
+}
+
+func TestMergeFrom(t *testing.T) {
+	dst := NewRegistry()
+	dst.Counter("jobs").Add(2)
+	dst.Counter("bytes", Label{Key: "link", Value: "arc"}).Add(10)
+	dst.Gauge("util").Set(0.25)
+	dst.Histogram("lat", []float64{1, 10}).Observe(5)
+
+	src := NewRegistry()
+	src.Counter("jobs").Add(3)
+	src.Counter("bytes", Label{Key: "link", Value: "ring"}).Add(7)
+	src.Gauge("util").Set(0.75)
+	h := src.Histogram("lat", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(100)
+
+	if err := dst.MergeFrom(src); err != nil {
+		t.Fatal(err)
+	}
+	if got := dst.Counter("jobs").Value(); got != 5 {
+		t.Fatalf("jobs = %d, want 5", got)
+	}
+	if got := dst.Counter("bytes", Label{Key: "link", Value: "arc"}).Value(); got != 10 {
+		t.Fatalf("arc bytes = %d", got)
+	}
+	if got := dst.Counter("bytes", Label{Key: "link", Value: "ring"}).Value(); got != 7 {
+		t.Fatalf("ring bytes = %d", got)
+	}
+	if got := dst.Gauge("util").Value(); got != 0.75 {
+		t.Fatalf("gauge = %v, want last-merged 0.75", got)
+	}
+	m := dst.Histogram("lat", []float64{1, 10})
+	if m.Count() != 3 || m.Sum() != 105.5 {
+		t.Fatalf("histogram count=%d sum=%v, want 3/105.5", m.Count(), m.Sum())
+	}
+	// Self- and nil-merge are no-ops.
+	if err := dst.MergeFrom(dst); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.MergeFrom(nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := dst.Counter("jobs").Value(); got != 5 {
+		t.Fatalf("self-merge changed jobs to %d", got)
+	}
+}
+
+func TestMergeFromBoundsMismatch(t *testing.T) {
+	dst := NewRegistry()
+	dst.Histogram("lat", []float64{1, 10})
+	src := NewRegistry()
+	src.Histogram("lat", []float64{1, 20}).Observe(15)
+	if err := dst.MergeFrom(src); err == nil {
+		t.Fatal("expected bounds-mismatch error")
+	}
+	src2 := NewRegistry()
+	src2.Histogram("lat", []float64{1}).Observe(0.5)
+	if err := dst.MergeFrom(src2); err == nil {
+		t.Fatal("expected bucket-count-mismatch error")
+	}
+}
+
+func TestMergeOrderDeterministic(t *testing.T) {
+	// Merging the same per-job registries in job order must yield identical
+	// snapshots no matter how the jobs themselves completed.
+	build := func() []*Registry {
+		regs := make([]*Registry, 4)
+		for i := range regs {
+			r := NewRegistry()
+			r.Counter("n").Add(int64(i + 1))
+			r.Gauge("last").Set(float64(i))
+			regs[i] = r
+		}
+		return regs
+	}
+	snap := func(regs []*Registry) string {
+		dst := NewRegistry()
+		for _, r := range regs {
+			if err := dst.MergeFrom(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var b strings.Builder
+		if err := dst.WriteJSON(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	a, b := snap(build()), snap(build())
+	if a != b {
+		t.Fatalf("merge not deterministic:\n%s\nvs\n%s", a, b)
 	}
 }

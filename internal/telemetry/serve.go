@@ -48,6 +48,27 @@ func (v *JSONVar) Get() ([]byte, error) {
 	return v.data, nil
 }
 
+// HandleJSON registers a JSON document endpoint on an observability mux —
+// e.g. a sweep's live /progress document. fn follows the ProfileFunc
+// contract and may return an evolving document; a nil fn serves a constant
+// placeholder.
+func HandleJSON(mux *http.ServeMux, path string, fn ProfileFunc) {
+	mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if fn == nil {
+			json.NewEncoder(w).Encode(map[string]string{"state": "unavailable"})
+			return
+		}
+		data, err := fn()
+		if err != nil {
+			w.WriteHeader(http.StatusInternalServerError)
+			json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+			return
+		}
+		w.Write(data)
+	})
+}
+
 // NewHTTPMux builds the observability endpoint:
 //
 //	/metrics  — registry snapshot (JSON)
@@ -81,20 +102,7 @@ func NewHTTPMux(reg *Registry, tr *Trace, profileFn ProfileFunc) *http.ServeMux 
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
-	mux.HandleFunc("/profile", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		if profileFn == nil {
-			json.NewEncoder(w).Encode(map[string]string{"state": "unavailable"})
-			return
-		}
-		data, err := profileFn()
-		if err != nil {
-			w.WriteHeader(http.StatusInternalServerError)
-			json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
-			return
-		}
-		w.Write(data)
-	})
+	HandleJSON(mux, "/profile", profileFn)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
