@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check fmt vet race bench
+.PHONY: build test check fmt vet race bench benchdiff
 
 build:
 	$(GO) build ./...
@@ -29,7 +29,9 @@ race:
 # disabled) and records the results as a test2json stream in BENCH_sim.json
 # so successive PRs leave a perf trajectory. The sweep benchmark times the
 # same 8-job grid serially and sharded across GOMAXPROCS workers and records
-# the wall-clock ratio (speedup-x) in BENCH_sweep.json.
+# the wall-clock ratio (speedup-x) in BENCH_sweep.json. The memo benchmark
+# runs a deliberately duplicated grid with cell memoization on and off and
+# records the wall-clock/allocs gap (memo-speedup-x) in BENCH_memo.json.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -json ./internal/sim/ > BENCH_sim.json
 	@grep -o '"Output":"Benchmark[^"]*' BENCH_sim.json | sed 's/"Output":"//;s/\\t/\t/g;s/\\n//' || true
@@ -37,3 +39,18 @@ bench:
 	$(GO) test -run '^$$' -bench Grid -json ./internal/sweep/ > BENCH_sweep.json
 	@grep -o '"Output":"Benchmark[^"]*' BENCH_sweep.json | sed 's/"Output":"//;s/\\t/\t/g;s/\\n//' || true
 	@echo "wrote BENCH_sweep.json"
+	$(GO) test -run '^$$' -bench SweepMemo -benchmem -json ./internal/sweep/ > BENCH_memo.json
+	@grep -o '"Output":"Benchmark[^"]*' BENCH_memo.json | sed 's/"Output":"//;s/\\t/\t/g;s/\\n//' || true
+	@echo "wrote BENCH_memo.json"
+
+# benchdiff prints a benchstat-style before/after table for each committed
+# BENCH file against its freshly regenerated counterpart. Run `make bench`
+# first; with the working tree clean, `git stash`-style comparison is just
+# `git show HEAD:BENCH_sim.json > old.json && make benchdiff OLD=old.json`.
+benchdiff:
+	@for f in BENCH_sim BENCH_sweep BENCH_memo; do \
+		if git show HEAD:$$f.json > /tmp/$$f.base.json 2>/dev/null; then \
+			echo "== $$f: HEAD vs working tree =="; \
+			$(GO) run ./cmd/sdbenchdiff /tmp/$$f.base.json $$f.json; \
+		fi; \
+	done

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestParseFileStitchesSplitOutput: test2json writes the benchmark name and
+// its numbers as separate Output events; the parser must reassemble them.
+func TestParseFileStitchesSplitOutput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	stream := `{"Action":"output","Output":"BenchmarkRunTelemetryOn \t"}
+{"Action":"output","Output":"   95289\t     13408 ns/op\t    2264 B/op\t      19 allocs/op\n"}
+{"Action":"output","Output":"PASS\n"}
+`
+	if err := os.WriteFile(path, []byte(stream), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := parseFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res["BenchmarkRunTelemetryOn"]
+	if got == nil || got["ns/op"] != 13408 || got["allocs/op"] != 19 {
+		t.Fatalf("split output parsed as %v", got)
+	}
+}
+
+func TestParseLineFormats(t *testing.T) {
+	res := results{}
+	parseLine(res, "BenchmarkRunTelemetryOff-4   \t   50000\t     20506 ns/op\t    8456 B/op\t     213 allocs/op")
+	parseLine(res, "BenchmarkGridSpeedup \t 5 \t 12345 ns/op \t 2.59 speedup-x")
+	parseLine(res, "ok  \tscaledeep/internal/sim\t1.2s") // ignored
+	parseLine(res, "--- PASS: TestSomething")            // ignored
+
+	got := res["BenchmarkRunTelemetryOff"]
+	if got == nil || got["ns/op"] != 20506 || got["B/op"] != 8456 || got["allocs/op"] != 213 {
+		t.Fatalf("telemetry-off line parsed as %v", got)
+	}
+	if res["BenchmarkGridSpeedup"]["speedup-x"] != 2.59 {
+		t.Fatalf("speedup line parsed as %v", res["BenchmarkGridSpeedup"])
+	}
+	if len(res) != 2 {
+		t.Fatalf("non-benchmark lines leaked into results: %v", res)
+	}
+}
+
+func TestParseLineAveragesRepeats(t *testing.T) {
+	res := results{}
+	parseLine(res, "BenchmarkX-8 \t 10 \t 100 ns/op")
+	parseLine(res, "BenchmarkX-8 \t 10 \t 300 ns/op")
+	if v := res["BenchmarkX"]["ns/op"]; v != 200 {
+		t.Fatalf("repeated runs averaged to %v, want 200", v)
+	}
+}

@@ -45,10 +45,12 @@ func main() {
 	serveAddr := flag.String("serve", "", "serve /metrics, /trace, /profile and /debug/pprof/ on this address and stay up after the run")
 	batch := flag.String("batch", "", "comma-separated minibatch sizes to sweep instead of a single run")
 	parallel := flag.Int("parallel", 0, "batch-mode worker-pool size (0 = GOMAXPROCS)")
+	noMemo := flag.Bool("no-memo", false, "disable replica memoization (batch-mode cell memo and, on timing-only machines, within-chip row memo)")
+	verifyMemo := flag.Bool("verify-memo", false, "cross-check memoized results against full simulation and fail on divergence")
 	flag.Parse()
 
 	if *batch != "" {
-		runBatch(*batch, *parallel, *train, *iters, *metricsOut, *serveAddr)
+		runBatch(*batch, *parallel, *train, *iters, *metricsOut, *serveAddr, *noMemo, *verifyMemo)
 		return
 	}
 
@@ -80,6 +82,8 @@ func main() {
 	}
 
 	m := sim.NewMachine(chip, arch.Single, true)
+	m.SetMemo(!*noMemo)
+	m.SetVerifyMemo(*verifyMemo)
 	if *traceN > 0 {
 		m.EnableTrace(*traceN)
 	}
@@ -143,6 +147,7 @@ func main() {
 	}
 	fmt.Printf("%s of %s on a %dx%d chip (%d programs, %d instructions)\n",
 		mode, net.Name, chip.Rows, chip.Cols, len(c.Programs), c.TotalInstructions())
+	fmt.Printf("  replica classes %d (identical tile programs share a class)\n", len(c.ReplicaClasses()))
 	fmt.Printf("  cycles          %d\n", st.Cycles)
 	fmt.Printf("  instructions    %d\n", st.Instructions)
 	fmt.Printf("  FLOPs           %d\n", st.FLOPs)
@@ -206,7 +211,7 @@ func main() {
 // runBatch sweeps the listed minibatch sizes through the sharded sweep
 // engine and prints one table row per size. Rows come out in list order and
 // are byte-identical for any -parallel value.
-func runBatch(batch string, parallel int, train bool, iters int, metricsOut, serveAddr string) {
+func runBatch(batch string, parallel int, train bool, iters int, metricsOut, serveAddr string, noMemo, verifyMemo bool) {
 	grid := sweep.Grid{
 		Workloads: []string{"simnet"},
 		Archs:     []string{"baseline"},
@@ -244,8 +249,10 @@ func runBatch(batch string, parallel int, train bool, iters int, metricsOut, ser
 		go http.Serve(ln, mux)
 	}
 	results, err := sweep.RunGrid(context.Background(), grid, sweep.Options{
-		Workers: parallel,
-		Metrics: metrics,
+		Workers:    parallel,
+		Metrics:    metrics,
+		NoMemo:     noMemo,
+		VerifyMemo: verifyMemo,
 		Progress: func(done, total int) {
 			progVar.Set([]byte(fmt.Sprintf(`{"state":"running","done":%d,"total":%d}`, done, total)))
 		},

@@ -9,7 +9,12 @@
 //	sdsweep [-workloads simnet,trainnet] [-archs baseline,half] \
 //	        [-mb 1,2,4] [-modes eval,train] [-iters N] [-parallel N] \
 //	        [-format text|csv|json] [-out table.csv] [-metrics-out m.json] \
-//	        [-progress] [-serve :6060]
+//	        [-progress] [-serve :6060] [-no-memo] [-verify-memo]
+//
+// Duplicate grid cells (identical workload/arch/minibatch/mode points) are
+// simulated once and their results replicated — exact, because each job is a
+// deterministic function of its spec. -no-memo forces every job to run;
+// -verify-memo re-simulates one replica per class and fails on divergence.
 //
 // With -serve, /progress reports live completion counts while the sweep
 // runs (alongside the usual /metrics, /trace, /profile, /debug/pprof/).
@@ -42,6 +47,8 @@ func main() {
 	out := flag.String("out", "", "write the table to this file instead of stdout")
 	metricsOut := flag.String("metrics-out", "", "write the merged per-job metrics snapshot JSON file")
 	progress := flag.Bool("progress", false, "print per-job completion lines to stderr")
+	noMemo := flag.Bool("no-memo", false, "disable grid-cell memoization (simulate every job even when duplicated)")
+	verifyMemo := flag.Bool("verify-memo", false, "re-simulate one replicated job per memo class and fail on any divergence")
 	serveAddr := flag.String("serve", "", "serve /progress, /metrics and /debug/pprof/ on this address and stay up after the run")
 	flag.Parse()
 
@@ -79,8 +86,10 @@ func main() {
 
 	start := time.Now()
 	opts := sweep.Options{
-		Workers: *parallel,
-		Metrics: merged,
+		Workers:    *parallel,
+		Metrics:    merged,
+		NoMemo:     *noMemo,
+		VerifyMemo: *verifyMemo,
 		Progress: func(done, total int) {
 			progVar.Set([]byte(fmt.Sprintf(`{"state":"running","done":%d,"total":%d,"elapsed_ms":%d}`,
 				done, total, time.Since(start).Milliseconds())))

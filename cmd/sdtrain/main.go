@@ -36,6 +36,8 @@ func main() {
 	serveAddr := flag.String("serve", "", "serve /metrics, /trace, /profile and /debug/pprof/ on this address and stay up after the run")
 	batch := flag.String("batch", "", "comma-separated iteration counts: run the equivalence check once per count via the sweep engine")
 	parallel := flag.Int("parallel", 0, "batch-mode worker-pool size (0 = GOMAXPROCS)")
+	noMemo := flag.Bool("no-memo", false, "disable replica memoization (within-chip row memo on timing-only machines)")
+	verifyMemo := flag.Bool("verify-memo", false, "cross-check memoized results against full simulation and fail on divergence")
 	flag.Parse()
 	const mb = 2
 	const lr = float32(0.03125)
@@ -92,6 +94,8 @@ func main() {
 		os.Exit(1)
 	}
 	m := sim.NewMachine(chip, arch.Single, true)
+	m.SetMemo(!*noMemo)
+	m.SetVerifyMemo(*verifyMemo)
 	if spanTrace != nil {
 		m.SetSpanSink(spanTrace)
 	}

@@ -76,14 +76,18 @@ func (c *Compiled) LoadWeights(m *sim.Machine, e *dnn.Executor) error {
 }
 
 // ReadWeights reads the (possibly trained) weights of one layer back from
-// the simulator in executor layout.
+// the simulator in executor layout. Reads go through the simulator's Into
+// variants: FC slices land directly in the result tensor, and the Conv path
+// reuses one staging buffer across input features, so readback allocates
+// only the tensor it returns.
 func (c *Compiled) ReadWeights(m *sim.Machine, layerIdx int) *tensor.Tensor {
 	l := c.Mapping.Net.Layers[layerIdx]
-	read := func(unit int, size int64) []float32 {
+	readInto := func(unit int, dst []float32) {
 		if r := c.weightRegions[layerIdx][unit]; r != nil {
-			return m.ReadMem(r.tile, r.addr, r.size)
+			m.ReadMemInto(r.tile, r.addr, dst)
+			return
 		}
-		return m.ReadExt(extWeightBase+c.extWeightAddrs[layerIdx][unit], size)
+		m.ReadExtInto(extWeightBase+c.extWeightAddrs[layerIdx][unit], dst)
 	}
 	units := func() int {
 		if n := len(c.weightRegions[layerIdx]); n > 0 {
@@ -95,8 +99,9 @@ func (c *Compiled) ReadWeights(m *sim.Machine, layerIdx int) *tensor.Tensor {
 	case dnn.Conv:
 		k2 := l.ConvP.KH * l.ConvP.KW
 		w := tensor.New(l.OutChannels, l.In.C, l.ConvP.KH, l.ConvP.KW)
+		vals := make([]float32, l.OutChannels*k2)
 		for g2 := 0; g2 < l.In.C; g2++ {
-			vals := read(g2, int64(l.OutChannels*k2))
+			readInto(g2, vals)
 			for f := 0; f < l.OutChannels; f++ {
 				dst := (f*l.In.C + g2) * k2
 				copy(w.Data[dst:dst+k2], vals[f*k2:(f+1)*k2])
@@ -110,8 +115,7 @@ func (c *Compiled) ReadWeights(m *sim.Machine, layerIdx int) *tensor.Tensor {
 		for s := 0; s < n; s++ {
 			off := sliceOff(l.OutNeurons, n, s) * inLen
 			sl := sliceLen(l.OutNeurons, n, s) * inLen
-			vals := read(s, int64(sl))
-			copy(w.Data[off:off+len(vals)], vals)
+			readInto(s, w.Data[off:off+sl])
 		}
 		return w
 	default:
@@ -150,7 +154,16 @@ func (c *Compiled) LoadGolden(m *sim.Machine, golden []*tensor.Tensor) error {
 // ReadOutput reads the network output for minibatch image i (written to the
 // per-image output area in external memory by the final layer's FP code).
 func (c *Compiled) ReadOutput(m *sim.Machine, i int) []float32 {
-	return m.ReadExt(extOutputBase+int64(i)*c.OutputElems, c.OutputElems)
+	out := make([]float32, c.OutputElems)
+	c.ReadOutputInto(m, i, out)
+	return out
+}
+
+// ReadOutputInto reads the network output for image i into dst (sized
+// OutputElems by the caller); the buffer-reusing variant of ReadOutput for
+// loops that read many outputs.
+func (c *Compiled) ReadOutputInto(m *sim.Machine, i int, dst []float32) {
+	m.ReadExtInto(extOutputBase+int64(i)*c.OutputElems, dst)
 }
 
 // TotalInstructions sums the instruction counts of every generated program.

@@ -1,0 +1,109 @@
+package compiler
+
+import (
+	"reflect"
+	"testing"
+
+	"scaledeep/internal/arch"
+	"scaledeep/internal/dnn"
+	"scaledeep/internal/sim"
+	"scaledeep/internal/tensor"
+	"scaledeep/internal/zoo"
+)
+
+// fcHeavyNet is an FC-dominated stack — the MLP-style layer balance of the
+// paper's Table 2 — used to exercise memoization over FC codegen.
+func fcHeavyNet() *dnn.Network {
+	b := dnn.NewBuilder("fcheavy")
+	in := b.Input(1, 8, 8)
+	f1 := b.FC(in, "f1", 32, tensor.ActReLU)
+	f2 := b.FC(f1, "f2", 16, tensor.ActTanh)
+	b.FC(f2, "f3", 10, tensor.ActNone)
+	return b.Build()
+}
+
+// timingStats compiles net and runs it on a timing-only machine with the
+// given memoization setting, returning the run statistics.
+func timingStats(t *testing.T, net *dnn.Network, opts Options, memo, verify bool) sim.Stats {
+	t.Helper()
+	chip := arch.Baseline().Cluster.Conv
+	chip.Rows, chip.Cols = 3, 8
+	c, err := Compile(net, chip, opts)
+	if err != nil {
+		t.Fatalf("compile %s: %v", net.Name, err)
+	}
+	m := sim.NewMachine(chip, arch.Single, false)
+	m.SetMemo(memo)
+	m.SetVerifyMemo(verify)
+	if err := c.Install(m); err != nil {
+		t.Fatalf("install %s: %v", net.Name, err)
+	}
+	st, err := m.Run()
+	if err != nil {
+		t.Fatalf("run %s (memo=%v verify=%v): %v", net.Name, memo, verify, err)
+	}
+	return st
+}
+
+// TestMemoMatchesFullSimOnWorkloads is the end-to-end soundness property
+// for compiled workloads: with memoization requested, a timing-only run of
+// MiniVGG and of an FC-heavy network must produce statistics exactly equal
+// to the full simulation — whether or not the compiled programs admit a
+// memo plan (if they do not, memo must be a clean no-op). Verify mode must
+// also pass, re-simulating everything and checking clone agreement.
+func TestMemoMatchesFullSimOnWorkloads(t *testing.T) {
+	cases := []struct {
+		name string
+		net  *dnn.Network
+		opts Options
+	}{
+		{"minivgg-eval", zoo.MiniVGG(), Options{Minibatch: 2, Iterations: 1}},
+		{"fcheavy-train", fcHeavyNet(), Options{Minibatch: 2, Iterations: 1, Training: true, LR: 0.0625}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			full := timingStats(t, tc.net, tc.opts, false, false)
+			memo := timingStats(t, tc.net, tc.opts, true, false)
+			mt := memo.MemoTiles
+			memo.MemoTiles = 0
+			if !reflect.DeepEqual(full, memo) {
+				t.Fatalf("memoized stats diverge from full simulation (MemoTiles=%d):\nfull: %+v\nmemo: %+v",
+					mt, full, memo)
+			}
+			timingStats(t, tc.net, tc.opts, true, true) // verify mode must not error
+		})
+	}
+}
+
+// TestReplicaClassesPartitionPrograms checks the compiler's replica-class
+// view: classes partition the program set exactly, and tiles in one class
+// really do carry content-identical programs.
+func TestReplicaClassesPartitionPrograms(t *testing.T) {
+	chip := arch.Baseline().Cluster.Conv
+	chip.Rows, chip.Cols = 3, 8
+	c, err := Compile(zoo.MiniVGG(), chip, Options{Minibatch: 2, Iterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := c.ReplicaClasses()
+	total, seen := 0, map[string]bool{}
+	for _, cl := range classes {
+		if len(cl) == 0 {
+			t.Fatal("empty replica class")
+		}
+		for _, label := range cl {
+			if seen[label] {
+				t.Fatalf("tile %s appears in two classes", label)
+			}
+			seen[label] = true
+		}
+		total += len(cl)
+	}
+	if total != len(c.Programs) {
+		t.Fatalf("classes cover %d tiles, want %d", total, len(c.Programs))
+	}
+	// Determinism: a second call must produce the identical grouping.
+	if !reflect.DeepEqual(classes, c.ReplicaClasses()) {
+		t.Fatal("ReplicaClasses is not deterministic")
+	}
+}

@@ -1,0 +1,36 @@
+package isa
+
+// ContentHash returns a 64-bit FNV-1a hash of the program's instruction
+// stream in its binary encoding. The Tile label is deliberately excluded:
+// two programs hash equal exactly when their instructions are identical,
+// which is the equivalence the simulator's replica memoization and the
+// compiler's replica-class report are built on (data-parallel tiles run the
+// same code on different data).
+func (p *Program) ContentHash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	for _, ins := range p.Instrs {
+		mix(byte(ins.Op))
+		mix(byte(ins.Dst))
+		mix(byte(ins.Src1))
+		mix(byte(ins.Src2))
+		mix(byte(ins.Imm))
+		mix(byte(ins.Imm >> 8))
+		mix(byte(ins.Imm >> 16))
+		mix(byte(ins.Imm >> 24))
+		for _, a := range ins.Args {
+			mix(byte(a))
+		}
+		// Separator so instruction boundaries can't alias across streams
+		// with different arg counts.
+		mix(0xff)
+	}
+	return h
+}

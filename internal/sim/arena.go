@@ -1,0 +1,35 @@
+package sim
+
+// f32Arena is a bump allocator for the transient float32 staging buffers of
+// functional execution (operand copies, SFU results, MEMSET fills). The
+// interpreter resets it before each coarse operation, so buffers live
+// exactly one op and the backing array is reused run-wide instead of
+// allocating per instruction. Slices handed out are NOT zeroed — every
+// caller fully overwrites its buffer — and must never escape the op (data
+// that outlives the op, like NDUPSAMP pool routing, is copied out).
+type f32Arena struct {
+	buf  []float32
+	off  int
+	want int // total demand of the current op, served or not
+}
+
+// reset starts a new op, growing the backing array if the previous op's
+// total demand overflowed it.
+func (a *f32Arena) reset() {
+	if a.want > len(a.buf) {
+		a.buf = make([]float32, a.want)
+	}
+	a.off, a.want = 0, 0
+}
+
+// take returns an n-element scratch slice valid until the next reset,
+// falling back to a direct allocation when the arena is full this op.
+func (a *f32Arena) take(n int) []float32 {
+	a.want += n
+	if a.off+n <= len(a.buf) {
+		s := a.buf[a.off : a.off+n : a.off+n]
+		a.off += n
+		return s
+	}
+	return make([]float32, n)
+}

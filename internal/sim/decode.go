@@ -1,0 +1,153 @@
+package sim
+
+import (
+	"fmt"
+
+	"scaledeep/internal/isa"
+)
+
+// This file is the predecode layer of the interpreter: LoadProgram decodes
+// each program once into a flat dinstr array — opcode dispatch resolved to a
+// function pointer, the attribution bucket and mnemonic precomputed — so the
+// per-issue path in interp.go does no map lookups, no switch on every coarse
+// issue, and no per-instruction allocation.
+
+// coarseFn executes one non-scalar instruction with resolved operand values.
+// It returns (false, _) if the tile blocked, else (true, completionCycle).
+type coarseFn func(m *Machine, ct *compTile, v []int64) (bool, Cycle)
+
+// coarseDispatch maps non-scalar opcodes to their implementations. Built
+// once at init; the zero entries (scalar opcodes) are never called.
+var coarseDispatch [isa.NumOpcodes]coarseFn
+
+func init() {
+	coarseDispatch[isa.NDCONV] = (*Machine).execNDConv
+	coarseDispatch[isa.MATMUL] = (*Machine).execMatMul
+	coarseDispatch[isa.NDACTFN] = (*Machine).execActFn
+	coarseDispatch[isa.NDSUBSAMP] = (*Machine).execSubsamp
+	coarseDispatch[isa.NDUPSAMP] = (*Machine).execUpsamp
+	coarseDispatch[isa.NDACC] = (*Machine).execAcc
+	coarseDispatch[isa.VECMUL] = (*Machine).execVecMul
+	coarseDispatch[isa.WUPDATE] = (*Machine).execWUpdate
+	coarseDispatch[isa.MEMSET] = (*Machine).execMemSet
+	coarseDispatch[isa.DMALOAD] = (*Machine).execDMA
+	coarseDispatch[isa.DMASTORE] = (*Machine).execDMA
+	coarseDispatch[isa.PASSBUFF] = (*Machine).execPassBuff
+	coarseDispatch[isa.MEMTRACK] = (*Machine).execMemTrack
+	coarseDispatch[isa.DMAMEMTRACK] = (*Machine).execMemTrack
+}
+
+// dinstr is one predecoded instruction.
+type dinstr struct {
+	op     isa.Opcode
+	scalar bool
+	exec   coarseFn   // nil for scalar instructions
+	busy   AttrBucket // opBusyBucket(op), precomputed
+	name   string     // mnemonic (static string, no per-issue formatting)
+
+	dst, src1, src2 isa.Reg
+	imm             int32
+	args            []isa.Reg
+}
+
+// decodedProg is the predecoded form of one isa.Program, plus the static
+// properties the replica-memoization planner needs.
+type decodedProg struct {
+	src *isa.Program
+	ins []dinstr
+
+	hash uint64 // src.ContentHash(), computed once
+	// portable reports that every memory reference the program can ever make
+	// is row-local (PortLeft/PortRight): see analyzePortable for the exact
+	// argument. Only portable programs participate in within-chip replica
+	// memoization.
+	portable bool
+}
+
+// decodeProgram predecodes p. The caller has already validated it.
+func decodeProgram(p *isa.Program) *decodedProg {
+	d := &decodedProg{
+		src:  p,
+		ins:  make([]dinstr, len(p.Instrs)),
+		hash: p.ContentHash(),
+	}
+	for i, ins := range p.Instrs {
+		di := &d.ins[i]
+		di.op = ins.Op
+		di.scalar = ins.Op.Group() == isa.GroupScalar
+		di.busy = opBusyBucket(ins.Op)
+		di.name = ins.Op.String()
+		di.dst, di.src1, di.src2 = ins.Dst, ins.Src1, ins.Src2
+		di.imm = ins.Imm
+		di.args = ins.Args
+		if !di.scalar {
+			di.exec = coarseDispatch[ins.Op]
+			if di.exec == nil {
+				panic(fmt.Sprintf("sim: unhandled op %v", ins.Op))
+			}
+		}
+	}
+	d.portable = analyzePortable(p)
+	return d
+}
+
+// portArgIdx lists, per opcode, which register-argument positions carry ABI
+// port values (see the operand layouts in isa's opTable).
+var portArgIdx = [isa.NumOpcodes][]int{
+	isa.NDCONV:    {2, 6, 11},
+	isa.MATMUL:    {2, 6, 8},
+	isa.NDACTFN:   {2, 5},
+	isa.NDSUBSAMP: {2, 9},
+	isa.NDUPSAMP:  {2, 9},
+	isa.NDACC:     {1, 3},
+	isa.VECMUL:    {1, 3, 6},
+	isa.WUPDATE:   {1, 3},
+	isa.MEMSET:    {1},
+	isa.DMALOAD:   {1, 3},
+	isa.DMASTORE:  {1, 3},
+	isa.PASSBUFF:  {1},
+	isa.MEMTRACK:  {0},
+	// DMAMEMTRACK's first argument is an absolute MemHeavy tile index, not a
+	// port; programs containing it are rejected outright in analyzePortable.
+}
+
+// analyzePortable reports whether every memory reference the program can make
+// at runtime is provably row-local (PortLeft or PortRight). The argument is
+// flow-insensitive and therefore sound under any control flow: a register
+// used as a port operand anywhere must have *every* definition in the
+// program be an LDRI of 0 (PortLeft) or 1 (PortRight) — registers start at
+// zero (= PortLeft), so whatever path executes, the port value is in
+// {PortLeft, PortRight}. Any arithmetic definition, any other immediate,
+// PortExt, absolute-tile ports and DMAMEMTRACK disqualify the program.
+func analyzePortable(p *isa.Program) bool {
+	var portRegs [isa.NumRegs]bool
+	for _, ins := range p.Instrs {
+		if ins.Op == isa.DMAMEMTRACK {
+			return false
+		}
+		for _, idx := range portArgIdx[ins.Op] {
+			if idx < len(ins.Args) {
+				portRegs[ins.Args[idx]] = true
+			}
+		}
+	}
+	for _, ins := range p.Instrs {
+		dst, ok := writesReg(ins)
+		if !ok || !portRegs[dst] {
+			continue
+		}
+		if ins.Op != isa.LDRI || (ins.Imm != int32(isa.PortLeft) && ins.Imm != int32(isa.PortRight)) {
+			return false
+		}
+	}
+	return true
+}
+
+// writesReg reports the register an instruction defines, if any.
+func writesReg(ins isa.Instr) (isa.Reg, bool) {
+	switch ins.Op {
+	case isa.LDRI, isa.MOVR, isa.ADDR, isa.ADDRI, isa.SUBR, isa.SUBRI, isa.MULRI, isa.CMPLT:
+		return ins.Dst, true
+	}
+	return 0, false
+}

@@ -14,7 +14,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 	"strings"
@@ -30,23 +29,47 @@ type event struct {
 	seq  int // FIFO tiebreaker for determinism
 }
 
+// eventQueue is a hand-rolled binary min-heap ordered by (at, seq). It
+// deliberately does not implement container/heap: heap.Push/Pop box every
+// event through interface{}, one allocation per scheduled event on the
+// simulator's hottest path.
 type eventQueue []event
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
+func (q eventQueue) less(i, j int) bool {
 	if q[i].at != q[j].at {
 		return q[i].at < q[j].at
 	}
 	return q[i].seq < q[j].seq
 }
-func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
-func (q *eventQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	*q = old[:n-1]
-	return e
+
+func (q eventQueue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+func (q eventQueue) down(i int) {
+	n := len(q)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		child := l
+		if r := l + 1; r < n && q.less(r, l) {
+			child = r
+		}
+		if !q.less(child, i) {
+			break
+		}
+		q[i], q[child] = q[child], q[i]
+		i = child
+	}
 }
 
 // engine drives the discrete-event simulation: each runnable CompHeavy tile
@@ -60,7 +83,8 @@ type engine struct {
 
 func (e *engine) schedule(tile int, at Cycle) {
 	e.seq++
-	heap.Push(&e.queue, event{at: at, tile: tile, seq: e.seq})
+	e.queue = append(e.queue, event{at: at, tile: tile, seq: e.seq})
+	e.queue.up(len(e.queue) - 1)
 }
 
 // peekTime returns the earliest pending event time.
@@ -75,11 +99,22 @@ func (e *engine) next() (event, bool) {
 	if len(e.queue) == 0 {
 		return event{}, false
 	}
-	ev := heap.Pop(&e.queue).(event)
+	ev := e.queue[0]
+	last := len(e.queue) - 1
+	e.queue[0] = e.queue[last]
+	e.queue = e.queue[:last]
+	e.queue.down(0)
 	if ev.at > e.now {
 		e.now = ev.at
 	}
 	return ev, true
+}
+
+// reset empties the queue for Machine reuse, keeping its capacity.
+func (e *engine) reset() {
+	e.queue = e.queue[:0]
+	e.seq = 0
+	e.now = 0
 }
 
 // DeadlockError reports a simulation that stopped making progress with

@@ -6,7 +6,7 @@ import (
 	"scaledeep/internal/isa"
 )
 
-// maxInstructions bounds total executed instructions per Run as a runaway
+// maxInstructions bounds executed instructions per tile per Run as a runaway
 // guard (a program with a broken loop otherwise hangs the simulation).
 const maxInstructions = 1 << 30
 
@@ -14,27 +14,31 @@ const maxInstructions = 1 << 30
 // each coarse/offload/transfer operation either blocks on a tracker
 // (suspending the tile until woken) or completes, advancing the tile's local
 // clock and rescheduling it, so tiles interleave in simulated-time order.
+// The loop works entirely on the predecoded program (see decode.go) and the
+// machine's reusable scratch buffers: steady-state execution allocates
+// nothing.
 func (m *Machine) runTile(ct *compTile) {
-	ct.blocked = ""
+	ct.blocked, ct.blockTk = "", nil
 	if m.instrProfile && ct.pcProf == nil {
-		n := len(ct.prog.Instrs)
+		n := len(ct.dec.ins)
 		ct.pcProf = &instrProf{
 			attr:  make([]CycleAttribution, n),
 			flops: make([]int64, n),
 			bytes: make([]int64, n),
 		}
 	}
+	code := ct.dec.ins
 	for {
-		if ct.pc >= len(ct.prog.Instrs) {
+		if ct.pc >= len(code) {
 			m.halt(ct)
 			return
 		}
-		ins := ct.prog.Instrs[ct.pc]
-		m.stats.Instructions++
-		if m.stats.Instructions > maxInstructions {
+		ins := &code[ct.pc]
+		ct.instrs++
+		if ct.instrs > maxInstructions {
 			panic("sim: instruction budget exhausted (runaway program?)")
 		}
-		if ins.Op.Group() == isa.GroupScalar {
+		if ins.scalar {
 			ct.scalarCycles++
 			ct.time++
 			m.account(ct, AttrCompute, 1)
@@ -52,15 +56,23 @@ func (m *Machine) runTile(ct *compTile) {
 			}
 			continue
 		}
-		// Non-scalar: resolve operands and attempt the operation.
+		// Non-scalar: resolve operands into the reusable scratch buffer and
+		// attempt the operation.
+		v := m.argBuf[:len(ins.args)]
+		for i, a := range ins.args {
+			v[i] = ct.regs[a]
+		}
 		start := ct.time
 		flops0 := ct.flops
 		m.opQueueWait, m.opBytes = 0, 0
-		ok, end := m.execCoarse(ct, ins)
+		if m.Functional {
+			m.arena.reset()
+		}
+		ok, end := ins.exec(m, ct, v)
 		if !ok {
 			return // blocked; tracker wake or NACK retry will reschedule
 		}
-		m.traceOp(ct, ins.Op.String(), start, end)
+		m.traceOp(ct, ins, start, end)
 		// Attribute the op's span: the leading queue-for-busy-resource part
 		// is contention, the remainder is the operation itself (compute for
 		// array/SFU work, dma-wait for transfers).
@@ -70,7 +82,7 @@ func (m *Machine) runTile(ct *compTile) {
 			wait = total
 		}
 		m.account(ct, AttrLinkContend, wait)
-		m.account(ct, opBusyBucket(ins.Op), total-wait)
+		m.account(ct, ins.busy, total-wait)
 		if p := ct.pcProf; p != nil && ct.pc < len(p.flops) {
 			p.flops[ct.pc] += ct.flops - flops0
 			p.bytes[ct.pc] += m.opBytes
@@ -104,95 +116,52 @@ func (m *Machine) halt(ct *compTile) {
 
 // execScalar executes one scalar-control instruction. It returns true when
 // the tile halted.
-func (m *Machine) execScalar(ct *compTile, ins isa.Instr) bool {
+func (m *Machine) execScalar(ct *compTile, ins *dinstr) bool {
 	r := &ct.regs
-	switch ins.Op {
+	switch ins.op {
 	case isa.LDRI:
-		r[ins.Dst] = int64(ins.Imm)
+		r[ins.dst] = int64(ins.imm)
 	case isa.MOVR:
-		r[ins.Dst] = r[ins.Src1]
+		r[ins.dst] = r[ins.src1]
 	case isa.ADDR:
-		r[ins.Dst] = r[ins.Src1] + r[ins.Src2]
+		r[ins.dst] = r[ins.src1] + r[ins.src2]
 	case isa.ADDRI:
-		r[ins.Dst] = r[ins.Src1] + int64(ins.Imm)
+		r[ins.dst] = r[ins.src1] + int64(ins.imm)
 	case isa.SUBR:
-		r[ins.Dst] = r[ins.Src1] - r[ins.Src2]
+		r[ins.dst] = r[ins.src1] - r[ins.src2]
 	case isa.SUBRI:
-		r[ins.Dst] = r[ins.Src1] - int64(ins.Imm)
+		r[ins.dst] = r[ins.src1] - int64(ins.imm)
 	case isa.MULRI:
-		r[ins.Dst] = r[ins.Src1] * int64(ins.Imm)
+		r[ins.dst] = r[ins.src1] * int64(ins.imm)
 	case isa.CMPLT:
-		if r[ins.Src1] < r[ins.Src2] {
-			r[ins.Dst] = 1
+		if r[ins.src1] < r[ins.src2] {
+			r[ins.dst] = 1
 		} else {
-			r[ins.Dst] = 0
+			r[ins.dst] = 0
 		}
 	case isa.BEQZ:
-		if r[ins.Src1] == 0 {
-			ct.pc += int(ins.Imm)
+		if r[ins.src1] == 0 {
+			ct.pc += int(ins.imm)
 		}
 	case isa.BNEZ:
-		if r[ins.Src1] != 0 {
-			ct.pc += int(ins.Imm)
+		if r[ins.src1] != 0 {
+			ct.pc += int(ins.imm)
 		}
 	case isa.BGTZ:
-		if r[ins.Src1] > 0 {
-			ct.pc += int(ins.Imm)
+		if r[ins.src1] > 0 {
+			ct.pc += int(ins.imm)
 		}
 	case isa.BRANCH:
-		ct.pc += int(ins.Imm)
+		ct.pc += int(ins.imm)
 	case isa.NOP:
 	case isa.HALT:
 		m.halt(ct)
 		return true
 	default:
-		panic(fmt.Sprintf("sim: unhandled scalar op %v", ins.Op))
+		panic(fmt.Sprintf("sim: unhandled scalar op %v", ins.op))
 	}
 	ct.pc++
 	return false
-}
-
-// argv resolves the instruction's register-argument list to values.
-func (ct *compTile) argv(ins isa.Instr) []int64 {
-	vals := make([]int64, len(ins.Args))
-	for i, a := range ins.Args {
-		vals[i] = ct.regs[a]
-	}
-	return vals
-}
-
-// execCoarse dispatches a non-scalar instruction. It returns (false, _) if
-// the tile blocked, else (true, completionCycle).
-func (m *Machine) execCoarse(ct *compTile, ins isa.Instr) (bool, Cycle) {
-	v := ct.argv(ins)
-	switch ins.Op {
-	case isa.NDCONV:
-		return m.execNDConv(ct, v)
-	case isa.MATMUL:
-		return m.execMatMul(ct, v)
-	case isa.NDACTFN:
-		return m.execActFn(ct, v)
-	case isa.NDSUBSAMP:
-		return m.execSubsamp(ct, v)
-	case isa.NDUPSAMP:
-		return m.execUpsamp(ct, v)
-	case isa.NDACC:
-		return m.execAcc(ct, v)
-	case isa.VECMUL:
-		return m.execVecMul(ct, v)
-	case isa.WUPDATE:
-		return m.execWUpdate(ct, v)
-	case isa.MEMSET:
-		return m.execMemSet(ct, v)
-	case isa.DMALOAD, isa.DMASTORE:
-		return m.execDMA(ct, v)
-	case isa.PASSBUFF:
-		return m.execPassBuff(ct, v)
-	case isa.MEMTRACK, isa.DMAMEMTRACK:
-		return m.execMemTrack(ct, v)
-	default:
-		panic(fmt.Sprintf("sim: unhandled op %v", ins.Op))
-	}
 }
 
 // admit checks every access against its tracker. If any is blocked, the tile

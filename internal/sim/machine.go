@@ -53,21 +53,31 @@ type compTile struct {
 	step  Step
 
 	prog *isa.Program
+	dec  *decodedProg // predecoded form of prog (set by LoadProgram)
 	pc   int
 	regs [isa.NumRegs]int64
 
 	time        Cycle
 	halted      bool
-	blocked     string    // non-empty description while waiting on a tracker
+	blocked     string    // op description while waiting on a tracker
+	blockTk     *tracker  // the tracker it waits on (for diagnostics)
 	waitCause   waitCause // why the tile is suspended (attribution)
 	nackRetries int       // consecutive NACKed requests (bounded)
 
-	// activity statistics
+	// activity statistics — kept per tile (no shared-counter writes on the
+	// hot path) and aggregated into Stats by collectStats. Per-tile counters
+	// are also what replica memoization clones.
 	arrayCycles  Cycle // cycles the 2D-PE array was busy
 	scalarCycles Cycle
 	flops        int64
+	instrs       int64            // instructions executed
+	nacks        int64            // tracker queue-full NACKs received
+	dmas         int64            // DMA transfers issued
+	linkBytes    [3]int64         // traffic by linkClass
 	attr         CycleAttribution // where every elapsed cycle went
 	pcProf       *instrProf       // per-instruction accounting (nil unless enabled)
+
+	nameStr string // cached name() result (hot-path span track label)
 }
 
 // instrProf is the optional per-instruction breakdown behind the layer
@@ -79,7 +89,10 @@ type instrProf struct {
 }
 
 func (c *compTile) name() string {
-	return fmt.Sprintf("comp[r%d,c%d,%s]", c.row, c.ccol, c.step)
+	if c.nameStr == "" {
+		c.nameStr = fmt.Sprintf("comp[r%d,c%d,%s]", c.row, c.ccol, c.step)
+	}
+	return c.nameStr
 }
 
 // TrackerSpec is one entry of the compiler's tracker manifest: trackers are
@@ -108,11 +121,27 @@ type Machine struct {
 	// forward-output address).
 	poolRoute map[[2]int64][]int32
 
+	precision arch.Precision
 	elemBytes int64
 	half      bool // quantize functional data through binary16 (Fig. 17 mode)
 	freqHz    float64
 	finished  int
 	stats     Stats
+
+	// Predecode cache: one decodedProg per installed program (programs are
+	// routinely shared across tiles, so decoding is per unique program).
+	decoded map[*isa.Program]*decodedProg
+
+	// Reusable hot-path scratch: operand values (argBuf, sized for the
+	// widest arg list, NDCONV's 14), tracker-access descriptors (accBuf, at
+	// most 3 per op) and functional staging buffers (arena).
+	argBuf [16]int64
+	accBuf [4]access
+	arena  f32Arena
+
+	// Replica memoization controls (see memo.go). Off by default.
+	memo       bool
+	verifyMemo bool
 
 	// Cycle-attribution scratch: execCoarse implementations report how much
 	// of the op's span was queueing for a busy resource, and how many
@@ -126,14 +155,18 @@ type Machine struct {
 	traceLimit   int
 	traceDropped int
 
-	// Telemetry hooks (nil = disabled; see telemetry.go).
-	spans      telemetry.SpanSink
-	metrics    *telemetry.Registry
-	mNACKs     *telemetry.Counter
-	mDMAs      *telemetry.Counter
-	mOpCycles  *telemetry.Histogram
-	mOpClass   map[string]*telemetry.Histogram // sim.op.cycles{op=...}, lazily built
-	mLinkBytes [3]*telemetry.Counter           // indexed by linkClass
+	// Telemetry hooks (nil = disabled; see telemetry.go). Counter updates
+	// are batched: ops bucket durations into the local opHists shadow and
+	// per-tile counters, flushed to the registry once per Run.
+	spans   telemetry.SpanSink
+	spanBuf []telemetry.Span // per-Run span batch, flushed by flushSpans
+	metrics *telemetry.Registry
+	opHists opHistSet
+	pub     pubScratch
+	// Registry entries already pre-created for op-duration histograms
+	// (declareOpHists), so the per-Run flush only updates existing metrics.
+	declaredOpHist bool
+	declaredOps    [isa.NumOpcodes]bool
 }
 
 // NewMachine builds a simulator for one chip of the given configuration.
@@ -143,6 +176,8 @@ func NewMachine(chip arch.ChipConfig, precision arch.Precision, functional bool)
 		Functional: functional,
 		ext:        &extMem{},
 		poolRoute:  map[[2]int64][]int32{},
+		decoded:    map[*isa.Program]*decodedProg{},
+		precision:  precision,
 		elemBytes:  precision.Bytes(),
 		half:       precision == arch.Half,
 	}
@@ -185,7 +220,9 @@ func (m *Machine) compIndex(row, ccol int, s Step) int {
 	return (ccol*m.Chip.Rows+row)*int(stepsPerCell) + int(s)
 }
 
-// LoadProgram installs a program on the CompHeavy tile at (row, ccol, step).
+// LoadProgram installs a program on the CompHeavy tile at (row, ccol, step),
+// predecoding it once (decoded programs are cached, so tiles sharing one
+// program share its decode).
 func (m *Machine) LoadProgram(row, ccol int, s Step, p *isa.Program) error {
 	if err := p.Validate(); err != nil {
 		return err
@@ -193,7 +230,15 @@ func (m *Machine) LoadProgram(row, ccol int, s Step, p *isa.Program) error {
 	if row < 0 || row >= m.Chip.Rows || ccol < 0 || ccol >= m.Chip.Cols {
 		return fmt.Errorf("sim: tile (r%d,c%d) outside %dx%d chip", row, ccol, m.Chip.Rows, m.Chip.Cols)
 	}
-	m.comp[m.compIndex(row, ccol, s)].prog = p
+	d, ok := m.decoded[p]
+	if !ok {
+		d = decodeProgram(p)
+		m.decoded[p] = d
+		m.declareOpHists(d)
+	}
+	ct := m.comp[m.compIndex(row, ccol, s)]
+	ct.prog = p
+	ct.dec = d
 	return nil
 }
 
@@ -220,13 +265,25 @@ func (m *Machine) WriteMem(tile int, addr int64, vals []float32) {
 
 // ReadMem reads values back from a scratchpad after simulation.
 func (m *Machine) ReadMem(tile int, addr, size int64) []float32 {
-	mt := m.mem[tile]
-	mt.touch(addr, size)
 	out := make([]float32, size)
-	if mt.data != nil {
-		copy(out, mt.data[addr:addr+size])
-	}
+	m.ReadMemInto(tile, addr, out)
 	return out
+}
+
+// ReadMemInto reads len(dst) scratchpad elements starting at addr into dst,
+// so repeated readers (weight readback, checksums) can reuse one buffer
+// instead of allocating per call.
+func (m *Machine) ReadMemInto(tile int, addr int64, dst []float32) {
+	mt := m.mem[tile]
+	size := int64(len(dst))
+	mt.touch(addr, size)
+	if mt.data != nil {
+		copy(dst, mt.data[addr:addr+size])
+	} else {
+		for i := range dst {
+			dst[i] = 0
+		}
+	}
 }
 
 // WriteExt pre-loads external memory (network inputs, golden outputs,
@@ -241,19 +298,46 @@ func (m *Machine) WriteExt(addr int64, vals []float32) {
 // ReadExt reads external memory after simulation.
 func (m *Machine) ReadExt(addr, size int64) []float32 {
 	out := make([]float32, size)
-	copy(out, m.ext.read(addr, size))
+	m.ReadExtInto(addr, out)
 	return out
 }
+
+// ReadExtInto reads len(dst) external-memory elements starting at addr into
+// dst; the buffer-reusing variant of ReadExt.
+func (m *Machine) ReadExtInto(addr int64, dst []float32) {
+	copy(dst, m.ext.read(addr, int64(len(dst))))
+}
+
+// SetMemo enables (or disables) within-chip replica memoization: rows of
+// provably equivalent tiles are simulated once and their statistics cloned
+// onto the replicas. Off by default; see memo.go for the soundness
+// conditions under which a plan is formed at all.
+func (m *Machine) SetMemo(on bool) { m.memo = on }
+
+// SetVerifyMemo enables verification mode: replica rows are simulated in
+// full anyway and Run fails if any clone's statistics would have diverged
+// from its representative. Implies the cost of a full simulation.
+func (m *Machine) SetVerifyMemo(on bool) { m.verifyMemo = on }
 
 // Run executes all loaded programs to completion and returns the statistics.
 // It fails with a *DeadlockError if the machine stops making progress.
 func (m *Machine) Run() (Stats, error) {
+	plan := m.planMemo()
+	skipClones := plan != nil && !m.verifyMemo
 	active := 0
 	for _, ct := range m.comp {
-		if ct.prog != nil {
-			active++
-			m.eng.schedule(ct.index, 0)
+		if ct.prog == nil {
+			continue
 		}
+		if skipClones && plan.cloneOf[ct.index] >= 0 {
+			// Replica tile: its representative's run will be cloned onto it
+			// after the event loop; mark it finished so drain accounting and
+			// deadlock detection see a consistent picture.
+			ct.halted = true
+			continue
+		}
+		active++
+		m.eng.schedule(ct.index, 0)
 	}
 	if active == 0 {
 		return Stats{}, fmt.Errorf("sim: no programs loaded")
@@ -285,18 +369,75 @@ func (m *Machine) Run() (Stats, error) {
 		ct.waitCause = waitNone
 		m.runTile(ct)
 	}
+	m.flushSpans()
 	if m.finished < active {
 		d := &DeadlockError{Cycle: m.eng.now}
 		for _, ct := range m.comp {
 			if ct.prog != nil && !ct.halted {
-				d.Blocked = append(d.Blocked, fmt.Sprintf("%s pc=%d: %s", ct.name(), ct.pc, ct.blocked))
+				desc := ct.blocked
+				if ct.blockTk != nil {
+					desc += " on " + ct.blockTk.String()
+				}
+				d.Blocked = append(d.Blocked, fmt.Sprintf("%s pc=%d: %s", ct.name(), ct.pc, desc))
 			}
 		}
 		return Stats{}, d
 	}
+	if plan != nil {
+		if m.verifyMemo {
+			if err := plan.check(m); err != nil {
+				return Stats{}, err
+			}
+		} else {
+			plan.clone(m)
+		}
+	}
 	m.collectStats()
+	if plan != nil {
+		m.stats.MemoTiles = plan.clones
+	}
 	m.publishMetrics()
 	return m.stats, nil
+}
+
+// Reset returns the machine to its post-NewMachine state — programs,
+// trackers, tile clocks, statistics and telemetry hooks all cleared, with
+// every buffer (scratchpads, external memory, event queue, arena) retained
+// at capacity — so sweep workers can reuse one machine's allocations across
+// jobs of the same chip configuration.
+func (m *Machine) Reset() {
+	m.eng.reset()
+	for _, ct := range m.comp {
+		name := ct.nameStr
+		*ct = compTile{index: ct.index, row: ct.row, ccol: ct.ccol, step: ct.step, nameStr: name}
+	}
+	for _, mt := range m.mem {
+		mt.trackers = mt.trackers[:0]
+		mt.sfuBusy, mt.dmaBusy = 0, 0
+		mt.sfuCycles, mt.bytesMoved, mt.peakAddr = 0, 0, 0
+		if mt.data != nil {
+			for i := range mt.data {
+				mt.data[i] = 0
+			}
+		}
+	}
+	// Keep external capacity but zero it: grow() zero-fills fresh storage,
+	// so a reused extent is indistinguishable from a new machine's.
+	for i := range m.ext.data {
+		m.ext.data[i] = 0
+	}
+	m.ext.busy, m.ext.bytes = 0, 0
+	clear(m.poolRoute)
+	clear(m.decoded)
+	m.freqHz = 0
+	m.finished = 0
+	m.stats = Stats{}
+	m.memo, m.verifyMemo = false, false
+	m.instrProfile = false
+	m.opQueueWait, m.opBytes = 0, 0
+	m.tracing, m.trace, m.traceLimit, m.traceDropped = false, nil, 0, 0
+	m.spans, m.spanBuf = nil, m.spanBuf[:0]
+	m.SetMetrics(nil)
 }
 
 // wake reschedules every waiter of t at the current cycle.
@@ -317,8 +458,9 @@ func (m *Machine) wake(t *tracker, at Cycle) {
 // regardless (modeling eventual delivery), so a genuine deadlock drains the
 // event queue and is reported instead of spinning forever.
 func (m *Machine) block(ct *compTile, t *tracker, write bool, desc string) {
-	ct.blocked = desc + " on " + t.String()
-	m.traceStall(ct, ct.blocked)
+	ct.blocked = desc
+	ct.blockTk = t
+	m.traceStall(ct, t, desc)
 	w := waiter{tile: ct.index, desc: desc}
 	mtQueue := &t.waitReaders
 	if write {
@@ -329,10 +471,7 @@ func (m *Machine) block(ct *compTile, t *tracker, write bool, desc string) {
 		ct.nackRetries++
 		ct.waitCause = waitNACK
 		m.eng.schedule(ct.index, ct.time+nackRetryCycles)
-		m.stats.NACKs++
-		if m.mNACKs != nil {
-			m.mNACKs.Inc()
-		}
+		ct.nacks++
 		return
 	}
 	ct.nackRetries = 0

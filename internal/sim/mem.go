@@ -79,11 +79,23 @@ type extMem struct {
 }
 
 func (e *extMem) grow(addr, size int64) {
-	if need := addr + size; int64(len(e.data)) < need {
-		grown := make([]float32, need+1024)
-		copy(grown, e.data)
-		e.data = grown
+	need := addr + size
+	if int64(len(e.data)) >= need {
+		return
 	}
+	// Geometric (≥2×) growth: writing a large tensor element-group by
+	// element-group must cost O(n) amortized, not the O(n²) a fixed-pad
+	// policy degrades to.
+	n := 2 * int64(len(e.data))
+	if n < need {
+		n = need
+	}
+	if n < 1024 {
+		n = 1024
+	}
+	grown := make([]float32, n)
+	copy(grown, e.data)
+	e.data = grown
 }
 
 func (e *extMem) read(addr, size int64) []float32 {

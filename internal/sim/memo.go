@@ -1,0 +1,225 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file implements within-chip replica memoization: when a chip's rows
+// are provably independent, identically-programmed subsystems, only one
+// representative row per equivalence class is simulated and its per-tile
+// statistics are cloned onto the replica rows.
+//
+// Soundness rests on three facts about the simulator:
+//
+//  1. Timing is data-oblivious. No instruction loads scratchpad data into a
+//     scalar register, so control flow and every operand value depend only
+//     on the program text (registers start at zero and are written only by
+//     LDRI/arithmetic). Two tiles running the same program produce the same
+//     instruction stream with the same operand values.
+//
+//  2. A "portable" program (see analyzePortable) can only ever reference
+//     PortLeft/PortRight — the MemHeavy tiles of its own row. If every
+//     loaded program is portable, no shared state (external memory,
+//     absolute-tile ports) couples the rows, and each row's event ordering
+//     is internally determined: rows are closed subsystems.
+//
+//  3. All activity statistics are kept per tile (compTile counters,
+//     memTile sfuCycles/bytesMoved/peakAddr), so a representative row's
+//     numbers can be copied field-for-field onto an equivalent row.
+//
+// Two rows are equivalent when every (ccol, step) slot carries a
+// content-identical program (or is empty in both), every MemHeavy tile in
+// the row has an identical tracker manifest, and the rows' pre-run memTile
+// baselines (peakAddr, bytesMoved — affected by WriteMem pre-loads) match.
+// Functional mode is excluded: cloning statistics would skip the replica
+// rows' data computation. Observers (spans, metrics histograms, tracing,
+// per-instruction profiling) also disable planning, since replicas would
+// emit no samples and the observed streams would diverge from a full run.
+
+// memoPlan maps replica tiles to their representatives.
+type memoPlan struct {
+	// cloneOf[i] is the representative compTile index for replica tile i, or
+	// -1 when tile i is simulated normally.
+	cloneOf []int
+	// rowRep[r] is the representative row for row r (rowRep[r] == r for
+	// representatives and non-replicated rows).
+	rowRep []int
+	// clones counts replica CompHeavy tiles with loaded programs.
+	clones int
+}
+
+// planMemo decides whether replica memoization applies to this run and, if
+// so, groups rows into equivalence classes. It returns nil when memoization
+// is off, unsound (functional mode, non-portable programs) or vacuous (no
+// class has two rows).
+func (m *Machine) planMemo() *memoPlan {
+	if !m.memo || m.Functional {
+		return nil
+	}
+	if m.spans != nil || m.metrics != nil || m.tracing || m.instrProfile {
+		return nil
+	}
+	for _, ct := range m.comp {
+		if ct.prog != nil && !ct.dec.portable {
+			return nil
+		}
+	}
+	rows := m.Chip.Rows
+	classes := map[string]int{} // signature → representative row
+	plan := &memoPlan{
+		cloneOf: make([]int, len(m.comp)),
+		rowRep:  make([]int, rows),
+	}
+	for i := range plan.cloneOf {
+		plan.cloneOf[i] = -1
+	}
+	for r := 0; r < rows; r++ {
+		sig := m.rowSignature(r)
+		rep, ok := classes[sig]
+		if !ok {
+			classes[sig] = r
+			plan.rowRep[r] = r
+			continue
+		}
+		plan.rowRep[r] = rep
+		for ccol := 0; ccol < m.Chip.Cols; ccol++ {
+			for s := Step(0); s < stepsPerCell; s++ {
+				ct := m.comp[m.compIndex(r, ccol, s)]
+				if ct.prog == nil {
+					continue
+				}
+				plan.cloneOf[ct.index] = m.compIndex(rep, ccol, s)
+				plan.clones++
+			}
+		}
+	}
+	if plan.clones == 0 {
+		return nil
+	}
+	return plan
+}
+
+// rowSignature renders everything that determines a row's behavior: the
+// program content hash per (ccol, step) slot, and per MemHeavy tile the
+// armed-tracker manifest plus the pre-run scratchpad baselines.
+func (m *Machine) rowSignature(row int) string {
+	var b strings.Builder
+	for ccol := 0; ccol < m.Chip.Cols; ccol++ {
+		for s := Step(0); s < stepsPerCell; s++ {
+			ct := m.comp[m.compIndex(row, ccol, s)]
+			if ct.prog == nil {
+				b.WriteString("-;")
+				continue
+			}
+			fmt.Fprintf(&b, "%x;", ct.dec.hash)
+		}
+	}
+	for mcol := 0; mcol <= m.Chip.Cols; mcol++ {
+		mt := m.mem[m.memIndex(row, mcol)]
+		sigs := make([]string, len(mt.trackers))
+		for i, t := range mt.trackers {
+			sigs[i] = fmt.Sprintf("%d+%d:u%d/%d:r%d", t.addr, t.size, t.updatesSeen, t.numUpdates, t.numReads)
+		}
+		sort.Strings(sigs)
+		fmt.Fprintf(&b, "|m%d[%s]p%d,b%d", mcol, strings.Join(sigs, ","), mt.peakAddr, mt.bytesMoved)
+	}
+	return b.String()
+}
+
+// clone copies each representative tile's end-of-run state onto its
+// replicas, and each representative row's MemHeavy activity onto the
+// replica rows, so collectStats sees a fully-simulated-looking chip.
+func (p *memoPlan) clone(m *Machine) {
+	for i, rep := range p.cloneOf {
+		if rep < 0 {
+			continue
+		}
+		copyTileState(m.comp[i], m.comp[rep])
+	}
+	for r, rep := range p.rowRep {
+		if rep == r {
+			continue
+		}
+		for mcol := 0; mcol <= m.Chip.Cols; mcol++ {
+			dst := m.mem[m.memIndex(r, mcol)]
+			src := m.mem[m.memIndex(rep, mcol)]
+			dst.sfuCycles = src.sfuCycles
+			dst.bytesMoved = src.bytesMoved
+			dst.peakAddr = src.peakAddr
+		}
+	}
+}
+
+// copyTileState transfers the fields collectStats reads from src to dst.
+func copyTileState(dst, src *compTile) {
+	dst.time = src.time
+	dst.halted = src.halted
+	dst.pc = src.pc
+	dst.arrayCycles = src.arrayCycles
+	dst.scalarCycles = src.scalarCycles
+	dst.flops = src.flops
+	dst.instrs = src.instrs
+	dst.nacks = src.nacks
+	dst.dmas = src.dmas
+	dst.linkBytes = src.linkBytes
+	dst.attr = src.attr
+}
+
+// check is verification mode: the whole chip was simulated in full, and
+// every replica tile's actual statistics must exactly equal its
+// representative's. A mismatch means the equivalence argument is broken and
+// is reported as an error rather than papered over.
+func (p *memoPlan) check(m *Machine) error {
+	for i, rep := range p.cloneOf {
+		if rep < 0 {
+			continue
+		}
+		a, b := m.comp[i], m.comp[rep]
+		if err := diffTileState(a, b); err != nil {
+			return fmt.Errorf("sim: memo verification failed: %s vs representative %s: %w",
+				a.name(), b.name(), err)
+		}
+	}
+	for r, rep := range p.rowRep {
+		if rep == r {
+			continue
+		}
+		for mcol := 0; mcol <= m.Chip.Cols; mcol++ {
+			a := m.mem[m.memIndex(r, mcol)]
+			b := m.mem[m.memIndex(rep, mcol)]
+			if a.sfuCycles != b.sfuCycles || a.bytesMoved != b.bytesMoved || a.peakAddr != b.peakAddr {
+				return fmt.Errorf("sim: memo verification failed: %s (sfu=%d bytes=%d peak=%d) vs representative %s (sfu=%d bytes=%d peak=%d)",
+					a.name(), a.sfuCycles, a.bytesMoved, a.peakAddr,
+					b.name(), b.sfuCycles, b.bytesMoved, b.peakAddr)
+			}
+		}
+	}
+	return nil
+}
+
+// diffTileState reports the first field where two tiles' statistics differ.
+func diffTileState(a, b *compTile) error {
+	switch {
+	case a.time != b.time:
+		return fmt.Errorf("time %d != %d", a.time, b.time)
+	case a.arrayCycles != b.arrayCycles:
+		return fmt.Errorf("arrayCycles %d != %d", a.arrayCycles, b.arrayCycles)
+	case a.scalarCycles != b.scalarCycles:
+		return fmt.Errorf("scalarCycles %d != %d", a.scalarCycles, b.scalarCycles)
+	case a.flops != b.flops:
+		return fmt.Errorf("flops %d != %d", a.flops, b.flops)
+	case a.instrs != b.instrs:
+		return fmt.Errorf("instrs %d != %d", a.instrs, b.instrs)
+	case a.nacks != b.nacks:
+		return fmt.Errorf("nacks %d != %d", a.nacks, b.nacks)
+	case a.dmas != b.dmas:
+		return fmt.Errorf("dmas %d != %d", a.dmas, b.dmas)
+	case a.linkBytes != b.linkBytes:
+		return fmt.Errorf("linkBytes %v != %v", a.linkBytes, b.linkBytes)
+	case a.attr != b.attr:
+		return fmt.Errorf("attr %v != %v", a.attr, b.attr)
+	}
+	return nil
+}

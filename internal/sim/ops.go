@@ -148,11 +148,10 @@ func (m *Machine) execNDConv(ct *compTile, v []int64) (bool, Cycle) {
 	}
 
 	end := ct.time + m.arrayCycles(macs)
-	accs := []access{
-		{loc: inLoc, addr: in, size: inH * inW},
-		{loc: kLoc, addr: kAddr, size: kTotal},
-		{loc: outLoc, addr: out, size: outSize, write: true},
-	}
+	accs := append(m.accBuf[:0],
+		access{loc: inLoc, addr: in, size: inH * inW},
+		access{loc: kLoc, addr: kAddr, size: kTotal},
+		access{loc: outLoc, addr: out, size: outSize, write: true})
 	if mode == isa.ModeBwdData {
 		accs[0].size = nk * inH * inW
 	}
@@ -161,7 +160,7 @@ func (m *Machine) execNDConv(ct *compTile, v []int64) (bool, Cycle) {
 	}
 	ct.arrayCycles += end - ct.time
 	ct.flops += 2 * macs
-	m.addOperandTraffic(accs)
+	m.addOperandTraffic(ct, accs)
 
 	if m.Functional {
 		m.ndconvData(mode, inLoc, in, int(inH), int(inW), kLoc, kAddr, int(kSize),
@@ -174,13 +173,13 @@ func (m *Machine) execNDConv(ct *compTile, v []int64) (bool, Cycle) {
 // class it actually crosses: external-memory operands (e.g. off-chip
 // weights, §3.2.3) hit the external channels; everything else streams over
 // the CompHeavy↔MemHeavy links.
-func (m *Machine) addOperandTraffic(accs []access) {
+func (m *Machine) addOperandTraffic(ct *compTile, accs []access) {
 	for _, a := range accs {
 		bytes := a.size * m.elemBytes
 		if a.loc.ext != nil {
-			m.addLinkBytes(linkExt, bytes)
+			m.addLinkBytes(ct, linkExt, bytes)
 		} else {
-			m.addLinkBytes(linkCompMem, bytes)
+			m.addLinkBytes(ct, linkCompMem, bytes)
 		}
 	}
 }
@@ -190,17 +189,17 @@ func (m *Machine) ndconvData(mode int64, inLoc location, in int64, inH, inW int,
 	outLoc location, out int64, nk, oh, ow int, acc bool) {
 	switch mode {
 	case isa.ModeFwd:
-		inF := tensor.FromSlice(copyVec(m.readVec(inLoc, in, int64(inH*inW))), 1, inH, inW)
+		inF := tensor.FromSlice(m.copyVec(m.readVec(inLoc, in, int64(inH*inW))), 1, inH, inW)
 		for j := 0; j < nk; j++ {
-			kern := tensor.FromSlice(copyVec(m.readVec(kLoc, kAddr+int64(j*kSize*kSize), int64(kSize*kSize))), 1, 1, kSize, kSize)
+			kern := tensor.FromSlice(m.copyVec(m.readVec(kLoc, kAddr+int64(j*kSize*kSize), int64(kSize*kSize))), 1, 1, kSize, kSize)
 			o := tensor.Conv2D(inF, kern, nil, cp)
 			m.writeVec(outLoc, out+int64(j*oh*ow), o.Data, int64(oh*ow), acc)
 		}
 	case isa.ModeBwdData:
 		res := tensor.New(1, oh, ow)
 		for j := 0; j < nk; j++ {
-			errF := tensor.FromSlice(copyVec(m.readVec(inLoc, in+int64(j*inH*inW), int64(inH*inW))), 1, inH, inW)
-			kern := tensor.FromSlice(copyVec(m.readVec(kLoc, kAddr+int64(j*kSize*kSize), int64(kSize*kSize))), 1, 1, kSize, kSize)
+			errF := tensor.FromSlice(m.copyVec(m.readVec(inLoc, in+int64(j*inH*inW), int64(inH*inW))), 1, inH, inW)
+			kern := tensor.FromSlice(m.copyVec(m.readVec(kLoc, kAddr+int64(j*kSize*kSize), int64(kSize*kSize))), 1, 1, kSize, kSize)
 			g := tensor.Conv2DBackwardData(errF, kern, cp, oh, ow)
 			tensor.Add(res, g)
 		}
@@ -210,9 +209,9 @@ func (m *Machine) ndconvData(mode int64, inLoc location, in int64, inH, inW int,
 		// forward kernel geometry, which is the op's output size here.
 		errH := kSize
 		cp.KH, cp.KW = oh, ow
-		inF := tensor.FromSlice(copyVec(m.readVec(inLoc, in, int64(inH*inW))), 1, inH, inW)
+		inF := tensor.FromSlice(m.copyVec(m.readVec(inLoc, in, int64(inH*inW))), 1, inH, inW)
 		for j := 0; j < nk; j++ {
-			errF := tensor.FromSlice(copyVec(m.readVec(kLoc, kAddr+int64(j*errH*errH), int64(errH*errH))), 1, errH, errH)
+			errF := tensor.FromSlice(m.copyVec(m.readVec(kLoc, kAddr+int64(j*errH*errH), int64(errH*errH))), 1, errH, errH)
 			gw := tensor.New(1, 1, oh, ow)
 			tensor.Conv2DBackwardWeights(inF, errF, gw, cp)
 			m.writeVec(outLoc, out+int64(j*oh*ow), gw.Data, int64(oh*ow), acc)
@@ -220,11 +219,13 @@ func (m *Machine) ndconvData(mode int64, inLoc location, in int64, inH, inW int,
 	}
 }
 
-func copyVec(v []float32) []float32 {
+// copyVec stages a snapshot of v in the per-op scratch arena (fresh memory,
+// so transforms never alias the live scratchpad range they read).
+func (m *Machine) copyVec(v []float32) []float32 {
 	if v == nil {
 		return nil
 	}
-	out := make([]float32, len(v))
+	out := m.arena.take(len(v))
 	copy(out, v)
 	return out
 }
@@ -244,21 +245,20 @@ func (m *Machine) execMatMul(ct *compTile, v []int64) (bool, Cycle) {
 	}
 	macs := rows * cols
 	end := ct.time + m.arrayCycles(macs)
-	accs := []access{
-		{loc: wLoc, addr: w, size: rows * cols},
-		{loc: xLoc, addr: x, size: xSize},
-		{loc: outLoc, addr: out, size: outSize, write: true},
-	}
+	accs := append(m.accBuf[:0],
+		access{loc: wLoc, addr: w, size: rows * cols},
+		access{loc: xLoc, addr: x, size: xSize},
+		access{loc: outLoc, addr: out, size: outSize, write: true})
 	if !m.admit(ct, accs, "MATMUL", end) {
 		return false, 0
 	}
 	ct.arrayCycles += end - ct.time
 	ct.flops += 2 * macs
-	m.addOperandTraffic(accs)
+	m.addOperandTraffic(ct, accs)
 
 	if m.Functional {
-		wT := tensor.FromSlice(copyVec(m.readVec(wLoc, w, rows*cols)), int(rows), int(cols))
-		xT := tensor.FromSlice(copyVec(m.readVec(xLoc, x, xSize)), int(xSize))
+		wT := tensor.FromSlice(m.copyVec(m.readVec(wLoc, w, rows*cols)), int(rows), int(cols))
+		xT := tensor.FromSlice(m.copyVec(m.readVec(xLoc, x, xSize)), int(xSize))
 		var o *tensor.Tensor
 		if mode == isa.ModeFwd {
 			o = tensor.MatVec(wT, xT, nil)
@@ -281,26 +281,25 @@ func (m *Machine) execActFn(ct *compTile, v []int64) (bool, Cycle) {
 	ak := actKind(kind)
 
 	end := m.offloadEnd(ct, dstLoc, size)
-	accs := []access{
-		{loc: srcLoc, addr: src, size: size},
-		{loc: dstLoc, addr: dst, size: size, write: true},
-	}
+	accs := append(m.accBuf[:0],
+		access{loc: srcLoc, addr: src, size: size},
+		access{loc: dstLoc, addr: dst, size: size, write: true})
 	if !m.admit(ct, accs, "NDACTFN", end) {
 		return false, 0
 	}
 	m.noteSFU(dstLoc, size, end)
 
 	if m.Functional {
-		s := copyVec(m.readVec(srcLoc, src, size))
+		s := m.copyVec(m.readVec(srcLoc, src, size))
 		if deriv {
 			d := m.readVec(dstLoc, dst, size)
-			vals := make([]float32, size)
+			vals := m.arena.take(int(size))
 			for i := range vals {
 				vals[i] = d[i] * ak.Derivative(s[i])
 			}
 			m.writeVec(dstLoc, dst, vals, size, false)
 		} else {
-			vals := make([]float32, size)
+			vals := m.arena.take(int(size))
 			for i := range vals {
 				vals[i] = ak.Apply(s[i])
 			}
@@ -356,17 +355,16 @@ func (m *Machine) execSubsamp(ct *compTile, v []int64) (bool, Cycle) {
 	outSize := int64(oh * ow)
 
 	end := m.offloadEnd(ct, outLoc, int64(inH*inW))
-	accs := []access{
-		{loc: inLoc, addr: in, size: inH * inW},
-		{loc: outLoc, addr: out, size: outSize, write: true},
-	}
+	accs := append(m.accBuf[:0],
+		access{loc: inLoc, addr: in, size: inH * inW},
+		access{loc: outLoc, addr: out, size: outSize, write: true})
 	if !m.admit(ct, accs, "NDSUBSAMP", end) {
 		return false, 0
 	}
 	m.noteSFU(outLoc, inH*inW, end)
 
 	if m.Functional {
-		inF := tensor.FromSlice(copyVec(m.readVec(inLoc, in, inH*inW)), 1, int(inH), int(inW))
+		inF := tensor.FromSlice(m.copyVec(m.readVec(inLoc, in, inH*inW)), 1, int(inH), int(inW))
 		o, arg := tensor.Pool2D(inF, pp)
 		m.writeVec(outLoc, out, o.Data, outSize, false)
 		if arg != nil {
@@ -390,17 +388,16 @@ func (m *Machine) execUpsamp(ct *compTile, v []int64) (bool, Cycle) {
 	dstSize := inH * inW
 
 	end := m.offloadEnd(ct, dstLoc, dstSize)
-	accs := []access{
-		{loc: gLoc, addr: g, size: gSize},
-		{loc: dstLoc, addr: dst, size: dstSize, write: true},
-	}
+	accs := append(m.accBuf[:0],
+		access{loc: gLoc, addr: g, size: gSize},
+		access{loc: dstLoc, addr: dst, size: dstSize, write: true})
 	if !m.admit(ct, accs, "NDUPSAMP", end) {
 		return false, 0
 	}
 	m.noteSFU(dstLoc, dstSize, end)
 
 	if m.Functional {
-		gT := tensor.FromSlice(copyVec(m.readVec(gLoc, g, gSize)), 1, oh, ow)
+		gT := tensor.FromSlice(m.copyVec(m.readVec(gLoc, g, gSize)), 1, oh, ow)
 		var arg []int32
 		if pp.Kind == tensor.MaxPool {
 			var ok bool
@@ -437,16 +434,15 @@ func (m *Machine) execAcc(ct *compTile, v []int64) (bool, Cycle) {
 	srcLoc := m.resolvePort(ct, srcPort)
 	dstLoc := m.resolvePort(ct, dstPort)
 	end := m.offloadEnd(ct, dstLoc, size)
-	accs := []access{
-		{loc: srcLoc, addr: src, size: size},
-		{loc: dstLoc, addr: dst, size: size, write: true},
-	}
+	accs := append(m.accBuf[:0],
+		access{loc: srcLoc, addr: src, size: size},
+		access{loc: dstLoc, addr: dst, size: size, write: true})
 	if !m.admit(ct, accs, "NDACC", end) {
 		return false, 0
 	}
 	m.noteSFU(dstLoc, size, end)
 	if m.Functional {
-		s := copyVec(m.readVec(srcLoc, src, size))
+		s := m.copyVec(m.readVec(srcLoc, src, size))
 		m.writeVec(dstLoc, dst, s, size, true)
 	}
 	return true, end
@@ -461,19 +457,18 @@ func (m *Machine) execVecMul(ct *compTile, v []int64) (bool, Cycle) {
 	dstLoc := m.resolvePort(ct, dstPort)
 	size := gLen * xLen
 	end := m.offloadEnd(ct, dstLoc, size)
-	accs := []access{
-		{loc: gLoc, addr: g, size: gLen},
-		{loc: xLoc, addr: x, size: xLen},
-		{loc: dstLoc, addr: dst, size: size, write: true},
-	}
+	accs := append(m.accBuf[:0],
+		access{loc: gLoc, addr: g, size: gLen},
+		access{loc: xLoc, addr: x, size: xLen},
+		access{loc: dstLoc, addr: dst, size: size, write: true})
 	if !m.admit(ct, accs, "VECMUL", end) {
 		return false, 0
 	}
 	m.noteSFU(dstLoc, size, end)
 	if m.Functional {
 		gw := tensor.FromSlice(m.readVec(dstLoc, dst, size), int(gLen), int(xLen))
-		gT := tensor.FromSlice(copyVec(m.readVec(gLoc, g, gLen)), int(gLen))
-		xT := tensor.FromSlice(copyVec(m.readVec(xLoc, x, xLen)), int(xLen))
+		gT := tensor.FromSlice(m.copyVec(m.readVec(gLoc, g, gLen)), int(gLen))
+		xT := tensor.FromSlice(m.copyVec(m.readVec(xLoc, x, xLen)), int(xLen))
 		tensor.OuterAcc(gw, gT, xT)
 		if m.half {
 			tensor.RoundHalfSlice(gw.Data)
@@ -495,10 +490,9 @@ func (m *Machine) execWUpdate(ct *compTile, v []int64) (bool, Cycle) {
 	// ordering the update needs. The in-place read of w is implicit in the
 	// write admission and is not counted separately (counting it would
 	// self-block: the op's own write is the generation's only update).
-	accs := []access{
-		{loc: dwLoc, addr: dw, size: size},            // read gradients
-		{loc: wLoc, addr: w, size: size, write: true}, // write next generation
-	}
+	accs := append(m.accBuf[:0],
+		access{loc: dwLoc, addr: dw, size: size},            // read gradients
+		access{loc: wLoc, addr: w, size: size, write: true}) // write next generation
 	if !m.admit(ct, accs, "WUPDATE", end) {
 		return false, 0
 	}
@@ -523,14 +517,14 @@ func (m *Machine) execMemSet(ct *compTile, v []int64) (bool, Cycle) {
 	dst, dstPort, size, bits := v[0], v[1], v[2], v[3]
 	dstLoc := m.resolvePort(ct, dstPort)
 	end := m.offloadEnd(ct, dstLoc, size)
-	accs := []access{{loc: dstLoc, addr: dst, size: size, write: true}}
+	accs := append(m.accBuf[:0], access{loc: dstLoc, addr: dst, size: size, write: true})
 	if !m.admit(ct, accs, "MEMSET", end) {
 		return false, 0
 	}
 	m.noteSFU(dstLoc, size, end)
 	if m.Functional {
 		val := math.Float32frombits(uint32(bits))
-		vals := make([]float32, size)
+		vals := m.arena.take(int(size))
 		for i := range vals {
 			vals[i] = val
 		}
@@ -563,10 +557,9 @@ func (m *Machine) execDMA(ct *compTile, v []int64) (bool, Cycle) {
 	m.opQueueWait = start - ct.time
 	end := start + m.linkCycles(bytes, gbps)
 
-	accs := []access{
-		{loc: srcLoc, addr: src, size: size},
-		{loc: dstLoc, addr: dst, size: size, write: true},
-	}
+	accs := append(m.accBuf[:0],
+		access{loc: srcLoc, addr: src, size: size},
+		access{loc: dstLoc, addr: dst, size: size, write: true})
 	if !m.admit(ct, accs, "DMA", end) {
 		return false, 0
 	}
@@ -582,13 +575,11 @@ func (m *Machine) execDMA(ct *compTile, v []int64) (bool, Cycle) {
 	if dstLoc.ext != nil {
 		dstLoc.ext.busy = end
 	}
-	m.addLinkBytes(class, bytes)
-	if m.mDMAs != nil {
-		m.mDMAs.Inc()
-	}
+	m.addLinkBytes(ct, class, bytes)
+	ct.dmas++
 
 	if m.Functional {
-		s := copyVec(m.readVec(srcLoc, src, size))
+		s := m.copyVec(m.readVec(srcLoc, src, size))
 		m.writeVec(dstLoc, dst, s, size, accFlag != 0)
 	}
 	return true, end
@@ -619,10 +610,10 @@ func (m *Machine) execPassBuff(ct *compTile, v []int64) (bool, Cycle) {
 	srcLoc := m.resolvePort(ct, srcPort)
 	bytes := size * m.elemBytes
 	end := ct.time + m.linkCycles(bytes, m.Chip.CompMemGBps)
-	accs := []access{{loc: srcLoc, addr: src, size: size}}
+	accs := append(m.accBuf[:0], access{loc: srcLoc, addr: src, size: size})
 	if !m.admit(ct, accs, "PASSBUFF", end) {
 		return false, 0
 	}
-	m.addLinkBytes(linkCompMem, bytes)
+	m.addLinkBytes(ct, linkCompMem, bytes)
 	return true, end
 }

@@ -83,6 +83,7 @@ type Stats struct {
 	Instructions int64
 	FLOPs        int64
 	NACKs        int64
+	DMATransfers int64
 
 	// Aggregate link traffic by class.
 	CompMemBytes int64
@@ -95,6 +96,11 @@ type Stats struct {
 	SFUBusy    []Cycle            // per MemHeavy tile
 	MemPeak    []int64            // per MemHeavy tile, high-water scratchpad element
 	ActiveComp int                // CompHeavy tiles that executed a program
+
+	// MemoTiles is the number of CompHeavy tiles whose statistics came from
+	// (or, in verify mode, were checked against) a replica-memoization
+	// representative rather than independent simulation (see memo.go).
+	MemoTiles int
 }
 
 // PEUtilization returns mean 2D-PE array busy fraction across tiles that ran
@@ -165,7 +171,10 @@ func (s Stats) String() string {
 // collectStats gathers per-tile counters after a run. Every re-aggregated
 // field is reset first — Cycles included, since each tile's final time
 // persists on the tile and re-deriving the max from a stale carry-over would
-// inflate a reused Machine's second run.
+// inflate a reused Machine's second run. Instruction, NACK, DMA and
+// link-traffic totals are sums of per-tile shadow counters (the hot path
+// touches only its own tile), which is also what lets replica memoization
+// clone a representative tile's activity wholesale.
 func (m *Machine) collectStats() {
 	s := &m.stats
 	s.ArrayBusy = s.ArrayBusy[:0]
@@ -175,9 +184,20 @@ func (m *Machine) collectStats() {
 	s.ActiveComp = 0
 	s.FLOPs = 0
 	s.Cycles = 0
+	s.Instructions = 0
+	s.NACKs = 0
+	s.DMATransfers = 0
+	s.CompMemBytes, s.MemMemBytes, s.ExtMemBytes = 0, 0, 0
+	s.MemoTiles = 0
 	for _, ct := range m.comp {
 		s.ArrayBusy = append(s.ArrayBusy, ct.arrayCycles)
 		s.FLOPs += ct.flops
+		s.Instructions += ct.instrs
+		s.NACKs += ct.nacks
+		s.DMATransfers += ct.dmas
+		s.CompMemBytes += ct.linkBytes[linkCompMem]
+		s.MemMemBytes += ct.linkBytes[linkMemMem]
+		s.ExtMemBytes += ct.linkBytes[linkExt]
 		if ct.prog != nil {
 			s.ActiveComp++
 		}

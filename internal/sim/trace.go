@@ -43,15 +43,12 @@ func (m *Machine) Trace() []TraceEvent { return m.trace }
 // TraceDropped returns the number of events discarded after the limit.
 func (m *Machine) TraceDropped() int { return m.traceDropped }
 
-func (m *Machine) traceOp(ct *compTile, op string, start, end Cycle) {
+func (m *Machine) traceOp(ct *compTile, ins *dinstr, start, end Cycle) {
 	if m.spans != nil {
-		m.emitSpan(ct.name(), op, start, end)
+		m.emitSpan(ct.name(), ins.name, start, end)
 	}
-	if m.mOpCycles != nil {
-		m.mOpCycles.Observe(float64(end - start))
-	}
-	if h := m.opClassHistogram(op); h != nil {
-		h.Observe(float64(end - start))
+	if m.metrics != nil {
+		m.observeOp(ins.op, end-start)
 	}
 	if !m.tracing {
 		return
@@ -60,10 +57,14 @@ func (m *Machine) traceOp(ct *compTile, op string, start, end Cycle) {
 		m.traceDropped++
 		return
 	}
-	m.trace = append(m.trace, TraceEvent{Start: start, End: end, Tile: ct.name(), Op: op})
+	m.trace = append(m.trace, TraceEvent{Start: start, End: end, Tile: ct.name(), Op: ins.name})
 }
 
-func (m *Machine) traceStall(ct *compTile, note string) {
+func (m *Machine) traceStall(ct *compTile, t *tracker, desc string) {
+	if m.spans == nil && !m.tracing {
+		return
+	}
+	note := desc + " on " + t.String()
 	if m.spans != nil {
 		m.emitSpan(ct.name(), "STALL", ct.time, ct.time, telemetry.Attr{Key: "note", Value: note})
 	}

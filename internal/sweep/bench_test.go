@@ -39,6 +39,58 @@ func benchGridWorkers(b *testing.B, workers int) {
 	}
 }
 
+// memoBenchGrid is the memoization benchmark grid: heavy cell duplication
+// (each semantic cell appears three times) so the memo path replicates most
+// of its results instead of simulating them.
+func memoBenchGrid() Grid {
+	return Grid{
+		Workloads:   []string{"simnet", "fcnet", "simnet", "fcnet", "simnet", "fcnet"},
+		Archs:       []string{"baseline"},
+		Minibatches: []int{1, 2},
+		Modes:       []string{"eval", "train"},
+	}
+}
+
+// BenchmarkSweepMemoOn / BenchmarkSweepMemoOff are the BENCH_memo.json pair:
+// the same duplicated grid with the cell memo engaged and bypassed. The
+// wall-clock and allocs/op gap between the two is the memoization win.
+func BenchmarkSweepMemoOn(b *testing.B)  { benchSweepMemo(b, false) }
+func BenchmarkSweepMemoOff(b *testing.B) { benchSweepMemo(b, true) }
+
+func benchSweepMemo(b *testing.B, noMemo bool) {
+	b.Helper()
+	g := memoBenchGrid()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunGrid(context.Background(), g, Options{Workers: 1, NoMemo: noMemo}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepMemoSpeedup runs the duplicated grid both ways per iteration
+// and reports the wall-clock ratio as memo-speedup-x, the headline number of
+// BENCH_memo.json.
+func BenchmarkSweepMemoSpeedup(b *testing.B) {
+	g := memoBenchGrid()
+	var full, memo time.Duration
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		if _, err := RunGrid(context.Background(), g, Options{Workers: 1, NoMemo: true}); err != nil {
+			b.Fatal(err)
+		}
+		full += time.Since(t0)
+		t0 = time.Now()
+		if _, err := RunGrid(context.Background(), g, Options{Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+		memo += time.Since(t0)
+	}
+	b.ReportMetric(full.Seconds()/memo.Seconds(), "memo-speedup-x")
+	b.ReportMetric(full.Seconds()*1e3/float64(b.N), "full-ms")
+	b.ReportMetric(memo.Seconds()*1e3/float64(b.N), "memo-ms")
+}
+
 // BenchmarkGridSpeedup measures the same grid serially and sharded in each
 // iteration and reports the wall-clock ratio — the headline number of
 // BENCH_sweep.json. On a single-core runner the ratio is ~1 by

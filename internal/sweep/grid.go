@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync"
 
 	"scaledeep/internal/arch"
 	"scaledeep/internal/compiler"
@@ -28,8 +29,9 @@ type Grid struct {
 // Workloads lists the cycle-simulator workload catalog: networks small
 // enough for the functional simulator to execute whole, mirroring the nets
 // the CLI tools simulate (sdsim's simnet, sdtrain's trainnet, sdprof's
-// MiniVGG reference workload).
-func Workloads() []string { return []string{"simnet", "trainnet", "minivgg"} }
+// MiniVGG reference workload) plus fcnet, an FC-only stack that exercises
+// the MLP/LSTM-style layer balance of the paper's Table 2.
+func Workloads() []string { return []string{"simnet", "trainnet", "minivgg", "fcnet"} }
 
 // Archs lists the chip configurations a grid can sweep: the Fig. 14
 // single-precision baseline and the Fig. 17 half-precision design.
@@ -104,18 +106,238 @@ func (g Grid) Jobs() ([]Job, error) {
 	return jobs, nil
 }
 
+// cellKey is the semantic identity of a grid point: two jobs with equal keys
+// run the same simulation (workload construction, chip config, inputs and
+// program are all deterministic functions of the key), so their results are
+// interchangeable. Iterations are normalized out for eval cells, which
+// always run one pass regardless of Grid.Iterations.
+type cellKey struct {
+	Workload, Arch string
+	Minibatch      int
+	Mode           string
+	Iters          int
+}
+
+func (j Job) cellKey() cellKey {
+	iters := j.Iters
+	if j.Mode != "train" {
+		iters = 1
+	}
+	return cellKey{
+		Workload:  strings.ToLower(j.Workload),
+		Arch:      strings.ToLower(j.Arch),
+		Minibatch: j.Minibatch,
+		Mode:      j.Mode,
+		Iters:     iters,
+	}
+}
+
+// cellClasses groups jobs into equivalence classes in job order: members are
+// job indices sorted ascending, and classes are ordered by their first
+// member, so the memoized path visits work in the same order as the full
+// one.
+func cellClasses(jobs []Job) [][]int {
+	var classes [][]int
+	index := map[cellKey]int{}
+	for _, j := range jobs {
+		k := j.cellKey()
+		ci, ok := index[k]
+		if !ok {
+			ci = len(classes)
+			index[k] = ci
+			classes = append(classes, nil)
+		}
+		classes[ci] = append(classes[ci], j.Index)
+	}
+	return classes
+}
+
 // RunGrid runs every grid point on the cycle-level simulator and returns the
-// results in job order. Each job compiles its own program, simulates on its
-// own machine and records into its own telemetry registry, so jobs shard
-// cleanly across opts.Workers.
+// results in job order. Each job compiles its own program, simulates on a
+// pooled per-arch machine and records into its own telemetry registry, so
+// jobs shard cleanly across opts.Workers.
+//
+// Identical grid points (same workload, arch, minibatch, mode and effective
+// iterations — e.g. one workload swept against several duplicate axis
+// values, or eval cells at different Iterations settings) are memoized:
+// one representative per equivalence class is simulated and its result and
+// telemetry are replicated to the other members. Jobs are pure functions of
+// their spec — inputs come from a spec-seeded PRNG and the simulator is
+// deterministic — so replication is exact, and the rendered tables are
+// byte-identical with memoization on or off (opts.NoMemo). opts.VerifyMemo
+// re-simulates one replicated member per class and fails on any difference.
 func RunGrid(ctx context.Context, g Grid, opts Options) ([]Result, error) {
 	jobs, err := g.Jobs()
 	if err != nil {
 		return nil, err
 	}
-	return Map(ctx, jobs, opts, func(ctx context.Context, _ int, job Job, reg *telemetry.Registry) (Result, error) {
-		return runJob(job, reg)
+	pool := newMachinePool()
+	if opts.NoMemo {
+		return Map(ctx, jobs, opts, func(ctx context.Context, _ int, job Job, reg *telemetry.Registry) (Result, error) {
+			r, err := runJob(job, reg, pool)
+			if err == nil {
+				recordJobMetrics(reg, r)
+			}
+			return r, err
+		})
+	}
+
+	classes := cellClasses(jobs)
+	reps := make([]Job, len(classes))
+	for ci, members := range classes {
+		reps[ci] = jobs[members[0]]
+	}
+
+	// Representatives run through the ordinary pool, but with registry
+	// management held locally: each class's registry is merged into
+	// opts.Metrics once per member below, so the combined snapshot equals
+	// the no-memo merge. Progress is reported in expanded-job units.
+	inner := opts
+	inner.Metrics, inner.Progress = nil, nil
+	var repRegs []*telemetry.Registry
+	if opts.Metrics != nil {
+		repRegs = make([]*telemetry.Registry, len(classes))
+	}
+	var (
+		progMu   sync.Mutex
+		progDone int
+	)
+	advance := func(n int) {
+		if opts.Progress == nil {
+			return
+		}
+		progMu.Lock()
+		progDone += n
+		opts.Progress(progDone, len(jobs))
+		progMu.Unlock()
+	}
+	repResults, err := Map(ctx, reps, inner, func(ctx context.Context, ci int, job Job, _ *telemetry.Registry) (Result, error) {
+		var reg *telemetry.Registry
+		if repRegs != nil {
+			reg = telemetry.NewRegistry()
+			repRegs[ci] = reg
+		}
+		r, err := runJob(job, reg, pool)
+		if err == nil {
+			advance(len(classes[ci]))
+		}
+		return r, err
 	})
+	if err != nil {
+		return nil, err
+	}
+
+	results := make([]Result, len(jobs))
+	for ci, members := range classes {
+		for _, ji := range members {
+			r := repResults[ci]
+			r.Job = jobs[ji] // identity differs; measurements are shared
+			results[ji] = r
+		}
+	}
+
+	if opts.VerifyMemo {
+		if err := verifyMemo(ctx, jobs, classes, results, inner, pool); err != nil {
+			return nil, err
+		}
+	}
+
+	if opts.Metrics != nil {
+		classOf := make([]int, len(jobs))
+		for ci, members := range classes {
+			for _, ji := range members {
+				classOf[ji] = ci
+			}
+		}
+		for ji, r := range results {
+			if err := opts.Metrics.MergeFrom(repRegs[classOf[ji]]); err != nil {
+				return nil, err
+			}
+			recordJobMetrics(opts.Metrics, r)
+		}
+	}
+	return results, nil
+}
+
+// verifyMemo re-simulates one replicated (non-representative) member of
+// every multi-member class and compares the fresh result against the
+// memoized one field by field. Any difference means the memo key admitted
+// two jobs that are not actually equivalent — a soundness bug worth failing
+// the whole sweep over.
+func verifyMemo(ctx context.Context, jobs []Job, classes [][]int, results []Result, opts Options, pool *machinePool) error {
+	var checks []Job
+	for _, members := range classes {
+		if len(members) > 1 {
+			checks = append(checks, jobs[members[1]])
+		}
+	}
+	if len(checks) == 0 {
+		return nil
+	}
+	fresh, err := Map(ctx, checks, opts, func(ctx context.Context, _ int, job Job, _ *telemetry.Registry) (Result, error) {
+		return runJob(job, nil, pool)
+	})
+	if err != nil {
+		return err
+	}
+	for i, f := range fresh {
+		if got := results[f.Index]; f != got {
+			return fmt.Errorf("sweep: memo verification failed for %s: fresh run %+v != memoized %+v (check %d)",
+				f.Name(), f, got, i)
+		}
+	}
+	return nil
+}
+
+// recordJobMetrics adds the per-job labeled series derived from one result.
+// It runs outside runJob so the memoized path can attribute a replicated
+// result to the replica's own job label.
+func recordJobMetrics(reg *telemetry.Registry, r Result) {
+	if reg == nil {
+		return
+	}
+	// Per-job labeled metrics survive the merge individually (the unlabeled
+	// sim.* series aggregate across the whole sweep).
+	lbl := telemetry.Label{Key: "job", Value: r.Name()}
+	reg.Counter("sweep.job.cycles", lbl).Add(r.Cycles)
+	reg.Counter("sweep.jobs").Inc()
+}
+
+// machinePool recycles simulator machines per chip configuration: a worker
+// picking up a job of an arch it (or another worker) has already simulated
+// reuses the retired machine's scratchpads, event queue and arena via
+// Machine.Reset instead of reallocating them. The pool never holds more
+// machines per arch than ran concurrently.
+type machinePool struct {
+	mu   sync.Mutex
+	free map[string][]*sim.Machine
+}
+
+func newMachinePool() *machinePool {
+	return &machinePool{free: map[string][]*sim.Machine{}}
+}
+
+// get returns a reset machine for the arch, reusing a pooled one when
+// available. Reset restores the exact post-NewMachine state (buffers zeroed,
+// capacity retained), so results are independent of reuse history.
+func (p *machinePool) get(key string, chip arch.ChipConfig, prec arch.Precision) *sim.Machine {
+	p.mu.Lock()
+	l := p.free[key]
+	if n := len(l); n > 0 {
+		m := l[n-1]
+		p.free[key] = l[:n-1]
+		p.mu.Unlock()
+		m.Reset()
+		return m
+	}
+	p.mu.Unlock()
+	return sim.NewMachine(chip, prec, true)
+}
+
+func (p *machinePool) put(key string, m *sim.Machine) {
+	p.mu.Lock()
+	p.free[key] = append(p.free[key], m)
+	p.mu.Unlock()
 }
 
 // buildWorkload constructs a fresh network for a catalog entry. Every call
@@ -139,6 +361,13 @@ func buildWorkload(name string) (*dnn.Network, error) {
 		return b.Build(), nil
 	case "minivgg": // sdprof's reference workload
 		return zoo.MiniVGG(), nil
+	case "fcnet": // FC-heavy stack (classifier-style layer balance)
+		b := dnn.NewBuilder("fcnet")
+		in := b.Input(1, 8, 8)
+		f1 := b.FC(in, "f1", 32, tensor.ActReLU)
+		f2 := b.FC(f1, "f2", 16, tensor.ActTanh)
+		b.FC(f2, "f3", 10, tensor.ActNone)
+		return b.Build(), nil
 	}
 	return nil, fmt.Errorf("sweep: unknown workload %q (want %s)", name, strings.Join(Workloads(), ", "))
 }
@@ -162,8 +391,9 @@ func chipFor(name string) (arch.ChipConfig, arch.Precision, error) {
 
 // runJob compiles and simulates one grid point. Inputs are seeded from the
 // same fixed PRNG stream per job spec, so a job's result depends only on its
-// spec — never on which worker ran it or when.
-func runJob(job Job, reg *telemetry.Registry) (Result, error) {
+// spec — never on which worker ran it or when. That purity is what both the
+// cross-parallelism determinism guarantee and cell memoization rest on.
+func runJob(job Job, reg *telemetry.Registry, pool *machinePool) (Result, error) {
 	fail := func(err error) (Result, error) {
 		return Result{}, fmt.Errorf("sweep: %s: %w", job.Name(), err)
 	}
@@ -186,7 +416,9 @@ func runJob(job Job, reg *telemetry.Registry) (Result, error) {
 	if err != nil {
 		return fail(err)
 	}
-	m := sim.NewMachine(chip, prec, true)
+	poolKey := strings.ToLower(job.Arch)
+	m := pool.get(poolKey, chip, prec)
+	defer pool.put(poolKey, m)
 	if reg != nil {
 		m.SetMetrics(reg)
 	}
@@ -224,13 +456,6 @@ func runJob(job Job, reg *telemetry.Registry) (Result, error) {
 	var checksum float32
 	for _, v := range c.ReadOutput(m, job.Minibatch-1) {
 		checksum += v
-	}
-	if reg != nil {
-		// Per-job labeled metrics survive the merge individually (the
-		// unlabeled sim.* series aggregate across the whole sweep).
-		lbl := telemetry.Label{Key: "job", Value: job.Name()}
-		reg.Counter("sweep.job.cycles", lbl).Add(int64(st.Cycles))
-		reg.Counter("sweep.jobs").Inc()
 	}
 	return Result{
 		Job:          job,

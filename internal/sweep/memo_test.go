@@ -1,0 +1,128 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"scaledeep/internal/telemetry"
+)
+
+// memoGrid is a grid with deliberate duplicate cells: the workload axis
+// repeats simnet and the minibatch axis repeats 1, so several jobs share a
+// semantic cell and the memoized path must replicate results.
+func memoGrid() Grid {
+	return Grid{
+		Workloads:   []string{"simnet", "fcnet", "simnet"},
+		Archs:       []string{"baseline"},
+		Minibatches: []int{1, 2, 1},
+		Modes:       []string{"eval"},
+	}
+}
+
+// renderAll renders results in every output format into one byte stream.
+func renderAll(t *testing.T, results []Result) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	buf.WriteString(FormatText(results))
+	if err := WriteCSV(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSON(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestGridMemoByteIdenticalOutput is the sweep-level exactness guarantee:
+// for a grid with duplicate cells, the rendered tables (text, CSV and JSON)
+// and the merged metrics snapshot must be byte-identical with memoization
+// on and off, at any worker count.
+func TestGridMemoByteIdenticalOutput(t *testing.T) {
+	run := func(noMemo bool, workers int) ([]byte, []byte) {
+		reg := telemetry.NewRegistry()
+		results, err := RunGrid(context.Background(), memoGrid(), Options{
+			Workers: workers, Metrics: reg, NoMemo: noMemo,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap, err := json.MarshalIndent(reg.Snapshot(), "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return renderAll(t, results), snap
+	}
+	wantTables, wantMetrics := run(true, 1) // full simulation, serial: the reference
+	for _, workers := range []int{1, 4} {
+		for _, noMemo := range []bool{false, true} {
+			tables, metrics := run(noMemo, workers)
+			if !bytes.Equal(tables, wantTables) {
+				t.Errorf("tables diverge at workers=%d noMemo=%v:\n%s\nwant:\n%s", workers, noMemo, tables, wantTables)
+			}
+			if !bytes.Equal(metrics, wantMetrics) {
+				t.Errorf("metrics snapshot diverges at workers=%d noMemo=%v:\n%s\nwant:\n%s", workers, noMemo, metrics, wantMetrics)
+			}
+		}
+	}
+}
+
+// TestGridMemoActuallyMemoizes pins that the memoized path simulates fewer
+// jobs than the grid holds, using the progress callback as the observable:
+// expanded progress must still report every job exactly once.
+func TestGridMemoActuallyMemoizes(t *testing.T) {
+	var dones []int
+	_, err := RunGrid(context.Background(), memoGrid(), Options{
+		Workers:  1,
+		Progress: func(done, total int) { dones = append(dones, done) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, _ := memoGrid().Jobs()
+	if len(dones) == 0 || dones[len(dones)-1] != len(jobs) {
+		t.Fatalf("progress reached %v, want final %d", dones, len(jobs))
+	}
+	// 3 workloads × 3 minibatches with duplicates collapse 9 jobs into 4
+	// classes, so progress fires once per class.
+	if len(dones) >= len(jobs) {
+		t.Fatalf("memo path reported %d progress steps for %d jobs — did every job run?", len(dones), len(jobs))
+	}
+	for i := 1; i < len(dones); i++ {
+		if dones[i] <= dones[i-1] {
+			t.Fatalf("progress not strictly increasing: %v", dones)
+		}
+	}
+}
+
+// TestGridVerifyMemoZoo runs verification mode over the full workload
+// catalog with duplicated cells: every memo class gets one replica
+// re-simulated and compared, so an unsound cell key fails here.
+func TestGridVerifyMemoZoo(t *testing.T) {
+	g := Grid{
+		Workloads:   append(Workloads(), Workloads()...), // every workload, twice
+		Archs:       []string{"baseline"},
+		Minibatches: []int{1},
+		Modes:       []string{"eval", "train"},
+	}
+	if _, err := RunGrid(context.Background(), g, Options{Workers: 4, VerifyMemo: true}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGridEvalItersNormalized: eval cells ignore Iterations, so two grids
+// differing only in Iterations must memoize eval cells identically — and a
+// mixed grid must still verify.
+func TestGridEvalItersNormalized(t *testing.T) {
+	g := Grid{
+		Workloads:   []string{"fcnet"},
+		Archs:       []string{"baseline"},
+		Minibatches: []int{1, 1},
+		Modes:       []string{"eval", "train"},
+		Iterations:  2,
+	}
+	if _, err := RunGrid(context.Background(), g, Options{Workers: 2, VerifyMemo: true}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -49,6 +49,16 @@ type Options struct {
 	// argument; when Metrics is nil no per-job registries are allocated and
 	// fn receives nil.
 	Metrics *telemetry.Registry
+	// NoMemo disables grid-cell memoization: RunGrid simulates every job
+	// even when several jobs are semantically identical. The default (memo
+	// on) simulates one representative per equivalence class and replicates
+	// its result, which is exact because jobs are deterministic functions of
+	// their spec (see RunGrid).
+	NoMemo bool
+	// VerifyMemo re-simulates one replicated job per multi-member class
+	// after a memoized RunGrid and fails the sweep if the fresh result
+	// differs from the memoized one — the self-check mode behind -verify-memo.
+	VerifyMemo bool
 }
 
 func (o Options) workers(n int) int {

@@ -1,0 +1,105 @@
+package telemetry
+
+// Batched metric application: Registry.Apply folds a whole set of updates
+// into the registry under one lock, allocating any missing entries from
+// per-call slabs. This is the flush half of shadow-counter telemetry — a
+// producer that buffered counts locally (e.g. the simulator's per-tile
+// counters and per-run op histograms) publishes everything in one call
+// instead of paying a lock/lookup/alloc cycle per metric.
+
+// CounterUpdate raises one counter to at least Value (counters are
+// monotonic, so re-applying the same aggregate is a no-op).
+type CounterUpdate struct {
+	Name   string
+	Labels []Label
+	Key    string // optional precomputed MetricKey; "" derives it
+	Value  int64
+}
+
+// GaugeUpdate sets one gauge to Value.
+type GaugeUpdate struct {
+	Name   string
+	Labels []Label
+	Key    string
+	Value  float64
+}
+
+// HistogramUpdate folds pre-aggregated bucket counts into one histogram
+// (see Histogram.AddBatch). Bounds apply only on first creation.
+type HistogramUpdate struct {
+	Name   string
+	Labels []Label
+	Key    string
+	Bounds []float64
+	Counts []int64
+	Sum    float64
+	N      int64
+}
+
+// MetricKey returns the registry's internal identity for a (name, labels)
+// pair, for callers that precompute Update.Key values once.
+func MetricKey(name string, labels ...Label) string { return metricKey(name, labels) }
+
+// Apply performs all updates under a single registry lock. Label slices of
+// newly created metrics are retained, as with the per-metric lookups.
+func (r *Registry) Apply(counters []CounterUpdate, gauges []GaugeUpdate, hists []HistogramUpdate) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var cslab []counterEntry
+	for _, u := range counters {
+		key := u.Key
+		if key == "" {
+			key = metricKey(u.Name, u.Labels)
+		}
+		e, ok := r.counters[key]
+		if !ok {
+			if len(cslab) == 0 {
+				cslab = make([]counterEntry, len(counters))
+			}
+			e = &cslab[0]
+			cslab = cslab[1:]
+			e.name, e.labels = u.Name, u.Labels
+			r.counters[key] = e
+		}
+		if d := u.Value - e.c.Value(); d > 0 {
+			e.c.Add(d)
+		}
+	}
+	var gslab []gaugeEntry
+	for _, u := range gauges {
+		key := u.Key
+		if key == "" {
+			key = metricKey(u.Name, u.Labels)
+		}
+		e, ok := r.gauges[key]
+		if !ok {
+			if len(gslab) == 0 {
+				gslab = make([]gaugeEntry, len(gauges))
+			}
+			e = &gslab[0]
+			gslab = gslab[1:]
+			e.name, e.labels = u.Name, u.Labels
+			r.gauges[key] = e
+		}
+		e.g.Set(u.Value)
+	}
+	var hslab []histogramEntry
+	for _, u := range hists {
+		key := u.Key
+		if key == "" {
+			key = metricKey(u.Name, u.Labels)
+		}
+		e, ok := r.histograms[key]
+		if !ok {
+			if len(hslab) == 0 {
+				hslab = make([]histogramEntry, len(hists))
+			}
+			e = &hslab[0]
+			hslab = hslab[1:]
+			e.name, e.labels = u.Name, u.Labels
+			e.h = newHistogram(u.Bounds)
+			r.histograms[key] = e
+		}
+		e.h.AddBatch(u.Counts, u.Sum, u.N)
+	}
+}

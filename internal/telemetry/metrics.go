@@ -67,6 +67,31 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
+// AddBatch folds pre-aggregated observations into the histogram: counts is
+// indexed like the internal bucket array (one slot per bound plus the
+// overflow bucket), n is the total observation count and sum their running
+// sum. Hot paths that bucket locally (e.g. the simulator's per-run shadow
+// histograms) flush through this instead of paying one atomic Observe per
+// sample.
+func (h *Histogram) AddBatch(counts []int64, sum float64, n int64) {
+	if n == 0 {
+		return
+	}
+	for i, c := range counts {
+		if c != 0 && i < len(h.counts) {
+			h.counts[i].Add(c)
+		}
+	}
+	h.total.Add(n)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + sum)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.total.Load() }
 
@@ -101,18 +126,23 @@ type histogramEntry struct {
 	h      *Histogram
 }
 
-// NewRegistry returns an empty registry.
+// NewRegistry returns an empty registry. Maps are pre-sized for a typical
+// simulator publish so first-use metric creation does not grow them.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters:   map[string]*counterEntry{},
-		gauges:     map[string]*gaugeEntry{},
-		histograms: map[string]*histogramEntry{},
+		counters:   make(map[string]*counterEntry, 16),
+		gauges:     make(map[string]*gaugeEntry, 8),
+		histograms: make(map[string]*histogramEntry, 8),
 	}
 }
 
 func metricKey(name string, labels []Label) string {
-	if len(labels) == 0 {
+	switch len(labels) {
+	case 0:
 		return name
+	case 1:
+		// Common case (one label): a single-allocation concat, no sort.
+		return name + "|" + labels[0].Key + "=" + labels[0].Value
 	}
 	sorted := append([]Label(nil), labels...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
@@ -128,14 +158,15 @@ func metricKey(name string, labels []Label) string {
 }
 
 // Counter returns the counter with the given name and labels, creating it on
-// first use.
+// first use. The labels slice is retained on creation; callers must not
+// mutate it afterwards (variadic call sites always satisfy this).
 func (r *Registry) Counter(name string, labels ...Label) *Counter {
 	key := metricKey(name, labels)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	e, ok := r.counters[key]
 	if !ok {
-		e = &counterEntry{name: name, labels: append([]Label(nil), labels...)}
+		e = &counterEntry{name: name, labels: labels}
 		r.counters[key] = e
 	}
 	return &e.c
@@ -149,7 +180,7 @@ func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
 	defer r.mu.Unlock()
 	e, ok := r.gauges[key]
 	if !ok {
-		e = &gaugeEntry{name: name, labels: append([]Label(nil), labels...)}
+		e = &gaugeEntry{name: name, labels: labels}
 		r.gauges[key] = e
 	}
 	return &e.g
@@ -169,17 +200,21 @@ func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Hi
 	defer r.mu.Unlock()
 	e, ok := r.histograms[key]
 	if !ok {
-		e = &histogramEntry{
-			name:   name,
-			labels: append([]Label(nil), labels...),
-			h: &Histogram{
-				bounds: append([]float64(nil), bounds...),
-				counts: make([]atomic.Int64, len(bounds)+1),
-			},
-		}
+		e = newHistogramEntry(name, labels, bounds)
 		r.histograms[key] = e
 	}
 	return e.h
+}
+
+func newHistogramEntry(name string, labels []Label, bounds []float64) *histogramEntry {
+	return &histogramEntry{name: name, labels: labels, h: newHistogram(bounds)}
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
 }
 
 // MergeFrom folds src's metrics into r: counters add, histograms add their

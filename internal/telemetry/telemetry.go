@@ -49,3 +49,12 @@ type Span struct {
 type SpanSink interface {
 	RecordSpan(Span)
 }
+
+// SpanBatchSink is the optional bulk extension of SpanSink: sinks that can
+// ingest a batch under one lock implement it (Trace does), and producers
+// that buffer spans locally type-assert for it at flush time, falling back
+// to per-span RecordSpan calls.
+type SpanBatchSink interface {
+	SpanSink
+	RecordSpans([]Span)
+}

@@ -12,30 +12,59 @@ const defaultTraceCapacity = 1 << 16
 type Trace struct {
 	mu      sync.Mutex
 	buf     []Span
+	limit   int // maximum spans retained
 	head    int // index of the oldest span when full
 	n       int // valid spans in buf
 	dropped int64
 }
 
 // NewTrace returns a recorder keeping at most capacity spans
-// (capacity <= 0 selects a generous default).
+// (capacity <= 0 selects a generous default). The buffer starts small and
+// grows on demand up to the limit, so a large capacity costs nothing until
+// spans actually accumulate.
 func NewTrace(capacity int) *Trace {
 	if capacity <= 0 {
 		capacity = defaultTraceCapacity
 	}
-	return &Trace{buf: make([]Span, 0, capacity)}
+	initial := capacity
+	if initial > 256 {
+		initial = 256
+	}
+	return &Trace{limit: capacity, buf: make([]Span, 0, initial)}
 }
 
-// RecordSpan appends a span, evicting the oldest when full.
-func (t *Trace) RecordSpan(s Span) {
-	t.mu.Lock()
-	if t.n < cap(t.buf) {
+// record appends one span; the caller holds t.mu.
+func (t *Trace) record(s Span) {
+	if t.n < t.limit {
 		t.buf = append(t.buf, s)
 		t.n++
 	} else {
 		t.buf[t.head] = s
 		t.head = (t.head + 1) % t.n
 		t.dropped++
+	}
+}
+
+// RecordSpan appends a span, evicting the oldest when full.
+func (t *Trace) RecordSpan(s Span) {
+	t.mu.Lock()
+	t.record(s)
+	t.mu.Unlock()
+}
+
+// RecordSpans appends a batch of spans under one lock — the flush target
+// for producers that buffer spans locally (e.g. the simulator, which emits
+// one batch per Run instead of locking per coarse op).
+func (t *Trace) RecordSpans(spans []Span) {
+	t.mu.Lock()
+	if t.n+len(spans) <= t.limit {
+		// Fast path: the whole batch fits — one bulk append.
+		t.buf = append(t.buf, spans...)
+		t.n += len(spans)
+	} else {
+		for _, s := range spans {
+			t.record(s)
+		}
 	}
 	t.mu.Unlock()
 }
