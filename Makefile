@@ -22,7 +22,7 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/telemetry/... ./internal/sim/... ./internal/sweep/... ./internal/cluster/...
+	$(GO) test -race ./internal/telemetry/... ./internal/sim/... ./internal/sweep/... ./internal/cluster/... ./internal/par/... ./internal/tensor/...
 
 # bench runs the tier-1 simulator benchmarks (the telemetry-off/on hot-path
 # pair among them: the nil-sink fast path must not cost anything when
@@ -31,7 +31,10 @@ race:
 # same 8-job grid serially and sharded across GOMAXPROCS workers and records
 # the wall-clock ratio (speedup-x) in BENCH_sweep.json. The memo benchmark
 # runs a deliberately duplicated grid with cell memoization on and off and
-# records the wall-clock/allocs gap (memo-speedup-x) in BENCH_memo.json.
+# records the wall-clock/allocs gap (memo-speedup-x) in BENCH_memo.json. The
+# tensor benchmarks time the naive reference kernels against the blocked
+# serial and blocked+parallel engine at MiniVGG GEMM/conv shapes and record
+# the naive-vs-engine ratio (speedup-x) in BENCH_tensor.json.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -json ./internal/sim/ > BENCH_sim.json
 	@grep -o '"Output":"Benchmark[^"]*' BENCH_sim.json | sed 's/"Output":"//;s/\\t/\t/g;s/\\n//' || true
@@ -42,13 +45,16 @@ bench:
 	$(GO) test -run '^$$' -bench SweepMemo -benchmem -json ./internal/sweep/ > BENCH_memo.json
 	@grep -o '"Output":"Benchmark[^"]*' BENCH_memo.json | sed 's/"Output":"//;s/\\t/\t/g;s/\\n//' || true
 	@echo "wrote BENCH_memo.json"
+	$(GO) test -run '^$$' -bench Kernel -benchmem -json ./internal/tensor/ > BENCH_tensor.json
+	@grep -o '"Output":"Benchmark[^"]*' BENCH_tensor.json | sed 's/"Output":"//;s/\\t/\t/g;s/\\n//' || true
+	@echo "wrote BENCH_tensor.json"
 
 # benchdiff prints a benchstat-style before/after table for each committed
 # BENCH file against its freshly regenerated counterpart. Run `make bench`
 # first; with the working tree clean, `git stash`-style comparison is just
 # `git show HEAD:BENCH_sim.json > old.json && make benchdiff OLD=old.json`.
 benchdiff:
-	@for f in BENCH_sim BENCH_sweep BENCH_memo; do \
+	@for f in BENCH_sim BENCH_sweep BENCH_memo BENCH_tensor; do \
 		if git show HEAD:$$f.json > /tmp/$$f.base.json 2>/dev/null; then \
 			echo "== $$f: HEAD vs working tree =="; \
 			$(GO) run ./cmd/sdbenchdiff /tmp/$$f.base.json $$f.json; \

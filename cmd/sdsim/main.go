@@ -47,7 +47,9 @@ func main() {
 	parallel := flag.Int("parallel", 0, "batch-mode worker-pool size (0 = GOMAXPROCS)")
 	noMemo := flag.Bool("no-memo", false, "disable replica memoization (batch-mode cell memo and, on timing-only machines, within-chip row memo)")
 	verifyMemo := flag.Bool("verify-memo", false, "cross-check memoized results against full simulation and fail on divergence")
+	kernelWorkers := flag.Int("kernel-workers", 0, "tensor kernel worker-pool size for functional execution (0 = GOMAXPROCS); results are bit-identical at any value")
 	flag.Parse()
+	tensor.SetKernelWorkers(*kernelWorkers)
 
 	if *batch != "" {
 		runBatch(*batch, *parallel, *train, *iters, *metricsOut, *serveAddr, *noMemo, *verifyMemo)
@@ -186,6 +188,7 @@ func main() {
 		}
 		fmt.Println(" — open in ui.perfetto.dev or chrome://tracing")
 	}
+	report.AddKernelStats(metrics)
 	if *metricsOut != "" {
 		data, err := report.MetricsJSON(metrics)
 		if err == nil {
@@ -263,6 +266,7 @@ func runBatch(batch string, parallel int, train bool, iters int, metricsOut, ser
 	}
 	progVar.Set([]byte(fmt.Sprintf(`{"state":"done","done":%d,"total":%d}`, len(results), len(results))))
 	fmt.Print(sweep.FormatText(results))
+	report.AddKernelStats(metrics)
 	if metricsOut != "" {
 		data, err := report.MetricsJSON(metrics)
 		if err == nil {

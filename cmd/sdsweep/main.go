@@ -34,6 +34,7 @@ import (
 	"scaledeep/internal/report"
 	"scaledeep/internal/sweep"
 	"scaledeep/internal/telemetry"
+	"scaledeep/internal/tensor"
 )
 
 func main() {
@@ -50,7 +51,9 @@ func main() {
 	noMemo := flag.Bool("no-memo", false, "disable grid-cell memoization (simulate every job even when duplicated)")
 	verifyMemo := flag.Bool("verify-memo", false, "re-simulate one replicated job per memo class and fail on any divergence")
 	serveAddr := flag.String("serve", "", "serve /progress, /metrics and /debug/pprof/ on this address and stay up after the run")
+	kernelWorkers := flag.Int("kernel-workers", 0, "tensor kernel worker-pool size for functional execution (0 = GOMAXPROCS); results are bit-identical at any value")
 	flag.Parse()
+	tensor.SetKernelWorkers(*kernelWorkers)
 
 	grid := sweep.Grid{
 		Workloads:   splitList(*workloads),
@@ -130,6 +133,7 @@ func main() {
 	if *out != "" {
 		fmt.Printf("wrote %d-job sweep table to %s (%.0f ms)\n", len(results), *out, time.Since(start).Seconds()*1e3)
 	}
+	report.AddKernelStats(merged)
 	if *metricsOut != "" {
 		data, err := report.MetricsJSON(merged)
 		if err == nil {

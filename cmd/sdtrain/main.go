@@ -38,7 +38,9 @@ func main() {
 	parallel := flag.Int("parallel", 0, "batch-mode worker-pool size (0 = GOMAXPROCS)")
 	noMemo := flag.Bool("no-memo", false, "disable replica memoization (within-chip row memo on timing-only machines)")
 	verifyMemo := flag.Bool("verify-memo", false, "cross-check memoized results against full simulation and fail on divergence")
+	kernelWorkers := flag.Int("kernel-workers", 0, "tensor kernel worker-pool size for functional execution (0 = GOMAXPROCS); results are bit-identical at any value")
 	flag.Parse()
+	tensor.SetKernelWorkers(*kernelWorkers)
 	const mb = 2
 	const lr = float32(0.03125)
 
@@ -173,6 +175,7 @@ func main() {
 		fmt.Printf("wrote %d spans to %s — open in ui.perfetto.dev or chrome://tracing\n",
 			spanTrace.Len(), *traceOut)
 	}
+	report.AddKernelStats(metrics)
 	if *metricsOut != "" {
 		data, err := report.MetricsJSON(metrics)
 		if err == nil {
@@ -225,6 +228,7 @@ func runBatch(batch string, parallel int, metricsOut string) {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	report.AddKernelStats(metrics)
 	fmt.Printf("%8s %12s %24s\n", "iters", "cycles", "worst divergence")
 	failed := false
 	for _, r := range results {

@@ -1,0 +1,49 @@
+package compiler
+
+import (
+	"math"
+	"testing"
+
+	"scaledeep/internal/dnn"
+	"scaledeep/internal/tensor"
+)
+
+// TestFunctionalSimWorkerInvariance runs the same compiled network through
+// the functional simulator at several kernel worker-pool sizes and requires
+// the outputs to match bit for bit — the determinism contract of the
+// blocked kernel engine (parallelism only partitions disjoint output
+// blocks; it never changes any reduction order).
+func TestFunctionalSimWorkerInvariance(t *testing.T) {
+	net := convPoolFCNet()
+	inputs := mkInputs(net, 2, 19)
+	opts := Options{Minibatch: 2, Iterations: 1, Training: false}
+
+	run := func(workers int) [][]float32 {
+		prev := tensor.SetKernelWorkers(workers)
+		defer tensor.SetKernelWorkers(prev)
+		e := dnn.NewExecutor(net, 42)
+		e.NoBias = true
+		c, m, _ := runSim(t, net, testChip(8), opts, e, inputs, nil)
+		outs := make([][]float32, len(inputs))
+		for i := range inputs {
+			outs[i] = c.ReadOutput(m, i)
+		}
+		return outs
+	}
+
+	want := run(1)
+	for _, w := range []int{2, 8} {
+		got := run(w)
+		for i := range want {
+			if len(got[i]) != len(want[i]) {
+				t.Fatalf("workers=%d image %d: %d outputs vs %d", w, i, len(got[i]), len(want[i]))
+			}
+			for j := range want[i] {
+				if math.Float32bits(got[i][j]) != math.Float32bits(want[i][j]) {
+					t.Fatalf("workers=%d image %d output %d: %v != %v (not bit-identical)",
+						w, i, j, got[i][j], want[i][j])
+				}
+			}
+		}
+	}
+}

@@ -43,6 +43,12 @@ type Executor struct {
 	Acts     []*tensor.Tensor // post-activation outputs per layer
 	poolArg  [][]int32        // max-pool argmax indices per layer
 	spanBase time.Time        // telemetry clock zero, set on first span
+
+	// Kernel scratch, reused across layers and calls: the im2col panel for
+	// the blocked convolution kernels and the softmax cross-entropy gradient
+	// of the training loop.
+	scratch tensor.ConvScratch
+	smGrad  *tensor.Tensor
 }
 
 // NewExecutor allocates parameters for net, initialized with small
@@ -117,11 +123,13 @@ func (e *Executor) Forward(input *tensor.Tensor) *tensor.Tensor {
 			in := e.Acts[l.Inputs[0]]
 			var out *tensor.Tensor
 			if l.Groups == 1 {
-				out = tensor.Conv2D(in, e.Weights[i], e.Biases[i], l.ConvP)
+				oh, ow := l.ConvP.ConvOutShape(in.Shape[1], in.Shape[2])
+				out = tensor.New(l.OutChannels, oh, ow)
+				tensor.Conv2DInto(out, in, e.Weights[i], e.Biases[i], l.ConvP, &e.scratch)
 			} else {
 				out = e.groupedConvForward(l, in)
 			}
-			e.Acts[i] = tensor.Activate(out, l.Act)
+			e.Acts[i] = tensor.ActivateInto(out, out, l.Act)
 		case Pool:
 			in := e.Acts[l.Inputs[0]]
 			out, arg := tensor.Pool2D(in, l.PoolP)
@@ -130,7 +138,7 @@ func (e *Executor) Forward(input *tensor.Tensor) *tensor.Tensor {
 		case FC:
 			in := flatten(e.Acts[l.Inputs[0]])
 			out := tensor.MatVec(e.Weights[i], in, e.Biases[i])
-			e.Acts[i] = tensor.Activate(out, l.Act)
+			e.Acts[i] = tensor.ActivateInto(out, out, l.Act)
 		case Concat:
 			e.Acts[i] = e.concatForward(l)
 		case Add:
@@ -198,7 +206,13 @@ func (e *Executor) backprop(grads []*tensor.Tensor, label int) {
 				if label < 0 {
 					panic("dnn: softmax backprop without a label")
 				}
-				g = tensor.SoftmaxCrossEntropyGrad(e.Acts[i], label)
+				// Reuse the executor-owned gradient buffer: it is fully
+				// consumed within this backprop pass, so the training loop
+				// allocates no softmax gradient per input.
+				if e.smGrad == nil || e.smGrad.Len() != e.Acts[i].Len() {
+					e.smGrad = tensor.New(e.Acts[i].Len())
+				}
+				g = tensor.SoftmaxCrossEntropyGradInto(e.smGrad, e.Acts[i], label)
 			}
 			accumGrad(grads, l.Inputs[0], reshapeLike(g, e.Acts[l.Inputs[0]]))
 			if e.Spans != nil {
@@ -213,12 +227,15 @@ func (e *Executor) backprop(grads []*tensor.Tensor, label int) {
 		case Input:
 			// Error at the input is discarded.
 		case Conv:
-			g = tensor.ActivateBackward(g, e.Acts[i], l.Act)
+			// In-place activation backward: grads[i] is owned by this layer
+			// now (every consumer already accumulated into it).
+			g = tensor.ActivateBackwardInto(g, g, e.Acts[i], l.Act)
 			in := e.Acts[l.Inputs[0]]
 			if l.Groups == 1 {
-				tensor.Conv2DBackwardWeights(in, g, e.GradW[i], l.ConvP)
+				tensor.Conv2DBackwardWeightsInto(in, g, e.GradW[i], l.ConvP, &e.scratch)
 				tensor.Conv2DBiasGradient(g, e.GradB[i])
-				gin := tensor.Conv2DBackwardData(g, e.Weights[i], l.ConvP, in.Shape[1], in.Shape[2])
+				gin := tensor.New(in.Shape[0], in.Shape[1], in.Shape[2])
+				tensor.Conv2DBackwardDataInto(gin, g, e.Weights[i], l.ConvP, in.Shape[1], in.Shape[2])
 				accumGrad(grads, l.Inputs[0], gin)
 			} else {
 				e.groupedConvBackward(l, i, in, g, grads)
@@ -228,7 +245,7 @@ func (e *Executor) backprop(grads []*tensor.Tensor, label int) {
 			gin := tensor.Pool2DBackward(g, e.poolArg[i], l.PoolP, in.Shape[1], in.Shape[2])
 			accumGrad(grads, l.Inputs[0], gin)
 		case FC:
-			g = tensor.ActivateBackward(g, e.Acts[i], l.Act)
+			g = tensor.ActivateBackwardInto(g, g, e.Acts[i], l.Act)
 			in := flatten(e.Acts[l.Inputs[0]])
 			tensor.OuterAcc(e.GradW[i], g, in)
 			tensor.Add(e.GradB[i], g)
@@ -345,8 +362,10 @@ func (e *Executor) groupedConvForward(l *Layer, in *tensor.Tensor) *tensor.Tenso
 		inSlice := channelSlice(in, gi*cinG, cinG)
 		wSlice := weightSlice(e.Weights[l.Index], gi*coutG, coutG)
 		bSlice := tensor.FromSlice(e.Biases[l.Index].Data[gi*coutG:(gi+1)*coutG], coutG)
-		o := tensor.Conv2D(inSlice, wSlice, bSlice, l.ConvP)
-		copy(out.Data[gi*coutG*oh*ow:], o.Data)
+		// The group's output channels are contiguous in out, so the kernel
+		// writes its destination view directly.
+		oSlice := channelSlice(out, gi*coutG, coutG)
+		tensor.Conv2DInto(oSlice, inSlice, wSlice, bSlice, l.ConvP, &e.scratch)
 	}
 	return out
 }
@@ -362,11 +381,11 @@ func (e *Executor) groupedConvBackward(l *Layer, idx int, in, g *tensor.Tensor, 
 		gSlice := channelSlice(g, gi*coutG, coutG)
 		wSlice := weightSlice(e.Weights[idx], gi*coutG, coutG)
 		gwSlice := weightSlice(e.GradW[idx], gi*coutG, coutG)
-		tensor.Conv2DBackwardWeights(inSlice, gSlice, gwSlice, l.ConvP)
+		tensor.Conv2DBackwardWeightsInto(inSlice, gSlice, gwSlice, l.ConvP, &e.scratch)
 		gbSlice := tensor.FromSlice(e.GradB[idx].Data[gi*coutG:(gi+1)*coutG], coutG)
 		tensor.Conv2DBiasGradient(gSlice, gbSlice)
-		giSlice := tensor.Conv2DBackwardData(gSlice, wSlice, l.ConvP, in.Shape[1], in.Shape[2])
-		copy(gin.Data[gi*cinG*in.Shape[1]*in.Shape[2]:], giSlice.Data)
+		giSlice := channelSlice(gin, gi*cinG, cinG)
+		tensor.Conv2DBackwardDataInto(giSlice, gSlice, wSlice, l.ConvP, in.Shape[1], in.Shape[2])
 	}
 	_ = oh
 	_ = ow

@@ -1,0 +1,103 @@
+// Package par provides a small bounded worker pool for data-parallel kernels.
+//
+// The only primitive is For, which partitions an index range [0, n) into one
+// contiguous block per worker and runs the blocks concurrently. Because the
+// blocks are disjoint and each block is processed in ascending index order by
+// a single goroutine, any kernel whose per-index work writes only to
+// locations owned by that index produces bit-identical results at every
+// worker count — parallelism changes wall-clock time, never values. This is
+// the determinism contract the tensor kernel engine builds on (DESIGN.md,
+// "Kernel engine").
+//
+// The pool is deliberately flat: nested or concurrent For calls degrade to
+// serial execution of the inner call instead of oversubscribing the machine.
+// That keeps the sweep engine (which already shards whole simulations across
+// GOMAXPROCS workers) composable with kernel-level parallelism — whichever
+// layer gets there first uses the workers, the other runs serial, and the
+// results are identical either way.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// workers is the configured pool width. 0 means GOMAXPROCS.
+var workers atomic.Int64
+
+// active is a flag marking that a For call is currently fanning out.
+// A second For arriving while it is set (nested call from inside a kernel,
+// or a concurrent call from another sweep worker) runs serial.
+var active atomic.Bool
+
+// SetWorkers sets the worker pool width for subsequent For calls.
+// n <= 0 restores the default (GOMAXPROCS at call time). It returns the
+// previous setting so callers can restore it.
+func SetWorkers(n int) int {
+	prev := workers.Load()
+	if n < 0 {
+		n = 0
+	}
+	workers.Store(int64(n))
+	return int(prev)
+}
+
+// Workers reports the effective pool width for a For call started now.
+func Workers() int {
+	if n := int(workers.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// For partitions [0, n) into disjoint contiguous blocks and calls
+// fn(lo, hi) once per block, in parallel across the pool. minGrain is the
+// smallest amount of per-worker work worth a goroutine: the effective worker
+// count is capped at n/minGrain so tiny kernels stay serial. fn must touch
+// only state owned by indices in [lo, hi).
+//
+// For returns after every block completes. If any block panics, For re-panics
+// with the first captured value after all workers have stopped.
+func For(n, minGrain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers()
+	if minGrain > 1 && w > n/minGrain {
+		w = n / minGrain
+		if w < 1 {
+			w = 1
+		}
+	}
+	if w > n {
+		w = n
+	}
+	if w <= 1 || !active.CompareAndSwap(false, true) {
+		fn(0, n)
+		return
+	}
+	defer active.Store(false)
+
+	var wg sync.WaitGroup
+	var panicked atomic.Pointer[recovered]
+	wg.Add(w)
+	for b := 0; b < w; b++ {
+		lo, hi := n*b/w, n*(b+1)/w
+		go func(lo, hi int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicked.CompareAndSwap(nil, &recovered{r})
+				}
+			}()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	if p := panicked.Load(); p != nil {
+		panic(p.val)
+	}
+}
+
+type recovered struct{ val any }

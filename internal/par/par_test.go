@@ -1,0 +1,129 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestForCoversRangeExactlyOnce checks the static partition: every index in
+// [0, n) is visited exactly once, for a grid of sizes and worker counts
+// including w > n and n == 0.
+func TestForCoversRangeExactlyOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 7, 16, 33, 100} {
+		for _, w := range []int{1, 2, 3, 8, 64} {
+			prev := SetWorkers(w)
+			visits := make([]int32, n+1)
+			For(n, 1, func(lo, hi int) {
+				if lo > hi || lo < 0 || hi > n {
+					t.Errorf("n=%d w=%d: bad block [%d,%d)", n, w, lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&visits[i], 1)
+				}
+			})
+			SetWorkers(prev)
+			for i := 0; i < n; i++ {
+				if visits[i] != 1 {
+					t.Fatalf("n=%d w=%d: index %d visited %d times", n, w, i, visits[i])
+				}
+			}
+		}
+	}
+}
+
+// TestForBlocksAreOrderedAndContiguous checks that blocks tile the range in
+// ascending order without gaps — the property the kernels rely on to keep
+// the serial iteration order inside each block.
+func TestForBlocksAreOrderedAndContiguous(t *testing.T) {
+	prev := SetWorkers(4)
+	defer SetWorkers(prev)
+	type blk struct{ lo, hi int }
+	blocks := make(chan blk, 16)
+	For(10, 1, func(lo, hi int) { blocks <- blk{lo, hi} })
+	close(blocks)
+	seen := make([]blk, 0, 4)
+	for b := range blocks {
+		seen = append(seen, b)
+	}
+	covered := make([]bool, 10)
+	for _, b := range seen {
+		for i := b.lo; i < b.hi; i++ {
+			if covered[i] {
+				t.Fatalf("index %d covered twice", i)
+			}
+			covered[i] = true
+		}
+	}
+	for i, c := range covered {
+		if !c {
+			t.Fatalf("index %d not covered", i)
+		}
+	}
+}
+
+// TestForMinGrainKeepsSmallWorkSerial verifies that n/minGrain caps the
+// worker count, so tiny kernels do not pay goroutine overhead.
+func TestForMinGrainKeepsSmallWorkSerial(t *testing.T) {
+	prev := SetWorkers(8)
+	defer SetWorkers(prev)
+	calls := 0
+	For(16, 16, func(lo, hi int) { calls++ }) // 16/16 = 1 worker → serial, no races on calls
+	if calls != 1 {
+		t.Fatalf("expected 1 serial block, got %d", calls)
+	}
+}
+
+// TestForNestedRunsSerial verifies the flat-pool rule: a For issued from
+// inside a running For must not fan out again.
+func TestForNestedRunsSerial(t *testing.T) {
+	prev := SetWorkers(4)
+	defer SetWorkers(prev)
+	var innerBlocks atomic.Int64
+	For(4, 1, func(lo, hi int) {
+		For(8, 1, func(ilo, ihi int) {
+			if ilo != 0 || ihi != 8 {
+				t.Errorf("nested For fanned out: block [%d,%d)", ilo, ihi)
+			}
+			innerBlocks.Add(1)
+		})
+	})
+	if innerBlocks.Load() != 4 {
+		t.Fatalf("expected 4 serial inner calls, got %d", innerBlocks.Load())
+	}
+}
+
+// TestForPanicPropagates verifies worker panics surface on the caller after
+// all workers have stopped.
+func TestForPanicPropagates(t *testing.T) {
+	prev := SetWorkers(4)
+	defer SetWorkers(prev)
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("expected panic to propagate")
+		}
+		if active.Load() {
+			t.Fatal("active flag leaked after panic")
+		}
+	}()
+	For(4, 1, func(lo, hi int) {
+		if lo == 0 {
+			panic("kernel fault")
+		}
+	})
+}
+
+// TestSetWorkersRoundTrip checks SetWorkers returns the previous value and
+// that Workers falls back to GOMAXPROCS for the zero setting.
+func TestSetWorkersRoundTrip(t *testing.T) {
+	orig := SetWorkers(3)
+	if got := Workers(); got != 3 {
+		t.Fatalf("Workers() = %d, want 3", got)
+	}
+	if prev := SetWorkers(0); prev != 3 {
+		t.Fatalf("SetWorkers returned %d, want 3", prev)
+	}
+	if got := Workers(); got < 1 {
+		t.Fatalf("Workers() = %d with default setting", got)
+	}
+	SetWorkers(orig)
+}

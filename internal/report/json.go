@@ -9,6 +9,7 @@ import (
 	"scaledeep/internal/profile"
 	"scaledeep/internal/sim"
 	"scaledeep/internal/telemetry"
+	"scaledeep/internal/tensor"
 )
 
 // MetricsJSON renders a metrics registry as indented JSON — the
@@ -29,6 +30,22 @@ func WriteMetricsJSON(w io.Writer, reg *telemetry.Registry) error {
 		return fmt.Errorf("report: nil metrics registry")
 	}
 	return reg.WriteJSON(w)
+}
+
+// AddKernelStats folds the process-global tensor kernel counters
+// (tensor.KernelStats: per-kernel call and flop totals) into reg, so
+// -metrics-out snapshots and the live /metrics endpoint report how much work
+// the kernel engine did. Safe to call more than once only if the caller
+// resets the kernel counters in between; CLIs call it once, after the run.
+func AddKernelStats(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	for name, v := range tensor.KernelStats() {
+		if v != 0 {
+			reg.Counter(name).Add(v)
+		}
+	}
 }
 
 // SimMetricsJSON renders one simulator run's statistics as a metrics

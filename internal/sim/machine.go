@@ -139,6 +139,11 @@ type Machine struct {
 	accBuf [4]access
 	arena  f32Arena
 
+	// Persistent im2col panel for the fast convolution kernels. Unlike the
+	// arena it survives across ops (capacity-retaining), so steady-state
+	// NDCONV execution allocates nothing.
+	convScratch tensor.ConvScratch
+
 	// Replica memoization controls (see memo.go). Off by default.
 	memo       bool
 	verifyMemo bool

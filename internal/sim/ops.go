@@ -9,10 +9,14 @@ import (
 )
 
 // This file implements the functional semantics and timing of the coarse-
-// grained, offload and transfer instructions. Functional execution reuses
-// the tensor reference math on single features, so simulator output is
-// bit-identical to the golden model for identical operation orders (and
-// equal within float tolerance under tracker-permuted accumulation orders).
+// grained, offload and transfer instructions. Functional execution runs on
+// the blocked tensor kernel engine (tensor.MatVecInto, tensor.Conv2DInto,
+// ...), which is bit-identical to the naive reference at any kernel worker
+// count, so simulator output matches the golden model exactly for identical
+// operation orders (and within float tolerance under tracker-permuted
+// accumulation orders). Kernel outputs are staged in the per-op arena and
+// the im2col panel lives in the machine-persistent convScratch, so the
+// functional hot loop stays allocation-free.
 
 func (m *Machine) readVec(loc location, addr, size int64) []float32 {
 	if loc.mem != nil {
@@ -189,33 +193,42 @@ func (m *Machine) ndconvData(mode int64, inLoc location, in int64, inH, inW int,
 	outLoc location, out int64, nk, oh, ow int, acc bool) {
 	switch mode {
 	case isa.ModeFwd:
+		// All nk kernels are contiguous at kAddr, so one stacked Conv2DInto
+		// call produces the nk partial output features: each output channel
+		// is an independent GEMM row with the oracle's (ic,ky,kx) tap order,
+		// so the stacked call is bit-identical to nk single-kernel Conv2Ds.
 		inF := tensor.FromSlice(m.copyVec(m.readVec(inLoc, in, int64(inH*inW))), 1, inH, inW)
-		for j := 0; j < nk; j++ {
-			kern := tensor.FromSlice(m.copyVec(m.readVec(kLoc, kAddr+int64(j*kSize*kSize), int64(kSize*kSize))), 1, 1, kSize, kSize)
-			o := tensor.Conv2D(inF, kern, nil, cp)
-			m.writeVec(outLoc, out+int64(j*oh*ow), o.Data, int64(oh*ow), acc)
-		}
+		kern := tensor.FromSlice(m.copyVec(m.readVec(kLoc, kAddr, int64(nk*kSize*kSize))), nk, 1, kSize, kSize)
+		o := tensor.FromSlice(m.arena.take(nk*oh*ow), nk, oh, ow)
+		tensor.Conv2DInto(o, inF, kern, nil, cp, &m.convScratch)
+		m.writeVec(outLoc, out, o.Data, int64(nk*oh*ow), acc)
 	case isa.ModeBwdData:
-		res := tensor.New(1, oh, ow)
+		// The per-j decomposition is kept: folding the nk error features
+		// into one call would re-associate each input-error element's sum
+		// across j, breaking bit-identity with the reference order.
+		res := tensor.FromSlice(m.arena.take(oh*ow), 1, oh, ow)
+		res.Zero()
+		g := tensor.FromSlice(m.arena.take(oh*ow), 1, oh, ow)
 		for j := 0; j < nk; j++ {
 			errF := tensor.FromSlice(m.copyVec(m.readVec(inLoc, in+int64(j*inH*inW), int64(inH*inW))), 1, inH, inW)
 			kern := tensor.FromSlice(m.copyVec(m.readVec(kLoc, kAddr+int64(j*kSize*kSize), int64(kSize*kSize))), 1, 1, kSize, kSize)
-			g := tensor.Conv2DBackwardData(errF, kern, cp, oh, ow)
+			tensor.Conv2DBackwardDataInto(g, errF, kern, cp, oh, ow)
 			tensor.Add(res, g)
 		}
 		m.writeVec(outLoc, out, res.Data, int64(oh*ow), acc)
 	case isa.ModeBwdWeight:
 		// cp arrived with KH=error side; the tensor reference wants the
 		// forward kernel geometry, which is the op's output size here.
+		// The nk error features stack as nk independent output channels of
+		// one weight-gradient GEMM (gradW row j depends only on error j).
 		errH := kSize
 		cp.KH, cp.KW = oh, ow
 		inF := tensor.FromSlice(m.copyVec(m.readVec(inLoc, in, int64(inH*inW))), 1, inH, inW)
-		for j := 0; j < nk; j++ {
-			errF := tensor.FromSlice(m.copyVec(m.readVec(kLoc, kAddr+int64(j*errH*errH), int64(errH*errH))), 1, errH, errH)
-			gw := tensor.New(1, 1, oh, ow)
-			tensor.Conv2DBackwardWeights(inF, errF, gw, cp)
-			m.writeVec(outLoc, out+int64(j*oh*ow), gw.Data, int64(oh*ow), acc)
-		}
+		errF := tensor.FromSlice(m.copyVec(m.readVec(kLoc, kAddr, int64(nk*errH*errH))), nk, errH, errH)
+		gw := tensor.FromSlice(m.arena.take(nk*oh*ow), nk, 1, oh, ow)
+		gw.Zero()
+		tensor.Conv2DBackwardWeightsInto(inF, errF, gw, cp, &m.convScratch)
+		m.writeVec(outLoc, out, gw.Data, int64(nk*oh*ow), acc)
 	}
 }
 
@@ -259,11 +272,11 @@ func (m *Machine) execMatMul(ct *compTile, v []int64) (bool, Cycle) {
 	if m.Functional {
 		wT := tensor.FromSlice(m.copyVec(m.readVec(wLoc, w, rows*cols)), int(rows), int(cols))
 		xT := tensor.FromSlice(m.copyVec(m.readVec(xLoc, x, xSize)), int(xSize))
-		var o *tensor.Tensor
+		o := tensor.FromSlice(m.arena.take(int(outSize)), int(outSize))
 		if mode == isa.ModeFwd {
-			o = tensor.MatVec(wT, xT, nil)
+			tensor.MatVecInto(o, wT, xT, nil)
 		} else {
-			o = tensor.MatVecT(wT, xT)
+			tensor.MatVecTInto(o, wT, xT)
 		}
 		m.writeVec(outLoc, out, o.Data, outSize, acc)
 	}

@@ -74,22 +74,35 @@ func (k ActKind) Derivative(y float32) float32 {
 
 // Activate applies the activation element-wise, returning a new tensor.
 func Activate(t *Tensor, k ActKind) *Tensor {
-	out := t.Clone()
-	for i, v := range out.Data {
-		out.Data[i] = k.Apply(v)
+	return ActivateInto(t.Clone(), t, k)
+}
+
+// ActivateInto applies the activation element-wise into caller-owned dst
+// (same length as t) and returns dst. dst may alias t.
+func ActivateInto(dst, t *Tensor, k ActKind) *Tensor {
+	if dst.Len() != t.Len() {
+		panic("tensor: ActivateInto length mismatch")
 	}
-	return out
+	for i, v := range t.Data {
+		dst.Data[i] = k.Apply(v)
+	}
+	return dst
 }
 
 // ActivateBackward computes gradIn = gradOut ⊙ act'(y) where y is the forward
 // activation output.
 func ActivateBackward(gradOut, y *Tensor, k ActKind) *Tensor {
-	if len(gradOut.Data) != len(y.Data) {
-		panic("tensor: ActivateBackward length mismatch")
+	return ActivateBackwardInto(gradOut.Clone(), gradOut, y, k)
+}
+
+// ActivateBackwardInto writes gradOut ⊙ act'(y) into caller-owned dst and
+// returns dst. dst may alias gradOut (but must not alias y unless identical).
+func ActivateBackwardInto(dst, gradOut, y *Tensor, k ActKind) *Tensor {
+	if len(gradOut.Data) != len(y.Data) || dst.Len() != y.Len() {
+		panic("tensor: ActivateBackwardInto length mismatch")
 	}
-	out := gradOut.Clone()
-	for i := range out.Data {
-		out.Data[i] *= k.Derivative(y.Data[i])
+	for i, g := range gradOut.Data {
+		dst.Data[i] = g * k.Derivative(y.Data[i])
 	}
-	return out
+	return dst
 }

@@ -90,10 +90,9 @@ func Conv2DBackwardData(gradOut, weights *Tensor, p ConvParams, inH, inW int) *T
 	for oc := 0; oc < cout; oc++ {
 		for oy := 0; oy < oh; oy++ {
 			for ox := 0; ox < ow; ox++ {
+				// No g == 0 skip: a value-dependent skip would drop 0·NaN
+				// and 0·Inf terms (see reference.go).
 				g := gradOut.Data[(oc*oh+oy)*ow+ox]
-				if g == 0 {
-					continue
-				}
 				iy0 := oy*p.StrideH - p.PadH
 				ix0 := ox*p.StrideW - p.PadW
 				for ic := 0; ic < cin; ic++ {
@@ -135,9 +134,6 @@ func Conv2DBackwardWeights(input, gradOut, gradW *Tensor, p ConvParams) {
 		for oy := 0; oy < oh; oy++ {
 			for ox := 0; ox < ow; ox++ {
 				g := gradOut.Data[(oc*oh+oy)*ow+ox]
-				if g == 0 {
-					continue
-				}
 				iy0 := oy*p.StrideH - p.PadH
 				ix0 := ox*p.StrideW - p.PadW
 				for ic := 0; ic < cin; ic++ {

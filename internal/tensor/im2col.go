@@ -2,9 +2,9 @@ package tensor
 
 // im2col convolution: the 2D-PE array computes convolutions as dot products
 // of input rows with kernel rows (§3.1.1); lowering convolution to matrix
-// multiplication is the classical equivalent formulation, implemented here
-// both as an independent oracle for Conv2D and as the faster kernel for the
-// software reference on large shapes.
+// multiplication is the classical equivalent formulation. The buffer-reusing
+// kernels live in conv_fast.go (Im2colInto, Conv2DInto); this file keeps the
+// allocating wrappers.
 
 // Im2col unrolls a (Cin, H, W) input into a (Cin·KH·KW, OH·OW) matrix whose
 // columns are the receptive fields of each output position.
@@ -12,51 +12,18 @@ func Im2col(input *Tensor, p ConvParams) *Tensor {
 	cin, h, w := input.Shape[0], input.Shape[1], input.Shape[2]
 	oh, ow := p.ConvOutShape(h, w)
 	rows := cin * p.KH * p.KW
-	cols := oh * ow
-	out := New(rows, cols)
-	for ic := 0; ic < cin; ic++ {
-		for ky := 0; ky < p.KH; ky++ {
-			for kx := 0; kx < p.KW; kx++ {
-				r := (ic*p.KH+ky)*p.KW + kx
-				dst := r * cols
-				for oy := 0; oy < oh; oy++ {
-					iy := oy*p.StrideH - p.PadH + ky
-					if iy < 0 || iy >= h {
-						continue // row stays zero
-					}
-					srcRow := (ic*h + iy) * w
-					for ox := 0; ox < ow; ox++ {
-						ix := ox*p.StrideW - p.PadW + kx
-						if ix < 0 || ix >= w {
-							continue
-						}
-						out.Data[dst+oy*ow+ox] = input.Data[srcRow+ix]
-					}
-				}
-			}
-		}
-	}
+	out := New(rows, oh*ow)
+	Im2colInto(out.Data, input, p)
 	return out
 }
 
 // Conv2DIm2col computes the same result as Conv2D by lowering to a matrix
-// multiplication: output = W(Cout × Cin·K²) · im2col(input).
+// multiplication: output = W(Cout × Cin·K²) · im2col(input). It is the
+// allocating wrapper over Conv2DInto and is bit-identical to the Conv2D
+// oracle for finite operands (the bias is seeded before the product, padding
+// taps contribute exact-zero products).
 func Conv2DIm2col(input, weights, bias *Tensor, p ConvParams) *Tensor {
-	cin := input.Shape[0]
 	cout := weights.Shape[0]
 	oh, ow := p.ConvOutShape(input.Shape[1], input.Shape[2])
-	cols := Im2col(input, p)
-	wMat := FromSlice(weights.Data, cout, cin*p.KH*p.KW)
-	prod := MatMul(wMat, cols)
-	out := FromSlice(prod.Data, cout, oh, ow)
-	if bias != nil {
-		for oc := 0; oc < cout; oc++ {
-			b := bias.Data[oc]
-			base := oc * oh * ow
-			for i := 0; i < oh*ow; i++ {
-				out.Data[base+i] += b
-			}
-		}
-	}
-	return out
+	return Conv2DInto(New(cout, oh, ow), input, weights, bias, p, nil)
 }

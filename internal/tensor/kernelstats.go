@@ -1,0 +1,67 @@
+package tensor
+
+import "sync/atomic"
+
+// Kernel counters. Every public kernel entry point bumps a call counter and,
+// for the compute kernels, a flop counter (multiply-accumulate = 2 flops).
+// The counters are process-global atomics so the sweep engine's concurrent
+// jobs aggregate naturally; CLIs snapshot them into their telemetry registry
+// after a run via KernelStats.
+type kernelCounter struct {
+	calls atomic.Int64
+	flops atomic.Int64
+}
+
+func (c *kernelCounter) count(flops int64) {
+	c.calls.Add(1)
+	if flops > 0 {
+		c.flops.Add(flops)
+	}
+}
+
+var kstats struct {
+	matmul     kernelCounter
+	matvec     kernelCounter
+	matvecT    kernelCounter
+	outerAcc   kernelCounter
+	convFwd    kernelCounter
+	convBwdDat kernelCounter
+	convBwdWgt kernelCounter
+	im2col     kernelCounter
+	softmax    kernelCounter
+}
+
+// KernelStats returns a snapshot of the per-kernel call/flop counters under
+// stable metric names ("tensor.kernel.<kernel>.calls" / ".flops"). Flop-free
+// kernels report calls only.
+func KernelStats() map[string]int64 {
+	out := make(map[string]int64, 16)
+	add := func(name string, c *kernelCounter, withFlops bool) {
+		out["tensor.kernel."+name+".calls"] = c.calls.Load()
+		if withFlops {
+			out["tensor.kernel."+name+".flops"] = c.flops.Load()
+		}
+	}
+	add("matmul", &kstats.matmul, true)
+	add("matvec", &kstats.matvec, true)
+	add("matvect", &kstats.matvecT, true)
+	add("outeracc", &kstats.outerAcc, true)
+	add("conv_fwd", &kstats.convFwd, true)
+	add("conv_bwd_data", &kstats.convBwdDat, true)
+	add("conv_bwd_weights", &kstats.convBwdWgt, true)
+	add("im2col", &kstats.im2col, false)
+	add("softmax", &kstats.softmax, false)
+	return out
+}
+
+// ResetKernelStats zeroes the per-kernel counters (tests and benchmarks).
+func ResetKernelStats() {
+	for _, c := range []*kernelCounter{
+		&kstats.matmul, &kstats.matvec, &kstats.matvecT, &kstats.outerAcc,
+		&kstats.convFwd, &kstats.convBwdDat, &kstats.convBwdWgt,
+		&kstats.im2col, &kstats.softmax,
+	} {
+		c.calls.Store(0)
+		c.flops.Store(0)
+	}
+}

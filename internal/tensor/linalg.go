@@ -7,96 +7,44 @@ import (
 
 // MatVec computes out = W*x for W of shape (rows, cols) and x of length cols.
 // This is the FP step of an FC layer: a vector-matrix multiplication
-// (§2.2). bias may be nil.
+// (§2.2). bias may be nil. Allocating wrapper over MatVecInto.
 func MatVec(w, x, bias *Tensor) *Tensor {
-	rows, cols := w.Shape[0], w.Shape[1]
-	if x.Len() != cols {
-		panic(fmt.Sprintf("tensor: MatVec W%v x len %d", w.Shape, x.Len()))
-	}
-	out := New(rows)
-	for r := 0; r < rows; r++ {
-		var acc float32
-		row := r * cols
-		for c := 0; c < cols; c++ {
-			acc += w.Data[row+c] * x.Data[c]
-		}
-		if bias != nil {
-			acc += bias.Data[r]
-		}
-		out.Data[r] = acc
-	}
-	return out
+	return MatVecInto(New(w.Shape[0]), w, x, bias)
 }
 
 // MatVecT computes out = Wᵀ*g, the BP step of an FC layer: it propagates the
 // error g (length rows) back through W (rows, cols) to the layer inputs.
+// Allocating wrapper over MatVecTInto.
 func MatVecT(w, g *Tensor) *Tensor {
-	rows, cols := w.Shape[0], w.Shape[1]
-	if g.Len() != rows {
-		panic(fmt.Sprintf("tensor: MatVecT W%v g len %d", w.Shape, g.Len()))
-	}
-	out := New(cols)
-	for r := 0; r < rows; r++ {
-		gv := g.Data[r]
-		if gv == 0 {
-			continue
-		}
-		row := r * cols
-		for c := 0; c < cols; c++ {
-			out.Data[c] += w.Data[row+c] * gv
-		}
-	}
-	return out
+	return MatVecTInto(New(w.Shape[1]), w, g)
 }
 
 // OuterAcc accumulates the outer product g⊗x into gradW (rows, cols): the WG
 // step of an FC layer is exactly this element-wise product of the FP input
 // and BP error vectors (§2.2).
 func OuterAcc(gradW, g, x *Tensor) {
-	rows, cols := gradW.Shape[0], gradW.Shape[1]
-	if g.Len() != rows || x.Len() != cols {
-		panic("tensor: OuterAcc shape mismatch")
-	}
-	for r := 0; r < rows; r++ {
-		gv := g.Data[r]
-		if gv == 0 {
-			continue
-		}
-		row := r * cols
-		for c := 0; c < cols; c++ {
-			gradW.Data[row+c] += gv * x.Data[c]
-		}
-	}
+	OuterAccInto(gradW, g, x)
 }
 
 // MatMul computes C = A*B for A (m,k) and B (k,n). The CompHeavy tile's
-// MATMUL instruction performs this on the 2D-PE array.
+// MATMUL instruction performs this on the 2D-PE array. Allocating wrapper
+// over the blocked MatMulInto.
 func MatMul(a, b *Tensor) *Tensor {
-	m, k := a.Shape[0], a.Shape[1]
-	k2, n := b.Shape[0], b.Shape[1]
-	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMul A%v B%v", a.Shape, b.Shape))
-	}
-	c := New(m, n)
-	for i := 0; i < m; i++ {
-		for p := 0; p < k; p++ {
-			av := a.Data[i*k+p]
-			if av == 0 {
-				continue
-			}
-			brow := p * n
-			crow := i * n
-			for j := 0; j < n; j++ {
-				c.Data[crow+j] += av * b.Data[brow+j]
-			}
-		}
-	}
-	return c
+	return MatMulInto(New(a.Shape[0], b.Shape[1]), a, b)
 }
 
 // Softmax computes the softmax of a vector (numerically stable).
 func Softmax(x *Tensor) *Tensor {
-	out := New(x.Len())
+	return SoftmaxInto(New(x.Len()), x)
+}
+
+// SoftmaxInto computes the numerically stable softmax of x into caller-owned
+// dst (same length) and returns dst. dst may alias x.
+func SoftmaxInto(dst, x *Tensor) *Tensor {
+	if dst.Len() != x.Len() {
+		panic(fmt.Sprintf("tensor: SoftmaxInto dst len %d, x len %d", dst.Len(), x.Len()))
+	}
+	kstats.softmax.count(0)
 	maxV := float32(math.Inf(-1))
 	for _, v := range x.Data {
 		if v > maxV {
@@ -106,14 +54,14 @@ func Softmax(x *Tensor) *Tensor {
 	var sum float64
 	for i, v := range x.Data {
 		e := math.Exp(float64(v - maxV))
-		out.Data[i] = float32(e)
+		dst.Data[i] = float32(e)
 		sum += e
 	}
 	inv := float32(1 / sum)
-	for i := range out.Data {
-		out.Data[i] *= inv
+	for i := range dst.Data {
+		dst.Data[i] *= inv
 	}
-	return out
+	return dst
 }
 
 // CrossEntropyLoss returns -log(p[label]) for softmax probabilities p.
@@ -133,4 +81,15 @@ func SoftmaxCrossEntropyGrad(p *Tensor, label int) *Tensor {
 	g := p.Clone()
 	g.Data[label] -= 1
 	return g
+}
+
+// SoftmaxCrossEntropyGradInto writes p - onehot(label) into caller-owned dst
+// (same length as p) and returns dst. dst may alias p.
+func SoftmaxCrossEntropyGradInto(dst, p *Tensor, label int) *Tensor {
+	if dst.Len() != p.Len() {
+		panic(fmt.Sprintf("tensor: SoftmaxCrossEntropyGradInto dst len %d, p len %d", dst.Len(), p.Len()))
+	}
+	copy(dst.Data, p.Data)
+	dst.Data[label] -= 1
+	return dst
 }

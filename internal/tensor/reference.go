@@ -1,0 +1,74 @@
+package tensor
+
+// Naive serial reference kernels. These are the semantic oracle the blocked
+// kernel engine (engine.go, conv_fast.go) must match bit-for-bit; the
+// property tests and the BENCH_tensor benchmarks compare against them. Like
+// the engine they are value-oblivious: the old `v == 0 { continue }` fast
+// paths were removed because skipping a term by *value* drops 0·NaN / 0·Inf
+// contributions and can hide NaN poisoning from functional crosschecks
+// (geometric skips — padding taps that are never part of the sum — are fine
+// and remain in the conv oracles in conv.go).
+
+// naiveMatMul is the reference C = A·B: one i,p,j axpy nest, k ascending per
+// output element.
+func naiveMatMul(a, b *Tensor) *Tensor {
+	m, k := a.Shape[0], a.Shape[1]
+	n := b.Shape[1]
+	c := New(m, n)
+	for i := 0; i < m; i++ {
+		for p := 0; p < k; p++ {
+			av := a.Data[i*k+p]
+			brow := p * n
+			crow := i * n
+			for j := 0; j < n; j++ {
+				c.Data[crow+j] += av * b.Data[brow+j]
+			}
+		}
+	}
+	return c
+}
+
+// naiveMatVec is the reference out = W·x (+ bias): one sequential
+// dot-product chain per output row.
+func naiveMatVec(w, x, bias *Tensor) *Tensor {
+	rows, cols := w.Shape[0], w.Shape[1]
+	out := New(rows)
+	for r := 0; r < rows; r++ {
+		var acc float32
+		row := r * cols
+		for c := 0; c < cols; c++ {
+			acc += w.Data[row+c] * x.Data[c]
+		}
+		if bias != nil {
+			acc += bias.Data[r]
+		}
+		out.Data[r] = acc
+	}
+	return out
+}
+
+// naiveMatVecT is the reference out = Wᵀ·g: r-ascending axpy into out.
+func naiveMatVecT(w, g *Tensor) *Tensor {
+	rows, cols := w.Shape[0], w.Shape[1]
+	out := New(cols)
+	for r := 0; r < rows; r++ {
+		gv := g.Data[r]
+		row := r * cols
+		for c := 0; c < cols; c++ {
+			out.Data[c] += w.Data[row+c] * gv
+		}
+	}
+	return out
+}
+
+// naiveOuterAcc is the reference gradW += g⊗x.
+func naiveOuterAcc(gradW, g, x *Tensor) {
+	rows, cols := gradW.Shape[0], gradW.Shape[1]
+	for r := 0; r < rows; r++ {
+		gv := g.Data[r]
+		row := r * cols
+		for c := 0; c < cols; c++ {
+			gradW.Data[row+c] += gv * x.Data[c]
+		}
+	}
+}
