@@ -22,7 +22,7 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/telemetry/... ./internal/sim/... ./internal/sweep/... ./internal/cluster/... ./internal/par/... ./internal/tensor/...
+	$(GO) test -race ./internal/telemetry/... ./internal/sim/... ./internal/sweep/... ./internal/cluster/... ./internal/par/... ./internal/tensor/... ./internal/store/... ./internal/server/...
 
 # bench runs the tier-1 simulator benchmarks (the telemetry-off/on hot-path
 # pair among them: the nil-sink fast path must not cost anything when
@@ -34,7 +34,10 @@ race:
 # records the wall-clock/allocs gap (memo-speedup-x) in BENCH_memo.json. The
 # tensor benchmarks time the naive reference kernels against the blocked
 # serial and blocked+parallel engine at MiniVGG GEMM/conv shapes and record
-# the naive-vs-engine ratio (speedup-x) in BENCH_tensor.json.
+# the naive-vs-engine ratio (speedup-x) in BENCH_tensor.json. The store
+# benchmark runs the same grid cold (simulate + persist), warm from a fresh
+# process replaying disk blobs, and warm from the in-process memory tier,
+# and records the ratios (disk-speedup-x, mem-speedup-x) in BENCH_store.json.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -json ./internal/sim/ > BENCH_sim.json
 	@grep -o '"Output":"Benchmark[^"]*' BENCH_sim.json | sed 's/"Output":"//;s/\\t/\t/g;s/\\n//' || true
@@ -48,13 +51,16 @@ bench:
 	$(GO) test -run '^$$' -bench Kernel -benchmem -json ./internal/tensor/ > BENCH_tensor.json
 	@grep -o '"Output":"Benchmark[^"]*' BENCH_tensor.json | sed 's/"Output":"//;s/\\t/\t/g;s/\\n//' || true
 	@echo "wrote BENCH_tensor.json"
+	$(GO) test -run '^$$' -bench SweepStore -benchmem -json ./internal/sweep/ > BENCH_store.json
+	@grep -o '"Output":"Benchmark[^"]*' BENCH_store.json | sed 's/"Output":"//;s/\\t/\t/g;s/\\n//' || true
+	@echo "wrote BENCH_store.json"
 
 # benchdiff prints a benchstat-style before/after table for each committed
 # BENCH file against its freshly regenerated counterpart. Run `make bench`
 # first; with the working tree clean, `git stash`-style comparison is just
 # `git show HEAD:BENCH_sim.json > old.json && make benchdiff OLD=old.json`.
 benchdiff:
-	@for f in BENCH_sim BENCH_sweep BENCH_memo BENCH_tensor; do \
+	@for f in BENCH_sim BENCH_sweep BENCH_memo BENCH_tensor BENCH_store; do \
 		if git show HEAD:$$f.json > /tmp/$$f.base.json 2>/dev/null; then \
 			echo "== $$f: HEAD vs working tree =="; \
 			$(GO) run ./cmd/sdbenchdiff /tmp/$$f.base.json $$f.json; \

@@ -11,11 +11,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"net"
-	"net/http"
 	"os"
+	"time"
 
 	"scaledeep/internal/arch"
 	"scaledeep/internal/compiler"
@@ -84,14 +84,15 @@ func main() {
 		m.SetMetrics(metrics)
 	}
 	profVar := telemetry.NewJSONVar(`{"state":"running"}`)
+	var bs *telemetry.BackgroundServer
 	if *serveAddr != "" {
-		ln, err := net.Listen("tcp", *serveAddr)
+		var err error
+		bs, err = telemetry.ServeBackground(*serveAddr, telemetry.NewHTTPMux(metrics, spanTrace, profVar.Get))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Printf("observability endpoints on http://%s (/metrics /trace /profile /debug/pprof/)\n", ln.Addr())
-		go http.Serve(ln, telemetry.NewHTTPMux(metrics, spanTrace, profVar.Get))
+		fmt.Printf("observability endpoints on http://%s (/metrics /trace /profile /debug/pprof/)\n", bs.Addr())
 	}
 
 	if err := c.Install(m); err != nil {
@@ -147,11 +148,14 @@ func main() {
 	} else {
 		fmt.Print(rep.Text(*top))
 	}
-	if *serveAddr != "" {
+	if bs != nil {
 		if data, err := report.ProfileJSON(rep); err == nil {
 			profVar.Set(data)
 		}
-		fmt.Println("run complete; observability endpoints stay up — Ctrl-C to exit")
-		select {}
+		fmt.Println("run complete; observability endpoints stay up — Ctrl-C to drain and exit")
+		if err := bs.ShutdownOnSignal(context.Background(), 5*time.Second); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 }

@@ -1,0 +1,119 @@
+// Command sdserve is the sweep-as-a-service daemon: a long-lived process
+// that accepts sweep jobs over HTTP, runs them through a bounded priority
+// queue, and memoizes every simulated cell in a persistent content-addressed
+// result store — so repeated configurations are answered from disk or
+// memory in microseconds instead of re-simulated.
+//
+// Usage:
+//
+//	sdserve [-addr :6060] [-store-dir DIR] [-store-max-mb N] \
+//	        [-queue N] [-rate R] [-burst N] [-parallel N] \
+//	        [-verify-store] [-kernel-workers N]
+//
+// API:
+//
+//	POST /jobs            submit a sweep spec, returns a job ID (202)
+//	GET  /jobs            list all jobs with live progress documents
+//	GET  /jobs/{id}       one job's status + progress
+//	GET  /jobs/{id}/result  the rendered table once the job is done
+//	GET  /results/{key}   a raw content-addressed result blob
+//	GET  /store           persistent store statistics
+//	GET  /metrics /trace /profile /debug/pprof/  standard observability
+//
+// Example:
+//
+//	sdserve -addr :6060 -store-dir /var/lib/sdstore &
+//	curl -s -X POST localhost:6060/jobs -d '{
+//	  "workloads": ["simnet","fcnet"], "archs": ["baseline"],
+//	  "minibatches": [1,2], "modes": ["eval"], "format": "csv"}'
+//	curl -s localhost:6060/jobs/job-000001
+//	curl -s localhost:6060/jobs/job-000001/result
+//
+// SIGINT/SIGTERM drains gracefully: the listener stops accepting, queued
+// jobs are cancelled, the running job finishes, in-flight responses
+// complete, and the store index is flushed.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"scaledeep/internal/server"
+	"scaledeep/internal/store"
+	"scaledeep/internal/telemetry"
+	"scaledeep/internal/tensor"
+)
+
+func main() {
+	addr := flag.String("addr", ":6060", "HTTP listen address")
+	storeDir := flag.String("store-dir", "", "persistent result-store directory (empty = no persistence)")
+	storeMaxMB := flag.Int("store-max-mb", 0, "result-store size bound in MiB (0 = 256 MiB default)")
+	queueMax := flag.Int("queue", 64, "job queue bound; submissions past it get 503")
+	rate := flag.Float64("rate", 1, "per-client submission rate (jobs/second)")
+	burst := flag.Int("burst", 8, "per-client submission burst")
+	parallel := flag.Int("parallel", 0, "per-job sweep worker-pool size (0 = GOMAXPROCS)")
+	verifyStore := flag.Bool("verify-store", false, "re-simulate a deterministic sample of store hits and fail jobs on divergence")
+	kernelWorkers := flag.Int("kernel-workers", 0, "tensor kernel worker-pool size (0 = GOMAXPROCS)")
+	flag.Parse()
+	tensor.SetKernelWorkers(*kernelWorkers)
+
+	var st *store.Store
+	if *storeDir != "" {
+		var opts store.Options
+		if *storeMaxMB > 0 {
+			opts.MaxBytes = int64(*storeMaxMB) << 20
+		}
+		var err error
+		st, err = store.Open(*storeDir, opts)
+		if err != nil {
+			fatalf("sdserve: open store: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "result store at %s: %d blobs, %d bytes\n",
+			st.Dir(), st.Len(), st.SizeBytes())
+	} else {
+		fmt.Fprintln(os.Stderr, "no -store-dir: running without persistence (results live for this process only)")
+	}
+
+	srv := server.New(server.Config{
+		Store:        st,
+		VerifyStore:  *verifyStore,
+		MaxQueue:     *queueMax,
+		SweepWorkers: *parallel,
+		RatePerSec:   *rate,
+		Burst:        *burst,
+	})
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	srv.Start(ctx)
+
+	bs, err := telemetry.ServeBackground(*addr, srv.Mux())
+	if err != nil {
+		fatalf("sdserve: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "sdserve listening on http://%s (POST /jobs, GET /jobs/{id}, /results/{key}, /store, /metrics)\n", bs.Addr())
+
+	<-ctx.Done()
+	fmt.Fprintln(os.Stderr, "sdserve: draining (queued jobs cancelled, running job finishing)")
+	dctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := bs.Shutdown(dctx); err != nil {
+		fmt.Fprintf(os.Stderr, "sdserve: http shutdown: %v\n", err)
+	}
+	srv.Drain()
+	if st != nil {
+		if err := st.Close(); err != nil {
+			fatalf("sdserve: close store: %v", err)
+		}
+	}
+	fmt.Fprintln(os.Stderr, "sdserve: drained cleanly")
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -5,22 +5,23 @@
 // Usage:
 //
 //	sdsim [-train] [-mb N] [-iters N] [-trace-out t.json] [-metrics-out m.json] [-serve :6060]
-//	sdsim -batch 1,2,4 [-parallel N] [-train] [-metrics-out m.json] [-serve :6060]
+//	sdsim -batch 1,2,4 [-parallel N] [-train] [-metrics-out m.json] [-serve :6060] [-store-dir DIR]
 //
 // With -batch, sdsim sweeps the listed minibatch sizes through the sharded
 // sweep engine instead of running a single simulation; -parallel sets the
-// worker count and -serve adds a live /progress endpoint.
+// worker count, -serve adds a live /progress endpoint, and -store-dir
+// persists each cell's result in the content-addressed store so repeated
+// batches replay from disk byte-identically.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"net"
-	"net/http"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"scaledeep/internal/arch"
 	"scaledeep/internal/compiler"
@@ -28,6 +29,7 @@ import (
 	"scaledeep/internal/profile"
 	"scaledeep/internal/report"
 	"scaledeep/internal/sim"
+	"scaledeep/internal/store"
 	"scaledeep/internal/sweep"
 	"scaledeep/internal/telemetry"
 	"scaledeep/internal/tensor"
@@ -48,11 +50,13 @@ func main() {
 	noMemo := flag.Bool("no-memo", false, "disable replica memoization (batch-mode cell memo and, on timing-only machines, within-chip row memo)")
 	verifyMemo := flag.Bool("verify-memo", false, "cross-check memoized results against full simulation and fail on divergence")
 	kernelWorkers := flag.Int("kernel-workers", 0, "tensor kernel worker-pool size for functional execution (0 = GOMAXPROCS); results are bit-identical at any value")
+	storeDir := flag.String("store-dir", "", "batch mode: persist results in a content-addressed store at this directory")
+	verifyStore := flag.Bool("verify-store", false, "batch mode: re-simulate a deterministic sample of store hits and fail on divergence")
 	flag.Parse()
 	tensor.SetKernelWorkers(*kernelWorkers)
 
 	if *batch != "" {
-		runBatch(*batch, *parallel, *train, *iters, *metricsOut, *serveAddr, *noMemo, *verifyMemo)
+		runBatch(*batch, *parallel, *train, *iters, *metricsOut, *serveAddr, *noMemo, *verifyMemo, *storeDir, *verifyStore)
 		return
 	}
 
@@ -101,9 +105,11 @@ func main() {
 	// inspected while in flight; /profile serves a placeholder until the
 	// per-layer report is built from the finished run.
 	profVar := telemetry.NewJSONVar(`{"state":"running"}`)
+	var bs *telemetry.BackgroundServer
 	if *serveAddr != "" {
 		m.EnableInstrProfile()
-		if err := serveObservability(*serveAddr, metrics, spanTrace, profVar.Get); err != nil {
+		bs, err = serveObservability(*serveAddr, metrics, spanTrace, profVar.Get)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -200,21 +206,24 @@ func main() {
 		}
 		fmt.Printf("wrote metrics snapshot to %s\n", *metricsOut)
 	}
-	if *serveAddr != "" {
+	if bs != nil {
 		if rep, err := profile.Collect(c, m, st); err == nil {
 			if data, jerr := report.ProfileJSON(rep); jerr == nil {
 				profVar.Set(data)
 			}
 		}
-		fmt.Println("run complete; observability endpoints stay up — Ctrl-C to exit")
-		select {}
+		fmt.Println("run complete; observability endpoints stay up — Ctrl-C to drain and exit")
+		if err := bs.ShutdownOnSignal(context.Background(), 5*time.Second); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 }
 
 // runBatch sweeps the listed minibatch sizes through the sharded sweep
 // engine and prints one table row per size. Rows come out in list order and
 // are byte-identical for any -parallel value.
-func runBatch(batch string, parallel int, train bool, iters int, metricsOut, serveAddr string, noMemo, verifyMemo bool) {
+func runBatch(batch string, parallel int, train bool, iters int, metricsOut, serveAddr string, noMemo, verifyMemo bool, storeDir string, verifyStore bool) {
 	grid := sweep.Grid{
 		Workloads: []string{"simnet"},
 		Archs:     []string{"baseline"},
@@ -238,24 +247,36 @@ func runBatch(batch string, parallel int, train bool, iters int, metricsOut, ser
 		os.Exit(1)
 	}
 
-	metrics := telemetry.NewRegistry()
-	progVar := telemetry.NewJSONVar(fmt.Sprintf(`{"state":"running","done":0,"total":%d}`, len(jobs)))
-	if serveAddr != "" {
-		mux := telemetry.NewHTTPMux(metrics, nil, nil)
-		telemetry.HandleJSON(mux, "/progress", progVar.Get)
-		ln, err := net.Listen("tcp", serveAddr)
+	var st *store.Store
+	if storeDir != "" {
+		st, err = store.Open(storeDir, store.Options{})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Printf("observability endpoints on http://%s (/progress /metrics /debug/pprof/)\n", ln.Addr())
-		go http.Serve(ln, mux)
+		defer st.Close()
+	}
+
+	metrics := telemetry.NewRegistry()
+	progVar := telemetry.NewJSONVar(fmt.Sprintf(`{"state":"running","done":0,"total":%d}`, len(jobs)))
+	var bs *telemetry.BackgroundServer
+	if serveAddr != "" {
+		mux := telemetry.NewHTTPMux(metrics, nil, nil)
+		telemetry.HandleJSON(mux, "/progress", progVar.Get)
+		bs, err = telemetry.ServeBackground(serveAddr, mux)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("observability endpoints on http://%s (/progress /metrics /debug/pprof/)\n", bs.Addr())
 	}
 	results, err := sweep.RunGrid(context.Background(), grid, sweep.Options{
-		Workers:    parallel,
-		Metrics:    metrics,
-		NoMemo:     noMemo,
-		VerifyMemo: verifyMemo,
+		Workers:     parallel,
+		Metrics:     metrics,
+		NoMemo:      noMemo,
+		VerifyMemo:  verifyMemo,
+		Store:       st,
+		VerifyStore: verifyStore,
 		Progress: func(done, total int) {
 			progVar.Set([]byte(fmt.Sprintf(`{"state":"running","done":%d,"total":%d}`, done, total)))
 		},
@@ -267,6 +288,9 @@ func runBatch(batch string, parallel int, train bool, iters int, metricsOut, ser
 	progVar.Set([]byte(fmt.Sprintf(`{"state":"done","done":%d,"total":%d}`, len(results), len(results))))
 	fmt.Print(sweep.FormatText(results))
 	report.AddKernelStats(metrics)
+	if st != nil {
+		report.AddStoreStats(metrics, st.Stats())
+	}
 	if metricsOut != "" {
 		data, err := report.MetricsJSON(metrics)
 		if err == nil {
@@ -278,21 +302,24 @@ func runBatch(batch string, parallel int, train bool, iters int, metricsOut, ser
 		}
 		fmt.Printf("wrote merged metrics snapshot to %s\n", metricsOut)
 	}
-	if serveAddr != "" {
-		fmt.Println("batch complete; observability endpoints stay up — Ctrl-C to exit")
-		select {}
+	if bs != nil {
+		fmt.Println("batch complete; observability endpoints stay up — Ctrl-C to drain and exit")
+		if err := bs.ShutdownOnSignal(context.Background(), 5*time.Second); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 }
 
-// serveObservability starts the telemetry HTTP endpoint in the background.
-func serveObservability(addr string, reg *telemetry.Registry, tr *telemetry.Trace, fn telemetry.ProfileFunc) error {
-	ln, err := net.Listen("tcp", addr)
+// serveObservability starts the telemetry HTTP endpoint in the background
+// with a graceful shutdown handle.
+func serveObservability(addr string, reg *telemetry.Registry, tr *telemetry.Trace, fn telemetry.ProfileFunc) (*telemetry.BackgroundServer, error) {
+	bs, err := telemetry.ServeBackground(addr, telemetry.NewHTTPMux(reg, tr, fn))
 	if err != nil {
-		return err
+		return nil, err
 	}
-	fmt.Printf("observability endpoints on http://%s (/metrics /trace /profile /debug/pprof/)\n", ln.Addr())
-	go http.Serve(ln, telemetry.NewHTTPMux(reg, tr, fn))
-	return nil
+	fmt.Printf("observability endpoints on http://%s (/metrics /trace /profile /debug/pprof/)\n", bs.Addr())
+	return bs, nil
 }
 
 // writeChromeTrace exports the recorded spans as Chrome trace-event JSON.

@@ -9,29 +9,36 @@
 //	sdsweep [-workloads simnet,trainnet] [-archs baseline,half] \
 //	        [-mb 1,2,4] [-modes eval,train] [-iters N] [-parallel N] \
 //	        [-format text|csv|json] [-out table.csv] [-metrics-out m.json] \
-//	        [-progress] [-serve :6060] [-no-memo] [-verify-memo]
+//	        [-progress] [-serve :6060] [-no-memo] [-verify-memo] \
+//	        [-store-dir DIR] [-store-max-mb N] [-verify-store]
 //
 // Duplicate grid cells (identical workload/arch/minibatch/mode points) are
 // simulated once and their results replicated — exact, because each job is a
 // deterministic function of its spec. -no-memo forces every job to run;
 // -verify-memo re-simulates one replica per class and fails on divergence.
 //
+// With -store-dir, results persist in a content-addressed disk store across
+// runs: a repeated sweep replays from disk instead of simulating, with
+// byte-identical output. -verify-store re-simulates a deterministic sample
+// of the hits and fails on any divergence.
+//
 // With -serve, /progress reports live completion counts while the sweep
-// runs (alongside the usual /metrics, /trace, /profile, /debug/pprof/).
+// runs (alongside the usual /metrics, /trace, /profile, /debug/pprof/);
+// after the run the endpoints stay up until SIGINT/SIGTERM, which drains
+// in-flight responses before exiting.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"net"
-	"net/http"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
 	"scaledeep/internal/report"
+	"scaledeep/internal/store"
 	"scaledeep/internal/sweep"
 	"scaledeep/internal/telemetry"
 	"scaledeep/internal/tensor"
@@ -52,8 +59,25 @@ func main() {
 	verifyMemo := flag.Bool("verify-memo", false, "re-simulate one replicated job per memo class and fail on any divergence")
 	serveAddr := flag.String("serve", "", "serve /progress, /metrics and /debug/pprof/ on this address and stay up after the run")
 	kernelWorkers := flag.Int("kernel-workers", 0, "tensor kernel worker-pool size for functional execution (0 = GOMAXPROCS); results are bit-identical at any value")
+	storeDir := flag.String("store-dir", "", "persist results in a content-addressed store at this directory; repeated sweeps replay from it byte-identically")
+	storeMaxMB := flag.Int("store-max-mb", 0, "result-store size bound in MiB (0 = 256 MiB default)")
+	verifyStore := flag.Bool("verify-store", false, "re-simulate a deterministic sample of store hits and fail on any divergence")
 	flag.Parse()
 	tensor.SetKernelWorkers(*kernelWorkers)
+
+	var st *store.Store
+	if *storeDir != "" {
+		var sopts store.Options
+		if *storeMaxMB > 0 {
+			sopts.MaxBytes = int64(*storeMaxMB) << 20
+		}
+		var err error
+		st, err = store.Open(*storeDir, sopts)
+		if err != nil {
+			fatalf("sdsweep: open store: %v", err)
+		}
+		defer st.Close()
+	}
 
 	grid := sweep.Grid{
 		Workloads:   splitList(*workloads),
@@ -76,23 +100,25 @@ func main() {
 
 	merged := telemetry.NewRegistry()
 	progVar := telemetry.NewJSONVar(fmt.Sprintf(`{"state":"running","done":0,"total":%d}`, len(jobs)))
+	var bs *telemetry.BackgroundServer
 	if *serveAddr != "" {
 		mux := telemetry.NewHTTPMux(merged, nil, nil)
 		telemetry.HandleJSON(mux, "/progress", progVar.Get)
-		ln, err := net.Listen("tcp", *serveAddr)
+		bs, err = telemetry.ServeBackground(*serveAddr, mux)
 		if err != nil {
 			fatalf("%v", err)
 		}
-		fmt.Fprintf(os.Stderr, "observability endpoints on http://%s (/progress /metrics /debug/pprof/)\n", ln.Addr())
-		go http.Serve(ln, mux)
+		fmt.Fprintf(os.Stderr, "observability endpoints on http://%s (/progress /metrics /debug/pprof/)\n", bs.Addr())
 	}
 
 	start := time.Now()
 	opts := sweep.Options{
-		Workers:    *parallel,
-		Metrics:    merged,
-		NoMemo:     *noMemo,
-		VerifyMemo: *verifyMemo,
+		Workers:     *parallel,
+		Metrics:     merged,
+		NoMemo:      *noMemo,
+		VerifyMemo:  *verifyMemo,
+		Store:       st,
+		VerifyStore: *verifyStore,
 		Progress: func(done, total int) {
 			progVar.Set([]byte(fmt.Sprintf(`{"state":"running","done":%d,"total":%d,"elapsed_ms":%d}`,
 				done, total, time.Since(start).Milliseconds())))
@@ -134,6 +160,12 @@ func main() {
 		fmt.Printf("wrote %d-job sweep table to %s (%.0f ms)\n", len(results), *out, time.Since(start).Seconds()*1e3)
 	}
 	report.AddKernelStats(merged)
+	if st != nil {
+		stats := st.Stats()
+		report.AddStoreStats(merged, stats)
+		fmt.Fprintf(os.Stderr, "store: %d mem hits, %d disk hits, %d misses, %d puts (%d blobs, %d bytes at %s)\n",
+			stats.MemHits, stats.DiskHits, stats.Misses, stats.Puts, st.Len(), st.SizeBytes(), st.Dir())
+	}
 	if *metricsOut != "" {
 		data, err := report.MetricsJSON(merged)
 		if err == nil {
@@ -144,9 +176,11 @@ func main() {
 		}
 		fmt.Printf("wrote merged metrics snapshot to %s\n", *metricsOut)
 	}
-	if *serveAddr != "" {
-		fmt.Println("sweep complete; observability endpoints stay up — Ctrl-C to exit")
-		select {}
+	if bs != nil {
+		fmt.Println("sweep complete; observability endpoints stay up — Ctrl-C to drain and exit")
+		if err := bs.ShutdownOnSignal(context.Background(), 5*time.Second); err != nil {
+			fatalf("%v", err)
+		}
 	}
 }
 

@@ -5,18 +5,19 @@
 //
 // With -batch, sdtrain runs the equivalence check once per listed iteration
 // count, sharded across -parallel workers by the sweep engine, and reports
-// the per-job worst weight divergence.
+// the per-job worst weight divergence. -store-dir persists each check in the
+// content-addressed result store, so repeated batches replay from disk.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
-	"net"
-	"net/http"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"scaledeep/internal/arch"
 	"scaledeep/internal/compiler"
@@ -24,6 +25,7 @@ import (
 	"scaledeep/internal/profile"
 	"scaledeep/internal/report"
 	"scaledeep/internal/sim"
+	"scaledeep/internal/store"
 	"scaledeep/internal/sweep"
 	"scaledeep/internal/telemetry"
 	"scaledeep/internal/tensor"
@@ -39,13 +41,14 @@ func main() {
 	noMemo := flag.Bool("no-memo", false, "disable replica memoization (within-chip row memo on timing-only machines)")
 	verifyMemo := flag.Bool("verify-memo", false, "cross-check memoized results against full simulation and fail on divergence")
 	kernelWorkers := flag.Int("kernel-workers", 0, "tensor kernel worker-pool size for functional execution (0 = GOMAXPROCS); results are bit-identical at any value")
+	storeDir := flag.String("store-dir", "", "batch mode: persist equivalence-check results in a content-addressed store at this directory")
 	flag.Parse()
 	tensor.SetKernelWorkers(*kernelWorkers)
 	const mb = 2
 	const lr = float32(0.03125)
 
 	if *batch != "" {
-		runBatch(*batch, *parallel, *metricsOut)
+		runBatch(*batch, *parallel, *metricsOut, *storeDir)
 		return
 	}
 
@@ -109,9 +112,11 @@ func main() {
 	// Bring the live endpoint up before Run; /profile serves a placeholder
 	// until the bottleneck report is built from the finished run.
 	profVar := telemetry.NewJSONVar(`{"state":"running"}`)
+	var bs *telemetry.BackgroundServer
 	if *serveAddr != "" {
 		m.EnableInstrProfile()
-		if err := serveObservability(*serveAddr, metrics, spanTrace, profVar.Get); err != nil {
+		bs, err = serveObservability(*serveAddr, metrics, spanTrace, profVar.Get)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -187,22 +192,56 @@ func main() {
 		}
 		fmt.Printf("wrote metrics snapshot to %s\n", *metricsOut)
 	}
-	if *serveAddr != "" {
+	if bs != nil {
 		if rep, err := profile.Collect(c, m, st); err == nil {
 			if data, jerr := report.ProfileJSON(rep); jerr == nil {
 				profVar.Set(data)
 			}
 		}
-		fmt.Println("run complete; observability endpoints stay up — Ctrl-C to exit")
-		select {}
+		fmt.Println("run complete; observability endpoints stay up — Ctrl-C to drain and exit")
+		if err := bs.ShutdownOnSignal(context.Background(), 5*time.Second); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
+}
+
+// trainCheck is one batch-mode equivalence result; with -store-dir it is
+// also the persisted payload (wrapped in trainBlob), so a repeated batch
+// replays cycles, divergence and metrics from disk.
+type trainCheck struct {
+	Iters  int     `json:"iters"`
+	Cycles int64   `json:"cycles"`
+	Worst  float64 `json:"worst"`
+}
+
+// trainBlob is the store payload for one equivalence check.
+type trainBlob struct {
+	Schema  int                `json:"schema"`
+	Check   trainCheck         `json:"check"`
+	Metrics telemetry.Snapshot `json:"metrics"`
+}
+
+const trainBlobSchema = 1
+
+// trainKey derives the content address of one equivalence check. Everything
+// that determines the result is baked in: payload schema and Go layout, the
+// trainOnce constants (network, chip shape, minibatch, learning rate, RNG
+// seeds) and the iteration count.
+func trainKey(iters int) string {
+	return store.NewKey().
+		Int("schema", trainBlobSchema).
+		Str("layout", store.LayoutHash(trainBlob{})).
+		Str("runner", "sdtrain-batch/v1 net=trainnet chip=3x6 mb=2 lr=0.03125 seed=3/42 nobias").
+		Int("iters", int64(iters)).
+		Sum()
 }
 
 // runBatch shards one reference-vs-hardware equivalence check per listed
 // iteration count across the sweep engine's worker pool. Each job is fully
 // self-contained (own network, executors, machine, RNG), so jobs are
 // independent and the report comes out in list order for any -parallel.
-func runBatch(batch string, parallel int, metricsOut string) {
+func runBatch(batch string, parallel int, metricsOut, storeDir string) {
 	var counts []int
 	for _, s := range strings.Split(batch, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(s))
@@ -212,23 +251,66 @@ func runBatch(batch string, parallel int, metricsOut string) {
 		}
 		counts = append(counts, n)
 	}
-	metrics := telemetry.NewRegistry()
-	type check struct {
-		Iters  int
-		Cycles int64
-		Worst  float64
+	var st *store.Store
+	if storeDir != "" {
+		var err error
+		st, err = store.Open(storeDir, store.Options{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer st.Close()
 	}
+	metrics := telemetry.NewRegistry()
 	results, err := sweep.Map(context.Background(), counts,
 		sweep.Options{Workers: parallel, Metrics: metrics},
-		func(_ context.Context, _ int, iters int, reg *telemetry.Registry) (check, error) {
+		func(_ context.Context, _ int, iters int, reg *telemetry.Registry) (trainCheck, error) {
+			var key string
+			if st != nil {
+				key = trainKey(iters)
+				payload, ok, err := st.Get(key)
+				if err != nil {
+					return trainCheck{}, err
+				}
+				if ok {
+					var blob trainBlob
+					if jerr := json.Unmarshal(payload, &blob); jerr == nil && blob.Schema == trainBlobSchema {
+						if restored, rerr := blob.Metrics.Restore(); rerr == nil {
+							reg.MergeFrom(restored)
+							return blob.Check, nil
+						}
+					}
+					// Undecodable despite a valid checksum: quarantine and
+					// fall through to a fresh simulation.
+					if qerr := st.Quarantine(key); qerr != nil {
+						return trainCheck{}, qerr
+					}
+				}
+			}
 			cycles, worst, err := trainOnce(iters, reg)
-			return check{Iters: iters, Cycles: cycles, Worst: worst}, err
+			if err != nil {
+				return trainCheck{}, err
+			}
+			c := trainCheck{Iters: iters, Cycles: cycles, Worst: worst}
+			if st != nil {
+				payload, err := json.Marshal(trainBlob{Schema: trainBlobSchema, Check: c, Metrics: reg.Snapshot()})
+				if err != nil {
+					return trainCheck{}, err
+				}
+				if err := st.Put(key, payload); err != nil {
+					return trainCheck{}, err
+				}
+			}
+			return c, nil
 		})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	report.AddKernelStats(metrics)
+	if st != nil {
+		report.AddStoreStats(metrics, st.Stats())
+	}
 	fmt.Printf("%8s %12s %24s\n", "iters", "cycles", "worst divergence")
 	failed := false
 	for _, r := range results {
@@ -327,13 +409,13 @@ func trainOnce(iters int, reg *telemetry.Registry) (int64, float64, error) {
 	return int64(st.Cycles), worst, nil
 }
 
-// serveObservability starts the telemetry HTTP endpoint in the background.
-func serveObservability(addr string, reg *telemetry.Registry, tr *telemetry.Trace, fn telemetry.ProfileFunc) error {
-	ln, err := net.Listen("tcp", addr)
+// serveObservability starts the telemetry HTTP endpoint in the background
+// with a graceful shutdown handle.
+func serveObservability(addr string, reg *telemetry.Registry, tr *telemetry.Trace, fn telemetry.ProfileFunc) (*telemetry.BackgroundServer, error) {
+	bs, err := telemetry.ServeBackground(addr, telemetry.NewHTTPMux(reg, tr, fn))
 	if err != nil {
-		return err
+		return nil, err
 	}
-	fmt.Printf("observability endpoints on http://%s (/metrics /trace /profile /debug/pprof/)\n", ln.Addr())
-	go http.Serve(ln, telemetry.NewHTTPMux(reg, tr, fn))
-	return nil
+	fmt.Printf("observability endpoints on http://%s (/metrics /trace /profile /debug/pprof/)\n", bs.Addr())
+	return bs, nil
 }

@@ -8,6 +8,7 @@ import (
 
 	"scaledeep/internal/profile"
 	"scaledeep/internal/sim"
+	"scaledeep/internal/store"
 	"scaledeep/internal/telemetry"
 	"scaledeep/internal/tensor"
 )
@@ -42,6 +43,28 @@ func AddKernelStats(reg *telemetry.Registry) {
 		return
 	}
 	for name, v := range tensor.KernelStats() {
+		if v != 0 {
+			reg.Counter(name).Add(v)
+		}
+	}
+}
+
+// AddStoreStats folds a persistent result store's hit/miss counters into
+// reg under the store.* namespace. Called by CLIs after the run (like
+// AddKernelStats) so the numbers land in -metrics-out snapshots without
+// perturbing the deterministic per-job metric merge.
+func AddStoreStats(reg *telemetry.Registry, st store.Stats) {
+	if reg == nil {
+		return
+	}
+	for name, v := range map[string]int64{
+		"store.hits.mem":  st.MemHits,
+		"store.hits.disk": st.DiskHits,
+		"store.misses":    st.Misses,
+		"store.puts":      st.Puts,
+		"store.evictions": st.Evictions,
+		"store.corrupt":   st.Corrupt,
+	} {
 		if v != 0 {
 			reg.Counter(name).Add(v)
 		}

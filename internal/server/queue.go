@@ -1,0 +1,79 @@
+package server
+
+import (
+	"container/heap"
+	"time"
+)
+
+// jobQueue is a bounded max-priority queue: higher Priority first, FIFO
+// (submission sequence) within a priority. It is not self-locking — the
+// Server's mutex guards it.
+type jobQueue struct {
+	items []*JobState
+	max   int
+}
+
+func (q *jobQueue) Len() int { return len(q.items) }
+
+func (q *jobQueue) Less(i, j int) bool {
+	a, b := q.items[i], q.items[j]
+	if a.Priority != b.Priority {
+		return a.Priority > b.Priority
+	}
+	return a.seq < b.seq
+}
+
+func (q *jobQueue) Swap(i, j int) { q.items[i], q.items[j] = q.items[j], q.items[i] }
+
+func (q *jobQueue) Push(x any) { q.items = append(q.items, x.(*JobState)) }
+
+func (q *jobQueue) Pop() any {
+	old := q.items
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	q.items = old[:n-1]
+	return it
+}
+
+// enqueue pushes a job unless the queue is full.
+func (q *jobQueue) enqueue(j *JobState) bool {
+	if q.max > 0 && len(q.items) >= q.max {
+		return false
+	}
+	heap.Push(q, j)
+	return true
+}
+
+// dequeue pops the highest-priority job, or nil when empty.
+func (q *jobQueue) dequeue() *JobState {
+	if len(q.items) == 0 {
+		return nil
+	}
+	return heap.Pop(q).(*JobState)
+}
+
+// bucket is a per-client token bucket: capacity burst, refilled at rate
+// tokens per second. One token buys one job submission.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// take refills by elapsed time and spends one token if available.
+func (b *bucket) take(now time.Time, rate float64, burst int) bool {
+	if b.last.IsZero() {
+		b.tokens = float64(burst)
+	} else {
+		b.tokens += rate * now.Sub(b.last).Seconds()
+		if max := float64(burst); b.tokens > max {
+			b.tokens = max
+		}
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}

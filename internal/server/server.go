@@ -1,0 +1,511 @@
+// Package server is the sweep-as-a-service layer: a long-lived job daemon
+// that accepts simulation sweep specs over HTTP, feeds them through a
+// bounded priority queue into the sweep engine, and serves results — live
+// progress documents per job (the same serialized /progress plumbing the
+// CLIs use), rendered tables, and raw content-addressed blobs straight
+// from the persistent result store.
+//
+// Service model:
+//
+//   - POST /jobs with a JSON sweep spec returns a job ID immediately. The
+//     queue is bounded (503 when full) and submissions are rate-limited
+//     per client with a token bucket (429 past the burst).
+//   - Jobs execute one at a time, highest priority first (FIFO within a
+//     priority); each job's sweep shards across the configured worker
+//     count, so the machine's cores go to the running job instead of
+//     thrashing across many.
+//   - Repeated configurations — the bulk of production traffic — hit the
+//     persistent store's memory or disk tier and return in microseconds;
+//     the exact simulator runs only for genuinely novel cells.
+//   - Drain stops dequeuing, cancels queued jobs, and waits for the
+//     running job — graceful SIGTERM is Drain plus http.Server.Shutdown
+//     (cmd/sdserve wires both).
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"scaledeep/internal/store"
+	"scaledeep/internal/sweep"
+	"scaledeep/internal/telemetry"
+)
+
+// Spec is the POST /jobs request body: a sweep grid plus service fields.
+type Spec struct {
+	Workloads   []string `json:"workloads"`
+	Archs       []string `json:"archs"`
+	Minibatches []int    `json:"minibatches"`
+	Modes       []string `json:"modes"`
+	Iterations  int      `json:"iterations,omitempty"`
+	// Format selects the rendered result: "json" (default), "csv" or "text".
+	Format string `json:"format,omitempty"`
+	// Priority orders the queue (higher first, FIFO within equal values).
+	Priority int `json:"priority,omitempty"`
+}
+
+func (sp Spec) grid() sweep.Grid {
+	return sweep.Grid{
+		Workloads:   sp.Workloads,
+		Archs:       sp.Archs,
+		Minibatches: sp.Minibatches,
+		Modes:       sp.Modes,
+		Iterations:  sp.Iterations,
+	}
+}
+
+// Config configures New.
+type Config struct {
+	// Store is the persistent result store; nil runs without persistence.
+	Store *store.Store
+	// VerifyStore samples store hits and re-simulates them (sweep.Options).
+	VerifyStore bool
+	// MaxQueue bounds the job queue; 0 means 64.
+	MaxQueue int
+	// SweepWorkers is the per-job sweep pool size; 0 means GOMAXPROCS.
+	SweepWorkers int
+	// RatePerSec refills each client's submission bucket; 0 means 1/s.
+	RatePerSec float64
+	// Burst caps each client's bucket; 0 means 8.
+	Burst int
+	// Metrics receives server counters and every job's merged sweep
+	// telemetry; nil allocates a fresh registry (exposed on /metrics).
+	Metrics *telemetry.Registry
+
+	now func() time.Time // test hook; nil means time.Now
+}
+
+// JobState is one submitted job. Fields under the server mutex; the
+// progress var has its own synchronization (it is written by the sweep's
+// progress callback while handlers read it).
+type JobState struct {
+	ID       string
+	Client   string
+	Spec     Spec
+	Priority int
+	seq      int64
+
+	state     string // queued | running | done | failed | cancelled
+	errMsg    string
+	result    []byte
+	gridJobs  int
+	submitted time.Time
+	prog      *telemetry.JSONVar
+}
+
+// Server implements the daemon. Create with New, wire with Mux, run with
+// Start, stop with Drain.
+type Server struct {
+	cfg Config
+	reg *telemetry.Registry
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   jobQueue
+	jobs    map[string]*JobState
+	order   []string
+	clients map[string]*bucket
+	nextSeq int64
+	drain   bool
+	runWG   sync.WaitGroup
+}
+
+// New builds a server from cfg, applying defaults.
+func New(cfg Config) *Server {
+	if cfg.MaxQueue == 0 {
+		cfg.MaxQueue = 64
+	}
+	if cfg.RatePerSec == 0 {
+		cfg.RatePerSec = 1
+	}
+	if cfg.Burst == 0 {
+		cfg.Burst = 8
+	}
+	if cfg.now == nil {
+		cfg.now = time.Now
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	s := &Server{
+		cfg:     cfg,
+		reg:     reg,
+		queue:   jobQueue{max: cfg.MaxQueue},
+		jobs:    map[string]*JobState{},
+		clients: map[string]*bucket{},
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Start launches the job runner. Cancelling ctx begins a drain (queued
+// jobs cancelled, the running job's sweep context cancelled).
+func (s *Server) Start(ctx context.Context) {
+	context.AfterFunc(ctx, func() {
+		s.mu.Lock()
+		s.drainLocked()
+		s.mu.Unlock()
+	})
+	s.runWG.Add(1)
+	go s.runLoop(ctx)
+}
+
+// drainLocked flips the server into draining mode and cancels every queued
+// job. New submissions are rejected from this point (handleSubmit checks
+// the flag); the running job, if any, finishes. Callers hold s.mu.
+func (s *Server) drainLocked() {
+	s.drain = true
+	for {
+		job := s.queue.dequeue()
+		if job == nil {
+			break
+		}
+		job.state = "cancelled"
+		job.prog.Set([]byte(`{"state":"cancelled"}`))
+		s.reg.Counter("server.jobs.cancelled").Inc()
+	}
+	s.reg.Gauge("server.queue.depth").Set(0)
+	s.cond.Broadcast()
+}
+
+// Drain stops dequeuing, cancels every queued job, and blocks until the
+// running job (if any) finishes — the SIGTERM half of graceful shutdown;
+// the HTTP listener's own Shutdown handles in-flight responses.
+func (s *Server) Drain() {
+	s.mu.Lock()
+	s.drainLocked()
+	s.mu.Unlock()
+	s.runWG.Wait()
+}
+
+func (s *Server) runLoop(ctx context.Context) {
+	defer s.runWG.Done()
+	for {
+		s.mu.Lock()
+		for s.queue.Len() == 0 && !s.drain {
+			s.cond.Wait()
+		}
+		if s.drain {
+			// drainLocked already cancelled the queued jobs.
+			s.mu.Unlock()
+			return
+		}
+		job := s.queue.dequeue()
+		job.state = "running"
+		s.reg.Gauge("server.queue.depth").Set(float64(s.queue.Len()))
+		s.mu.Unlock()
+		s.execute(ctx, job)
+	}
+}
+
+// execute runs one job's sweep and records the outcome.
+func (s *Server) execute(ctx context.Context, job *JobState) {
+	start := s.cfg.now()
+	reg := telemetry.NewRegistry()
+	opts := sweep.Options{
+		Workers:     s.cfg.SweepWorkers,
+		Metrics:     reg,
+		Store:       s.cfg.Store,
+		VerifyStore: s.cfg.VerifyStore,
+		Progress: func(done, total int) {
+			job.prog.Set([]byte(fmt.Sprintf(`{"state":"running","done":%d,"total":%d,"elapsed_ms":%d}`,
+				done, total, s.cfg.now().Sub(start).Milliseconds())))
+		},
+	}
+	results, err := sweep.RunGrid(ctx, job.Spec.grid(), opts)
+	var rendered []byte
+	if err == nil {
+		rendered, err = renderResults(job.Spec.Format, results)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err != nil {
+		job.state = "failed"
+		job.errMsg = err.Error()
+		job.prog.Set([]byte(fmt.Sprintf(`{"state":"failed","elapsed_ms":%d}`,
+			s.cfg.now().Sub(start).Milliseconds())))
+		s.reg.Counter("server.jobs.failed").Inc()
+		return
+	}
+	job.state = "done"
+	job.result = rendered
+	job.prog.Set([]byte(fmt.Sprintf(`{"state":"done","done":%d,"total":%d,"elapsed_ms":%d}`,
+		len(results), len(results), s.cfg.now().Sub(start).Milliseconds())))
+	s.reg.Counter("server.jobs.completed").Inc()
+	// Job telemetry merges under the server registry so /metrics shows the
+	// aggregate sweep activity across the daemon's lifetime.
+	s.reg.MergeFrom(reg)
+}
+
+func renderResults(format string, results []sweep.Result) ([]byte, error) {
+	var buf strings.Builder
+	switch format {
+	case "", "json":
+		if err := sweep.WriteJSON(&buf, results); err != nil {
+			return nil, err
+		}
+	case "csv":
+		if err := sweep.WriteCSV(&buf, results); err != nil {
+			return nil, err
+		}
+	case "text":
+		buf.WriteString(sweep.FormatText(results))
+	default:
+		return nil, fmt.Errorf("server: unknown format %q", format)
+	}
+	return []byte(buf.String()), nil
+}
+
+func resultContentType(format string) string {
+	switch format {
+	case "csv":
+		return "text/csv"
+	case "text":
+		return "text/plain; charset=utf-8"
+	default:
+		return "application/json"
+	}
+}
+
+// Mux returns the daemon's HTTP surface: the job API plus the standard
+// observability endpoints (/metrics /trace /profile /debug/pprof/).
+func (s *Server) Mux() *http.ServeMux {
+	mux := telemetry.NewHTTPMux(s.reg, nil, nil)
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJobStatus)
+	mux.HandleFunc("GET /jobs/{id}/result", s.handleJobResult)
+	mux.HandleFunc("GET /results/{key}", s.handleResultBlob)
+	mux.HandleFunc("GET /store", s.handleStoreStats)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+// clientID identifies the submitter for rate limiting: the X-Client header
+// when present, else the remote host.
+func clientID(r *http.Request) string {
+	if c := r.Header.Get("X-Client"); c != "" {
+		return c
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	body := http.MaxBytesReader(w, r.Body, 1<<20)
+	if err := json.NewDecoder(body).Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad spec: "+err.Error())
+		return
+	}
+	gridJobs, err := spec.grid().Jobs()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if _, rerr := renderResults(spec.Format, nil); rerr != nil {
+		writeError(w, http.StatusBadRequest, rerr.Error())
+		return
+	}
+	client := clientID(r)
+
+	s.mu.Lock()
+	if s.drain {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "server draining")
+		return
+	}
+	b := s.clients[client]
+	if b == nil {
+		b = &bucket{}
+		s.clients[client] = b
+	}
+	if !b.take(s.cfg.now(), s.cfg.RatePerSec, s.cfg.Burst) {
+		s.reg.Counter("server.jobs.rejected.rate_limited").Inc()
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "rate limit exceeded for client "+client)
+		return
+	}
+	s.nextSeq++
+	job := &JobState{
+		ID:        fmt.Sprintf("job-%06d", s.nextSeq),
+		Client:    client,
+		Spec:      spec,
+		Priority:  spec.Priority,
+		seq:       s.nextSeq,
+		state:     "queued",
+		gridJobs:  len(gridJobs),
+		submitted: s.cfg.now(),
+		prog: telemetry.NewJSONVar(
+			fmt.Sprintf(`{"state":"queued","done":0,"total":%d}`, len(gridJobs))),
+	}
+	if !s.queue.enqueue(job) {
+		s.reg.Counter("server.jobs.rejected.queue_full").Inc()
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "job queue full")
+		return
+	}
+	s.jobs[job.ID] = job
+	s.order = append(s.order, job.ID)
+	s.reg.Counter("server.jobs.submitted").Inc()
+	s.reg.Gauge("server.queue.depth").Set(float64(s.queue.Len()))
+	s.cond.Signal()
+	s.mu.Unlock()
+
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"id":         job.ID,
+		"state":      "queued",
+		"jobs":       len(gridJobs),
+		"status_url": "/jobs/" + job.ID,
+		"result_url": "/jobs/" + job.ID + "/result",
+	})
+}
+
+// jobDoc is the GET /jobs/{id} response shape.
+type jobDoc struct {
+	ID        string          `json:"id"`
+	Client    string          `json:"client"`
+	State     string          `json:"state"`
+	Priority  int             `json:"priority"`
+	Jobs      int             `json:"jobs"`
+	Progress  json.RawMessage `json:"progress"`
+	Error     string          `json:"error,omitempty"`
+	ResultURL string          `json:"result_url,omitempty"`
+}
+
+// docLocked renders a job's status document. Callers hold s.mu.
+func (j *JobState) docLocked() jobDoc {
+	doc := jobDoc{
+		ID:       j.ID,
+		Client:   j.Client,
+		State:    j.state,
+		Priority: j.Priority,
+		Jobs:     j.gridJobs,
+		Error:    j.errMsg,
+	}
+	if prog, err := j.prog.Get(); err == nil {
+		doc.Progress = json.RawMessage(prog)
+	}
+	if j.state == "done" {
+		doc.ResultURL = "/jobs/" + j.ID + "/result"
+	}
+	return doc
+}
+
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	job, ok := s.jobs[r.PathValue("id")]
+	var doc jobDoc
+	if ok {
+		doc = job.docLocked()
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	docs := make([]jobDoc, 0, len(s.order))
+	for _, id := range s.order {
+		docs = append(docs, s.jobs[id].docLocked())
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, docs)
+}
+
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	job, ok := s.jobs[r.PathValue("id")]
+	var (
+		state  string
+		result []byte
+		format string
+	)
+	if ok {
+		state, result, format = job.state, job.result, job.Spec.Format
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	if state != "done" {
+		writeError(w, http.StatusNotFound, "job is "+state+", result not available")
+		return
+	}
+	w.Header().Set("Content-Type", resultContentType(format))
+	w.Write(result)
+}
+
+// handleResultBlob serves a raw store blob — the content-addressed fast
+// path for clients that compute keys themselves or remember them from a
+// previous response.
+func (s *Server) handleResultBlob(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Store == nil {
+		writeError(w, http.StatusServiceUnavailable, "no result store configured")
+		return
+	}
+	payload, ok, err := s.cfg.Store.Get(r.PathValue("key"))
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such result")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(payload)
+}
+
+func (s *Server) handleStoreStats(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Store == nil {
+		writeJSON(w, http.StatusOK, map[string]any{"configured": false})
+		return
+	}
+	st := s.cfg.Store.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"configured": true,
+		"dir":        s.cfg.Store.Dir(),
+		"blobs":      s.cfg.Store.Len(),
+		"size_bytes": s.cfg.Store.SizeBytes(),
+		"mem_hits":   st.MemHits,
+		"disk_hits":  st.DiskHits,
+		"misses":     st.Misses,
+		"puts":       st.Puts,
+		"evictions":  st.Evictions,
+		"corrupt":    st.Corrupt,
+	})
+}
+
+// queueDepth reports the current queue length (tests).
+func (s *Server) queueDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queue.Len()
+}

@@ -1,0 +1,419 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"scaledeep/internal/store"
+	"scaledeep/internal/sweep"
+)
+
+// testSpec is a tiny two-cell sweep: fast enough for a unit test, two
+// distinct cells so the store sees real traffic.
+func testSpec() Spec {
+	return Spec{
+		Workloads:   []string{"simnet", "fcnet"},
+		Archs:       []string{"baseline"},
+		Minibatches: []int{1},
+		Modes:       []string{"eval"},
+		Format:      "csv",
+	}
+}
+
+// startServer builds a running daemon plus its HTTP front end; everything
+// is torn down with the test.
+func startServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ctx, cancel := context.WithCancel(context.Background())
+	s.Start(ctx)
+	ts := httptest.NewServer(s.Mux())
+	t.Cleanup(func() {
+		ts.Close()
+		cancel()
+		s.Drain()
+	})
+	return s, ts
+}
+
+// idleServer builds a daemon whose runner is never started, so submitted
+// jobs stay queued — for queue/limit tests that need stable queue state.
+func idleServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Mux())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func submit(t *testing.T, ts *httptest.Server, spec Spec, client string) (*http.Response, map[string]any) {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest("POST", ts.URL+"/jobs", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Client", client)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("submit: decode response: %v", err)
+	}
+	return resp, doc
+}
+
+func getJSON(t *testing.T, ts *httptest.Server, path string, v any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("GET %s: decode: %v", path, err)
+	}
+	return resp
+}
+
+func getBody(t *testing.T, ts *httptest.Server, path string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+// waitDone polls a job's status document until it reaches a terminal state.
+func waitDone(t *testing.T, ts *httptest.Server, id string) jobDoc {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		var doc jobDoc
+		getJSON(t, ts, "/jobs/"+id, &doc)
+		switch doc.State {
+		case "done", "failed", "cancelled":
+			return doc
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish", id)
+	return jobDoc{}
+}
+
+func TestServerJobRoundTrip(t *testing.T) {
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	_, ts := startServer(t, Config{Store: st, VerifyStore: true})
+
+	spec := testSpec()
+	resp, doc := submit(t, ts, spec, "round-trip")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d, want 202: %v", resp.StatusCode, doc)
+	}
+	id, _ := doc["id"].(string)
+	if id == "" {
+		t.Fatalf("submit response has no id: %v", doc)
+	}
+	if jobs, _ := doc["jobs"].(float64); int(jobs) != 2 {
+		t.Errorf("submit reported %v grid jobs, want 2", doc["jobs"])
+	}
+
+	final := waitDone(t, ts, id)
+	if final.State != "done" {
+		t.Fatalf("job state %q (error %q), want done", final.State, final.Error)
+	}
+	var prog struct {
+		State string `json:"state"`
+		Done  int    `json:"done"`
+		Total int    `json:"total"`
+	}
+	if err := json.Unmarshal(final.Progress, &prog); err != nil {
+		t.Fatalf("progress doc: %v (%s)", err, final.Progress)
+	}
+	if prog.State != "done" || prog.Done != 2 || prog.Total != 2 {
+		t.Errorf("progress = %+v, want done 2/2", prog)
+	}
+
+	// The served result must equal a direct in-process sweep render.
+	resp, got := getBody(t, ts, "/jobs/"+id+"/result")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/csv" {
+		t.Errorf("result Content-Type %q, want text/csv", ct)
+	}
+	results, err := sweep.RunGrid(context.Background(), spec.grid(), sweep.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want strings.Builder
+	if err := sweep.WriteCSV(&want, results); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != want.String() {
+		t.Errorf("served result differs from direct render:\n got %q\nwant %q", got, want.String())
+	}
+
+	var list []jobDoc
+	getJSON(t, ts, "/jobs", &list)
+	if len(list) != 1 || list[0].ID != id {
+		t.Errorf("job list = %+v, want the one submitted job", list)
+	}
+}
+
+// TestServerSecondPassHitsStore is the service-level acceptance check: the
+// same spec submitted twice returns byte-identical results, with the second
+// pass served from the persistent store.
+func TestServerSecondPassHitsStore(t *testing.T) {
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	_, ts := startServer(t, Config{Store: st, VerifyStore: true, Burst: 16})
+
+	spec := testSpec()
+	_, doc1 := submit(t, ts, spec, "store-pass")
+	first := waitDone(t, ts, doc1["id"].(string))
+	_, doc2 := submit(t, ts, spec, "store-pass")
+	second := waitDone(t, ts, doc2["id"].(string))
+	if first.State != "done" || second.State != "done" {
+		t.Fatalf("states %q/%q, want done/done", first.State, second.State)
+	}
+
+	_, b1 := getBody(t, ts, "/jobs/"+doc1["id"].(string)+"/result")
+	_, b2 := getBody(t, ts, "/jobs/"+doc2["id"].(string)+"/result")
+	if !bytes.Equal(b1, b2) {
+		t.Errorf("second pass not byte-identical:\n first %q\nsecond %q", b1, b2)
+	}
+
+	var stats map[string]any
+	getJSON(t, ts, "/store", &stats)
+	if hits, _ := stats["mem_hits"].(float64); hits < 2 {
+		t.Errorf("store stats after second pass: mem_hits=%v, want >= 2 (%v)", hits, stats)
+	}
+	if puts, _ := stats["puts"].(float64); puts != 2 {
+		t.Errorf("store stats: puts=%v, want 2 (one per distinct cell)", puts)
+	}
+
+	// Raw blobs are addressable over HTTP by their store key.
+	keys := st.Keys()
+	if len(keys) != 2 {
+		t.Fatalf("store holds %d blobs, want 2", len(keys))
+	}
+	resp, blob := getBody(t, ts, "/results/"+keys[0])
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/results/%s: status %d", keys[0], resp.StatusCode)
+	}
+	payload, ok, err := st.Get(keys[0])
+	if err != nil || !ok {
+		t.Fatalf("store.Get(%s): ok=%v err=%v", keys[0], ok, err)
+	}
+	if !bytes.Equal(blob, payload) {
+		t.Error("/results blob differs from store payload")
+	}
+	if resp, _ := getBody(t, ts, "/results/not-a-key"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("/results with invalid key: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestServerRejectsBadSpecs(t *testing.T) {
+	_, ts := idleServer(t, Config{})
+
+	bad := testSpec()
+	bad.Workloads = []string{"no-such-net"}
+	if resp, _ := submit(t, ts, bad, "bad"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown workload: status %d, want 400", resp.StatusCode)
+	}
+	bad = testSpec()
+	bad.Format = "xml"
+	if resp, _ := submit(t, ts, bad, "bad"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown format: status %d, want 400", resp.StatusCode)
+	}
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed JSON: status %d, want 400", resp.StatusCode)
+	}
+
+	var e map[string]string
+	if resp := getJSON(t, ts, "/jobs/job-999999", &e); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job: status %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := getBody(t, ts, "/jobs/job-999999/result"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job result: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestServerQueueBoundAndPendingResult(t *testing.T) {
+	s, ts := idleServer(t, Config{MaxQueue: 2, Burst: 16})
+
+	var ids []string
+	for i := 0; i < 2; i++ {
+		resp, doc := submit(t, ts, testSpec(), "bound")
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: status %d", i, resp.StatusCode)
+		}
+		ids = append(ids, doc["id"].(string))
+	}
+	resp, doc := submit(t, ts, testSpec(), "bound")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit past MaxQueue: status %d, want 503 (%v)", resp.StatusCode, doc)
+	}
+	if s.queueDepth() != 2 {
+		t.Errorf("queue depth %d, want 2", s.queueDepth())
+	}
+
+	// A queued job has no result yet.
+	if resp, _ := getBody(t, ts, "/jobs/"+ids[0]+"/result"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("queued job result: status %d, want 404", resp.StatusCode)
+	}
+
+	// Drain cancels everything still queued and refuses new work.
+	s.Drain()
+	for _, id := range ids {
+		var doc jobDoc
+		getJSON(t, ts, "/jobs/"+id, &doc)
+		if doc.State != "cancelled" {
+			t.Errorf("job %s after drain: state %q, want cancelled", id, doc.State)
+		}
+	}
+	if resp, _ := submit(t, ts, testSpec(), "bound"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("submit while draining: status %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestServerRateLimit(t *testing.T) {
+	clock := time.Unix(1700000000, 0)
+	s := New(Config{MaxQueue: 64, RatePerSec: 1, Burst: 2, now: func() time.Time { return clock }})
+	ts := httptest.NewServer(s.Mux())
+	defer ts.Close()
+
+	for i := 0; i < 2; i++ {
+		if resp, doc := submit(t, ts, testSpec(), "limited"); resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d within burst: status %d (%v)", i, resp.StatusCode, doc)
+		}
+	}
+	resp, _ := submit(t, ts, testSpec(), "limited")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("submit past burst: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 response missing Retry-After")
+	}
+	// Another client has its own bucket.
+	if resp, _ := submit(t, ts, testSpec(), "other"); resp.StatusCode != http.StatusAccepted {
+		t.Errorf("second client: status %d, want 202", resp.StatusCode)
+	}
+	// A second of refill buys exactly one more submission.
+	clock = clock.Add(time.Second)
+	if resp, _ := submit(t, ts, testSpec(), "limited"); resp.StatusCode != http.StatusAccepted {
+		t.Errorf("submit after refill: status %d, want 202", resp.StatusCode)
+	}
+	if resp, _ := submit(t, ts, testSpec(), "limited"); resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("second submit after refill: status %d, want 429", resp.StatusCode)
+	}
+}
+
+// TestServerPriorityOrder submits jobs at mixed priorities while the
+// runner is stopped, then checks the dequeue order: priority descending,
+// submission order within a priority.
+func TestServerPriorityOrder(t *testing.T) {
+	s, ts := idleServer(t, Config{Burst: 16})
+
+	prios := []int{0, 5, 1, 5}
+	ids := make([]string, len(prios))
+	for i, p := range prios {
+		spec := testSpec()
+		spec.Priority = p
+		_, doc := submit(t, ts, spec, "prio")
+		ids[i] = doc["id"].(string)
+	}
+	want := []string{ids[1], ids[3], ids[2], ids[0]}
+	s.mu.Lock()
+	var got []string
+	for {
+		job := s.queue.dequeue()
+		if job == nil {
+			break
+		}
+		got = append(got, job.ID)
+	}
+	s.mu.Unlock()
+	if len(got) != len(want) {
+		t.Fatalf("dequeued %d jobs, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dequeue order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestServerHealthyJobCarriesNoError(t *testing.T) {
+	_, ts := startServer(t, Config{})
+	_, doc := submit(t, ts, testSpec(), "ok")
+	final := waitDone(t, ts, doc["id"].(string))
+	if final.State != "done" {
+		t.Fatalf("state %q (error %q), want done", final.State, final.Error)
+	}
+	if final.Error != "" {
+		t.Errorf("done job carries error %q", final.Error)
+	}
+}
+
+func TestBucketRefill(t *testing.T) {
+	var b bucket
+	now := time.Unix(1700000000, 0)
+	for i := 0; i < 3; i++ {
+		if !b.take(now, 2, 3) {
+			t.Fatalf("take %d within burst failed", i)
+		}
+	}
+	if b.take(now, 2, 3) {
+		t.Fatal("take past burst succeeded")
+	}
+	// 500ms at 2/s refills one token.
+	now = now.Add(500 * time.Millisecond)
+	if !b.take(now, 2, 3) {
+		t.Fatal("take after refill failed")
+	}
+	if b.take(now, 2, 3) {
+		t.Fatal("double take after single refill succeeded")
+	}
+	// Refill caps at burst.
+	now = now.Add(time.Hour)
+	for i := 0; i < 3; i++ {
+		if !b.take(now, 2, 3) {
+			t.Fatalf("take %d after long idle failed", i)
+		}
+	}
+	if b.take(now, 2, 3) {
+		t.Fatal("burst cap not enforced after long idle")
+	}
+}

@@ -1,0 +1,83 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"io"
+	"reflect"
+	"strconv"
+)
+
+// KeyBuilder derives a content-addressed store key from a sequence of named
+// fields. Fields are folded into a SHA-256 with both the field name and the
+// value length-prefixed, so no two distinct field sequences can collide by
+// concatenation ("ab"+"c" vs "a"+"bc"). Keys are order-sensitive on purpose:
+// a key is the identity of a fully specified computation, not a bag of
+// attributes.
+type KeyBuilder struct {
+	h hash.Hash
+}
+
+// NewKey starts a key derivation.
+func NewKey() *KeyBuilder { return &KeyBuilder{h: sha256.New()} }
+
+// Str folds one named string field into the key.
+func (b *KeyBuilder) Str(field, value string) *KeyBuilder {
+	fmt.Fprintf(b.h, "%d:%s=%d:%s;", len(field), field, len(value), value)
+	return b
+}
+
+// Int folds one named integer field into the key.
+func (b *KeyBuilder) Int(field string, v int64) *KeyBuilder {
+	return b.Str(field, strconv.FormatInt(v, 10))
+}
+
+// Sum returns the key as 64 lowercase hex characters.
+func (b *KeyBuilder) Sum() string { return hex.EncodeToString(b.h.Sum(nil)) }
+
+// LayoutHash fingerprints the Go type layout of the given values: type
+// kinds and names, struct field names, tags and types, recursively. Baking
+// it into a store key invalidates every blob written by a binary whose
+// serialized structs have since changed shape, so stale blobs become misses
+// instead of being deserialized into the wrong fields.
+func LayoutHash(vs ...any) string {
+	h := sha256.New()
+	visiting := map[reflect.Type]bool{}
+	for _, v := range vs {
+		writeTypeLayout(h, reflect.TypeOf(v), visiting)
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+func writeTypeLayout(w io.Writer, t reflect.Type, visiting map[reflect.Type]bool) {
+	if t == nil {
+		io.WriteString(w, "nil;")
+		return
+	}
+	fmt.Fprintf(w, "%s/%s(", t.Kind(), t.String())
+	if visiting[t] {
+		io.WriteString(w, "cycle);")
+		return
+	}
+	visiting[t] = true
+	defer delete(visiting, t)
+	switch t.Kind() {
+	case reflect.Struct:
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			fmt.Fprintf(w, "%s`%s`:", f.Name, f.Tag)
+			writeTypeLayout(w, f.Type, visiting)
+		}
+	case reflect.Pointer, reflect.Slice:
+		writeTypeLayout(w, t.Elem(), visiting)
+	case reflect.Array:
+		fmt.Fprintf(w, "[%d]", t.Len())
+		writeTypeLayout(w, t.Elem(), visiting)
+	case reflect.Map:
+		writeTypeLayout(w, t.Key(), visiting)
+		writeTypeLayout(w, t.Elem(), visiting)
+	}
+	io.WriteString(w, ");")
+}

@@ -1,0 +1,446 @@
+// Package store is a disk-backed, content-addressed result store: the
+// persistence tier under the sweep engine's deterministic memoization.
+// Keys are stable hashes of a fully specified computation (built with
+// KeyBuilder, including a schema version and a LayoutHash of the serialized
+// structs); values are opaque payload bytes the caller serializes.
+//
+// Durability and safety model, in order:
+//
+//   - Atomic blobs. A blob is written to a temp file in the blobs directory
+//     and renamed into place, so a reader never observes a half-written
+//     blob under its final name. The payload is framed with a magic, a
+//     length and a CRC32, so truncation or bit rot is detected on read.
+//   - Corruption is a miss. A blob that fails framing checks is moved to
+//     the quarantine directory and forgotten; the caller re-computes and
+//     overwrites. The store never returns bytes that failed the checksum.
+//   - Bounded size. Total blob bytes are capped; Put evicts
+//     least-recently-used blobs (persisted access ordering) until the new
+//     blob fits. The newest blob is never evicted by its own Put.
+//   - Two tiers. Payloads read or written in this process are also kept in
+//     an in-memory map, so repeated Gets skip the disk entirely (the
+//     "warm-memory" tier); the map mirrors the disk contents and is
+//     evicted alongside it.
+//
+// The index file records sizes and access ordering. It is rewritten
+// atomically after mutations and on Close; if it is missing or stale the
+// store rebuilds it by scanning the blobs directory (adopted blobs sort
+// oldest), so a crash between a blob rename and an index write loses no
+// data.
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// DefaultMaxBytes is the disk budget when Options.MaxBytes is zero.
+const DefaultMaxBytes = 256 << 20 // 256 MiB
+
+// indexSchema versions the index file format itself.
+const indexSchema = 1
+
+// Blob framing: magic, payload length, CRC32 (IEEE) of the payload.
+var blobMagic = [4]byte{'S', 'D', 'B', '1'}
+
+const blobHeaderLen = 4 + 4 + 4
+
+// Options configure Open.
+type Options struct {
+	// MaxBytes caps the total payload bytes on disk; 0 means
+	// DefaultMaxBytes, negative means unbounded.
+	MaxBytes int64
+}
+
+// Stats counts store traffic since Open.
+type Stats struct {
+	MemHits   int64 // served from the in-process memory tier
+	DiskHits  int64 // served from a verified disk blob
+	Misses    int64 // key not present (includes quarantined corruption)
+	Puts      int64 // blobs written
+	Evictions int64 // blobs evicted by the size bound
+	Corrupt   int64 // blobs that failed framing checks and were quarantined
+}
+
+type entry struct {
+	Key    string `json:"key"`
+	Size   int64  `json:"size"`   // payload bytes (framing excluded)
+	Access int64  `json:"access"` // LRU clock value of the last touch
+}
+
+type indexFile struct {
+	Schema  int     `json:"schema"`
+	Seq     int64   `json:"seq"`
+	Entries []entry `json:"entries"`
+}
+
+// Store is safe for concurrent use by multiple goroutines.
+type Store struct {
+	dir      string
+	maxBytes int64
+
+	mu      sync.Mutex
+	entries map[string]*entry
+	mem     map[string][]byte
+	seq     int64
+	size    int64
+	stats   Stats
+}
+
+// Open opens (or creates) a store rooted at dir.
+func Open(dir string, opts Options) (*Store, error) {
+	max := opts.MaxBytes
+	if max == 0 {
+		max = DefaultMaxBytes
+	}
+	for _, sub := range []string{blobsDir(dir), quarantineDir(dir)} {
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	}
+	s := &Store{
+		dir:      dir,
+		maxBytes: max,
+		entries:  map[string]*entry{},
+		mem:      map[string][]byte{},
+	}
+	if err := s.loadIndex(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func blobsDir(dir string) string      { return filepath.Join(dir, "blobs") }
+func quarantineDir(dir string) string { return filepath.Join(dir, "quarantine") }
+func indexPath(dir string) string     { return filepath.Join(dir, "index.json") }
+
+func (s *Store) blobPath(key string) string { return filepath.Join(blobsDir(s.dir), key) }
+
+// validKey reports whether key is a KeyBuilder-shaped name: fixed-length
+// lowercase hex. Rejecting anything else keeps externally supplied keys
+// (e.g. an HTTP path segment) from escaping the blobs directory.
+func validKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// loadIndex reads the index file and reconciles it with the blobs on disk:
+// indexed entries whose blob vanished are dropped; blobs the index missed
+// (crash between rename and index write) are adopted with the oldest
+// access, sized by stat.
+func (s *Store) loadIndex() error {
+	var idx indexFile
+	if data, err := os.ReadFile(indexPath(s.dir)); err == nil {
+		if jerr := json.Unmarshal(data, &idx); jerr != nil || idx.Schema != indexSchema {
+			idx = indexFile{} // stale or corrupt index: rebuild from the blobs
+		}
+	}
+	onDisk := map[string]int64{}
+	dirents, err := os.ReadDir(blobsDir(s.dir))
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	for _, de := range dirents {
+		name := de.Name()
+		if !validKey(name) {
+			continue // temp file or foreign debris; never indexed
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		size := info.Size() - blobHeaderLen
+		if size < 0 {
+			size = 0
+		}
+		onDisk[name] = size
+	}
+	for i := range idx.Entries {
+		e := idx.Entries[i]
+		if _, ok := onDisk[e.Key]; !ok {
+			continue
+		}
+		delete(onDisk, e.Key)
+		ne := e
+		s.entries[e.Key] = &ne
+		s.size += e.Size
+		if e.Access >= s.seq {
+			s.seq = e.Access + 1
+		}
+	}
+	// Adopt stray blobs in sorted order so reconciliation is deterministic.
+	strays := make([]string, 0, len(onDisk))
+	for key := range onDisk {
+		strays = append(strays, key)
+	}
+	sort.Strings(strays)
+	for _, key := range strays {
+		s.entries[key] = &entry{Key: key, Size: onDisk[key], Access: 0}
+		s.size += onDisk[key]
+	}
+	return nil
+}
+
+// writeIndexLocked atomically rewrites the index file. Callers hold s.mu.
+func (s *Store) writeIndexLocked() error {
+	idx := indexFile{Schema: indexSchema, Seq: s.seq}
+	idx.Entries = make([]entry, 0, len(s.entries))
+	for _, e := range s.entries {
+		idx.Entries = append(idx.Entries, *e)
+	}
+	sort.Slice(idx.Entries, func(i, j int) bool { return idx.Entries[i].Key < idx.Entries[j].Key })
+	data, err := json.Marshal(idx)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp, err := os.CreateTemp(s.dir, ".index-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), indexPath(s.dir)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// frame wraps payload in the on-disk blob format.
+func frame(payload []byte) []byte {
+	buf := make([]byte, blobHeaderLen+len(payload))
+	copy(buf, blobMagic[:])
+	binary.BigEndian.PutUint32(buf[4:], uint32(len(payload)))
+	binary.BigEndian.PutUint32(buf[8:], crc32.ChecksumIEEE(payload))
+	copy(buf[blobHeaderLen:], payload)
+	return buf
+}
+
+var errCorrupt = errors.New("store: blob failed framing checks")
+
+// unframe validates and strips the blob framing.
+func unframe(buf []byte) ([]byte, error) {
+	if len(buf) < blobHeaderLen || [4]byte(buf[:4]) != blobMagic {
+		return nil, errCorrupt
+	}
+	n := binary.BigEndian.Uint32(buf[4:])
+	payload := buf[blobHeaderLen:]
+	if uint32(len(payload)) != n {
+		return nil, errCorrupt
+	}
+	if crc32.ChecksumIEEE(payload) != binary.BigEndian.Uint32(buf[8:]) {
+		return nil, errCorrupt
+	}
+	return payload, nil
+}
+
+// Get returns the payload stored under key. A blob that fails its framing
+// checks is quarantined and reported as a miss; the only error returns are
+// real I/O failures. Callers must not mutate the returned slice — it may be
+// the memory tier's copy.
+func (s *Store) Get(key string) ([]byte, bool, error) {
+	if !validKey(key) {
+		return nil, false, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
+	if !ok {
+		s.stats.Misses++
+		return nil, false, nil
+	}
+	if payload, ok := s.mem[key]; ok {
+		s.stats.MemHits++
+		s.touchLocked(e)
+		return payload, true, nil
+	}
+	buf, err := os.ReadFile(s.blobPath(key))
+	if err != nil {
+		// The index promised a blob that is gone — treat like corruption
+		// minus the quarantine move.
+		s.dropLocked(key)
+		s.stats.Corrupt++
+		s.stats.Misses++
+		return nil, false, nil
+	}
+	payload, err := unframe(buf)
+	if err != nil {
+		s.quarantineLocked(key)
+		s.stats.Corrupt++
+		s.stats.Misses++
+		return nil, false, nil
+	}
+	s.mem[key] = payload
+	s.stats.DiskHits++
+	s.touchLocked(e)
+	return payload, true, nil
+}
+
+// Put stores payload under key, atomically (write-then-rename), then
+// evicts least-recently-used blobs until the store fits its byte budget.
+func (s *Store) Put(key string, payload []byte) error {
+	if !validKey(key) {
+		return fmt.Errorf("store: invalid key %q", key)
+	}
+	framed := frame(payload)
+	tmp, err := os.CreateTemp(blobsDir(s.dir), ".put-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := tmp.Write(framed); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := os.Rename(tmp.Name(), s.blobPath(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	if old, ok := s.entries[key]; ok {
+		s.size -= old.Size
+		old.Size = int64(len(payload))
+		s.size += old.Size
+		s.touchLocked(old)
+	} else {
+		e := &entry{Key: key, Size: int64(len(payload)), Access: s.seq}
+		s.seq++
+		s.entries[key] = e
+		s.size += e.Size
+	}
+	s.mem[key] = payload
+	s.stats.Puts++
+	s.evictLocked(key)
+	return s.writeIndexLocked()
+}
+
+// touchLocked bumps the entry to most-recently-used.
+func (s *Store) touchLocked(e *entry) {
+	e.Access = s.seq
+	s.seq++
+}
+
+// evictLocked removes least-recently-used blobs until the size budget
+// holds, never evicting keep (the blob just written).
+func (s *Store) evictLocked(keep string) {
+	if s.maxBytes < 0 {
+		return
+	}
+	for s.size > s.maxBytes && len(s.entries) > 1 {
+		var victim *entry
+		for _, e := range s.entries {
+			if e.Key == keep {
+				continue
+			}
+			if victim == nil || e.Access < victim.Access ||
+				(e.Access == victim.Access && e.Key < victim.Key) {
+				victim = e
+			}
+		}
+		if victim == nil {
+			return
+		}
+		s.dropLocked(victim.Key)
+		os.Remove(s.blobPath(victim.Key))
+		s.stats.Evictions++
+	}
+}
+
+// dropLocked forgets an entry (index + memory tier) without touching disk.
+func (s *Store) dropLocked(key string) {
+	if e, ok := s.entries[key]; ok {
+		s.size -= e.Size
+		delete(s.entries, key)
+	}
+	delete(s.mem, key)
+}
+
+// quarantineLocked moves a corrupt blob aside for post-mortem and forgets
+// it, so the next Get is a clean miss and the next Put overwrites.
+func (s *Store) quarantineLocked(key string) {
+	s.dropLocked(key)
+	os.Rename(s.blobPath(key), filepath.Join(quarantineDir(s.dir), key))
+}
+
+// Quarantine moves the blob under key (if any) to the quarantine directory
+// and forgets it — for callers whose payload decoding fails above the
+// framing layer.
+func (s *Store) Quarantine(key string) error {
+	if !validKey(key) {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.quarantineLocked(key)
+	return s.writeIndexLocked()
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Len returns the number of stored blobs.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// SizeBytes returns the total payload bytes on disk.
+func (s *Store) SizeBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.size
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Keys returns every stored key in sorted order.
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.entries))
+	for key := range s.entries {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Close flushes the index (persisting the latest access ordering). The
+// store must not be used after Close.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.writeIndexLocked()
+}

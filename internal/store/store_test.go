@@ -1,0 +1,328 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testKey(t *testing.T, parts ...string) string {
+	t.Helper()
+	k := NewKey()
+	for i, p := range parts {
+		k.Str("part", p)
+		_ = i
+	}
+	return k.Sum()
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(t, "a")
+	payload := []byte(`{"cycles":123}`)
+	if _, ok, _ := s.Get(key); ok {
+		t.Fatal("hit before Put")
+	}
+	if err := s.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Get(key)
+	if err != nil || !ok {
+		t.Fatalf("Get after Put: ok=%v err=%v", ok, err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload mismatch: %q != %q", got, payload)
+	}
+	st := s.Stats()
+	if st.MemHits != 1 || st.Puts != 1 || st.Misses != 1 {
+		t.Fatalf("stats %+v: want 1 mem hit, 1 put, 1 miss", st)
+	}
+}
+
+// TestReopenHitsDisk simulates a process restart: a fresh Store on the same
+// directory must serve the blob from disk with the payload intact.
+func TestReopenHitsDisk(t *testing.T) {
+	dir := t.TempDir()
+	key := testKey(t, "persist")
+	payload := []byte(strings.Repeat("x", 1000) + "end")
+
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s2.Get(key)
+	if err != nil || !ok {
+		t.Fatalf("Get after reopen: ok=%v err=%v", ok, err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload mismatch after reopen")
+	}
+	if st := s2.Stats(); st.DiskHits != 1 || st.MemHits != 0 {
+		t.Fatalf("stats %+v: want the reopen hit to come from disk", st)
+	}
+	// A second Get in the same process comes from the memory tier.
+	if _, ok, _ := s2.Get(key); !ok {
+		t.Fatal("second Get missed")
+	}
+	if st := s2.Stats(); st.MemHits != 1 {
+		t.Fatalf("stats %+v: want second hit from memory", st)
+	}
+}
+
+// TestTruncatedBlobQuarantined corrupts a blob on disk; the store must
+// treat it as a miss, move it to quarantine, and accept a fresh Put.
+func TestTruncatedBlobQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	key := testKey(t, "corrupt")
+	payload := []byte(strings.Repeat("data", 100))
+
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Truncate the blob mid-payload (header survives, CRC cannot).
+	path := filepath.Join(blobsDir(dir), key)
+	if err := os.Truncate(path, blobHeaderLen+10); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s2.Get(key); ok || err != nil {
+		t.Fatalf("corrupt blob served: ok=%v err=%v", ok, err)
+	}
+	if st := s2.Stats(); st.Corrupt != 1 || st.Misses != 1 {
+		t.Fatalf("stats %+v: want corrupt+miss", st)
+	}
+	if _, err := os.Stat(filepath.Join(quarantineDir(dir), key)); err != nil {
+		t.Fatalf("blob not quarantined: %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("corrupt blob still in blobs dir: %v", err)
+	}
+	// Re-put and read back: corruption recovery must be complete.
+	if err := s2.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, _ := s2.Get(key)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatal("re-put after quarantine failed")
+	}
+}
+
+// TestBitFlipDetected flips one payload byte; the CRC must catch it.
+func TestBitFlipDetected(t *testing.T) {
+	dir := t.TempDir()
+	key := testKey(t, "flip")
+	s, _ := Open(dir, Options{})
+	if err := s.Put(key, []byte("sensitive result bytes")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	path := filepath.Join(blobsDir(dir), key)
+	buf, _ := os.ReadFile(path)
+	buf[len(buf)-1] ^= 0x40
+	os.WriteFile(path, buf, 0o644)
+
+	s2, _ := Open(dir, Options{})
+	if _, ok, _ := s2.Get(key); ok {
+		t.Fatal("bit-flipped blob served")
+	}
+	if st := s2.Stats(); st.Corrupt != 1 {
+		t.Fatalf("stats %+v: want 1 corrupt", st)
+	}
+}
+
+// TestLRUEviction bounds the store and checks the least-recently-used blob
+// goes first — and that a Get refreshes recency.
+func TestLRUEviction(t *testing.T) {
+	dir := t.TempDir()
+	payload := bytes.Repeat([]byte{7}, 100)
+	s, err := Open(dir, Options{MaxBytes: 250}) // room for two 100-byte blobs
+	if err != nil {
+		t.Fatal(err)
+	}
+	ka, kb, kc := testKey(t, "a"), testKey(t, "b"), testKey(t, "c")
+	if err := s.Put(ka, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(kb, payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.Get(ka); !ok { // refresh a: b becomes LRU
+		t.Fatal("miss on a")
+	}
+	if err := s.Put(kc, payload); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 || s.SizeBytes() != 200 {
+		t.Fatalf("len=%d size=%d after eviction", s.Len(), s.SizeBytes())
+	}
+	if _, ok, _ := s.Get(kb); ok {
+		t.Fatal("LRU blob b survived eviction")
+	}
+	if _, ok, _ := s.Get(ka); !ok {
+		t.Fatal("recently used blob a evicted")
+	}
+	if _, ok, _ := s.Get(kc); !ok {
+		t.Fatal("newest blob c evicted")
+	}
+	if st := s.Stats(); st.Evictions != 1 {
+		t.Fatalf("stats %+v: want 1 eviction", st)
+	}
+	// The evicted blob's file is gone from disk too.
+	if _, err := os.Stat(filepath.Join(blobsDir(dir), kb)); !os.IsNotExist(err) {
+		t.Fatalf("evicted blob still on disk: %v", err)
+	}
+}
+
+// TestAccessOrderSurvivesReopen: Close persists the LRU clock, so eviction
+// decisions after a restart respect pre-restart access order.
+func TestAccessOrderSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	payload := bytes.Repeat([]byte{1}, 100)
+	ka, kb, kc := testKey(t, "a"), testKey(t, "b"), testKey(t, "c")
+
+	s, _ := Open(dir, Options{MaxBytes: 250})
+	s.Put(ka, payload)
+	s.Put(kb, payload)
+	s.Get(ka) // a is now more recent than b
+	s.Close()
+
+	s2, _ := Open(dir, Options{MaxBytes: 250})
+	if err := s2.Put(kc, payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s2.Get(kb); ok {
+		t.Fatal("pre-restart LRU blob b should have been evicted")
+	}
+	if _, ok, _ := s2.Get(ka); !ok {
+		t.Fatal("pre-restart MRU blob a evicted")
+	}
+}
+
+// TestStrayBlobAdopted: a blob present on disk but missing from the index
+// (crash between rename and index write) is adopted on Open.
+func TestStrayBlobAdopted(t *testing.T) {
+	dir := t.TempDir()
+	key := testKey(t, "stray")
+	payload := []byte("orphan payload")
+	s, _ := Open(dir, Options{})
+	s.Put(key, payload)
+	s.Close()
+	if err := os.Remove(indexPath(dir)); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok, _ := s2.Get(key)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatal("stray blob not adopted")
+	}
+}
+
+func TestInvalidKeysRejected(t *testing.T) {
+	s, _ := Open(t.TempDir(), Options{})
+	for _, key := range []string{"", "short", "../../../../etc/passwd",
+		strings.Repeat("Z", 64), strings.Repeat("a", 63) + "/"} {
+		if err := s.Put(key, []byte("x")); err == nil {
+			t.Fatalf("Put accepted invalid key %q", key)
+		}
+		if _, ok, err := s.Get(key); ok || err != nil {
+			t.Fatalf("Get on invalid key %q: ok=%v err=%v", key, ok, err)
+		}
+	}
+}
+
+func TestKeyBuilderDistinguishesFieldBoundaries(t *testing.T) {
+	a := NewKey().Str("f", "ab").Str("g", "c").Sum()
+	b := NewKey().Str("f", "a").Str("g", "bc").Sum()
+	c := NewKey().Str("f", "ab").Str("g", "c").Sum()
+	if a == b {
+		t.Fatal("field boundaries not separated")
+	}
+	if a != c {
+		t.Fatal("key derivation not deterministic")
+	}
+	if !validKey(a) {
+		t.Fatalf("KeyBuilder output %q not a valid key", a)
+	}
+}
+
+func TestLayoutHashTracksStructShape(t *testing.T) {
+	type v1 struct {
+		A int64  `json:"a"`
+		B string `json:"b"`
+	}
+	type v2 struct {
+		A int64  `json:"a"`
+		B string `json:"b"`
+		C bool   `json:"c"`
+	}
+	type v1tag struct {
+		A int64  `json:"a2"`
+		B string `json:"b"`
+	}
+	h1, h2, h3 := LayoutHash(v1{}), LayoutHash(v2{}), LayoutHash(v1tag{})
+	if h1 == h2 {
+		t.Fatal("added field not reflected in layout hash")
+	}
+	if h1 == h3 {
+		t.Fatal("changed tag not reflected in layout hash")
+	}
+	if h1 != LayoutHash(v1{}) {
+		t.Fatal("layout hash not deterministic")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s, _ := Open(t.TempDir(), Options{})
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			key := testKey(t, "concurrent", string(rune('a'+g%4)))
+			payload := bytes.Repeat([]byte{byte(g % 4)}, 64)
+			for i := 0; i < 25; i++ {
+				if err := s.Put(key, payload); err != nil {
+					done <- err
+					return
+				}
+				if got, ok, err := s.Get(key); err != nil || (ok && !bytes.Equal(got, payload)) {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

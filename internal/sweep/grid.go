@@ -166,6 +166,13 @@ func cellClasses(jobs []Job) [][]int {
 // deterministic — so replication is exact, and the rendered tables are
 // byte-identical with memoization on or off (opts.NoMemo). opts.VerifyMemo
 // re-simulates one replicated member per class and fails on any difference.
+//
+// With opts.Store set, class representatives consult the persistent result
+// store before simulating (memory tier, then disk; see store.go and
+// DESIGN.md §5f) and write fresh results back, so a repeated sweep across
+// process restarts replays from disk with byte-identical tables and merged
+// metrics. opts.VerifyStore re-simulates a deterministic sample of hits
+// and byte-compares blobs.
 func RunGrid(ctx context.Context, g Grid, opts Options) ([]Result, error) {
 	jobs, err := g.Jobs()
 	if err != nil {
@@ -212,16 +219,66 @@ func RunGrid(ctx context.Context, g Grid, opts Options) ([]Result, error) {
 		progMu.Unlock()
 	}
 	repResults, err := Map(ctx, reps, inner, func(ctx context.Context, ci int, job Job, _ *telemetry.Registry) (Result, error) {
+		// Disk tier: a representative whose cell is already stored skips
+		// simulation entirely. The blob carries the cell's telemetry
+		// snapshot, so hits and misses contribute identical metric merges.
+		var key string
+		if opts.Store != nil {
+			k, err := storeKey(job)
+			if err != nil {
+				return Result{}, err
+			}
+			key = k
+			payload, ok, err := opts.Store.Get(key)
+			if err != nil {
+				return Result{}, err
+			}
+			if ok {
+				r, reg, derr := decodeBlob(job, payload)
+				if derr == nil {
+					if opts.VerifyStore && auditHit(key) {
+						if verr := verifyStoredHit(job, key, payload, pool); verr != nil {
+							return Result{}, verr
+						}
+					}
+					if repRegs != nil {
+						repRegs[ci] = reg
+					}
+					advance(len(classes[ci]))
+					return r, nil
+				}
+				// Framing-valid but undecodable (e.g. a schema the key
+				// somehow admitted): quarantine and fall through to
+				// simulate.
+				if qerr := opts.Store.Quarantine(key); qerr != nil {
+					return Result{}, qerr
+				}
+			}
+		}
 		var reg *telemetry.Registry
-		if repRegs != nil {
+		if repRegs != nil || opts.Store != nil {
+			// The store path always records the cell's metrics so its blob
+			// serves future runs that do ask for metrics.
 			reg = telemetry.NewRegistry()
+		}
+		if repRegs != nil {
 			repRegs[ci] = reg
 		}
 		r, err := runJob(job, reg, pool)
-		if err == nil {
-			advance(len(classes[ci]))
+		if err != nil {
+			return r, err
 		}
-		return r, err
+		if opts.Store != nil {
+			payload, err := encodeBlob(job, r, reg.Snapshot())
+			if err != nil {
+				return Result{}, err
+			}
+			if err := opts.Store.Put(key, payload); err != nil {
+				return Result{}, err
+			}
+		}
+		advance(len(classes[ci]))
+		return r, nil
 	})
 	if err != nil {
 		return nil, err

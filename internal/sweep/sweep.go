@@ -29,6 +29,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"scaledeep/internal/store"
 	"scaledeep/internal/telemetry"
 )
 
@@ -59,6 +60,16 @@ type Options struct {
 	// after a memoized RunGrid and fails the sweep if the fresh result
 	// differs from the memoized one — the self-check mode behind -verify-memo.
 	VerifyMemo bool
+	// Store, when non-nil, adds a persistent tier under the cell memo:
+	// RunGrid consults memory (in-run classes, then the store's in-process
+	// map), then disk, and only simulates on a miss, writing the result
+	// back for the next run. Ignored when NoMemo is set — -no-memo means
+	// "simulate everything", across every tier.
+	Store *store.Store
+	// VerifyStore re-simulates a deterministic ~25% sample of store hits
+	// and byte-compares the stored blob against a fresh encoding, failing
+	// the sweep on any difference — the disk extension of VerifyMemo.
+	VerifyStore bool
 }
 
 func (o Options) workers(n int) int {

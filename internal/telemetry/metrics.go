@@ -398,6 +398,65 @@ func sortSnaps[T any](snaps []T, key func(T) (string, map[string]string)) {
 	})
 }
 
+// labelsFromMap rebuilds a label slice from a snapshot's map form, sorted
+// by key so restored metrics land under the same registry keys the
+// original ones did.
+func labelsFromMap(m map[string]string) []Label {
+	if len(m) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	labels := make([]Label, len(keys))
+	for i, k := range keys {
+		labels[i] = Label{Key: k, Value: m[k]}
+	}
+	return labels
+}
+
+// Restore builds a registry whose contents equal the snapshot — the
+// inverse of Registry.Snapshot, up to instrument creation order. It is the
+// rehydration step for persisted metric snapshots (the result store keeps
+// one per cached simulation): MergeFrom on a restored registry reproduces
+// exactly the merge the original live registry would have contributed, so
+// a cache hit and a fresh simulation yield byte-identical merged metrics.
+func (s Snapshot) Restore() (*Registry, error) {
+	r := NewRegistry()
+	for _, c := range s.Counters {
+		r.Counter(c.Name, labelsFromMap(c.Labels)...).Add(c.Value)
+	}
+	for _, g := range s.Gauges {
+		r.Gauge(g.Name, labelsFromMap(g.Labels)...).Set(g.Value)
+	}
+	for _, hs := range s.Histograms {
+		if len(hs.Buckets) == 0 {
+			return nil, fmt.Errorf("telemetry: restore of histogram %q: no buckets", hs.Name)
+		}
+		bounds := make([]float64, 0, len(hs.Buckets)-1)
+		counts := make([]int64, len(hs.Buckets))
+		for i, b := range hs.Buckets {
+			counts[i] = b.Count
+			if b.LE == "+Inf" {
+				if i != len(hs.Buckets)-1 {
+					return nil, fmt.Errorf("telemetry: restore of histogram %q: +Inf bucket not last", hs.Name)
+				}
+				continue
+			}
+			v, err := strconv.ParseFloat(b.LE, 64)
+			if err != nil {
+				return nil, fmt.Errorf("telemetry: restore of histogram %q: bad bound %q", hs.Name, b.LE)
+			}
+			bounds = append(bounds, v)
+		}
+		h := r.Histogram(hs.Name, bounds, labelsFromMap(hs.Labels)...)
+		h.AddBatch(counts, hs.Sum, hs.Count)
+	}
+	return r, nil
+}
+
 // WriteJSON writes an indented JSON snapshot of the registry.
 func (r *Registry) WriteJSON(w io.Writer) error {
 	data, err := json.MarshalIndent(r.Snapshot(), "", "  ")

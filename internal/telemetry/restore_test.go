@@ -1,0 +1,72 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// TestSnapshotRestoreRoundTrip pins the rehydration contract the result
+// store depends on: snapshot → JSON → snapshot → Restore → merge must be
+// indistinguishable from merging the original registry.
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	src := NewRegistry()
+	src.Counter("sim.cycles").Add(12345)
+	src.Counter("sim.zero") // present but zero
+	src.Counter("sweep.job.cycles", Label{Key: "job", Value: "simnet/baseline/mb2/eval"}).Add(99)
+	src.Gauge("sim.pe_util").Set(0.8125)
+	src.Gauge("sim.unset")
+	h := src.Histogram("sim.op.cycles", []float64{1, 4, 16, 64})
+	for _, v := range []float64{0.5, 3, 3, 17, 1000} {
+		h.Observe(v)
+	}
+	src.Histogram("sim.empty", []float64{1, 2}, Label{Key: "k", Value: "v"})
+
+	data, err := json.Marshal(src.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := snap.Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	direct, viaRestore := NewRegistry(), NewRegistry()
+	if err := direct.MergeFrom(src); err != nil {
+		t.Fatal(err)
+	}
+	if err := viaRestore.MergeFrom(restored); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(direct.Snapshot(), viaRestore.Snapshot()) {
+		t.Fatalf("merge of restored registry diverges:\n direct: %+v\nrestored: %+v",
+			direct.Snapshot(), viaRestore.Snapshot())
+	}
+
+	// The restored registry itself also snapshots identically.
+	if !reflect.DeepEqual(src.Snapshot(), restored.Snapshot()) {
+		t.Fatalf("restored snapshot diverges:\n src: %+v\n restored: %+v",
+			src.Snapshot(), restored.Snapshot())
+	}
+}
+
+func TestSnapshotRestoreRejectsMalformed(t *testing.T) {
+	bad := Snapshot{Histograms: []HistogramSnap{{
+		Name:    "h",
+		Buckets: []BucketSnap{{LE: "+Inf"}, {LE: "1"}},
+	}}}
+	if _, err := bad.Restore(); err == nil {
+		t.Fatal("out-of-place +Inf bucket accepted")
+	}
+	bad = Snapshot{Histograms: []HistogramSnap{{
+		Name:    "h",
+		Buckets: []BucketSnap{{LE: "wat"}, {LE: "+Inf"}},
+	}}}
+	if _, err := bad.Restore(); err == nil {
+		t.Fatal("unparseable bound accepted")
+	}
+}

@@ -1,10 +1,16 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
+	"net"
 	"net/http"
 	"net/http/pprof"
+	"os"
+	"os/signal"
 	"sync"
+	"syscall"
+	"time"
 )
 
 // This file is the live observability endpoint: an http.ServeMux exposing
@@ -109,4 +115,65 @@ func NewHTTPMux(reg *Registry, tr *Trace, profileFn ProfileFunc) *http.ServeMux 
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// BackgroundServer is an HTTP server running in a background goroutine
+// with a graceful shutdown path — the lifecycle behind every CLI -serve
+// flag. The old pattern (`go http.Serve(ln, mux)` + `select {}`) died on
+// SIGINT with in-flight responses cut mid-body; Shutdown stops accepting,
+// drains active requests up to a grace period, then returns.
+type BackgroundServer struct {
+	srv  *http.Server
+	ln   net.Listener
+	done chan error
+}
+
+// ServeBackground listens on addr and serves mux in a background
+// goroutine. The returned server's Addr reports the bound address (useful
+// with ":0").
+func ServeBackground(addr string, mux http.Handler) (*BackgroundServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	b := &BackgroundServer{
+		srv:  &http.Server{Handler: mux},
+		ln:   ln,
+		done: make(chan error, 1),
+	}
+	go func() {
+		err := b.srv.Serve(ln)
+		if err == http.ErrServerClosed {
+			err = nil
+		}
+		b.done <- err
+	}()
+	return b, nil
+}
+
+// Addr returns the bound listen address.
+func (b *BackgroundServer) Addr() string { return b.ln.Addr().String() }
+
+// Shutdown gracefully drains the server: no new connections, in-flight
+// requests finish until ctx expires, then the serve goroutine's exit error
+// (if any) is returned.
+func (b *BackgroundServer) Shutdown(ctx context.Context) error {
+	err := b.srv.Shutdown(ctx)
+	if serr := <-b.done; err == nil {
+		err = serr
+	}
+	return err
+}
+
+// ShutdownOnSignal blocks until SIGINT or SIGTERM (or until ctx is
+// cancelled, whichever first) and then drains the server with the given
+// grace period — the CLI stay-up phase: "endpoints stay up, Ctrl-C to
+// drain and exit".
+func (b *BackgroundServer) ShutdownOnSignal(ctx context.Context, grace time.Duration) error {
+	sctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-sctx.Done()
+	dctx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	return b.Shutdown(dctx)
 }

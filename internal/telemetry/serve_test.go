@@ -1,12 +1,14 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"testing"
+	"time"
 )
 
 func get(t *testing.T, srv *httptest.Server, path string) (*http.Response, []byte) {
@@ -104,6 +106,60 @@ func TestHTTPMuxNilSources(t *testing.T) {
 	for _, path := range []string{"/metrics", "/trace", "/profile"} {
 		resp, body := get(t, srv, path)
 		wantJSON(t, resp, body, path)
+	}
+}
+
+// TestBackgroundServerDrainsInFlight pins the graceful-shutdown contract:
+// a response in flight when Shutdown starts is delivered whole, and new
+// connections are refused afterwards.
+func TestBackgroundServerDrainsInFlight(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, r *http.Request) {
+		close(started)
+		<-release
+		w.Write([]byte("complete response body"))
+	})
+	bs, err := ServeBackground("127.0.0.1:0", mux)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type result struct {
+		body []byte
+		err  error
+	}
+	got := make(chan result, 1)
+	go func() {
+		resp, err := http.Get("http://" + bs.Addr() + "/slow")
+		if err != nil {
+			got <- result{nil, err}
+			return
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		got <- result{body, err}
+	}()
+
+	<-started
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shutdownDone <- bs.Shutdown(ctx)
+	}()
+	// Shutdown must wait for the in-flight request, not kill it.
+	release <- struct{}{}
+	r := <-got
+	if r.err != nil || string(r.body) != "complete response body" {
+		t.Fatalf("in-flight response truncated by shutdown: body=%q err=%v", r.body, r.err)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if _, err := http.Get("http://" + bs.Addr() + "/slow"); err == nil {
+		t.Fatal("server accepted a connection after shutdown")
 	}
 }
 
