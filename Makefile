@@ -27,7 +27,11 @@ race:
 # bench runs the tier-1 simulator benchmarks (the telemetry-off/on hot-path
 # pair among them: the nil-sink fast path must not cost anything when
 # disabled) and records the results as a test2json stream in BENCH_sim.json
-# so successive PRs leave a perf trajectory. The sweep benchmark times the
+# so successive PRs leave a perf trajectory. The telemetry-on/off pair is
+# gated: a cell simulation with the full observability stack (job-trace
+# lane, metrics registry, structured log line) must cost at most
+# $(TELEMETRY_MAX_RATIO)x the telemetry-off run, asserted by
+# sdbenchdiff -ratio right after BENCH_sim.json is written. The sweep benchmark times the
 # same 8-job grid serially and sharded across GOMAXPROCS workers and records
 # the wall-clock ratio (speedup-x) in BENCH_sweep.json. The memo benchmark
 # runs a deliberately duplicated grid with cell memoization on and off and
@@ -38,10 +42,13 @@ race:
 # benchmark runs the same grid cold (simulate + persist), warm from a fresh
 # process replaying disk blobs, and warm from the in-process memory tier,
 # and records the ratios (disk-speedup-x, mem-speedup-x) in BENCH_store.json.
+TELEMETRY_MAX_RATIO ?= 1.5
+
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -json ./internal/sim/ > BENCH_sim.json
 	@grep -o '"Output":"Benchmark[^"]*' BENCH_sim.json | sed 's/"Output":"//;s/\\t/\t/g;s/\\n//' || true
 	@echo "wrote BENCH_sim.json"
+	$(GO) run ./cmd/sdbenchdiff -ratio RunTelemetryOn/RunTelemetryOff -max-ratio $(TELEMETRY_MAX_RATIO) BENCH_sim.json
 	$(GO) test -run '^$$' -bench Grid -json ./internal/sweep/ > BENCH_sweep.json
 	@grep -o '"Output":"Benchmark[^"]*' BENCH_sweep.json | sed 's/"Output":"//;s/\\t/\t/g;s/\\n//' || true
 	@echo "wrote BENCH_sweep.json"

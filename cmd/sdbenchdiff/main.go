@@ -1,6 +1,7 @@
 // Command sdbenchdiff compares two benchmark result files benchstat-style:
 //
 //	sdbenchdiff [-max-regress pct] OLD NEW
+//	sdbenchdiff -ratio NUM/DEN [-max-ratio r] FILE
 //
 // Each file is either a test2json stream as written by `make bench`
 // (BENCH_sim.json, BENCH_sweep.json, BENCH_memo.json) or the raw text of a
@@ -12,6 +13,15 @@
 // than the given percentage — the CI gate for the perf trajectory. Ratio
 // metrics such as speedup-x are reported but never gated, since they
 // measure the runner as much as the code.
+//
+// With -ratio, sdbenchdiff instead reads ONE file and computes the ns/op
+// ratio between two benchmarks in it — e.g.
+//
+//	sdbenchdiff -ratio RunTelemetryOn/RunTelemetryOff -max-ratio 1.5 BENCH_sim.json
+//
+// asserts that a telemetry-on run costs at most 1.5× a telemetry-off run
+// (`make bench` uses exactly this as the observability overhead gate).
+// Exit status is 1 when the ratio exceeds -max-ratio (0 disables gating).
 package main
 
 import (
@@ -100,13 +110,71 @@ func parseLine(res results, line string) {
 // gated reports whether a metric participates in the -max-regress gate.
 func gated(unit string) bool { return unit == "ns/op" }
 
+// lookupNsOp finds a benchmark's ns/op in res, accepting the name with or
+// without the "Benchmark" prefix.
+func lookupNsOp(res results, name string) (float64, bool) {
+	for _, n := range []string{name, "Benchmark" + name} {
+		if m, ok := res[n]; ok {
+			if v, ok := m["ns/op"]; ok {
+				return v, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// runRatio implements -ratio: the ns/op quotient of two benchmarks within
+// one results file, optionally gated by -max-ratio.
+func runRatio(spec string, maxRatio float64, path string) {
+	parts := strings.SplitN(spec, "/", 2)
+	if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
+		fmt.Fprintf(os.Stderr, "sdbenchdiff: -ratio wants NUM/DEN benchmark names, got %q\n", spec)
+		os.Exit(2)
+	}
+	res, err := parseFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sdbenchdiff:", err)
+		os.Exit(2)
+	}
+	num, ok := lookupNsOp(res, parts[0])
+	if !ok {
+		fmt.Fprintf(os.Stderr, "sdbenchdiff: %s: no ns/op for %q\n", path, parts[0])
+		os.Exit(2)
+	}
+	den, ok := lookupNsOp(res, parts[1])
+	if !ok || den == 0 {
+		fmt.Fprintf(os.Stderr, "sdbenchdiff: %s: no usable ns/op for %q\n", path, parts[1])
+		os.Exit(2)
+	}
+	ratio := num / den
+	fmt.Printf("%s / %s = %.6g / %.6g ns/op = %.3fx\n", parts[0], parts[1], num, den, ratio)
+	if maxRatio > 0 && ratio > maxRatio {
+		fmt.Fprintf(os.Stderr, "sdbenchdiff: ratio %.3fx exceeds the %.2fx bound\n", ratio, maxRatio)
+		os.Exit(1)
+	}
+	if maxRatio > 0 {
+		fmt.Printf("within the %.2fx bound\n", maxRatio)
+	}
+}
+
 func main() {
 	maxRegress := flag.Float64("max-regress", 0, "exit 1 if any ns/op regresses by more than this percentage (0 = report only)")
+	ratio := flag.String("ratio", "", "NUM/DEN: report the ns/op ratio of two benchmarks within one file")
+	maxRatio := flag.Float64("max-ratio", 0, "with -ratio, exit 1 if the ratio exceeds this bound (0 = report only)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: sdbenchdiff [-max-regress pct] OLD NEW\n")
+		fmt.Fprintf(os.Stderr, "       sdbenchdiff -ratio NUM/DEN [-max-ratio r] FILE\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *ratio != "" {
+		if flag.NArg() != 1 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		runRatio(*ratio, *maxRatio, flag.Arg(0))
+		return
+	}
 	if flag.NArg() != 2 {
 		flag.Usage()
 		os.Exit(2)

@@ -1,0 +1,62 @@
+// Command sdomlint validates an OpenMetrics text exposition — the in-repo
+// stand-in for promtool, so CI can assert that /metrics output is
+// well-formed without any external dependency.
+//
+// Usage:
+//
+//	sdomlint [file]      validate a saved scrape (or stdin when no file)
+//	sdomlint -v [file]   also print a per-family summary
+//
+// The checks mirror internal/telemetry.ParseOpenMetrics: one # TYPE line
+// per family, counters suffixed _total with non-negative values, histogram
+// buckets cumulative with a terminal +Inf equal to _count, no blank or
+// out-of-family lines, and a final # EOF marker. Exit status 0 on a valid
+// document, 1 on any violation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"scaledeep/internal/telemetry"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "print a per-family summary of the validated document")
+	flag.Parse()
+
+	var data []byte
+	var err error
+	name := "<stdin>"
+	if flag.NArg() > 0 {
+		name = flag.Arg(0)
+		data, err = os.ReadFile(name)
+	} else {
+		data, err = io.ReadAll(os.Stdin)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sdomlint: %v\n", err)
+		os.Exit(1)
+	}
+
+	families, err := telemetry.ParseOpenMetrics(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sdomlint: %s: %v\n", name, err)
+		os.Exit(1)
+	}
+	samples := 0
+	for _, f := range families {
+		samples += len(f.Samples)
+	}
+	fmt.Printf("%s: valid OpenMetrics (%d families, %d samples)\n", name, len(families), samples)
+	if *verbose {
+		sorted := append([]telemetry.OMFamily(nil), families...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+		for _, f := range sorted {
+			fmt.Printf("  %-40s %-9s %d sample(s)\n", f.Name, f.Type, len(f.Samples))
+		}
+	}
+}

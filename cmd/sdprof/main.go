@@ -7,7 +7,12 @@
 //
 // Usage:
 //
-//	sdprof [-net minivgg|simnet] [-train] [-mb N] [-iters N] [-top N] [-json] [-serve :6060]
+//	sdprof [-net minivgg|simnet] [-train] [-mb N] [-iters N] [-top N] [-json] \
+//	       [-serve :6060] [-log-out PATH|-] [-log-level LEVEL]
+//
+// Below the table, sdprof prints interpolated p50/p95/p99 quantiles of the
+// per-op cycle histogram (sim.op.cycles) — a quick read on whether the
+// cycle budget is dominated by a few heavyweight ops or spread thin.
 package main
 
 import (
@@ -36,7 +41,16 @@ func main() {
 	top := flag.Int("top", 0, "limit the table to the N worst layers (0 = all)")
 	jsonOut := flag.Bool("json", false, "emit the report as JSON instead of the table")
 	serveAddr := flag.String("serve", "", "also serve /metrics, /trace, /profile and /debug/pprof/ on this address and stay up after the run")
+	logOut := flag.String("log-out", "", "structured JSON log destination (path, - for stderr, empty = off)")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn or error")
 	flag.Parse()
+
+	logger, closeLog, err := telemetry.OpenLogger(*logOut, *logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sdprof: %v\n", err)
+		os.Exit(1)
+	}
+	defer closeLog()
 
 	var nw *dnn.Network
 	switch *netName {
@@ -59,10 +73,9 @@ func main() {
 	chip.Rows, chip.Cols = 3, 10
 
 	var spanTrace *telemetry.Trace
-	var metrics *telemetry.Registry
+	metrics := telemetry.NewRegistry()
 	if *serveAddr != "" {
 		spanTrace = telemetry.NewTrace(0)
-		metrics = telemetry.NewRegistry()
 	}
 
 	opts := compiler.Options{Minibatch: *mb, Iterations: *iters, Training: *train, LR: 0.0625}
@@ -80,9 +93,7 @@ func main() {
 	if spanTrace != nil {
 		m.SetSpanSink(spanTrace)
 	}
-	if metrics != nil {
-		m.SetMetrics(metrics)
-	}
+	m.SetMetrics(metrics)
 	profVar := telemetry.NewJSONVar(`{"state":"running"}`)
 	var bs *telemetry.BackgroundServer
 	if *serveAddr != "" {
@@ -127,6 +138,10 @@ func main() {
 		}
 	}
 
+	if logger != nil {
+		logger.Info("profile.started", "net", *netName, "mb", *mb, "train", *train, "iters", *iters)
+	}
+	runStart := time.Now()
 	st, err := m.Run()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -136,6 +151,10 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if logger != nil {
+		logger.Info("profile.done", "net", *netName, "cycles", st.Cycles,
+			"duration_ms", time.Since(runStart).Milliseconds())
 	}
 	if *jsonOut {
 		data, err := report.ProfileJSON(rep)
@@ -147,6 +166,12 @@ func main() {
 		fmt.Println()
 	} else {
 		fmt.Print(rep.Text(*top))
+		for _, h := range metrics.Snapshot().Histograms {
+			if h.Name == "sim.op.cycles" && len(h.Labels) == 0 && h.Count > 0 {
+				fmt.Printf("op cycle quantiles: p50=%.0f p95=%.0f p99=%.0f (%d ops)\n",
+					h.Quantile(0.5), h.Quantile(0.95), h.Quantile(0.99), h.Count)
+			}
+		}
 	}
 	if bs != nil {
 		if data, err := report.ProfileJSON(rep); err == nil {

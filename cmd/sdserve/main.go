@@ -8,7 +8,8 @@
 //
 //	sdserve [-addr :6060] [-store-dir DIR] [-store-max-mb N] \
 //	        [-queue N] [-rate R] [-burst N] [-parallel N] \
-//	        [-verify-store] [-kernel-workers N]
+//	        [-verify-store] [-kernel-workers N] \
+//	        [-log-out PATH|-] [-log-level LEVEL] [-max-jobs N] [-flight N]
 //
 // API:
 //
@@ -16,9 +17,17 @@
 //	GET  /jobs            list all jobs with live progress documents
 //	GET  /jobs/{id}       one job's status + progress
 //	GET  /jobs/{id}/result  the rendered table once the job is done
+//	GET  /jobs/{id}/trace   the job's Perfetto-loadable span timeline
 //	GET  /results/{key}   a raw content-addressed result blob
 //	GET  /store           persistent store statistics
+//	GET  /statusz         recent-job flight recorder (JSON, or HTML table)
 //	GET  /metrics /trace /profile /debug/pprof/  standard observability
+//	                      (/metrics serves OpenMetrics text under
+//	                      Accept: application/openmetrics-text or
+//	                      ?format=openmetrics)
+//
+// With -log-out, every job lifecycle event (accepted, started, done,
+// failed, cancelled, evicted) is emitted as one JSON log line.
 //
 // Example:
 //
@@ -59,8 +68,18 @@ func main() {
 	parallel := flag.Int("parallel", 0, "per-job sweep worker-pool size (0 = GOMAXPROCS)")
 	verifyStore := flag.Bool("verify-store", false, "re-simulate a deterministic sample of store hits and fail jobs on divergence")
 	kernelWorkers := flag.Int("kernel-workers", 0, "tensor kernel worker-pool size (0 = GOMAXPROCS)")
+	logOut := flag.String("log-out", "", "structured JSON log destination (path, - for stderr, empty = off)")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn or error")
+	maxJobs := flag.Int("max-jobs", 0, "in-memory job table bound; oldest terminal jobs evicted past it (0 = 256)")
+	flightN := flag.Int("flight", 0, "flight-recorder capacity for /statusz (0 = 64)")
 	flag.Parse()
 	tensor.SetKernelWorkers(*kernelWorkers)
+
+	logger, closeLog, err := telemetry.OpenLogger(*logOut, *logLevel)
+	if err != nil {
+		fatalf("sdserve: %v", err)
+	}
+	defer closeLog()
 
 	var st *store.Store
 	if *storeDir != "" {
@@ -86,6 +105,9 @@ func main() {
 		SweepWorkers: *parallel,
 		RatePerSec:   *rate,
 		Burst:        *burst,
+		Logger:       logger,
+		MaxJobs:      *maxJobs,
+		FlightN:      *flightN,
 	})
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

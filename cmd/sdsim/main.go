@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	sdsim [-train] [-mb N] [-iters N] [-trace-out t.json] [-metrics-out m.json] [-serve :6060]
+//	sdsim [-train] [-mb N] [-iters N] [-trace-out t.json] [-metrics-out m.json] \
+//	      [-serve :6060] [-log-out PATH|-] [-log-level LEVEL]
 //	sdsim -batch 1,2,4 [-parallel N] [-train] [-metrics-out m.json] [-serve :6060] [-store-dir DIR]
 //
 // With -batch, sdsim sweeps the listed minibatch sizes through the sharded
@@ -18,6 +19,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strconv"
 	"strings"
@@ -52,11 +54,20 @@ func main() {
 	kernelWorkers := flag.Int("kernel-workers", 0, "tensor kernel worker-pool size for functional execution (0 = GOMAXPROCS); results are bit-identical at any value")
 	storeDir := flag.String("store-dir", "", "batch mode: persist results in a content-addressed store at this directory")
 	verifyStore := flag.Bool("verify-store", false, "batch mode: re-simulate a deterministic sample of store hits and fail on divergence")
+	logOut := flag.String("log-out", "", "structured JSON log destination (path, - for stderr, empty = off)")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn or error")
 	flag.Parse()
 	tensor.SetKernelWorkers(*kernelWorkers)
 
+	logger, closeLog, err := telemetry.OpenLogger(*logOut, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sdsim:", err)
+		os.Exit(1)
+	}
+	defer closeLog()
+
 	if *batch != "" {
-		runBatch(*batch, *parallel, *train, *iters, *metricsOut, *serveAddr, *noMemo, *verifyMemo, *storeDir, *verifyStore)
+		runBatch(*batch, *parallel, *train, *iters, *metricsOut, *serveAddr, *noMemo, *verifyMemo, *storeDir, *verifyStore, logger)
 		return
 	}
 
@@ -144,14 +155,25 @@ func main() {
 		}
 	}
 
-	st, err := m.Run()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
 	mode := "evaluation"
 	if *train {
 		mode = "training"
+	}
+	if logger != nil {
+		logger.Info("run.started", "mode", mode, "mb", *mb, "iters", *iters)
+	}
+	runStart := time.Now()
+	st, err := m.Run()
+	if err != nil {
+		if logger != nil {
+			logger.Error("run.failed", "error", err.Error())
+		}
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if logger != nil {
+		logger.Info("run.done", "mode", mode, "cycles", st.Cycles,
+			"instructions", st.Instructions, "duration_ms", time.Since(runStart).Milliseconds())
 	}
 	fmt.Printf("%s of %s on a %dx%d chip (%d programs, %d instructions)\n",
 		mode, net.Name, chip.Rows, chip.Cols, len(c.Programs), c.TotalInstructions())
@@ -223,7 +245,7 @@ func main() {
 // runBatch sweeps the listed minibatch sizes through the sharded sweep
 // engine and prints one table row per size. Rows come out in list order and
 // are byte-identical for any -parallel value.
-func runBatch(batch string, parallel int, train bool, iters int, metricsOut, serveAddr string, noMemo, verifyMemo bool, storeDir string, verifyStore bool) {
+func runBatch(batch string, parallel int, train bool, iters int, metricsOut, serveAddr string, noMemo, verifyMemo bool, storeDir string, verifyStore bool, logger *slog.Logger) {
 	grid := sweep.Grid{
 		Workloads: []string{"simnet"},
 		Archs:     []string{"baseline"},
@@ -270,6 +292,10 @@ func runBatch(batch string, parallel int, train bool, iters int, metricsOut, ser
 		}
 		fmt.Printf("observability endpoints on http://%s (/progress /metrics /debug/pprof/)\n", bs.Addr())
 	}
+	if logger != nil {
+		logger.Info("sweep.started", "cells", len(jobs), "workers", parallel)
+	}
+	batchStart := time.Now()
 	results, err := sweep.RunGrid(context.Background(), grid, sweep.Options{
 		Workers:     parallel,
 		Metrics:     metrics,
@@ -279,11 +305,20 @@ func runBatch(batch string, parallel int, train bool, iters int, metricsOut, ser
 		VerifyStore: verifyStore,
 		Progress: func(done, total int) {
 			progVar.Set([]byte(fmt.Sprintf(`{"state":"running","done":%d,"total":%d}`, done, total)))
+			if logger != nil {
+				logger.Debug("cell.done", "done", done, "total", total)
+			}
 		},
 	})
 	if err != nil {
+		if logger != nil {
+			logger.Error("sweep.failed", "error", err.Error())
+		}
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if logger != nil {
+		logger.Info("sweep.done", "cells", len(results), "duration_ms", time.Since(batchStart).Milliseconds())
 	}
 	progVar.Set([]byte(fmt.Sprintf(`{"state":"done","done":%d,"total":%d}`, len(results), len(results))))
 	fmt.Print(sweep.FormatText(results))

@@ -10,7 +10,8 @@
 //	        [-mb 1,2,4] [-modes eval,train] [-iters N] [-parallel N] \
 //	        [-format text|csv|json] [-out table.csv] [-metrics-out m.json] \
 //	        [-progress] [-serve :6060] [-no-memo] [-verify-memo] \
-//	        [-store-dir DIR] [-store-max-mb N] [-verify-store]
+//	        [-store-dir DIR] [-store-max-mb N] [-verify-store] \
+//	        [-trace-out trace.json] [-log-out PATH|-] [-log-level LEVEL]
 //
 // Duplicate grid cells (identical workload/arch/minibatch/mode points) are
 // simulated once and their results replicated — exact, because each job is a
@@ -26,6 +27,12 @@
 // runs (alongside the usual /metrics, /trace, /profile, /debug/pprof/);
 // after the run the endpoints stay up until SIGINT/SIGTERM, which drains
 // in-flight responses before exiting.
+//
+// -trace-out writes a Perfetto-loadable span timeline of the whole sweep
+// (per-cell store lookups, simulations and write-backs on per-cell lanes);
+// span order is assembled deterministically, independent of -parallel.
+// -log-out emits one JSON log line per lifecycle event (sweep.started,
+// cell.done at debug level, sweep.done).
 package main
 
 import (
@@ -62,8 +69,17 @@ func main() {
 	storeDir := flag.String("store-dir", "", "persist results in a content-addressed store at this directory; repeated sweeps replay from it byte-identically")
 	storeMaxMB := flag.Int("store-max-mb", 0, "result-store size bound in MiB (0 = 256 MiB default)")
 	verifyStore := flag.Bool("verify-store", false, "re-simulate a deterministic sample of store hits and fail on any divergence")
+	traceOut := flag.String("trace-out", "", "write a Perfetto-loadable span timeline of the sweep to this file")
+	logOut := flag.String("log-out", "", "structured JSON log destination (path, - for stderr, empty = off)")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn or error")
 	flag.Parse()
 	tensor.SetKernelWorkers(*kernelWorkers)
+
+	logger, closeLog, err := telemetry.OpenLogger(*logOut, *logLevel)
+	if err != nil {
+		fatalf("sdsweep: %v", err)
+	}
+	defer closeLog()
 
 	var st *store.Store
 	if *storeDir != "" {
@@ -111,7 +127,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "observability endpoints on http://%s (/progress /metrics /debug/pprof/)\n", bs.Addr())
 	}
 
+	var jt *telemetry.JobTrace
+	if *traceOut != "" {
+		jt = telemetry.NewJobTrace("sweep", 0, time.Now)
+	}
+
 	start := time.Now()
+	if logger != nil {
+		logger.Info("sweep.started", "cells", len(jobs), "workers", *parallel)
+	}
 	opts := sweep.Options{
 		Workers:     *parallel,
 		Metrics:     merged,
@@ -119,9 +143,13 @@ func main() {
 		VerifyMemo:  *verifyMemo,
 		Store:       st,
 		VerifyStore: *verifyStore,
+		Trace:       jt,
 		Progress: func(done, total int) {
 			progVar.Set([]byte(fmt.Sprintf(`{"state":"running","done":%d,"total":%d,"elapsed_ms":%d}`,
 				done, total, time.Since(start).Milliseconds())))
+			if logger != nil {
+				logger.Debug("cell.done", "done", done, "total", total)
+			}
 			if *progress {
 				fmt.Fprintf(os.Stderr, "sweep: %d/%d jobs\n", done, total)
 			}
@@ -129,7 +157,27 @@ func main() {
 	}
 	results, err := sweep.RunGrid(context.Background(), grid, opts)
 	if err != nil {
+		if logger != nil {
+			logger.Error("sweep.failed", "error", err.Error(), "duration_ms", time.Since(start).Milliseconds())
+		}
 		fatalf("%v", err)
+	}
+	if logger != nil {
+		logger.Info("sweep.done", "cells", len(results), "duration_ms", time.Since(start).Milliseconds())
+	}
+	if jt != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		meta := telemetry.TraceMeta{Process: "sdsweep", DroppedSpans: jt.Dropped()}
+		if err := telemetry.WriteChromeTraceMeta(f, jt.Assemble(), meta); err != nil {
+			fatalf("sdsweep: write trace: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote sweep trace to %s (%d dropped spans)\n", *traceOut, jt.Dropped())
 	}
 	progVar.Set([]byte(fmt.Sprintf(`{"state":"done","done":%d,"total":%d,"elapsed_ms":%d}`,
 		len(results), len(results), time.Since(start).Milliseconds())))

@@ -14,6 +14,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strconv"
 	"strings"
@@ -42,13 +43,22 @@ func main() {
 	verifyMemo := flag.Bool("verify-memo", false, "cross-check memoized results against full simulation and fail on divergence")
 	kernelWorkers := flag.Int("kernel-workers", 0, "tensor kernel worker-pool size for functional execution (0 = GOMAXPROCS); results are bit-identical at any value")
 	storeDir := flag.String("store-dir", "", "batch mode: persist equivalence-check results in a content-addressed store at this directory")
+	logOut := flag.String("log-out", "", "structured JSON log destination (path, - for stderr, empty = off)")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn or error")
 	flag.Parse()
 	tensor.SetKernelWorkers(*kernelWorkers)
 	const mb = 2
 	const lr = float32(0.03125)
 
+	logger, closeLog, err := telemetry.OpenLogger(*logOut, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sdtrain:", err)
+		os.Exit(1)
+	}
+	defer closeLog()
+
 	if *batch != "" {
-		runBatch(*batch, *parallel, *metricsOut, *storeDir)
+		runBatch(*batch, *parallel, *metricsOut, *storeDir, logger)
 		return
 	}
 
@@ -139,10 +149,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	if logger != nil {
+		logger.Info("train.started", "iters", *iters, "mb", mb)
+	}
+	runStart := time.Now()
 	st, err := m.Run()
 	if err != nil {
+		if logger != nil {
+			logger.Error("train.failed", "error", err.Error())
+		}
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if logger != nil {
+		logger.Info("train.done", "iters", *iters, "cycles", st.Cycles,
+			"duration_ms", time.Since(runStart).Milliseconds())
 	}
 	fmt.Printf("\nsimulated %d iterations in %d cycles (%d instructions)\n",
 		*iters, st.Cycles, st.Instructions)
@@ -241,7 +262,7 @@ func trainKey(iters int) string {
 // iteration count across the sweep engine's worker pool. Each job is fully
 // self-contained (own network, executors, machine, RNG), so jobs are
 // independent and the report comes out in list order for any -parallel.
-func runBatch(batch string, parallel int, metricsOut, storeDir string) {
+func runBatch(batch string, parallel int, metricsOut, storeDir string, logger *slog.Logger) {
 	var counts []int
 	for _, s := range strings.Split(batch, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(s))
@@ -262,6 +283,10 @@ func runBatch(batch string, parallel int, metricsOut, storeDir string) {
 		defer st.Close()
 	}
 	metrics := telemetry.NewRegistry()
+	if logger != nil {
+		logger.Info("batch.started", "checks", len(counts), "workers", parallel)
+	}
+	batchStart := time.Now()
 	results, err := sweep.Map(context.Background(), counts,
 		sweep.Options{Workers: parallel, Metrics: metrics},
 		func(_ context.Context, _ int, iters int, reg *telemetry.Registry) (trainCheck, error) {
@@ -304,8 +329,14 @@ func runBatch(batch string, parallel int, metricsOut, storeDir string) {
 			return c, nil
 		})
 	if err != nil {
+		if logger != nil {
+			logger.Error("batch.failed", "error", err.Error())
+		}
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if logger != nil {
+		logger.Info("batch.done", "checks", len(results), "duration_ms", time.Since(batchStart).Milliseconds())
 	}
 	report.AddKernelStats(metrics)
 	if st != nil {

@@ -33,6 +33,26 @@ func WriteMetricsJSON(w io.Writer, reg *telemetry.Registry) error {
 	return reg.WriteJSON(w)
 }
 
+// MetricsOpenMetrics renders a metrics registry as an OpenMetrics text
+// exposition — the scrape-format counterpart of MetricsJSON, so saved
+// snapshots can feed the same tooling (sdomlint, Prometheus ingestion) as
+// the live /metrics endpoint. The output is validated by re-parsing before
+// it is returned: an exposition this package cannot parse is a bug, not a
+// payload.
+func MetricsOpenMetrics(reg *telemetry.Registry) ([]byte, error) {
+	if reg == nil {
+		return nil, fmt.Errorf("report: nil metrics registry")
+	}
+	var buf bytes.Buffer
+	if err := telemetry.WriteOpenMetrics(&buf, reg.Snapshot()); err != nil {
+		return nil, err
+	}
+	if _, err := telemetry.ParseOpenMetrics(buf.Bytes()); err != nil {
+		return nil, fmt.Errorf("report: generated exposition does not validate: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
 // AddKernelStats folds the process-global tensor kernel counters
 // (tensor.KernelStats: per-kernel call and flop totals) into reg, so
 // -metrics-out snapshots and the live /metrics endpoint report how much work

@@ -35,6 +35,29 @@ func TestWriteMetricsJSONPropagatesWriterError(t *testing.T) {
 	}
 }
 
+func TestMetricsOpenMetrics(t *testing.T) {
+	if _, err := MetricsOpenMetrics(nil); err == nil {
+		t.Fatal("MetricsOpenMetrics(nil) succeeded, want error")
+	}
+	reg := telemetry.NewRegistry()
+	reg.Counter("sim.flops").Add(7)
+	reg.Gauge("sim.cycles").Set(100)
+	data, err := MetricsOpenMetrics(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fams, err := telemetry.ParseOpenMetrics(data)
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, data)
+	}
+	if len(fams) != 2 {
+		t.Errorf("got %d families, want 2:\n%s", len(fams), data)
+	}
+	if !strings.HasSuffix(string(data), "# EOF\n") {
+		t.Errorf("exposition missing EOF marker:\n%s", data)
+	}
+}
+
 func TestProfileJSON(t *testing.T) {
 	if _, err := ProfileJSON(nil); err == nil {
 		t.Fatal("ProfileJSON(nil) succeeded, want error")

@@ -26,6 +26,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"strings"
@@ -77,6 +78,20 @@ type Config struct {
 	// Metrics receives server counters and every job's merged sweep
 	// telemetry; nil allocates a fresh registry (exposed on /metrics).
 	Metrics *telemetry.Registry
+	// Logger receives one JSON line per job lifecycle event (accepted,
+	// started, done, failed, cancelled, evicted; cell progress at Debug).
+	// nil disables structured logging.
+	Logger *slog.Logger
+	// FlightN bounds the flight recorder's recent-job ring (/statusz);
+	// 0 means 64.
+	FlightN int
+	// MaxJobs bounds the in-memory job table: once exceeded, the oldest
+	// terminal jobs (result and trace included) are evicted. Their summary
+	// survives in the flight recorder. 0 means 256.
+	MaxJobs int
+	// TraceSpans bounds each trace lane's span count per job; 0 means the
+	// telemetry default (4096 per lane).
+	TraceSpans int
 
 	now func() time.Time // test hook; nil means time.Now
 }
@@ -96,14 +111,18 @@ type JobState struct {
 	result    []byte
 	gridJobs  int
 	submitted time.Time
+	dequeued  time.Time
 	prog      *telemetry.JSONVar
+	trace     *telemetry.JobTrace
+	traceData []byte // assembled Chrome trace, set at terminal states
 }
 
 // Server implements the daemon. Create with New, wire with Mux, run with
 // Start, stop with Drain.
 type Server struct {
-	cfg Config
-	reg *telemetry.Registry
+	cfg    Config
+	reg    *telemetry.Registry
+	flight *telemetry.FlightRecorder
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -127,6 +146,9 @@ func New(cfg Config) *Server {
 	if cfg.Burst == 0 {
 		cfg.Burst = 8
 	}
+	if cfg.MaxJobs == 0 {
+		cfg.MaxJobs = 256
+	}
 	if cfg.now == nil {
 		cfg.now = time.Now
 	}
@@ -137,12 +159,100 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:     cfg,
 		reg:     reg,
+		flight:  telemetry.NewFlightRecorder(cfg.FlightN),
 		queue:   jobQueue{max: cfg.MaxQueue},
 		jobs:    map[string]*JobState{},
 		clients: map[string]*bucket{},
 	}
 	s.cond = sync.NewCond(&s.mu)
 	return s
+}
+
+// logJob emits one structured lifecycle event for a job.
+func (s *Server) logJob(level slog.Level, event string, job *JobState, args ...any) {
+	if s.cfg.Logger == nil {
+		return
+	}
+	base := []any{"job", job.ID, "client", job.Client}
+	s.cfg.Logger.Log(context.Background(), level, event, append(base, args...)...)
+}
+
+// specDigest compresses a spec into a compact human-readable identity for
+// flight-recorder rows and log lines.
+func specDigest(sp Spec) string {
+	mbs := make([]string, len(sp.Minibatches))
+	for i, mb := range sp.Minibatches {
+		mbs[i] = fmt.Sprint(mb)
+	}
+	d := fmt.Sprintf("%s×%s×mb[%s]×%s",
+		strings.Join(sp.Workloads, ","), strings.Join(sp.Archs, ","),
+		strings.Join(mbs, ","), strings.Join(sp.Modes, ","))
+	if sp.Iterations > 1 {
+		d += fmt.Sprintf(" iters=%d", sp.Iterations)
+	}
+	return d
+}
+
+// summarize builds the flight-recorder record for a terminal job. Callers
+// hold s.mu.
+func (s *Server) summarizeLocked(job *JobState, runMS, renderMS int64) telemetry.JobSummary {
+	now := s.cfg.now()
+	sum := telemetry.JobSummary{
+		ID: job.ID, Client: job.Client, SpecDigest: specDigest(job.Spec),
+		Outcome: job.state, Error: job.errMsg, Cells: job.gridJobs,
+		Submitted: job.submitted,
+		RunMS:     runMS, RenderMS: renderMS,
+		TotalMS: now.Sub(job.submitted).Milliseconds(),
+	}
+	if !job.dequeued.IsZero() {
+		sum.QueueMS = job.dequeued.Sub(job.submitted).Milliseconds()
+	} else {
+		sum.QueueMS = sum.TotalMS // cancelled while queued
+	}
+	return sum
+}
+
+// finishTraceLocked assembles a terminal job's span timeline into its
+// downloadable Chrome trace document. Callers hold s.mu.
+func (s *Server) finishTraceLocked(job *JobState) {
+	if job.trace == nil {
+		return
+	}
+	data, err := telemetry.MarshalChromeTraceMeta(job.trace.Assemble(), telemetry.TraceMeta{
+		Process:      job.ID,
+		DroppedSpans: job.trace.Dropped(),
+	})
+	if err == nil {
+		job.traceData = data
+	}
+	if d := job.trace.Dropped(); d > 0 {
+		s.reg.Counter("server.trace.dropped_spans").Add(d)
+	}
+	job.trace = nil
+}
+
+// evictLocked trims the job table to cfg.MaxJobs entries, dropping the
+// oldest terminal jobs (their summaries survive in the flight recorder).
+// Running and queued jobs are never evicted. Callers hold s.mu.
+func (s *Server) evictLocked() {
+	excess := len(s.order) - s.cfg.MaxJobs
+	if excess <= 0 {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		job := s.jobs[id]
+		terminal := job.state == "done" || job.state == "failed" || job.state == "cancelled"
+		if excess > 0 && terminal {
+			delete(s.jobs, id)
+			excess--
+			s.reg.Counter("server.jobs.evicted").Inc()
+			s.logJob(slog.LevelInfo, "job.evicted", job)
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
 }
 
 // Start launches the job runner. Cancelling ctx begins a drain (queued
@@ -170,6 +280,10 @@ func (s *Server) drainLocked() {
 		job.state = "cancelled"
 		job.prog.Set([]byte(`{"state":"cancelled"}`))
 		s.reg.Counter("server.jobs.cancelled").Inc()
+		s.finishTraceLocked(job)
+		s.flight.Record(s.summarizeLocked(job, 0, 0))
+		s.logJob(slog.LevelWarn, "job.cancelled", job,
+			"queued_ms", s.cfg.now().Sub(job.submitted).Milliseconds())
 	}
 	s.reg.Gauge("server.queue.depth").Set(0)
 	s.cond.Broadcast()
@@ -199,7 +313,16 @@ func (s *Server) runLoop(ctx context.Context) {
 		}
 		job := s.queue.dequeue()
 		job.state = "running"
+		job.dequeued = s.cfg.now()
 		s.reg.Gauge("server.queue.depth").Set(float64(s.queue.Len()))
+		if job.trace != nil {
+			// The queue-wait span covers submit → dequeue on the job lane.
+			job.trace.Context(telemetry.LaneJob, "job").
+				Interval("queue.wait", job.submitted, job.dequeued)
+		}
+		s.logJob(slog.LevelInfo, "job.started", job,
+			"cells", job.gridJobs,
+			"queue_ms", job.dequeued.Sub(job.submitted).Milliseconds())
 		s.mu.Unlock()
 		s.execute(ctx, job)
 	}
@@ -209,21 +332,34 @@ func (s *Server) runLoop(ctx context.Context) {
 func (s *Server) execute(ctx context.Context, job *JobState) {
 	start := s.cfg.now()
 	reg := telemetry.NewRegistry()
+	var jobTC telemetry.TraceContext
+	if job.trace != nil {
+		jobTC = job.trace.Context(telemetry.LaneJob, "job")
+	}
 	opts := sweep.Options{
 		Workers:     s.cfg.SweepWorkers,
 		Metrics:     reg,
 		Store:       s.cfg.Store,
 		VerifyStore: s.cfg.VerifyStore,
+		Trace:       job.trace,
 		Progress: func(done, total int) {
 			job.prog.Set([]byte(fmt.Sprintf(`{"state":"running","done":%d,"total":%d,"elapsed_ms":%d}`,
 				done, total, s.cfg.now().Sub(start).Milliseconds())))
+			s.logJob(slog.LevelDebug, "cell.done", job, "done", done, "total", total)
 		},
 	}
+	endSweep := jobTC.Begin("sweep", telemetry.Attr{Key: "cells", Value: fmt.Sprint(job.gridJobs)})
 	results, err := sweep.RunGrid(ctx, job.Spec.grid(), opts)
+	endSweep(telemetry.Attr{Key: "outcome", Value: outcomeOf(err)})
+	runMS := s.cfg.now().Sub(start).Milliseconds()
 	var rendered []byte
+	renderStart := s.cfg.now()
 	if err == nil {
+		endRender := jobTC.Begin("render", telemetry.Attr{Key: "format", Value: job.Spec.Format})
 		rendered, err = renderResults(job.Spec.Format, results)
+		endRender(telemetry.Attr{Key: "outcome", Value: outcomeOf(err)})
 	}
+	renderMS := s.cfg.now().Sub(renderStart).Milliseconds()
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -233,6 +369,11 @@ func (s *Server) execute(ctx context.Context, job *JobState) {
 		job.prog.Set([]byte(fmt.Sprintf(`{"state":"failed","elapsed_ms":%d}`,
 			s.cfg.now().Sub(start).Milliseconds())))
 		s.reg.Counter("server.jobs.failed").Inc()
+		s.finishTraceLocked(job)
+		s.flight.Record(s.summarizeLocked(job, runMS, renderMS))
+		s.logJob(slog.LevelError, "job.failed", job,
+			"error", job.errMsg, "duration_ms", s.cfg.now().Sub(job.submitted).Milliseconds())
+		s.evictLocked()
 		return
 	}
 	job.state = "done"
@@ -242,7 +383,23 @@ func (s *Server) execute(ctx context.Context, job *JobState) {
 	s.reg.Counter("server.jobs.completed").Inc()
 	// Job telemetry merges under the server registry so /metrics shows the
 	// aggregate sweep activity across the daemon's lifetime.
+	endMerge := jobTC.Begin("merge")
 	s.reg.MergeFrom(reg)
+	endMerge()
+	s.finishTraceLocked(job)
+	s.flight.Record(s.summarizeLocked(job, runMS, renderMS))
+	s.logJob(slog.LevelInfo, "job.done", job,
+		"cells", len(results),
+		"duration_ms", s.cfg.now().Sub(job.submitted).Milliseconds())
+	s.evictLocked()
+}
+
+// outcomeOf renders an error as a span outcome attribute value.
+func outcomeOf(err error) string {
+	if err != nil {
+		return "error"
+	}
+	return "ok"
 }
 
 func renderResults(format string, results []sweep.Result) ([]byte, error) {
@@ -276,16 +433,67 @@ func resultContentType(format string) string {
 }
 
 // Mux returns the daemon's HTTP surface: the job API plus the standard
-// observability endpoints (/metrics /trace /profile /debug/pprof/).
-func (s *Server) Mux() *http.ServeMux {
-	mux := telemetry.NewHTTPMux(s.reg, nil, nil)
+// observability endpoints (/metrics /trace /profile /statusz /debug/pprof/),
+// wrapped with per-endpoint request telemetry (latency histograms, request
+// counters, the inflight gauge).
+func (s *Server) Mux() http.Handler {
+	mux := telemetry.NewHTTPMux(s.reg, nil, nil,
+		telemetry.WithFlight(s.flight),
+		telemetry.WithScrapeHook(func(reg *telemetry.Registry) { s.refreshScrapeGauges(reg) }),
+	)
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
 	mux.HandleFunc("GET /jobs", s.handleList)
 	mux.HandleFunc("GET /jobs/{id}", s.handleJobStatus)
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleJobResult)
+	mux.HandleFunc("GET /jobs/{id}/trace", s.handleJobTrace)
 	mux.HandleFunc("GET /results/{key}", s.handleResultBlob)
 	mux.HandleFunc("GET /store", s.handleStoreStats)
-	return mux
+	return telemetry.Instrument(s.reg, mux)
+}
+
+// refreshScrapeGauges recomputes derived gauges just before a /metrics
+// scrape, so scraped values are current instead of last-event-stale.
+func (s *Server) refreshScrapeGauges(reg *telemetry.Registry) {
+	s.mu.Lock()
+	reg.Gauge("server.queue.depth").Set(float64(s.queue.Len()))
+	reg.Gauge("server.jobs.tracked").Set(float64(len(s.jobs)))
+	s.mu.Unlock()
+	if st := s.cfg.Store; st != nil {
+		stats := st.Stats()
+		hits := stats.MemHits + stats.DiskHits
+		if total := hits + stats.Misses; total > 0 {
+			reg.Gauge("store.hit_rate").Set(float64(hits) / float64(total))
+		} else {
+			reg.Gauge("store.hit_rate").Set(0)
+		}
+		reg.Gauge("store.blobs").Set(float64(st.Len()))
+		reg.Gauge("store.size_bytes").Set(float64(st.SizeBytes()))
+	}
+}
+
+// handleJobTrace serves a terminal job's assembled span timeline as a
+// Perfetto-loadable Chrome trace document.
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	job, ok := s.jobs[r.PathValue("id")]
+	var (
+		state string
+		data  []byte
+	)
+	if ok {
+		state, data = job.state, job.traceData
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	if data == nil {
+		writeError(w, http.StatusNotFound, "job is "+state+", trace not available")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -360,6 +568,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		prog: telemetry.NewJSONVar(
 			fmt.Sprintf(`{"state":"queued","done":0,"total":%d}`, len(gridJobs))),
 	}
+	// The job trace is born at submit so its time base covers queue wait.
+	job.trace = telemetry.NewJobTrace(job.ID, s.cfg.TraceSpans, s.cfg.now)
 	if !s.queue.enqueue(job) {
 		s.reg.Counter("server.jobs.rejected.queue_full").Inc()
 		s.mu.Unlock()
@@ -370,6 +580,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.order = append(s.order, job.ID)
 	s.reg.Counter("server.jobs.submitted").Inc()
 	s.reg.Gauge("server.queue.depth").Set(float64(s.queue.Len()))
+	s.logJob(slog.LevelInfo, "job.accepted", job,
+		"cells", job.gridJobs, "priority", job.Priority, "spec", specDigest(spec))
 	s.cond.Signal()
 	s.mu.Unlock()
 
@@ -392,6 +604,7 @@ type jobDoc struct {
 	Progress  json.RawMessage `json:"progress"`
 	Error     string          `json:"error,omitempty"`
 	ResultURL string          `json:"result_url,omitempty"`
+	TraceURL  string          `json:"trace_url,omitempty"`
 }
 
 // docLocked renders a job's status document. Callers hold s.mu.
@@ -409,6 +622,9 @@ func (j *JobState) docLocked() jobDoc {
 	}
 	if j.state == "done" {
 		doc.ResultURL = "/jobs/" + j.ID + "/result"
+	}
+	if j.traceData != nil {
+		doc.TraceURL = "/jobs/" + j.ID + "/trace"
 	}
 	return doc
 }

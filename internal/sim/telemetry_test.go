@@ -2,7 +2,10 @@ package sim
 
 import (
 	"encoding/json"
+	"io"
+	"log/slog"
 	"testing"
+	"time"
 
 	"scaledeep/internal/arch"
 	"scaledeep/internal/isa"
@@ -132,12 +135,14 @@ func TestStatsRegistryStandalone(t *testing.T) {
 }
 
 // benchMachine builds a machine running a DMA+scalar loop workload, with or
-// without telemetry attached.
+// without telemetry attached. The workload is long enough (256 coarse ops)
+// that per-run fixed costs amortize the way they do in real cell
+// simulations, so the On/Off ratio reflects per-op telemetry cost.
 func benchMachine(b *testing.B, withTelemetry bool) (*Machine, *telemetry.Trace, *telemetry.Registry) {
 	b.Helper()
 	m := NewMachine(testChip(), arch.Single, false)
 	var groups [][]isa.Instr
-	for i := 0; i < 64; i++ {
+	for i := 0; i < 256; i++ {
 		groups = append(groups, opInstr(isa.DMASTORE, 0, isa.PortLeft, int64(100+i), isa.PortExt, 8, 0))
 	}
 	if err := m.LoadProgram(0, 0, StepFP, prog("b", groups...)); err != nil {
@@ -153,28 +158,41 @@ func benchMachine(b *testing.B, withTelemetry bool) (*Machine, *telemetry.Trace,
 	return m, nil, nil
 }
 
-// BenchmarkRunTelemetryOff measures the nil-sink fast path: the per-op cost
-// must match the pre-telemetry simulator (compare with ...TelemetryOn).
+// BenchmarkRunTelemetryOff measures one full cell lifecycle — machine
+// build, program load, run — with the nil-sink fast path, exactly what a
+// sweep cell costs with observability off (compare with ...TelemetryOn).
+// Setup is timed in both benchmarks: per-iteration StopTimer/StartTimer
+// would let setup's GC debt land stochastically inside the timed regions
+// and swamp the On/Off comparison.
 func BenchmarkRunTelemetryOff(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		b.StopTimer()
 		m, _, _ := benchMachine(b, false)
-		b.StartTimer()
 		if _, err := m.Run(); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
-// BenchmarkRunTelemetryOn measures the same workload with a span sink and
-// metrics registry attached.
+// BenchmarkRunTelemetryOn measures the same cell lifecycle with the full
+// observability stack attached: a job-trace lane as the span sink, a
+// metrics registry, and one structured JSON log line per run — the exact
+// per-cell path a service job takes. The registry and logger are shared
+// across iterations (as the service shares them across a job's cells).
+// `make bench` gates the On/Off ns/op ratio via sdbenchdiff -ratio.
 func BenchmarkRunTelemetryOn(b *testing.B) {
+	b.ReportAllocs()
+	logger := telemetry.NewLogger(io.Discard, slog.LevelInfo)
+	reg := telemetry.NewRegistry()
 	for i := 0; i < b.N; i++ {
-		b.StopTimer()
-		m, _, _ := benchMachine(b, true)
-		b.StartTimer()
-		if _, err := m.Run(); err != nil {
+		m, _, _ := benchMachine(b, false)
+		jt := telemetry.NewJobTrace("bench", 0, time.Now)
+		m.SetSpanSink(jt.Context(0, "bench"))
+		m.SetMetrics(reg)
+		st, err := m.Run()
+		if err != nil {
 			b.Fatal(err)
 		}
+		logger.Info("run.done", "job", "bench", "cycles", st.Cycles)
 	}
 }

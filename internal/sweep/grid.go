@@ -179,9 +179,22 @@ func RunGrid(ctx context.Context, g Grid, opts Options) ([]Result, error) {
 		return nil, err
 	}
 	pool := newMachinePool()
+	// cellContext addresses one deterministic trace lane per unit of work
+	// (job index on the no-memo path, class index on the memo path) — each
+	// lane written only by the worker that owns the cell, so the assembled
+	// trace is independent of worker scheduling.
+	cellContext := func(lane int, job Job) telemetry.TraceContext {
+		if opts.Trace == nil {
+			return telemetry.TraceContext{}
+		}
+		return opts.Trace.Context(lane, "cell/"+job.Name())
+	}
 	if opts.NoMemo {
 		return Map(ctx, jobs, opts, func(ctx context.Context, _ int, job Job, reg *telemetry.Registry) (Result, error) {
-			r, err := runJob(job, reg, pool)
+			tc := cellContext(job.Index, job)
+			end := tc.Begin("simulate")
+			r, err := runJob(job, reg, pool, tc)
+			end(telemetry.Attr{Key: "outcome", Value: outcomeOf(err)})
 			if err == nil {
 				recordJobMetrics(reg, r)
 			}
@@ -219,6 +232,7 @@ func RunGrid(ctx context.Context, g Grid, opts Options) ([]Result, error) {
 		progMu.Unlock()
 	}
 	repResults, err := Map(ctx, reps, inner, func(ctx context.Context, ci int, job Job, _ *telemetry.Registry) (Result, error) {
+		tc := cellContext(ci, job)
 		// Disk tier: a representative whose cell is already stored skips
 		// simulation entirely. The blob carries the cell's telemetry
 		// snapshot, so hits and misses contribute identical metric merges.
@@ -229,15 +243,21 @@ func RunGrid(ctx context.Context, g Grid, opts Options) ([]Result, error) {
 				return Result{}, err
 			}
 			key = k
+			endGet := tc.Begin("store.get")
 			payload, ok, err := opts.Store.Get(key)
 			if err != nil {
+				endGet(telemetry.Attr{Key: "outcome", Value: "error"})
 				return Result{}, err
 			}
 			if ok {
 				r, reg, derr := decodeBlob(job, payload)
 				if derr == nil {
+					endGet(telemetry.Attr{Key: "outcome", Value: "hit"})
 					if opts.VerifyStore && auditHit(key) {
-						if verr := verifyStoredHit(job, key, payload, pool); verr != nil {
+						endVerify := tc.Begin("store.verify")
+						verr := verifyStoredHit(job, key, payload, pool)
+						endVerify(telemetry.Attr{Key: "outcome", Value: outcomeOf(verr)})
+						if verr != nil {
 							return Result{}, verr
 						}
 					}
@@ -250,9 +270,12 @@ func RunGrid(ctx context.Context, g Grid, opts Options) ([]Result, error) {
 				// Framing-valid but undecodable (e.g. a schema the key
 				// somehow admitted): quarantine and fall through to
 				// simulate.
+				endGet(telemetry.Attr{Key: "outcome", Value: "quarantined"})
 				if qerr := opts.Store.Quarantine(key); qerr != nil {
 					return Result{}, qerr
 				}
+			} else {
+				endGet(telemetry.Attr{Key: "outcome", Value: "miss"})
 			}
 		}
 		var reg *telemetry.Registry
@@ -264,7 +287,9 @@ func RunGrid(ctx context.Context, g Grid, opts Options) ([]Result, error) {
 		if repRegs != nil {
 			repRegs[ci] = reg
 		}
-		r, err := runJob(job, reg, pool)
+		endSim := tc.Begin("simulate", telemetry.Attr{Key: "replicas", Value: fmt.Sprint(len(classes[ci]))})
+		r, err := runJob(job, reg, pool, tc)
+		endSim(telemetry.Attr{Key: "outcome", Value: outcomeOf(err)})
 		if err != nil {
 			return r, err
 		}
@@ -273,7 +298,10 @@ func RunGrid(ctx context.Context, g Grid, opts Options) ([]Result, error) {
 			if err != nil {
 				return Result{}, err
 			}
-			if err := opts.Store.Put(key, payload); err != nil {
+			endPut := tc.Begin("store.put")
+			err = opts.Store.Put(key, payload)
+			endPut(telemetry.Attr{Key: "outcome", Value: outcomeOf(err)})
+			if err != nil {
 				return Result{}, err
 			}
 		}
@@ -332,7 +360,7 @@ func verifyMemo(ctx context.Context, jobs []Job, classes [][]int, results []Resu
 		return nil
 	}
 	fresh, err := Map(ctx, checks, opts, func(ctx context.Context, _ int, job Job, _ *telemetry.Registry) (Result, error) {
-		return runJob(job, nil, pool)
+		return runJob(job, nil, pool, telemetry.TraceContext{})
 	})
 	if err != nil {
 		return err
@@ -446,11 +474,24 @@ func chipFor(name string) (arch.ChipConfig, arch.Precision, error) {
 	return arch.ChipConfig{}, 0, fmt.Errorf("sweep: unknown arch %q (want %s)", name, strings.Join(Archs(), ", "))
 }
 
+// outcomeOf renders an error as a span outcome attribute value.
+func outcomeOf(err error) string {
+	if err != nil {
+		return "error"
+	}
+	return "ok"
+}
+
 // runJob compiles and simulates one grid point. Inputs are seeded from the
 // same fixed PRNG stream per job spec, so a job's result depends only on its
 // spec — never on which worker ran it or when. That purity is what both the
 // cross-parallelism determinism guarantee and cell memoization rest on.
-func runJob(job Job, reg *telemetry.Registry, pool *machinePool) (Result, error) {
+//
+// tc, when enabled, receives the simulator's per-tile op spans into the
+// cell's trace lane (cycle timestamps on "comp[...]"/"mem[...]" tracks under
+// the lane prefix). Cycle streams are deterministic per spec, so traced
+// spans never break cross-parallelism determinism.
+func runJob(job Job, reg *telemetry.Registry, pool *machinePool, tc telemetry.TraceContext) (Result, error) {
 	fail := func(err error) (Result, error) {
 		return Result{}, fmt.Errorf("sweep: %s: %w", job.Name(), err)
 	}
@@ -478,6 +519,9 @@ func runJob(job Job, reg *telemetry.Registry, pool *machinePool) (Result, error)
 	defer pool.put(poolKey, m)
 	if reg != nil {
 		m.SetMetrics(reg)
+	}
+	if tc.Enabled() {
+		m.SetSpanSink(tc)
 	}
 	if err := c.Install(m); err != nil {
 		return fail(err)

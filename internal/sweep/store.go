@@ -168,7 +168,7 @@ func auditHit(key string) bool {
 // was silently altered without breaking its CRC), and fails the sweep.
 func verifyStoredHit(job Job, key string, payload []byte, pool *machinePool) error {
 	reg := telemetry.NewRegistry()
-	r, err := runJob(job, reg, pool)
+	r, err := runJob(job, reg, pool, telemetry.TraceContext{})
 	if err != nil {
 		return fmt.Errorf("sweep: store verify of %s: %w", job.Name(), err)
 	}

@@ -70,6 +70,12 @@ type Options struct {
 	// and byte-compares the stored blob against a fresh encoding, failing
 	// the sweep on any difference — the disk extension of VerifyMemo.
 	VerifyStore bool
+	// Trace, when non-nil, collects one job-scoped span timeline across the
+	// whole sweep: per-cell store-lookup/simulate/store-write spans plus the
+	// simulator's own per-tile op spans, each cell on its own deterministic
+	// lane (see telemetry.JobTrace). Lanes are keyed by cell class index, so
+	// the assembled trace is identical at any Workers count.
+	Trace *telemetry.JobTrace
 }
 
 func (o Options) workers(n int) int {

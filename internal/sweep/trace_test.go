@@ -1,0 +1,117 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"scaledeep/internal/store"
+	"scaledeep/internal/telemetry"
+)
+
+// traceGrid is a small grid with a duplicate axis value, so the memo path
+// has both a multi-member class and distinct cells.
+func traceGrid() Grid {
+	return Grid{
+		Workloads:   []string{"simnet"},
+		Archs:       []string{"baseline", "baseline"},
+		Minibatches: []int{1, 2},
+		Modes:       []string{"eval"},
+	}
+}
+
+// fixedClock freezes wall time so assembled traces depend only on the spec.
+func fixedClock() func() time.Time {
+	at := time.Unix(1_700_000_000, 0)
+	return func() time.Time { return at }
+}
+
+func spansByName(spans []telemetry.Span) map[string]int {
+	out := map[string]int{}
+	for _, s := range spans {
+		out[s.Name]++
+	}
+	return out
+}
+
+func TestRunGridTraceRecordsCellSpans(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	jt := telemetry.NewJobTrace("sweep", 0, fixedClock())
+	if _, err := RunGrid(context.Background(), traceGrid(), Options{Store: st, Trace: jt}); err != nil {
+		t.Fatal(err)
+	}
+	spans := jt.Assemble()
+	byName := spansByName(spans)
+	// Two distinct cells (mb1, mb2): each misses the store, simulates, and
+	// writes back.
+	if byName["store.get"] != 2 || byName["simulate"] != 2 || byName["store.put"] != 2 {
+		t.Fatalf("first-run span counts = %v, want 2× store.get/simulate/store.put", byName)
+	}
+	var hit, miss int
+	for _, s := range spans {
+		if s.Name != "store.get" {
+			continue
+		}
+		for _, a := range s.Attrs {
+			if a.Key == "outcome" {
+				switch a.Value {
+				case "hit":
+					hit++
+				case "miss":
+					miss++
+				}
+			}
+		}
+	}
+	if miss != 2 || hit != 0 {
+		t.Errorf("first run store.get outcomes: %d miss %d hit, want 2/0", miss, hit)
+	}
+	// Simulator spans land on prefixed per-tile tracks inside the cell lane.
+	simTracks := 0
+	for _, s := range spans {
+		if len(s.Track) > 5 && s.Track[:5] == "cell/" && bytes.Contains([]byte(s.Track), []byte("comp[")) {
+			simTracks++
+		}
+	}
+	if simTracks == 0 {
+		t.Error("no simulator op spans reached the cell lanes")
+	}
+
+	// Second run over the same store: every cell is a hit, nothing simulates.
+	jt2 := telemetry.NewJobTrace("sweep", 0, fixedClock())
+	if _, err := RunGrid(context.Background(), traceGrid(), Options{Store: st, Trace: jt2}); err != nil {
+		t.Fatal(err)
+	}
+	byName2 := spansByName(jt2.Assemble())
+	if byName2["store.get"] != 2 || byName2["simulate"] != 0 || byName2["store.put"] != 0 {
+		t.Errorf("second-run span counts = %v, want 2× store.get only", byName2)
+	}
+}
+
+func TestRunGridTraceDeterministicAcrossWorkers(t *testing.T) {
+	assemble := func(workers int) []byte {
+		jt := telemetry.NewJobTrace("sweep", 0, fixedClock())
+		if _, err := RunGrid(context.Background(), traceGrid(), Options{Workers: workers, Trace: jt}); err != nil {
+			t.Fatal(err)
+		}
+		data, err := telemetry.MarshalChromeTraceMeta(jt.Assemble(), telemetry.TraceMeta{Process: "sweep"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	one := assemble(1)
+	for _, workers := range []int{2, 4} {
+		if got := assemble(workers); !bytes.Equal(got, one) {
+			t.Errorf("assembled trace at %d workers differs from serial (%d vs %d bytes)",
+				workers, len(got), len(one))
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"io"
 	"sort"
+	"strconv"
 )
 
 // ChromeEvent is one entry of the Chrome trace-event format (the JSON array
@@ -22,12 +23,30 @@ type ChromeEvent struct {
 // chromePid is the single synthetic process all tracks live under.
 const chromePid = 1
 
+// TraceMeta annotates a Chrome export with document-level metadata events.
+type TraceMeta struct {
+	// Process names the synthetic process (shown as the process row in
+	// Perfetto) — job traces put the job ID here.
+	Process string
+	// DroppedSpans is the producer's eviction count. When non-zero the
+	// export carries a "trace.dropped_spans" metadata event, so a truncated
+	// trace is detectable from the file itself instead of silently
+	// misleading.
+	DroppedSpans int64
+}
+
 // ChromeTrace converts spans to Chrome trace events. Each distinct track
 // becomes one thread (tid assigned by sorted track name, announced with a
 // thread_name metadata event); spans are emitted in ascending start order.
 // Negative starts or durations are clamped to 0 so the output always
 // satisfies the viewer's expectations.
 func ChromeTrace(spans []Span) []ChromeEvent {
+	return ChromeTraceMeta(spans, TraceMeta{})
+}
+
+// ChromeTraceMeta is ChromeTrace plus document metadata (process name,
+// dropped-span accounting).
+func ChromeTraceMeta(spans []Span, meta TraceMeta) []ChromeEvent {
 	tracks := map[string]int{}
 	for _, s := range spans {
 		tracks[s.Track] = 0
@@ -37,7 +56,19 @@ func ChromeTrace(spans []Span) []ChromeEvent {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	events := make([]ChromeEvent, 0, len(spans)+len(names))
+	events := make([]ChromeEvent, 0, len(spans)+len(names)+2)
+	if meta.Process != "" {
+		events = append(events, ChromeEvent{
+			Name: "process_name", Ph: "M", Pid: chromePid,
+			Args: map[string]string{"name": meta.Process},
+		})
+	}
+	if meta.DroppedSpans != 0 {
+		events = append(events, ChromeEvent{
+			Name: "trace.dropped_spans", Ph: "M", Pid: chromePid,
+			Args: map[string]string{"dropped": strconv.FormatInt(meta.DroppedSpans, 10)},
+		})
+	}
 	for i, name := range names {
 		tracks[name] = i + 1
 		events = append(events, ChromeEvent{
@@ -75,9 +106,20 @@ func MarshalChromeTrace(spans []Span) ([]byte, error) {
 	return json.Marshal(ChromeTrace(spans))
 }
 
+// MarshalChromeTraceMeta renders spans plus document metadata.
+func MarshalChromeTraceMeta(spans []Span, meta TraceMeta) ([]byte, error) {
+	return json.Marshal(ChromeTraceMeta(spans, meta))
+}
+
 // WriteChromeTrace writes the Chrome trace-event JSON array for spans to w.
 func WriteChromeTrace(w io.Writer, spans []Span) error {
-	data, err := MarshalChromeTrace(spans)
+	return WriteChromeTraceMeta(w, spans, TraceMeta{})
+}
+
+// WriteChromeTraceMeta writes the Chrome trace-event JSON array for spans,
+// annotated with document metadata, to w.
+func WriteChromeTraceMeta(w io.Writer, spans []Span, meta TraceMeta) error {
+	data, err := MarshalChromeTraceMeta(spans, meta)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,129 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"html"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Flight recorder: a bounded ring of recent job summaries for post-mortems.
+// Job state in the server is evicted once the job table fills, but the
+// flight recorder keeps a compact latency-breakdown record of the last N
+// jobs regardless — "what happened to job-000137 last night" stays
+// answerable from /statusz after the job itself is gone.
+
+// JobSummary is one completed (or failed/cancelled) job's post-mortem
+// record: identity, outcome, and the latency breakdown.
+type JobSummary struct {
+	ID         string    `json:"id"`
+	Client     string    `json:"client,omitempty"`
+	SpecDigest string    `json:"spec_digest,omitempty"` // compact human-readable spec
+	Outcome    string    `json:"outcome"`               // done | failed | cancelled
+	Error      string    `json:"error,omitempty"`
+	Cells      int       `json:"cells,omitempty"` // grid cells in the job
+	Submitted  time.Time `json:"submitted"`
+	QueueMS    int64     `json:"queue_ms"`  // submit → dequeue
+	RunMS      int64     `json:"run_ms"`    // sweep execution
+	RenderMS   int64     `json:"render_ms"` // result rendering + merge
+	TotalMS    int64     `json:"total_ms"`  // submit → terminal state
+}
+
+// FlightRecorder keeps the most recent capacity job summaries.
+type FlightRecorder struct {
+	mu    sync.Mutex
+	buf   []JobSummary
+	head  int
+	n     int
+	total int64
+}
+
+// NewFlightRecorder returns a recorder keeping at most capacity summaries
+// (<= 0 selects 64).
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return &FlightRecorder{buf: make([]JobSummary, capacity)}
+}
+
+// Record appends one summary, evicting the oldest when full.
+func (fr *FlightRecorder) Record(s JobSummary) {
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	fr.buf[(fr.head+fr.n)%len(fr.buf)] = s
+	if fr.n < len(fr.buf) {
+		fr.n++
+	} else {
+		fr.head = (fr.head + 1) % len(fr.buf)
+	}
+	fr.total++
+}
+
+// Summaries returns the retained summaries, most recent first.
+func (fr *FlightRecorder) Summaries() []JobSummary {
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	out := make([]JobSummary, 0, fr.n)
+	for i := fr.n - 1; i >= 0; i-- {
+		out = append(out, fr.buf[(fr.head+i)%len(fr.buf)])
+	}
+	return out
+}
+
+// Total reports how many summaries were ever recorded (including evicted).
+func (fr *FlightRecorder) Total() int64 {
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	return fr.total
+}
+
+// statuszDoc is the JSON shape of /statusz.
+type statuszDoc struct {
+	Retained int          `json:"retained"`
+	Total    int64        `json:"total"`
+	Jobs     []JobSummary `json:"jobs"`
+}
+
+// ServeHTTP renders the recorder as JSON (default, or Accept: application/
+// json) or as a human-readable HTML table (Accept: text/html, ?format=html)
+// — the post-mortem view for browsers.
+func (fr *FlightRecorder) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	wantHTML := r.URL.Query().Get("format") == "html"
+	if !wantHTML && r.URL.Query().Get("format") == "" {
+		accept := r.Header.Get("Accept")
+		wantHTML = strings.Contains(accept, "text/html") && !strings.Contains(accept, "application/json")
+	}
+	jobs := fr.Summaries()
+	if !wantHTML {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(statuszDoc{Retained: len(jobs), Total: fr.Total(), Jobs: jobs})
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html><html><head><title>statusz</title><style>" +
+		"body{font-family:monospace}table{border-collapse:collapse}" +
+		"td,th{border:1px solid #999;padding:2px 8px;text-align:right}" +
+		"td:first-child,th:first-child,td.l,th.l{text-align:left}" +
+		"tr.failed{background:#fdd}tr.cancelled{background:#eee}" +
+		"</style></head><body>\n")
+	fmt.Fprintf(&b, "<h1>recent jobs</h1><p>%d retained of %d total</p>\n", len(jobs), fr.Total())
+	b.WriteString("<table><tr><th>id</th><th class=l>client</th><th class=l>spec</th>" +
+		"<th class=l>outcome</th><th>cells</th><th>queue ms</th><th>run ms</th>" +
+		"<th>render ms</th><th>total ms</th><th class=l>submitted</th><th class=l>error</th></tr>\n")
+	for _, j := range jobs {
+		fmt.Fprintf(&b,
+			"<tr class=%q><td>%s</td><td class=l>%s</td><td class=l>%s</td><td class=l>%s</td>"+
+				"<td>%d</td><td>%d</td><td>%d</td><td>%d</td><td>%d</td><td class=l>%s</td><td class=l>%s</td></tr>\n",
+			j.Outcome, html.EscapeString(j.ID), html.EscapeString(j.Client),
+			html.EscapeString(j.SpecDigest), html.EscapeString(j.Outcome),
+			j.Cells, j.QueueMS, j.RunMS, j.RenderMS, j.TotalMS,
+			j.Submitted.UTC().Format(time.RFC3339), html.EscapeString(j.Error))
+	}
+	b.WriteString("</table></body></html>\n")
+	w.Write([]byte(b.String()))
+}

@@ -1,0 +1,90 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFlightRecorderEvictsOldest(t *testing.T) {
+	fr := NewFlightRecorder(3)
+	for i := 0; i < 5; i++ {
+		fr.Record(JobSummary{ID: fmt.Sprintf("job-%d", i), Outcome: "done"})
+	}
+	got := fr.Summaries()
+	if len(got) != 3 {
+		t.Fatalf("retained = %d, want 3", len(got))
+	}
+	// Most recent first.
+	for i, want := range []string{"job-4", "job-3", "job-2"} {
+		if got[i].ID != want {
+			t.Errorf("summaries[%d] = %s, want %s", i, got[i].ID, want)
+		}
+	}
+	if fr.Total() != 5 {
+		t.Errorf("total = %d, want 5", fr.Total())
+	}
+}
+
+func TestFlightRecorderStatuszJSON(t *testing.T) {
+	fr := NewFlightRecorder(8)
+	fr.Record(JobSummary{
+		ID: "job-000001", Client: "ci", SpecDigest: "zoo:mlp net=mlp",
+		Outcome: "done", Cells: 4, Submitted: time.Unix(1_700_000_000, 0).UTC(),
+		QueueMS: 3, RunMS: 800, RenderMS: 9, TotalMS: 812,
+	})
+	req := httptest.NewRequest("GET", "/statusz", nil)
+	rec := httptest.NewRecorder()
+	fr.ServeHTTP(rec, req)
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type = %q", ct)
+	}
+	var doc struct {
+		Retained int          `json:"retained"`
+		Total    int64        `json:"total"`
+		Jobs     []JobSummary `json:"jobs"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Retained != 1 || doc.Total != 1 || len(doc.Jobs) != 1 {
+		t.Fatalf("doc = %+v", doc)
+	}
+	j := doc.Jobs[0]
+	if j.ID != "job-000001" || j.QueueMS != 3 || j.RunMS != 800 || j.TotalMS != 812 {
+		t.Errorf("job summary = %+v", j)
+	}
+}
+
+func TestFlightRecorderStatuszHTML(t *testing.T) {
+	fr := NewFlightRecorder(8)
+	fr.Record(JobSummary{ID: "job-1", Outcome: "failed", Error: `bad <spec> & "quotes"`})
+	req := httptest.NewRequest("GET", "/statusz?format=html", nil)
+	rec := httptest.NewRecorder()
+	fr.ServeHTTP(rec, req)
+	body := rec.Body.String()
+	if !strings.Contains(rec.Header().Get("Content-Type"), "text/html") {
+		t.Errorf("content type = %q", rec.Header().Get("Content-Type"))
+	}
+	if !strings.Contains(body, "<table>") || !strings.Contains(body, "job-1") {
+		t.Errorf("HTML body missing table or job row:\n%s", body)
+	}
+	if strings.Contains(body, "<spec>") {
+		t.Error("error text not HTML-escaped")
+	}
+	if !strings.Contains(body, "&lt;spec&gt;") {
+		t.Error("escaped error text missing")
+	}
+
+	// Accept header also selects HTML.
+	req = httptest.NewRequest("GET", "/statusz", nil)
+	req.Header.Set("Accept", "text/html,application/xhtml+xml")
+	rec = httptest.NewRecorder()
+	fr.ServeHTTP(rec, req)
+	if !strings.Contains(rec.Header().Get("Content-Type"), "text/html") {
+		t.Errorf("Accept: text/html served %q", rec.Header().Get("Content-Type"))
+	}
+}

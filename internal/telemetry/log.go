@@ -1,0 +1,64 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"strings"
+)
+
+// Structured lifecycle logging for the service layer: one JSON line per
+// event (job accepted/started/cell done/evicted/errored), emitted through a
+// stdlib slog JSONHandler. The schema is flat and stable:
+//
+//	{"time":"...","level":"INFO","msg":"job.done",
+//	 "job":"job-000001","client":"ci","cells":4,"duration_ms":812}
+//
+// Every event names its subject with "msg" (dotted event name) and carries
+// the job ID under "job" where one exists. CLIs expose the sink via
+// -log-out (path, "-" for stderr; empty disables) and -log-level.
+
+// ParseLogLevel maps a -log-level flag value onto a slog.Level.
+func ParseLogLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "debug":
+		return slog.LevelDebug, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("telemetry: unknown log level %q (want debug, info, warn or error)", s)
+}
+
+// NewLogger builds a JSON-line logger writing to w at the given level.
+func NewLogger(w io.Writer, level slog.Level) *slog.Logger {
+	return slog.New(slog.NewJSONHandler(w, &slog.HandlerOptions{Level: level}))
+}
+
+// OpenLogger builds the logger behind the -log-out/-log-level flag pair:
+// out is a file path ("-" means stderr; "" disables logging and returns a
+// nil logger, which every consumer treats as off). The returned close
+// function flushes and closes the underlying file (a no-op for stderr and
+// the disabled case).
+func OpenLogger(out, level string) (*slog.Logger, func() error, error) {
+	nop := func() error { return nil }
+	if out == "" {
+		return nil, nop, nil
+	}
+	lvl, err := ParseLogLevel(level)
+	if err != nil {
+		return nil, nop, err
+	}
+	if out == "-" {
+		return NewLogger(os.Stderr, lvl), nop, nil
+	}
+	f, err := os.OpenFile(out, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nop, fmt.Errorf("telemetry: open log file: %w", err)
+	}
+	return NewLogger(f, lvl), f.Close, nil
+}

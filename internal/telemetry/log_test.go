@@ -1,0 +1,104 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseLogLevel(t *testing.T) {
+	cases := map[string]slog.Level{
+		"":        slog.LevelInfo,
+		"info":    slog.LevelInfo,
+		"INFO":    slog.LevelInfo,
+		"debug":   slog.LevelDebug,
+		"warn":    slog.LevelWarn,
+		"warning": slog.LevelWarn,
+		"error":   slog.LevelError,
+		" error ": slog.LevelError,
+	}
+	for in, want := range cases {
+		got, err := ParseLogLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLogLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLogLevel("loud"); err == nil {
+		t.Error("ParseLogLevel accepted bogus level")
+	}
+}
+
+func TestNewLoggerEmitsJSONLines(t *testing.T) {
+	var buf bytes.Buffer
+	lg := NewLogger(&buf, slog.LevelInfo)
+	lg.Info("job.done", "job", "job-000001", "client", "ci", "cells", 4, "duration_ms", 812)
+	lg.Debug("cell.done", "job", "job-000001") // below level, suppressed
+
+	lines := bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n"))
+	if len(lines) != 1 {
+		t.Fatalf("log lines = %d, want 1 (debug suppressed); out: %s", len(lines), buf.String())
+	}
+	var rec map[string]any
+	if err := json.Unmarshal(lines[0], &rec); err != nil {
+		t.Fatalf("log line is not JSON: %v", err)
+	}
+	if rec["msg"] != "job.done" || rec["job"] != "job-000001" || rec["cells"] != float64(4) {
+		t.Errorf("log record = %v", rec)
+	}
+	if _, ok := rec["time"]; !ok {
+		t.Error("log record missing time")
+	}
+}
+
+func TestOpenLogger(t *testing.T) {
+	// Empty path disables.
+	lg, closeFn, err := OpenLogger("", "debug")
+	if err != nil || lg != nil {
+		t.Errorf("OpenLogger(\"\") = %v, %v; want nil logger", lg, err)
+	}
+	if err := closeFn(); err != nil {
+		t.Errorf("disabled close: %v", err)
+	}
+
+	// Bad level errors.
+	if _, _, err := OpenLogger("-", "loud"); err == nil {
+		t.Error("OpenLogger accepted bogus level")
+	}
+
+	// File path appends JSON lines.
+	path := filepath.Join(t.TempDir(), "svc.log")
+	lg, closeFn, err = OpenLogger(path, "info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("job.accepted", "job", "job-000002")
+	if err := closeFn(); err != nil {
+		t.Fatal(err)
+	}
+	// Re-open appends rather than truncating.
+	lg, closeFn, err = OpenLogger(path, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("job.done", "job", "job-000002")
+	if err := closeFn(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(data), []byte("\n"))
+	if len(lines) != 2 {
+		t.Fatalf("log file lines = %d, want 2; contents: %s", len(lines), data)
+	}
+	for _, line := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal(line, &rec); err != nil {
+			t.Errorf("line %q is not JSON: %v", line, err)
+		}
+	}
+}

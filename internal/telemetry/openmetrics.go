@@ -1,0 +1,481 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// OpenMetrics text exposition of a registry snapshot, plus the validating
+// parser the tests and CI use in place of promtool. The dialect is the
+// OpenMetrics 1.0 subset Prometheus scrapes: one `# TYPE` line per family,
+// counters exposed as `<name>_total`, histograms as cumulative `_bucket`
+// series with `le` labels plus `_sum`/`_count`, and a final `# EOF`.
+// Metric names are the registry's dotted names with every character outside
+// [a-zA-Z0-9_:] mapped to '_' (sim.op.cycles → sim_op_cycles); quantiles
+// are NOT exposed as synthetic series — scrape consumers derive them from
+// the buckets, and in-process consumers call Histogram.Quantile.
+
+// OpenMetricsContentType is the content type of the exposition format.
+const OpenMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// sanitizeMetricName maps a registry metric name onto the OpenMetrics
+// grammar: [a-zA-Z_:][a-zA-Z0-9_:]*.
+func sanitizeMetricName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// escapeLabelValue escapes a label value per the exposition format.
+func escapeLabelValue(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// formatLabels renders a label map (plus optional extra pairs) as
+// {k="v",...} with keys sorted; empty input renders as "".
+func formatLabels(labels map[string]string, extra ...Label) string {
+	if len(labels) == 0 && len(extra) == 0 {
+		return ""
+	}
+	pairs := make([]Label, 0, len(labels)+len(extra))
+	for k, v := range labels {
+		pairs = append(pairs, Label{Key: k, Value: v})
+	}
+	pairs = append(pairs, extra...)
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].Key < pairs[j].Key })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(sanitizeMetricName(p.Key))
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(p.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatOMValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteOpenMetrics renders a snapshot in OpenMetrics text format. Families
+// are emitted counters-first, then gauges, then histograms, each sorted by
+// name (the snapshot is already sorted), so the output is deterministic for
+// a given snapshot. The exposition always ends with "# EOF".
+func WriteOpenMetrics(w io.Writer, s Snapshot) error {
+	bw := bufio.NewWriter(w)
+
+	emitType := func(emitted map[string]bool, name, kind string) {
+		if !emitted[name] {
+			emitted[name] = true
+			fmt.Fprintf(bw, "# TYPE %s %s\n", name, kind)
+		}
+	}
+
+	counters := map[string]bool{}
+	for _, c := range s.Counters {
+		name := sanitizeMetricName(c.Name)
+		emitType(counters, name, "counter")
+		fmt.Fprintf(bw, "%s_total%s %d\n", name, formatLabels(c.Labels), c.Value)
+	}
+	gauges := map[string]bool{}
+	for _, g := range s.Gauges {
+		name := sanitizeMetricName(g.Name)
+		emitType(gauges, name, "gauge")
+		fmt.Fprintf(bw, "%s%s %s\n", name, formatLabels(g.Labels), formatOMValue(g.Value))
+	}
+	hists := map[string]bool{}
+	for _, h := range s.Histograms {
+		name := sanitizeMetricName(h.Name)
+		emitType(hists, name, "histogram")
+		var cum int64
+		for _, b := range h.Buckets {
+			cum += b.Count
+			le := b.LE // bounds are already decimal strings; +Inf passes through
+			fmt.Fprintf(bw, "%s_bucket%s %d\n", name,
+				formatLabels(h.Labels, Label{Key: "le", Value: le}), cum)
+		}
+		fmt.Fprintf(bw, "%s_sum%s %s\n", name, formatLabels(h.Labels), formatOMValue(h.Sum))
+		fmt.Fprintf(bw, "%s_count%s %d\n", name, formatLabels(h.Labels), h.Count)
+	}
+	fmt.Fprint(bw, "# EOF\n")
+	return bw.Flush()
+}
+
+// OMSample is one parsed sample line.
+type OMSample struct {
+	Name   string // full sample name including _total/_bucket/_sum/_count suffix
+	Labels map[string]string
+	Value  float64
+}
+
+// OMFamily is one parsed metric family.
+type OMFamily struct {
+	Name    string // family name (no suffix)
+	Type    string // counter | gauge | histogram
+	Samples []OMSample
+}
+
+// ParseOpenMetrics validates an OpenMetrics text document and returns its
+// families in exposition order. It enforces the invariants the exposition
+// above relies on — and the ones a scraper would choke on:
+//
+//   - every sample belongs to the family declared by the preceding # TYPE
+//     line, with only the suffixes its type allows;
+//   - no family is declared twice;
+//   - counter values are non-negative and counter samples carry _total;
+//   - histogram bucket series are cumulative (non-decreasing in le order),
+//     end with le="+Inf", and agree with _count;
+//   - the document ends with exactly one "# EOF" line.
+//
+// This is the in-repo stand-in for promtool check metrics: strict enough to
+// catch malformed output, dependency-free.
+func ParseOpenMetrics(data []byte) ([]OMFamily, error) {
+	lines := strings.Split(string(data), "\n")
+	if len(lines) > 0 && lines[len(lines)-1] == "" {
+		lines = lines[:len(lines)-1] // trailing newline
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("openmetrics: empty document")
+	}
+	if lines[len(lines)-1] != "# EOF" {
+		return nil, fmt.Errorf("openmetrics: document does not end with # EOF")
+	}
+	lines = lines[:len(lines)-1]
+
+	var (
+		families []OMFamily
+		cur      *OMFamily
+		seen     = map[string]bool{}
+	)
+	finish := func() error {
+		if cur == nil {
+			return nil
+		}
+		if err := checkFamily(*cur); err != nil {
+			return err
+		}
+		families = append(families, *cur)
+		cur = nil
+		return nil
+	}
+	for n, line := range lines {
+		lineNo := n + 1
+		switch {
+		case line == "":
+			return nil, fmt.Errorf("openmetrics: line %d: blank line", lineNo)
+		case strings.HasPrefix(line, "# TYPE "):
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("openmetrics: line %d: malformed TYPE line %q", lineNo, line)
+			}
+			name, kind := fields[2], fields[3]
+			switch kind {
+			case "counter", "gauge", "histogram":
+			default:
+				return nil, fmt.Errorf("openmetrics: line %d: unsupported type %q", lineNo, kind)
+			}
+			if seen[name] {
+				return nil, fmt.Errorf("openmetrics: line %d: family %q declared twice", lineNo, name)
+			}
+			seen[name] = true
+			if err := finish(); err != nil {
+				return nil, err
+			}
+			cur = &OMFamily{Name: name, Type: kind}
+		case strings.HasPrefix(line, "# HELP "), strings.HasPrefix(line, "# UNIT "):
+			// Accepted, not retained.
+		case strings.HasPrefix(line, "#"):
+			return nil, fmt.Errorf("openmetrics: line %d: stray comment %q (only TYPE/HELP/UNIT/EOF allowed)", lineNo, line)
+		default:
+			s, err := parseSampleLine(line)
+			if err != nil {
+				return nil, fmt.Errorf("openmetrics: line %d: %v", lineNo, err)
+			}
+			if cur == nil {
+				return nil, fmt.Errorf("openmetrics: line %d: sample %q before any # TYPE", lineNo, s.Name)
+			}
+			if !sampleBelongs(cur.Name, cur.Type, s.Name) {
+				return nil, fmt.Errorf("openmetrics: line %d: sample %q does not belong to %s family %q",
+					lineNo, s.Name, cur.Type, cur.Name)
+			}
+			cur.Samples = append(cur.Samples, s)
+		}
+	}
+	if err := finish(); err != nil {
+		return nil, err
+	}
+	if len(families) == 0 {
+		return nil, fmt.Errorf("openmetrics: no metric families")
+	}
+	return families, nil
+}
+
+// sampleBelongs reports whether sample name is valid inside a family of the
+// given type.
+func sampleBelongs(family, kind, sample string) bool {
+	switch kind {
+	case "counter":
+		return sample == family+"_total"
+	case "gauge":
+		return sample == family
+	case "histogram":
+		switch sample {
+		case family + "_bucket", family + "_sum", family + "_count":
+			return true
+		}
+	}
+	return false
+}
+
+// parseSampleLine parses `name{labels} value` (labels optional).
+func parseSampleLine(line string) (OMSample, error) {
+	s := OMSample{Labels: map[string]string{}}
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	if brace >= 0 {
+		s.Name = rest[:brace]
+		// The closing brace must be found quote-aware: label values may
+		// contain '}' (e.g. route="GET /jobs/{id}").
+		end := labelSetEnd(rest, brace+1)
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels, err := parseLabelSet(rest[brace+1 : end])
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = strings.TrimSpace(rest[end+1:])
+	} else {
+		sp := strings.IndexByte(rest, ' ')
+		if sp < 0 {
+			return s, fmt.Errorf("sample line %q has no value", line)
+		}
+		s.Name = rest[:sp]
+		rest = strings.TrimSpace(rest[sp+1:])
+	}
+	if s.Name == "" || !validMetricName(s.Name) {
+		return s, fmt.Errorf("invalid sample name %q", s.Name)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 { // optional timestamp
+		return s, fmt.Errorf("sample line %q has %d value fields", line, len(fields))
+	}
+	v, err := parseOMValue(fields[0])
+	if err != nil {
+		return s, fmt.Errorf("sample %q: bad value %q", s.Name, fields[0])
+	}
+	s.Value = v
+	return s, nil
+}
+
+// labelSetEnd returns the index of the '}' closing a label set that starts
+// at s[from], skipping braces inside quoted label values; -1 if unclosed.
+func labelSetEnd(s string, from int) int {
+	inQuote := false
+	for i := from; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if inQuote {
+				i++ // skip the escaped byte
+			}
+		case '"':
+			inQuote = !inQuote
+		case '}':
+			if !inQuote {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+func parseOMValue(f string) (float64, error) {
+	switch f {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(f, 64)
+}
+
+func validMetricName(name string) bool {
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if !ok {
+			return false
+		}
+	}
+	return name != ""
+}
+
+// parseLabelSet parses `k="v",k2="v2"` handling escaped quotes/backslashes.
+func parseLabelSet(s string) (map[string]string, error) {
+	labels := map[string]string{}
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("label set %q: missing =", s)
+		}
+		key := s[:eq]
+		if !validMetricName(key) {
+			return nil, fmt.Errorf("invalid label name %q", key)
+		}
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return nil, fmt.Errorf("label %q: unquoted value", key)
+		}
+		s = s[1:]
+		var val strings.Builder
+		closed := false
+		for i := 0; i < len(s); i++ {
+			c := s[i]
+			if c == '\\' && i+1 < len(s) {
+				i++
+				switch s[i] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(s[i])
+				}
+				continue
+			}
+			if c == '"' {
+				s = s[i+1:]
+				closed = true
+				break
+			}
+			val.WriteByte(c)
+		}
+		if !closed {
+			return nil, fmt.Errorf("label %q: unterminated value", key)
+		}
+		if _, dup := labels[key]; dup {
+			return nil, fmt.Errorf("label %q repeated", key)
+		}
+		labels[key] = val.String()
+		if len(s) > 0 {
+			if s[0] != ',' {
+				return nil, fmt.Errorf("label set: expected , got %q", s)
+			}
+			s = s[1:]
+		}
+	}
+	return labels, nil
+}
+
+// checkFamily enforces per-type value invariants after a family closes.
+func checkFamily(f OMFamily) error {
+	switch f.Type {
+	case "counter":
+		for _, s := range f.Samples {
+			if s.Value < 0 {
+				return fmt.Errorf("openmetrics: counter %s has negative value %v", f.Name, s.Value)
+			}
+		}
+	case "histogram":
+		// Group bucket series by their non-le labels and check each group:
+		// cumulative in le order (exposition order), +Inf present and equal
+		// to the matching _count.
+		type group struct {
+			lastCum  float64
+			lastLE   float64
+			hasInf   bool
+			infValue float64
+			n        int
+		}
+		groups := map[string]*group{}
+		counts := map[string]float64{}
+		groupKey := func(labels map[string]string) string {
+			keys := make([]string, 0, len(labels))
+			for k := range labels {
+				if k != "le" {
+					keys = append(keys, k)
+				}
+			}
+			sort.Strings(keys)
+			var b strings.Builder
+			for _, k := range keys {
+				fmt.Fprintf(&b, "%s=%q;", k, labels[k])
+			}
+			return b.String()
+		}
+		for _, s := range f.Samples {
+			switch s.Name {
+			case f.Name + "_bucket":
+				le, ok := s.Labels["le"]
+				if !ok {
+					return fmt.Errorf("openmetrics: histogram %s bucket without le label", f.Name)
+				}
+				bound, err := parseOMValue(le)
+				if err != nil {
+					return fmt.Errorf("openmetrics: histogram %s: bad le %q", f.Name, le)
+				}
+				k := groupKey(s.Labels)
+				g := groups[k]
+				if g == nil {
+					g = &group{lastLE: math.Inf(-1)}
+					groups[k] = g
+				}
+				if g.hasInf {
+					return fmt.Errorf("openmetrics: histogram %s: bucket after le=\"+Inf\"", f.Name)
+				}
+				if bound <= g.lastLE {
+					return fmt.Errorf("openmetrics: histogram %s: le %q out of order", f.Name, le)
+				}
+				if s.Value < g.lastCum {
+					return fmt.Errorf("openmetrics: histogram %s: bucket counts not cumulative at le %q", f.Name, le)
+				}
+				g.lastLE, g.lastCum, g.n = bound, s.Value, g.n+1
+				if math.IsInf(bound, 1) {
+					g.hasInf, g.infValue = true, s.Value
+				}
+			case f.Name + "_count":
+				counts[groupKey(s.Labels)] = s.Value
+			}
+		}
+		for k, g := range groups {
+			if !g.hasInf {
+				return fmt.Errorf("openmetrics: histogram %s: series %q missing le=\"+Inf\" bucket", f.Name, k)
+			}
+			if c, ok := counts[k]; ok && c != g.infValue {
+				return fmt.Errorf("openmetrics: histogram %s: _count %v != +Inf bucket %v", f.Name, c, g.infValue)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+package telemetry
+
+import (
+	"math"
+	"strconv"
+)
+
+// Histogram quantile estimation: the φ-quantile is located by rank walk over
+// the bucket counts and linearly interpolated inside the bucket it lands in,
+// the same estimator Prometheus' histogram_quantile uses. Buckets only know
+// their bounds, so the estimate is exact at bucket edges and linear between
+// them; observations in the overflow bucket are reported as the last finite
+// bound (there is no upper edge to interpolate towards).
+
+// quantileFromBuckets computes the q-quantile from per-bucket (non-
+// cumulative) counts. bounds has one entry per finite bucket; counts has
+// len(bounds)+1 entries, the last being the overflow bucket. The lower edge
+// of the first bucket is taken as 0 when its bound is positive (every
+// histogram in this repo observes non-negative magnitudes), else the bound
+// itself. Returns NaN for an empty histogram.
+func quantileFromBuckets(bounds []float64, counts []int64, q float64) float64 {
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 || len(counts) == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// rank is the (fractional) number of observations at or below the
+	// quantile point. q=0 lands at the lower edge of the first non-empty
+	// bucket, q=1 at the upper edge of the last.
+	rank := q * float64(total)
+	var cum int64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= len(bounds) {
+			// Overflow bucket: no finite upper edge. Report the last finite
+			// bound — an underestimate, but a detectable one (callers can
+			// compare against Count of the overflow bucket).
+			if len(bounds) == 0 {
+				return math.NaN()
+			}
+			return bounds[len(bounds)-1]
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = bounds[i-1]
+		} else if bounds[0] < 0 {
+			lower = bounds[0]
+		}
+		upper := bounds[i]
+		frac := (rank - float64(prev)) / float64(c)
+		if frac < 0 {
+			frac = 0
+		}
+		return lower + (upper-lower)*frac
+	}
+	// rank == total but loop exhausted (all trailing buckets empty): the
+	// last non-empty bucket already returned above, so this is unreachable
+	// unless total was consumed exactly; fall back to the last finite bound.
+	if len(bounds) == 0 {
+		return math.NaN()
+	}
+	return bounds[len(bounds)-1]
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of the observed
+// distribution by linear interpolation inside the bucket the rank falls in.
+// Returns NaN when the histogram is empty. Concurrent-safe: bucket counts
+// are read atomically (the estimate is a consistent-enough snapshot for
+// monitoring; it never tears an individual counter).
+func (h *Histogram) Quantile(q float64) float64 {
+	counts := make([]int64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return quantileFromBuckets(h.bounds, counts, q)
+}
+
+// Quantile estimates the q-quantile of a snapshotted histogram — the
+// offline counterpart of (*Histogram).Quantile, usable on persisted
+// -metrics-out documents.
+func (hs HistogramSnap) Quantile(q float64) float64 {
+	bounds := make([]float64, 0, len(hs.Buckets))
+	counts := make([]int64, 0, len(hs.Buckets))
+	for _, b := range hs.Buckets {
+		counts = append(counts, b.Count)
+		if b.LE == "+Inf" {
+			continue
+		}
+		v, err := strconv.ParseFloat(b.LE, 64)
+		if err != nil {
+			return math.NaN()
+		}
+		bounds = append(bounds, v)
+	}
+	if len(counts) != len(bounds)+1 {
+		return math.NaN()
+	}
+	return quantileFromBuckets(bounds, counts, q)
+}

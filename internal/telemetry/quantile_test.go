@@ -1,0 +1,109 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+func quantileHist() *Histogram {
+	return newHistogram([]float64{1, 2, 4, 8})
+}
+
+func TestQuantileEmpty(t *testing.T) {
+	h := quantileHist()
+	if v := h.Quantile(0.5); !math.IsNaN(v) {
+		t.Fatalf("empty histogram quantile = %v, want NaN", v)
+	}
+}
+
+func TestQuantileInterpolatesInsideBucket(t *testing.T) {
+	h := quantileHist()
+	// 10 observations all in bucket (1, 2]: ranks spread linearly across it.
+	for i := 0; i < 10; i++ {
+		h.Observe(1.5)
+	}
+	if v := h.Quantile(0.5); v != 1.5 {
+		t.Errorf("p50 = %v, want 1.5 (midpoint of (1,2])", v)
+	}
+	if v := h.Quantile(1); v != 2 {
+		t.Errorf("p100 = %v, want upper edge 2", v)
+	}
+	if v := h.Quantile(0); v != 1 {
+		t.Errorf("p0 = %v, want lower edge 1", v)
+	}
+}
+
+func TestQuantileAtBucketEdges(t *testing.T) {
+	h := quantileHist()
+	// 4 observations, one per finite bucket: cumulative shares 25/50/75/100%.
+	for _, v := range []float64{0.5, 1.5, 3, 6} {
+		h.Observe(v)
+	}
+	cases := []struct{ q, want float64 }{
+		{0.25, 1}, // exactly at the first bucket's upper edge
+		{0.5, 2},
+		{0.75, 4},
+		{1, 8},
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	// Halfway between the 25% and 50% edges interpolates inside (1, 2].
+	if got := h.Quantile(0.375); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("Quantile(0.375) = %v, want 1.5", got)
+	}
+}
+
+func TestQuantileFirstBucketLowerEdgeIsZero(t *testing.T) {
+	h := quantileHist()
+	for i := 0; i < 4; i++ {
+		h.Observe(0.5)
+	}
+	// All mass in (−inf, 1]; non-negative-domain convention pins the lower
+	// edge at 0, so the median interpolates to 0.5.
+	if got := h.Quantile(0.5); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("p50 = %v, want 0.5", got)
+	}
+}
+
+func TestQuantileOverflowBucket(t *testing.T) {
+	h := quantileHist()
+	for i := 0; i < 3; i++ {
+		h.Observe(100) // beyond the last bound → overflow bucket
+	}
+	// No finite upper edge: the estimate clamps to the last finite bound.
+	if got := h.Quantile(0.99); got != 8 {
+		t.Errorf("overflow-bucket quantile = %v, want clamp to 8", got)
+	}
+}
+
+func TestQuantileClampsQ(t *testing.T) {
+	h := quantileHist()
+	h.Observe(1.5)
+	if got := h.Quantile(-3); got != 1 {
+		t.Errorf("Quantile(-3) = %v, want 1", got)
+	}
+	if got := h.Quantile(7); got != 2 {
+		t.Errorf("Quantile(7) = %v, want 2", got)
+	}
+}
+
+func TestQuantileSnapshotMatchesLive(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("q.test", []float64{1, 2, 4, 8})
+	for _, v := range []float64{0.2, 1.1, 1.9, 3, 5, 7, 9, 20} {
+		h.Observe(v)
+	}
+	snap := reg.Snapshot()
+	if len(snap.Histograms) != 1 {
+		t.Fatalf("snapshot has %d histograms", len(snap.Histograms))
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+		live, snapQ := h.Quantile(q), snap.Histograms[0].Quantile(q)
+		if math.Abs(live-snapQ) > 1e-12 {
+			t.Errorf("q=%v: live %v != snapshot %v", q, live, snapQ)
+		}
+	}
+}

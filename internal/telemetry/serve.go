@@ -8,6 +8,8 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -75,25 +77,84 @@ func HandleJSON(mux *http.ServeMux, path string, fn ProfileFunc) {
 	})
 }
 
+// MuxOption customises NewHTTPMux beyond the three core endpoints.
+type MuxOption func(*muxConfig)
+
+type muxConfig struct {
+	scrapeHook func(*Registry)
+	flight     *FlightRecorder
+}
+
+// WithScrapeHook registers a function called with the registry just before
+// every /metrics scrape — the place to refresh derived gauges (store
+// hit-rate, queue depth) so scraped values are current rather than
+// last-event-stale.
+func WithScrapeHook(fn func(*Registry)) MuxOption {
+	return func(c *muxConfig) { c.scrapeHook = fn }
+}
+
+// WithFlight serves the flight recorder's recent-job table at /statusz.
+func WithFlight(fr *FlightRecorder) MuxOption {
+	return func(c *muxConfig) { c.flight = fr }
+}
+
+// wantsOpenMetrics decides the /metrics representation: OpenMetrics text
+// when the client asks for it via ?format=openmetrics (or "om", or "text")
+// or an Accept header naming application/openmetrics-text or text/plain;
+// JSON (the historical format) otherwise.
+func wantsOpenMetrics(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "openmetrics", "om", "text":
+		return true
+	case "json":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "application/openmetrics-text") ||
+		strings.Contains(accept, "text/plain")
+}
+
 // NewHTTPMux builds the observability endpoint:
 //
-//	/metrics  — registry snapshot (JSON)
+//	/metrics  — registry snapshot: JSON by default, OpenMetrics text under
+//	            content negotiation (Accept: application/openmetrics-text
+//	            or ?format=openmetrics)
 //	/trace    — span buffer as Chrome trace-event JSON (Perfetto-loadable)
 //	/profile  — whatever profileFn returns (JSON), e.g. the sdprof report
+//	/statusz  — recent-job flight recorder (with WithFlight)
 //	/debug/pprof/ — stdlib runtime profiling
 //
 // Any argument may be nil; the endpoint then serves an empty-but-valid JSON
 // document. Counters and the span buffer are safe to read concurrently with
 // a running producer, so the mux can be served while a simulation is in
 // flight.
-func NewHTTPMux(reg *Registry, tr *Trace, profileFn ProfileFunc) *http.ServeMux {
+func NewHTTPMux(reg *Registry, tr *Trace, profileFn ProfileFunc, opts ...MuxOption) *http.ServeMux {
+	var cfg muxConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
 		src := reg
 		if src == nil {
 			src = NewRegistry()
 		}
+		if tr != nil {
+			// Surface the span ring's eviction count as a monotonic counter;
+			// Apply raises to at-least-value, so concurrent scrapes are safe.
+			src.Apply([]CounterUpdate{{Name: "telemetry.trace.dropped_spans", Value: tr.Dropped()}}, nil, nil)
+		}
+		if cfg.scrapeHook != nil {
+			cfg.scrapeHook(src)
+		}
+		if wantsOpenMetrics(r) {
+			w.Header().Set("Content-Type", OpenMetricsContentType)
+			if err := WriteOpenMetrics(w, src.Snapshot()); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
 		if err := src.WriteJSON(w); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
@@ -101,20 +162,78 @@ func NewHTTPMux(reg *Registry, tr *Trace, profileFn ProfileFunc) *http.ServeMux 
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		var spans []Span
+		var meta TraceMeta
 		if tr != nil {
 			spans = tr.Spans()
+			meta.DroppedSpans = tr.Dropped()
 		}
-		if err := WriteChromeTrace(w, spans); err != nil {
+		if err := WriteChromeTraceMeta(w, spans, meta); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
 	HandleJSON(mux, "/profile", profileFn)
+	if cfg.flight != nil {
+		mux.Handle("/statusz", cfg.flight)
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// HTTPLatencyBuckets are the upper bounds (seconds) for per-endpoint
+// request-latency histograms: sub-millisecond scrapes through multi-minute
+// sweep jobs.
+var HTTPLatencyBuckets = []float64{
+	0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10, 60, 300,
+}
+
+// statusWriter captures the response status for the request counter.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.status = code
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+// Instrument wraps mux with per-endpoint request telemetry:
+//
+//	http.request.seconds{route=...}        latency histogram per route pattern
+//	http.requests{route=...,status=...}    request counter
+//	http.inflight                          gauge of concurrently-open requests
+//
+// The route label is the mux's registered pattern (via mux.Handler, so
+// /jobs/{id} stays one label value instead of one per job), "unmatched" for
+// requests no pattern claims. A nil registry returns mux unchanged.
+func Instrument(reg *Registry, mux *http.ServeMux) http.Handler {
+	if reg == nil {
+		return mux
+	}
+	inflight := reg.Gauge("http.inflight")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		route := "unmatched"
+		if _, pattern := mux.Handler(r); pattern != "" {
+			route = pattern
+		}
+		inflight.Add(1)
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		defer func() {
+			inflight.Add(-1)
+			dur := time.Since(start).Seconds()
+			reg.Histogram("http.request.seconds", HTTPLatencyBuckets,
+				Label{Key: "route", Value: route}).Observe(dur)
+			reg.Counter("http.requests",
+				Label{Key: "route", Value: route},
+				Label{Key: "status", Value: strconv.Itoa(sw.status)}).Inc()
+		}()
+		mux.ServeHTTP(sw, r)
+	})
 }
 
 // BackgroundServer is an HTTP server running in a background goroutine

@@ -163,6 +163,218 @@ func TestBackgroundServerDrainsInFlight(t *testing.T) {
 	}
 }
 
+func TestHTTPMuxMetricsContentNegotiation(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("sim.flops").Add(7)
+	srv := httptest.NewServer(NewHTTPMux(reg, nil, nil))
+	defer srv.Close()
+
+	// Default stays JSON (backwards compatible).
+	resp, body := get(t, srv, "/metrics")
+	wantJSON(t, resp, body, "/metrics")
+
+	// ?format=openmetrics switches to the text exposition.
+	resp, body = get(t, srv, "/metrics?format=openmetrics")
+	if ct := resp.Header.Get("Content-Type"); ct != OpenMetricsContentType {
+		t.Errorf("openmetrics Content-Type = %q", ct)
+	}
+	fams, err := ParseOpenMetrics(body)
+	if err != nil {
+		t.Fatalf("/metrics?format=openmetrics is not valid OpenMetrics: %v\n%s", err, body)
+	}
+	found := false
+	for _, f := range fams {
+		if f.Name == "sim_flops" && f.Type == "counter" && f.Samples[0].Value == 7 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("openmetrics exposition missing sim_flops: %s", body)
+	}
+
+	// Accept header negotiation.
+	req, _ := http.NewRequest("GET", srv.URL+"/metrics", nil)
+	req.Header.Set("Accept", "application/openmetrics-text; version=1.0.0")
+	aresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	abody, _ := io.ReadAll(aresp.Body)
+	aresp.Body.Close()
+	if _, err := ParseOpenMetrics(abody); err != nil {
+		t.Errorf("Accept-negotiated exposition invalid: %v", err)
+	}
+	// Explicit ?format=json wins over Accept.
+	req, _ = http.NewRequest("GET", srv.URL+"/metrics?format=json", nil)
+	req.Header.Set("Accept", "application/openmetrics-text")
+	jresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jbody, _ := io.ReadAll(jresp.Body)
+	jresp.Body.Close()
+	if !json.Valid(jbody) {
+		t.Errorf("?format=json body is not JSON: %s", jbody)
+	}
+}
+
+func TestHTTPMuxSurfacesDroppedSpans(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTrace(2)
+	for i := 0; i < 5; i++ {
+		tr.RecordSpan(Span{Name: "s", Start: int64(i)})
+	}
+	srv := httptest.NewServer(NewHTTPMux(reg, tr, nil))
+	defer srv.Close()
+
+	// /metrics raises telemetry.trace.dropped_spans to the ring's count.
+	_, body := get(t, srv, "/metrics?format=openmetrics")
+	fams, err := ParseOpenMetrics(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dropped float64 = -1
+	for _, f := range fams {
+		if f.Name == "telemetry_trace_dropped_spans" {
+			dropped = f.Samples[0].Value
+		}
+	}
+	if dropped != 3 {
+		t.Errorf("telemetry_trace_dropped_spans = %v, want 3", dropped)
+	}
+
+	// /trace carries the dropped count as a metadata event.
+	_, body = get(t, srv, "/trace")
+	var events []map[string]any
+	if err := json.Unmarshal(body, &events); err != nil {
+		t.Fatal(err)
+	}
+	foundMeta := false
+	for _, ev := range events {
+		if ev["name"] == "trace.dropped_spans" && ev["ph"] == "M" {
+			args := ev["args"].(map[string]any)
+			if args["dropped"] == "3" {
+				foundMeta = true
+			}
+		}
+	}
+	if !foundMeta {
+		t.Errorf("/trace missing trace.dropped_spans metadata: %s", body)
+	}
+}
+
+func TestHTTPMuxScrapeHookAndStatusz(t *testing.T) {
+	reg := NewRegistry()
+	fr := NewFlightRecorder(4)
+	fr.Record(JobSummary{ID: "job-9", Outcome: "done"})
+	hooked := 0
+	srv := httptest.NewServer(NewHTTPMux(reg, nil, nil,
+		WithScrapeHook(func(r *Registry) {
+			hooked++
+			r.Gauge("store.hit_rate").Set(0.75)
+		}),
+		WithFlight(fr),
+	))
+	defer srv.Close()
+
+	_, body := get(t, srv, "/metrics?format=openmetrics")
+	if hooked != 1 {
+		t.Errorf("scrape hook calls = %d, want 1", hooked)
+	}
+	fams, err := ParseOpenMetrics(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, f := range fams {
+		if f.Name == "store_hit_rate" && f.Samples[0].Value == 0.75 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("scrape-hook gauge missing: %s", body)
+	}
+
+	resp, body := get(t, srv, "/statusz")
+	wantJSON(t, resp, body, "/statusz")
+	var doc map[string]any
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc["retained"] != float64(1) {
+		t.Errorf("/statusz = %s", body)
+	}
+}
+
+func TestInstrumentRecordsPerEndpointTelemetry(t *testing.T) {
+	reg := NewRegistry()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	})
+	mux.HandleFunc("GET /missing", func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "gone", http.StatusNotFound)
+	})
+	srv := httptest.NewServer(Instrument(reg, mux))
+	defer srv.Close()
+
+	for _, p := range []string{"/jobs/a", "/jobs/b", "/missing"} {
+		resp, err := http.Get(srv.URL + p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	snap := reg.Snapshot()
+	counts := map[string]int64{}
+	for _, c := range snap.Counters {
+		counts[fmt.Sprintf("%s|%s|%s", c.Name, c.Labels["route"], c.Labels["status"])] = c.Value
+	}
+	// Both /jobs/{id} hits collapse onto one route label.
+	if counts["http.requests|GET /jobs/{id}|200"] != 2 {
+		t.Errorf("request counts = %v", counts)
+	}
+	if counts["http.requests|GET /missing|404"] != 1 {
+		t.Errorf("request counts = %v", counts)
+	}
+	var histN int64
+	for _, h := range snap.Histograms {
+		if h.Name == "http.request.seconds" && h.Labels["route"] == "GET /jobs/{id}" {
+			histN = h.Count
+		}
+	}
+	if histN != 2 {
+		t.Errorf("latency histogram count = %d, want 2", histN)
+	}
+	for _, g := range snap.Gauges {
+		if g.Name == "http.inflight" && g.Value != 0 {
+			t.Errorf("http.inflight after requests = %v, want 0", g.Value)
+		}
+	}
+}
+
+func TestGaugeAddConcurrent(t *testing.T) {
+	g := NewRegistry().Gauge("inflight")
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			for j := 0; j < 1000; j++ {
+				g.Add(1)
+				g.Add(-1)
+			}
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	if v := g.Value(); v != 0 {
+		t.Errorf("gauge after balanced adds = %v, want 0", v)
+	}
+}
+
 func TestHTTPMuxProfileError(t *testing.T) {
 	srv := httptest.NewServer(NewHTTPMux(nil, nil, func() ([]byte, error) {
 		return nil, fmt.Errorf("boom")

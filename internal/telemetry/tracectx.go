@@ -1,0 +1,260 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Job-scoped distributed tracing. A JobTrace collects every span one service
+// job produces — across the HTTP handler, the sweep engine's parallel
+// workers, store lookups and simulator runs — and assembles them into one
+// coherent Perfetto-loadable trace at job completion.
+//
+// The central design problem is determinism: sweep workers finish in
+// arbitrary order, so naively appending spans to a shared ring (the old
+// per-process Trace) interleaves them nondeterministically. A JobTrace
+// instead partitions spans into lanes. A lane is a deterministic producer
+// slot — grid-cell index ci for the sweep's class representatives, LaneJob
+// for job-lifecycle spans — and every lane is only ever written by the one
+// goroutine that owns its unit of work. Assemble concatenates lanes in lane
+// order, each lane's spans in its own record order, so the assembled span
+// list is a pure function of the job spec and the measured durations: the
+// same job assembled at any -parallel worker count yields the same spans in
+// the same order. (Timestamps are data — wall-clock offsets from the job
+// base — so byte-identical traces additionally require a deterministic
+// clock, which the tests pin with a fixed `now`.)
+//
+// Lanes are bounded (perLane spans); overflow increments a dropped counter
+// that Assemble surfaces, so a truncated trace is detectable instead of
+// silently misleading (see ChromeTraceMeta / trace.dropped_spans).
+
+// LaneJob is the reserved lane for job-lifecycle spans (queue-wait, sweep,
+// render, merge); it sorts before every cell lane.
+const LaneJob = -1
+
+// defaultPerLaneSpans bounds one lane of an unconfigured JobTrace: enough
+// for a cell's coarse spans plus a short simulator span prefix.
+const defaultPerLaneSpans = 4096
+
+// JobTrace assembles one job's spans from concurrent lane producers.
+type JobTrace struct {
+	jobID string
+	now   func() time.Time
+	base  time.Time
+	limit int
+
+	mu       sync.Mutex
+	lanes    map[int][]Span
+	prefixes map[int]string // track prefix per lane, applied at assembly
+	order    []int          // lane creation order, kept sorted at assembly
+	dropped  int64
+}
+
+// NewJobTrace builds a collector for one job. perLane bounds each lane's
+// span count (<= 0 selects a default); now supplies wall-clock time and may
+// be nil for time.Now — tests pass a fixed clock to make assembled traces
+// byte-identical across runs. The base timestamp (span time zero) is taken
+// at creation.
+func NewJobTrace(jobID string, perLane int, now func() time.Time) *JobTrace {
+	if perLane <= 0 {
+		perLane = defaultPerLaneSpans
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &JobTrace{
+		jobID:    jobID,
+		now:      now,
+		base:     now(),
+		limit:    perLane,
+		lanes:    map[int][]Span{},
+		prefixes: map[int]string{},
+	}
+}
+
+// JobID returns the job identifier stamped into the assembled trace.
+func (jt *JobTrace) JobID() string { return jt.jobID }
+
+// Context returns the trace context for one lane. prefix is prepended
+// (with "/") to every recorded span's track, so a cell's simulator spans
+// land on "cell/<name>/<tile>" tracks; parent is the span the lane hangs
+// off (attached as an attribute on the lane's first span).
+func (jt *JobTrace) Context(lane int, prefix string) TraceContext {
+	return TraceContext{JobID: jt.jobID, Lane: lane, jt: jt, prefix: prefix}
+}
+
+// joinTrack prepends a track prefix ("" leaves the track unchanged).
+func joinTrack(prefix, track string) string {
+	if prefix == "" {
+		return track
+	}
+	if track == "" {
+		return prefix
+	}
+	return prefix + "/" + track
+}
+
+// record appends spans to a lane, enforcing the per-lane bound. The lane's
+// track prefix is stored once and applied at assembly time, so the hot path
+// (simulator span batches flushing mid-run) never builds track strings. A
+// lane normally has a single producer and so a single prefix; if a second
+// prefix ever shows up, the stored prefix is materialized onto the buffered
+// spans and the lane switches to eager per-span prefixing.
+func (jt *JobTrace) record(lane int, prefix string, spans ...Span) {
+	jt.mu.Lock()
+	defer jt.mu.Unlock()
+	buf, ok := jt.lanes[lane]
+	if !ok {
+		jt.order = append(jt.order, lane)
+		jt.prefixes[lane] = prefix
+	}
+	// Grow once, exactly: the simulator flushes spans in large batches, so
+	// doubling-growth would allocate several times per flush.
+	if need := len(buf) + len(spans); need > cap(buf) {
+		if need > jt.limit {
+			need = jt.limit
+		}
+		if need > cap(buf) {
+			nb := make([]Span, len(buf), need)
+			copy(nb, buf)
+			buf = nb
+		}
+	}
+	eager := prefix != jt.prefixes[lane]
+	if eager {
+		if p := jt.prefixes[lane]; p != "" {
+			for i := range buf {
+				buf[i].Track = joinTrack(p, buf[i].Track)
+			}
+		}
+		jt.prefixes[lane] = ""
+	}
+	for _, s := range spans {
+		if len(buf) >= jt.limit {
+			jt.dropped++
+			continue
+		}
+		if eager {
+			s.Track = joinTrack(prefix, s.Track)
+		}
+		buf = append(buf, s)
+	}
+	jt.lanes[lane] = buf
+}
+
+// Dropped reports how many spans were discarded by per-lane bounds.
+func (jt *JobTrace) Dropped() int64 {
+	jt.mu.Lock()
+	defer jt.mu.Unlock()
+	return jt.dropped
+}
+
+// sinceBase returns the current offset from the job base in microseconds.
+func (jt *JobTrace) sinceBase() int64 { return jt.now().Sub(jt.base).Microseconds() }
+
+// Assemble returns the job's spans: lanes ascending (LaneJob first), each
+// lane in record order. Each lane is owned by a single goroutine, so the
+// result is deterministic regardless of how lanes were scheduled. The
+// JobTrace remains usable after Assemble (late spans land in later
+// assemblies).
+func (jt *JobTrace) Assemble() []Span {
+	jt.mu.Lock()
+	defer jt.mu.Unlock()
+	// Insertion sort: the lane count is small and mostly pre-sorted.
+	for i := 1; i < len(jt.order); i++ {
+		for j := i; j > 0 && jt.order[j] < jt.order[j-1]; j-- {
+			jt.order[j], jt.order[j-1] = jt.order[j-1], jt.order[j]
+		}
+	}
+	var n int
+	for _, lane := range jt.order {
+		n += len(jt.lanes[lane])
+	}
+	out := make([]Span, 0, n)
+	for _, lane := range jt.order {
+		p := jt.prefixes[lane]
+		for _, s := range jt.lanes[lane] {
+			s.Track = joinTrack(p, s.Track)
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// TraceContext addresses one lane of a JobTrace: the job ID, the lane, and
+// the parent span ID spans in this lane hang off. It is a value type —
+// copy it freely into worker goroutines; all mutation happens on the shared
+// JobTrace under its lock. The zero TraceContext is disabled: every method
+// is a cheap no-op, so producers can hold one unconditionally.
+type TraceContext struct {
+	JobID  string
+	Lane   int
+	Parent int64 // span ID of the parent span, 0 if none
+	jt     *JobTrace
+	prefix string
+}
+
+// Enabled reports whether spans recorded through this context go anywhere.
+func (tc TraceContext) Enabled() bool { return tc.jt != nil }
+
+// WithParent returns a copy whose spans reference parent's span ID.
+func (tc TraceContext) WithParent(parent int64) TraceContext {
+	tc.Parent = parent
+	return tc
+}
+
+// RecordSpan records one span into the context's lane; the track is
+// prefixed with the lane prefix. Implements SpanSink, so a simulator
+// machine can emit directly into a job trace lane.
+func (tc TraceContext) RecordSpan(s Span) {
+	if tc.jt == nil {
+		return
+	}
+	tc.jt.record(tc.Lane, tc.prefix, s)
+}
+
+// RecordSpans records a batch under one lock (SpanBatchSink).
+func (tc TraceContext) RecordSpans(spans []Span) {
+	if tc.jt == nil {
+		return
+	}
+	tc.jt.record(tc.Lane, tc.prefix, spans...)
+}
+
+// Begin opens a wall-clock span at the current offset from the job base and
+// returns the closure that ends it; attributes passed to either side are
+// merged. The span is recorded at End time, preserving lane record order
+// for nested spans ended in order.
+func (tc TraceContext) Begin(name string, attrs ...Attr) func(endAttrs ...Attr) {
+	if tc.jt == nil {
+		return func(...Attr) {}
+	}
+	start := tc.jt.sinceBase()
+	return func(endAttrs ...Attr) {
+		end := tc.jt.sinceBase()
+		all := attrs
+		if len(endAttrs) > 0 {
+			all = append(append([]Attr{}, attrs...), endAttrs...)
+		}
+		tc.jt.record(tc.Lane, tc.prefix, Span{
+			Track: "", Name: name, Start: start, Dur: end - start, Attrs: all,
+		})
+	}
+}
+
+// Interval records a completed wall-clock span from explicit timestamps
+// (e.g. queue wait between submit and dequeue), clamped at the job base.
+func (tc TraceContext) Interval(name string, from, to time.Time, attrs ...Attr) {
+	if tc.jt == nil {
+		return
+	}
+	start := from.Sub(tc.jt.base).Microseconds()
+	if start < 0 {
+		start = 0
+	}
+	dur := to.Sub(from).Microseconds()
+	if dur < 0 {
+		dur = 0
+	}
+	tc.jt.record(tc.Lane, tc.prefix, Span{Name: name, Start: start, Dur: dur, Attrs: attrs})
+}
