@@ -7,8 +7,8 @@
 // Usage:
 //
 //	sdserve [-addr :6060] [-store-dir DIR] [-store-max-mb N] \
-//	        [-queue N] [-rate R] [-burst N] [-parallel N] \
-//	        [-verify-store] [-kernel-workers N] \
+//	        [-queue N] [-rate R] [-burst N] [-max-clients N] \
+//	        [-parallel N] [-tile-workers N] [-verify-store] [-kernel-workers N] \
 //	        [-log-out PATH|-] [-log-level LEVEL] [-max-jobs N] [-flight N]
 //
 // API:
@@ -66,8 +66,10 @@ func main() {
 	rate := flag.Float64("rate", 1, "per-client submission rate (jobs/second)")
 	burst := flag.Int("burst", 8, "per-client submission burst")
 	parallel := flag.Int("parallel", 0, "per-job sweep worker-pool size (0 = GOMAXPROCS)")
+	tileWorkers := flag.Int("tile-workers", 0, "per-tile chip partitioning worker cap within each job (0 = auto, 1 = serial); results are byte-identical at any value")
 	verifyStore := flag.Bool("verify-store", false, "re-simulate a deterministic sample of store hits and fail jobs on divergence")
 	kernelWorkers := flag.Int("kernel-workers", 0, "tensor kernel worker-pool size (0 = GOMAXPROCS)")
+	maxClients := flag.Int("max-clients", 0, "per-client rate-limit table bound; least-recently-seen clients evicted past it (0 = 1024)")
 	logOut := flag.String("log-out", "", "structured JSON log destination (path, - for stderr, empty = off)")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn or error")
 	maxJobs := flag.Int("max-jobs", 0, "in-memory job table bound; oldest terminal jobs evicted past it (0 = 256)")
@@ -103,8 +105,10 @@ func main() {
 		VerifyStore:  *verifyStore,
 		MaxQueue:     *queueMax,
 		SweepWorkers: *parallel,
+		TileWorkers:  *tileWorkers,
 		RatePerSec:   *rate,
 		Burst:        *burst,
+		MaxClients:   *maxClients,
 		Logger:       logger,
 		MaxJobs:      *maxJobs,
 		FlightN:      *flightN,

@@ -4,9 +4,9 @@
 //
 // Usage:
 //
-//	sdsim [-train] [-mb N] [-iters N] [-trace-out t.json] [-metrics-out m.json] \
-//	      [-serve :6060] [-log-out PATH|-] [-log-level LEVEL]
-//	sdsim -batch 1,2,4 [-parallel N] [-train] [-metrics-out m.json] [-serve :6060] [-store-dir DIR]
+//	sdsim [-train] [-mb N] [-iters N] [-tile-workers N] [-trace-out t.json] \
+//	      [-metrics-out m.json] [-serve :6060] [-log-out PATH|-] [-log-level LEVEL]
+//	sdsim -batch 1,2,4 [-parallel N] [-tile-workers N] [-train] [-metrics-out m.json] [-serve :6060] [-store-dir DIR]
 //
 // With -batch, sdsim sweeps the listed minibatch sizes through the sharded
 // sweep engine instead of running a single simulation; -parallel sets the
@@ -19,6 +19,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log/slog"
 	"os"
 	"strconv"
@@ -28,6 +29,7 @@ import (
 	"scaledeep/internal/arch"
 	"scaledeep/internal/compiler"
 	"scaledeep/internal/dnn"
+	"scaledeep/internal/outfile"
 	"scaledeep/internal/profile"
 	"scaledeep/internal/report"
 	"scaledeep/internal/sim"
@@ -52,6 +54,7 @@ func main() {
 	noMemo := flag.Bool("no-memo", false, "disable replica memoization (batch-mode cell memo and, on timing-only machines, within-chip row memo)")
 	verifyMemo := flag.Bool("verify-memo", false, "cross-check memoized results against full simulation and fail on divergence")
 	kernelWorkers := flag.Int("kernel-workers", 0, "tensor kernel worker-pool size for functional execution (0 = GOMAXPROCS); results are bit-identical at any value")
+	tileWorkers := flag.Int("tile-workers", 0, "per-tile chip partitioning worker cap (0 = auto, 1 = serial); results are byte-identical at any value")
 	storeDir := flag.String("store-dir", "", "batch mode: persist results in a content-addressed store at this directory")
 	verifyStore := flag.Bool("verify-store", false, "batch mode: re-simulate a deterministic sample of store hits and fail on divergence")
 	logOut := flag.String("log-out", "", "structured JSON log destination (path, - for stderr, empty = off)")
@@ -67,7 +70,7 @@ func main() {
 	defer closeLog()
 
 	if *batch != "" {
-		runBatch(*batch, *parallel, *train, *iters, *metricsOut, *serveAddr, *noMemo, *verifyMemo, *storeDir, *verifyStore, logger)
+		runBatch(*batch, *parallel, *tileWorkers, *train, *iters, *metricsOut, *serveAddr, *noMemo, *verifyMemo, *storeDir, *verifyStore, logger)
 		return
 	}
 
@@ -101,6 +104,7 @@ func main() {
 	m := sim.NewMachine(chip, arch.Single, true)
 	m.SetMemo(!*noMemo)
 	m.SetVerifyMemo(*verifyMemo)
+	m.SetTileWorkers(*tileWorkers)
 	if *traceN > 0 {
 		m.EnableTrace(*traceN)
 	}
@@ -220,7 +224,7 @@ func main() {
 	if *metricsOut != "" {
 		data, err := report.MetricsJSON(metrics)
 		if err == nil {
-			err = os.WriteFile(*metricsOut, data, 0o644)
+			err = outfile.Write(*metricsOut, data)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -245,7 +249,7 @@ func main() {
 // runBatch sweeps the listed minibatch sizes through the sharded sweep
 // engine and prints one table row per size. Rows come out in list order and
 // are byte-identical for any -parallel value.
-func runBatch(batch string, parallel int, train bool, iters int, metricsOut, serveAddr string, noMemo, verifyMemo bool, storeDir string, verifyStore bool, logger *slog.Logger) {
+func runBatch(batch string, parallel, tileWorkers int, train bool, iters int, metricsOut, serveAddr string, noMemo, verifyMemo bool, storeDir string, verifyStore bool, logger *slog.Logger) {
 	grid := sweep.Grid{
 		Workloads: []string{"simnet"},
 		Archs:     []string{"baseline"},
@@ -298,6 +302,7 @@ func runBatch(batch string, parallel int, train bool, iters int, metricsOut, ser
 	batchStart := time.Now()
 	results, err := sweep.RunGrid(context.Background(), grid, sweep.Options{
 		Workers:     parallel,
+		TileWorkers: tileWorkers,
 		Metrics:     metrics,
 		NoMemo:      noMemo,
 		VerifyMemo:  verifyMemo,
@@ -329,7 +334,7 @@ func runBatch(batch string, parallel int, train bool, iters int, metricsOut, ser
 	if metricsOut != "" {
 		data, err := report.MetricsJSON(metrics)
 		if err == nil {
-			err = os.WriteFile(metricsOut, data, 0o644)
+			err = outfile.Write(metricsOut, data)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -357,15 +362,10 @@ func serveObservability(addr string, reg *telemetry.Registry, tr *telemetry.Trac
 	return bs, nil
 }
 
-// writeChromeTrace exports the recorded spans as Chrome trace-event JSON.
+// writeChromeTrace exports the recorded spans as Chrome trace-event JSON;
+// an empty path is a no-op (outfile's disabled-output contract).
 func writeChromeTrace(path string, tr *telemetry.Trace) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := telemetry.WriteChromeTrace(f, tr.Spans()); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return outfile.WriteWith(path, func(w io.Writer) error {
+		return telemetry.WriteChromeTrace(w, tr.Spans())
+	})
 }

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	sdsweep [-workloads simnet,trainnet] [-archs baseline,half] \
-//	        [-mb 1,2,4] [-modes eval,train] [-iters N] [-parallel N] \
+//	        [-mb 1,2,4] [-modes eval,train] [-iters N] [-parallel N] [-tile-workers N] \
 //	        [-format text|csv|json] [-out table.csv] [-metrics-out m.json] \
 //	        [-progress] [-serve :6060] [-no-memo] [-verify-memo] \
 //	        [-store-dir DIR] [-store-max-mb N] [-verify-store] \
@@ -39,11 +39,13 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
+	"scaledeep/internal/outfile"
 	"scaledeep/internal/report"
 	"scaledeep/internal/store"
 	"scaledeep/internal/sweep"
@@ -66,6 +68,7 @@ func main() {
 	verifyMemo := flag.Bool("verify-memo", false, "re-simulate one replicated job per memo class and fail on any divergence")
 	serveAddr := flag.String("serve", "", "serve /progress, /metrics and /debug/pprof/ on this address and stay up after the run")
 	kernelWorkers := flag.Int("kernel-workers", 0, "tensor kernel worker-pool size for functional execution (0 = GOMAXPROCS); results are bit-identical at any value")
+	tileWorkers := flag.Int("tile-workers", 0, "per-tile chip partitioning worker cap within each job (0 = auto, 1 = serial); results are byte-identical at any value")
 	storeDir := flag.String("store-dir", "", "persist results in a content-addressed store at this directory; repeated sweeps replay from it byte-identically")
 	storeMaxMB := flag.Int("store-max-mb", 0, "result-store size bound in MiB (0 = 256 MiB default)")
 	verifyStore := flag.Bool("verify-store", false, "re-simulate a deterministic sample of store hits and fail on any divergence")
@@ -138,6 +141,7 @@ func main() {
 	}
 	opts := sweep.Options{
 		Workers:     *parallel,
+		TileWorkers: *tileWorkers,
 		Metrics:     merged,
 		NoMemo:      *noMemo,
 		VerifyMemo:  *verifyMemo,
@@ -166,31 +170,25 @@ func main() {
 		logger.Info("sweep.done", "cells", len(results), "duration_ms", time.Since(start).Milliseconds())
 	}
 	if jt != nil {
-		f, err := os.Create(*traceOut)
+		err := outfile.WriteWith(*traceOut, func(w io.Writer) error {
+			meta := telemetry.TraceMeta{Process: "sdsweep", DroppedSpans: jt.Dropped()}
+			return telemetry.WriteChromeTraceMeta(w, jt.Assemble(), meta)
+		})
 		if err != nil {
-			fatalf("%v", err)
-		}
-		meta := telemetry.TraceMeta{Process: "sdsweep", DroppedSpans: jt.Dropped()}
-		if err := telemetry.WriteChromeTraceMeta(f, jt.Assemble(), meta); err != nil {
 			fatalf("sdsweep: write trace: %v", err)
-		}
-		if err := f.Close(); err != nil {
-			fatalf("%v", err)
 		}
 		fmt.Fprintf(os.Stderr, "wrote sweep trace to %s (%d dropped spans)\n", *traceOut, jt.Dropped())
 	}
 	progVar.Set([]byte(fmt.Sprintf(`{"state":"done","done":%d,"total":%d,"elapsed_ms":%d}`,
 		len(results), len(results), time.Since(start).Milliseconds())))
 
-	dst := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fatalf("%v", err)
-		}
-		defer f.Close()
-		dst = f
+	// An empty -out renders to stdout; outfile guarantees no file is
+	// created or clobbered in that case.
+	dst, closeOut, err := outfile.Dest(*out, os.Stdout)
+	if err != nil {
+		fatalf("%v", err)
 	}
+	defer closeOut()
 	switch *format {
 	case "text":
 		fmt.Fprint(dst, sweep.FormatText(results))
@@ -217,7 +215,7 @@ func main() {
 	if *metricsOut != "" {
 		data, err := report.MetricsJSON(merged)
 		if err == nil {
-			err = os.WriteFile(*metricsOut, data, 0o644)
+			err = outfile.Write(*metricsOut, data)
 		}
 		if err != nil {
 			fatalf("%v", err)

@@ -14,6 +14,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log/slog"
 	"os"
 	"strconv"
@@ -23,6 +24,7 @@ import (
 	"scaledeep/internal/arch"
 	"scaledeep/internal/compiler"
 	"scaledeep/internal/dnn"
+	"scaledeep/internal/outfile"
 	"scaledeep/internal/profile"
 	"scaledeep/internal/report"
 	"scaledeep/internal/sim"
@@ -42,6 +44,7 @@ func main() {
 	noMemo := flag.Bool("no-memo", false, "disable replica memoization (within-chip row memo on timing-only machines)")
 	verifyMemo := flag.Bool("verify-memo", false, "cross-check memoized results against full simulation and fail on divergence")
 	kernelWorkers := flag.Int("kernel-workers", 0, "tensor kernel worker-pool size for functional execution (0 = GOMAXPROCS); results are bit-identical at any value")
+	tileWorkers := flag.Int("tile-workers", 0, "per-tile chip partitioning worker cap (0 = auto, 1 = serial); results are byte-identical at any value")
 	storeDir := flag.String("store-dir", "", "batch mode: persist equivalence-check results in a content-addressed store at this directory")
 	logOut := flag.String("log-out", "", "structured JSON log destination (path, - for stderr, empty = off)")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn or error")
@@ -58,7 +61,7 @@ func main() {
 	defer closeLog()
 
 	if *batch != "" {
-		runBatch(*batch, *parallel, *metricsOut, *storeDir, logger)
+		runBatch(*batch, *parallel, *tileWorkers, *metricsOut, *storeDir, logger)
 		return
 	}
 
@@ -111,6 +114,7 @@ func main() {
 	m := sim.NewMachine(chip, arch.Single, true)
 	m.SetMemo(!*noMemo)
 	m.SetVerifyMemo(*verifyMemo)
+	m.SetTileWorkers(*tileWorkers)
 	if spanTrace != nil {
 		m.SetSpanSink(spanTrace)
 	}
@@ -187,13 +191,9 @@ func main() {
 	}
 
 	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
-		if err == nil {
-			err = telemetry.WriteChromeTrace(f, spanTrace.Spans())
-			if cerr := f.Close(); err == nil {
-				err = cerr
-			}
-		}
+		err := outfile.WriteWith(*traceOut, func(w io.Writer) error {
+			return telemetry.WriteChromeTrace(w, spanTrace.Spans())
+		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -205,7 +205,7 @@ func main() {
 	if *metricsOut != "" {
 		data, err := report.MetricsJSON(metrics)
 		if err == nil {
-			err = os.WriteFile(*metricsOut, data, 0o644)
+			err = outfile.Write(*metricsOut, data)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -262,7 +262,7 @@ func trainKey(iters int) string {
 // iteration count across the sweep engine's worker pool. Each job is fully
 // self-contained (own network, executors, machine, RNG), so jobs are
 // independent and the report comes out in list order for any -parallel.
-func runBatch(batch string, parallel int, metricsOut, storeDir string, logger *slog.Logger) {
+func runBatch(batch string, parallel, tileWorkers int, metricsOut, storeDir string, logger *slog.Logger) {
 	var counts []int
 	for _, s := range strings.Split(batch, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(s))
@@ -312,7 +312,7 @@ func runBatch(batch string, parallel int, metricsOut, storeDir string, logger *s
 					}
 				}
 			}
-			cycles, worst, err := trainOnce(iters, reg)
+			cycles, worst, err := trainOnce(iters, tileWorkers, reg)
 			if err != nil {
 				return trainCheck{}, err
 			}
@@ -355,7 +355,7 @@ func runBatch(batch string, parallel int, metricsOut, storeDir string, logger *s
 	if metricsOut != "" {
 		data, err := report.MetricsJSON(metrics)
 		if err == nil {
-			err = os.WriteFile(metricsOut, data, 0o644)
+			err = outfile.Write(metricsOut, data)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -373,7 +373,7 @@ func runBatch(batch string, parallel int, metricsOut, storeDir string, logger *s
 // trainOnce runs the full equivalence check for one iteration count and
 // returns the simulated cycle count and the worst trained-weight divergence
 // between the hardware path and the software reference.
-func trainOnce(iters int, reg *telemetry.Registry) (int64, float64, error) {
+func trainOnce(iters, tileWorkers int, reg *telemetry.Registry) (int64, float64, error) {
 	const mb = 2
 	const lr = float32(0.03125)
 
@@ -407,6 +407,7 @@ func trainOnce(iters int, reg *telemetry.Registry) (int64, float64, error) {
 		return 0, 0, err
 	}
 	m := sim.NewMachine(chip, arch.Single, true)
+	m.SetTileWorkers(tileWorkers)
 	if reg != nil {
 		m.SetMetrics(reg)
 	}

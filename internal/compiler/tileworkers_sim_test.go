@@ -1,0 +1,129 @@
+package compiler
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"scaledeep/internal/arch"
+	"scaledeep/internal/dnn"
+	"scaledeep/internal/par"
+	"scaledeep/internal/sim"
+	"scaledeep/internal/zoo"
+)
+
+// timingStatsTiled is timingStats with an explicit tile-worker count.
+func timingStatsTiled(t *testing.T, net *dnn.Network, opts Options, tileWorkers int, trace bool) (sim.Stats, string) {
+	t.Helper()
+	chip := arch.Baseline().Cluster.Conv
+	chip.Rows, chip.Cols = 3, 8
+	c, err := Compile(net, chip, opts)
+	if err != nil {
+		t.Fatalf("compile %s: %v", net.Name, err)
+	}
+	m := sim.NewMachine(chip, arch.Single, false)
+	m.SetTileWorkers(tileWorkers)
+	if trace {
+		m.EnableTrace(1 << 12)
+	}
+	if err := c.Install(m); err != nil {
+		t.Fatalf("install %s: %v", net.Name, err)
+	}
+	st, err := m.Run()
+	if err != nil {
+		t.Fatalf("run %s (tile-workers=%d): %v", net.Name, tileWorkers, err)
+	}
+	return st, sim.FormatTrace(m.Trace())
+}
+
+// TestTileWorkersInvarianceOnWorkloads is the end-to-end tentpole property
+// on real compiled workloads: timing statistics and the recorded trace of
+// zoo.MiniVGG and an FC-heavy network must be byte-identical at tile-worker
+// counts 1, 2 and 8.
+func TestTileWorkersInvarianceOnWorkloads(t *testing.T) {
+	prev := par.SetWorkers(8)
+	defer par.SetWorkers(prev)
+	cases := []struct {
+		name string
+		net  *dnn.Network
+		opts Options
+	}{
+		{"minivgg-eval", zoo.MiniVGG(), Options{Minibatch: 2, Iterations: 1}},
+		{"fcheavy-train", fcHeavyNet(), Options{Minibatch: 2, Iterations: 1, Training: true, LR: 0.0625}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			baseStats, baseTrace := timingStatsTiled(t, tc.net, tc.opts, 1, true)
+			if err := baseStats.CheckAttribution(); err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range []int{2, 8} {
+				st, tr := timingStatsTiled(t, tc.net, tc.opts, w, true)
+				if !reflect.DeepEqual(baseStats, st) {
+					t.Fatalf("stats at tile-workers=%d diverge from serial:\nserial: %+v\nw=%d:  %+v",
+						w, baseStats, w, st)
+				}
+				if tr != baseTrace {
+					t.Fatalf("trace at tile-workers=%d diverges from serial", w)
+				}
+			}
+		})
+	}
+}
+
+// TestFunctionalSimTileWorkerInvariance runs a compiled network through the
+// functional simulator at several tile-worker counts and requires the
+// outputs to match bit for bit — the same contract the kernel engine gives
+// for kernel workers, now for whole-tile partitioning.
+func TestFunctionalSimTileWorkerInvariance(t *testing.T) {
+	prev := par.SetWorkers(8)
+	defer par.SetWorkers(prev)
+	net := convPoolFCNet()
+	inputs := mkInputs(net, 2, 19)
+	opts := Options{Minibatch: 2, Iterations: 1, Training: false}
+	chip := testChip(8)
+
+	run := func(workers int) [][]float32 {
+		c, err := Compile(net, chip, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := sim.NewMachine(chip, arch.Single, true)
+		m.SetTileWorkers(workers)
+		if err := c.Install(m); err != nil {
+			t.Fatal(err)
+		}
+		e := dnn.NewExecutor(net, 42)
+		e.NoBias = true
+		if err := c.LoadWeights(m, e); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.LoadInputs(m, inputs); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		outs := make([][]float32, len(inputs))
+		for i := range inputs {
+			outs[i] = c.ReadOutput(m, i)
+		}
+		return outs
+	}
+
+	want := run(1)
+	for _, w := range []int{2, 8} {
+		got := run(w)
+		for i := range want {
+			if len(got[i]) != len(want[i]) {
+				t.Fatalf("tile-workers=%d image %d: %d outputs vs %d", w, i, len(got[i]), len(want[i]))
+			}
+			for j := range want[i] {
+				if math.Float32bits(got[i][j]) != math.Float32bits(want[i][j]) {
+					t.Fatalf("tile-workers=%d image %d output %d: %v != %v (not bit-identical)",
+						w, i, j, got[i][j], want[i][j])
+				}
+			}
+		}
+	}
+}

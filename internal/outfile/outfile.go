@@ -1,0 +1,59 @@
+// Package outfile centralizes optional-output-path handling for the CLI
+// flag family that names a file to write (-out, -metrics-out, -trace-out,
+// -log-out): the empty string means "output disabled", and a disabled
+// output must never create, truncate or otherwise touch a file. Routing
+// every such write through this package makes that contract hold by
+// construction instead of by a per-call-site guard that can drift — the
+// bug class this package exists to pin down (a missing guard turns
+// `-metrics-out ""` into a clobbered file named by whatever default the
+// call site fell back to).
+package outfile
+
+import (
+	"io"
+	"os"
+)
+
+// Write writes data to path with mode 0644, creating or truncating the
+// file. An empty path disables the output: nothing on the filesystem is
+// created or clobbered and the call reports success.
+func Write(path string, data []byte) error {
+	if path == "" {
+		return nil
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// WriteWith streams output to path through fn, creating or truncating the
+// file. An empty path disables the output: fn is never invoked and the
+// filesystem is untouched. Otherwise the file is created first, fn writes
+// into it, and the close error surfaces when fn itself succeeded.
+func WriteWith(path string, fn func(io.Writer) error) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Dest resolves an optional output path to a writer: an empty path selects
+// fallback (typically os.Stdout) without touching the filesystem; a real
+// path is created, truncating an existing file. The returned close
+// function closes the created file and is a no-op for the fallback.
+func Dest(path string, fallback io.Writer) (io.Writer, func() error, error) {
+	if path == "" {
+		return fallback, func() error { return nil }, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, f.Close, nil
+}

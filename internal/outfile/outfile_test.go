@@ -1,0 +1,126 @@
+package outfile
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// inTempDir runs the test with the working directory set to a fresh temp
+// dir, so "no file was created anywhere" is checkable by listing it.
+func inTempDir(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.Chdir(old) })
+	return dir
+}
+
+func mustBeEmpty(t *testing.T, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("disabled output touched the filesystem: created %v", names)
+	}
+}
+
+// TestEmptyPathTouchesNothing is the bug-class pin: every entry point must
+// treat the empty path as disabled — no file created, no error, and for
+// WriteWith not even a call into the producer.
+func TestEmptyPathTouchesNothing(t *testing.T) {
+	dir := inTempDir(t)
+
+	if err := Write("", []byte("data")); err != nil {
+		t.Fatalf("Write(\"\") = %v, want nil", err)
+	}
+	called := false
+	if err := WriteWith("", func(io.Writer) error { called = true; return nil }); err != nil {
+		t.Fatalf("WriteWith(\"\") = %v, want nil", err)
+	}
+	if called {
+		t.Fatal("WriteWith(\"\") invoked the producer; disabled output must not")
+	}
+	var sink bytes.Buffer
+	w, closeFn, err := Dest("", &sink)
+	if err != nil {
+		t.Fatalf("Dest(\"\") = %v, want nil", err)
+	}
+	if w != &sink {
+		t.Fatal("Dest(\"\") did not return the fallback writer")
+	}
+	if err := closeFn(); err != nil {
+		t.Fatalf("Dest(\"\") close = %v, want nil", err)
+	}
+	mustBeEmpty(t, dir)
+}
+
+func TestWriteCreatesAndTruncates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	if err := Write(path, []byte("first-longer-content")); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(path, []byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "second" {
+		t.Fatalf("file holds %q after rewrite, want %q", got, "second")
+	}
+}
+
+func TestWriteWithStreamsAndCloses(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	err := WriteWith(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "streamed")
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "streamed" {
+		t.Fatalf("file holds %q, want %q", got, "streamed")
+	}
+}
+
+func TestDestOpensRealPath(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "table.csv")
+	w, closeFn, err := Dest(path, os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.WriteString(w, "row\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := closeFn(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "row\n" {
+		t.Fatalf("file holds %q, want %q", got, "row\n")
+	}
+}

@@ -1,20 +1,24 @@
 // Package par provides a small bounded worker pool for data-parallel kernels.
 //
-// The only primitive is For, which partitions an index range [0, n) into one
-// contiguous block per worker and runs the blocks concurrently. Because the
-// blocks are disjoint and each block is processed in ascending index order by
-// a single goroutine, any kernel whose per-index work writes only to
-// locations owned by that index produces bit-identical results at every
-// worker count — parallelism changes wall-clock time, never values. This is
-// the determinism contract the tensor kernel engine builds on (DESIGN.md,
-// "Kernel engine").
+// The primitive is For (and its capped variant ForMax), which partitions an
+// index range [0, n) into one contiguous block per worker and runs the blocks
+// concurrently. Because the blocks are disjoint and each block is processed
+// in ascending index order by a single goroutine, any kernel whose per-index
+// work writes only to locations owned by that index produces bit-identical
+// results at every worker count — parallelism changes wall-clock time, never
+// values. This is the determinism contract the tensor kernel engine and the
+// simulator's tile partitioner build on (DESIGN.md, "Kernel engine" and
+// "Epoch-partitioned tile parallelism").
 //
-// The pool is deliberately flat: nested or concurrent For calls degrade to
-// serial execution of the inner call instead of oversubscribing the machine.
-// That keeps the sweep engine (which already shards whole simulations across
-// GOMAXPROCS workers) composable with kernel-level parallelism — whichever
-// layer gets there first uses the workers, the other runs serial, and the
-// results are identical either way.
+// Concurrency is governed by one machine-wide token budget of Workers()-1
+// extra workers. Every For call borrows as many tokens as it can use and
+// returns them when its blocks complete; a call that finds the budget empty
+// runs serial on its caller. Nested and concurrent calls therefore *split*
+// the budget instead of oversubscribing the machine: a sweep worker running
+// tile-parallel simulations whose coarse ops fan out kernel-parallel GEMMs
+// draws every goroutine from the same pool, and whichever layer asks first
+// gets the larger share. Since block boundaries never affect results, any
+// split produces identical output.
 package par
 
 import (
@@ -26,10 +30,10 @@ import (
 // workers is the configured pool width. 0 means GOMAXPROCS.
 var workers atomic.Int64
 
-// active is a flag marking that a For call is currently fanning out.
-// A second For arriving while it is set (nested call from inside a kernel,
-// or a concurrent call from another sweep worker) runs serial.
-var active atomic.Bool
+// borrowed counts extra-worker tokens currently on loan to running For
+// calls. The budget is Workers()-1: the caller's own goroutine is the
+// implicit first worker of every call.
+var borrowed atomic.Int64
 
 // SetWorkers sets the worker pool width for subsequent For calls.
 // n <= 0 restores the default (GOMAXPROCS at call time). It returns the
@@ -43,12 +47,40 @@ func SetWorkers(n int) int {
 	return int(prev)
 }
 
-// Workers reports the effective pool width for a For call started now.
+// Workers reports the configured pool width (the budget ceiling, not a
+// per-call guarantee: concurrent For calls split it).
 func Workers() int {
 	if n := int(workers.Load()); n > 0 {
 		return n
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// acquire borrows up to want extra-worker tokens from the shared budget,
+// returning how many it got (possibly zero). Shrinking the budget with
+// SetWorkers while tokens are on loan is safe: the balance just stays
+// exhausted until they come back.
+func acquire(want int) int {
+	for {
+		cur := borrowed.Load()
+		free := int64(Workers()-1) - cur
+		if want <= 0 || free <= 0 {
+			return 0
+		}
+		g := int64(want)
+		if g > free {
+			g = free
+		}
+		if borrowed.CompareAndSwap(cur, cur+g) {
+			return int(g)
+		}
+	}
+}
+
+func release(n int) {
+	if n > 0 {
+		borrowed.Add(int64(-n))
+	}
 }
 
 // For partitions [0, n) into disjoint contiguous blocks and calls
@@ -60,10 +92,22 @@ func Workers() int {
 // For returns after every block completes. If any block panics, For re-panics
 // with the first captured value after all workers have stopped.
 func For(n, minGrain int, fn func(lo, hi int)) {
+	ForMax(n, minGrain, 0, fn)
+}
+
+// ForMax is For with an explicit per-call worker cap: at most max blocks run
+// concurrently (0 means no cap beyond the shared budget; 1 forces serial).
+// The cap bounds this call's share of the budget, it never raises it — a
+// ForMax(…, 8, …) on a 4-worker machine still borrows at most 3 extra
+// workers.
+func ForMax(n, minGrain, max int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
 	w := Workers()
+	if max > 0 && w > max {
+		w = max
+	}
 	if minGrain > 1 && w > n/minGrain {
 		w = n / minGrain
 		if w < 1 {
@@ -73,28 +117,41 @@ func For(n, minGrain int, fn func(lo, hi int)) {
 	if w > n {
 		w = n
 	}
-	if w <= 1 || !active.CompareAndSwap(false, true) {
+	if w <= 1 {
 		fn(0, n)
 		return
 	}
-	defer active.Store(false)
+	extra := acquire(w - 1)
+	if extra == 0 {
+		fn(0, n)
+		return
+	}
+	w = extra + 1
 
 	var wg sync.WaitGroup
 	var panicked atomic.Pointer[recovered]
-	wg.Add(w)
-	for b := 0; b < w; b++ {
+	catch := func() {
+		if r := recover(); r != nil {
+			panicked.CompareAndSwap(nil, &recovered{r})
+		}
+	}
+	wg.Add(extra)
+	for b := 1; b < w; b++ {
 		lo, hi := n*b/w, n*(b+1)/w
 		go func(lo, hi int) {
 			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					panicked.CompareAndSwap(nil, &recovered{r})
-				}
-			}()
+			defer catch()
 			fn(lo, hi)
 		}(lo, hi)
 	}
+	// The caller's goroutine processes the first block itself — it would
+	// only be blocked in Wait otherwise.
+	func() {
+		defer catch()
+		fn(0, n/w)
+	}()
 	wg.Wait()
+	release(extra)
 	if p := panicked.Load(); p != nil {
 		panic(p.val)
 	}

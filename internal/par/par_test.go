@@ -73,27 +73,60 @@ func TestForMinGrainKeepsSmallWorkSerial(t *testing.T) {
 	}
 }
 
-// TestForNestedRunsSerial verifies the flat-pool rule: a For issued from
-// inside a running For must not fan out again.
-func TestForNestedRunsSerial(t *testing.T) {
+// TestNestedCallsShareBudget verifies the token-budget rule: an outer For
+// that borrowed the whole budget leaves nothing for inner calls, so nested
+// For runs serial instead of oversubscribing; the combined goroutine count
+// never exceeds Workers().
+func TestNestedCallsShareBudget(t *testing.T) {
 	prev := SetWorkers(4)
 	defer SetWorkers(prev)
-	var innerBlocks atomic.Int64
+	var innerBlocks, inFlight, peak atomic.Int64
 	For(4, 1, func(lo, hi int) {
-		For(8, 1, func(ilo, ihi int) {
-			if ilo != 0 || ihi != 8 {
-				t.Errorf("nested For fanned out: block [%d,%d)", ilo, ihi)
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
 			}
+		}
+		For(8, 1, func(ilo, ihi int) {
 			innerBlocks.Add(1)
 		})
+		inFlight.Add(-1)
 	})
-	if innerBlocks.Load() != 4 {
-		t.Fatalf("expected 4 serial inner calls, got %d", innerBlocks.Load())
+	if got := peak.Load(); got > 4 {
+		t.Fatalf("outer blocks in flight peaked at %d, budget is 4", got)
+	}
+	// With the outer call holding every token, each inner call must have
+	// collapsed to exactly one serial block.
+	if got := innerBlocks.Load(); got != 4 {
+		t.Fatalf("expected 4 serial inner calls, got %d", got)
+	}
+	if got := borrowed.Load(); got != 0 {
+		t.Fatalf("%d tokens still on loan after For returned", got)
+	}
+}
+
+// TestForMaxCapsShare verifies the per-call cap: ForMax with max=2 splits
+// the range into at most two blocks even with a wider budget, and max=1
+// forces a single serial block.
+func TestForMaxCapsShare(t *testing.T) {
+	prev := SetWorkers(8)
+	defer SetWorkers(prev)
+	var blocks atomic.Int64
+	ForMax(16, 1, 2, func(lo, hi int) { blocks.Add(1) })
+	if got := blocks.Load(); got > 2 {
+		t.Fatalf("ForMax(max=2) ran %d blocks", got)
+	}
+	calls := 0
+	ForMax(16, 1, 1, func(lo, hi int) { calls++ }) // serial: no race on calls
+	if calls != 1 {
+		t.Fatalf("ForMax(max=1) ran %d blocks, want 1 serial block", calls)
 	}
 }
 
 // TestForPanicPropagates verifies worker panics surface on the caller after
-// all workers have stopped.
+// all workers have stopped and the borrowed tokens are returned.
 func TestForPanicPropagates(t *testing.T) {
 	prev := SetWorkers(4)
 	defer SetWorkers(prev)
@@ -101,8 +134,8 @@ func TestForPanicPropagates(t *testing.T) {
 		if r := recover(); r == nil {
 			t.Fatal("expected panic to propagate")
 		}
-		if active.Load() {
-			t.Fatal("active flag leaked after panic")
+		if got := borrowed.Load(); got != 0 {
+			t.Fatalf("%d tokens leaked after panic", got)
 		}
 	}()
 	For(4, 1, func(lo, hi int) {

@@ -54,10 +54,13 @@ func (q *jobQueue) dequeue() *JobState {
 }
 
 // bucket is a per-client token bucket: capacity burst, refilled at rate
-// tokens per second. One token buys one job submission.
+// tokens per second. One token buys one job submission. clock is the
+// server's access stamp (Server.touchClientLocked), used to evict the
+// least-recently-seen client when the table hits Config.MaxClients.
 type bucket struct {
 	tokens float64
 	last   time.Time
+	clock  int64
 }
 
 // take refills by elapsed time and spends one token if available.

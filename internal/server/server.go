@@ -71,10 +71,19 @@ type Config struct {
 	MaxQueue int
 	// SweepWorkers is the per-job sweep pool size; 0 means GOMAXPROCS.
 	SweepWorkers int
+	// TileWorkers caps each job's within-chip tile partitioning share
+	// (sweep.Options.TileWorkers): 0 means auto, 1 forces serial tile
+	// simulation. Results are identical at every setting.
+	TileWorkers int
 	// RatePerSec refills each client's submission bucket; 0 means 1/s.
 	RatePerSec float64
 	// Burst caps each client's bucket; 0 means 8.
 	Burst int
+	// MaxClients bounds the per-client rate-limit table: at the cap the
+	// least-recently-seen client's bucket is evicted to admit a new one
+	// (the evicted client re-enters later with a fresh burst, which only
+	// errs in its favor). 0 means 1024.
+	MaxClients int
 	// Metrics receives server counters and every job's merged sweep
 	// telemetry; nil allocates a fresh registry (exposed on /metrics).
 	Metrics *telemetry.Registry
@@ -124,15 +133,16 @@ type Server struct {
 	reg    *telemetry.Registry
 	flight *telemetry.FlightRecorder
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	queue   jobQueue
-	jobs    map[string]*JobState
-	order   []string
-	clients map[string]*bucket
-	nextSeq int64
-	drain   bool
-	runWG   sync.WaitGroup
+	mu          sync.Mutex
+	cond        *sync.Cond
+	queue       jobQueue
+	jobs        map[string]*JobState
+	order       []string
+	clients     map[string]*bucket
+	clientClock int64
+	nextSeq     int64
+	drain       bool
+	runWG       sync.WaitGroup
 }
 
 // New builds a server from cfg, applying defaults.
@@ -148,6 +158,9 @@ func New(cfg Config) *Server {
 	}
 	if cfg.MaxJobs == 0 {
 		cfg.MaxJobs = 256
+	}
+	if cfg.MaxClients == 0 {
+		cfg.MaxClients = 1024
 	}
 	if cfg.now == nil {
 		cfg.now = time.Now
@@ -338,6 +351,7 @@ func (s *Server) execute(ctx context.Context, job *JobState) {
 	}
 	opts := sweep.Options{
 		Workers:     s.cfg.SweepWorkers,
+		TileWorkers: s.cfg.TileWorkers,
 		Metrics:     reg,
 		Store:       s.cfg.Store,
 		VerifyStore: s.cfg.VerifyStore,
@@ -457,6 +471,7 @@ func (s *Server) refreshScrapeGauges(reg *telemetry.Registry) {
 	s.mu.Lock()
 	reg.Gauge("server.queue.depth").Set(float64(s.queue.Len()))
 	reg.Gauge("server.jobs.tracked").Set(float64(len(s.jobs)))
+	reg.Gauge("server.clients.tracked").Set(float64(len(s.clients)))
 	s.mu.Unlock()
 	if st := s.cfg.Store; st != nil {
 		stats := st.Stats()
@@ -519,6 +534,36 @@ func clientID(r *http.Request) string {
 	return host
 }
 
+// touchClientLocked returns the client's rate-limit bucket, creating it on
+// first sight and stamping it with the access clock. The table is bounded:
+// creating a bucket at cfg.MaxClients first evicts the least-recently-seen
+// client (smallest clock — the same access-clock scheme the result store
+// uses for its memory tier), so an open population of submitters can never
+// grow the map without bound. Callers hold s.mu.
+func (s *Server) touchClientLocked(client string) *bucket {
+	b := s.clients[client]
+	if b == nil {
+		if len(s.clients) >= s.cfg.MaxClients {
+			var (
+				oldest      string
+				oldestClock int64
+			)
+			for id, ob := range s.clients {
+				if oldest == "" || ob.clock < oldestClock {
+					oldest, oldestClock = id, ob.clock
+				}
+			}
+			delete(s.clients, oldest)
+			s.reg.Counter("server.clients.evicted").Inc()
+		}
+		b = &bucket{}
+		s.clients[client] = b
+	}
+	s.clientClock++
+	b.clock = s.clientClock
+	return b
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec Spec
 	body := http.MaxBytesReader(w, r.Body, 1<<20)
@@ -543,11 +588,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "server draining")
 		return
 	}
-	b := s.clients[client]
-	if b == nil {
-		b = &bucket{}
-		s.clients[client] = b
-	}
+	b := s.touchClientLocked(client)
 	if !b.take(s.cfg.now(), s.cfg.RatePerSec, s.cfg.Burst) {
 		s.reg.Counter("server.jobs.rejected.rate_limited").Inc()
 		s.mu.Unlock()

@@ -4,8 +4,11 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
+	"sort"
 	"strings"
 	"testing"
 	"time"
@@ -337,6 +340,46 @@ func TestServerRateLimit(t *testing.T) {
 	}
 	if resp, _ := submit(t, ts, testSpec(), "limited"); resp.StatusCode != http.StatusTooManyRequests {
 		t.Errorf("second submit after refill: status %d, want 429", resp.StatusCode)
+	}
+}
+
+// TestServerClientTableBounded is the regression test for the unbounded
+// rate-limit map: an open population of clients must never grow s.clients
+// past Config.MaxClients, and eviction must drop the least-recently-seen
+// client — not a random or recently-active one.
+func TestServerClientTableBounded(t *testing.T) {
+	s, ts := idleServer(t, Config{MaxQueue: 64, Burst: 16, MaxClients: 3})
+
+	for _, c := range []string{"a", "b", "c"} {
+		if resp, _ := submit(t, ts, testSpec(), c); resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("client %s: status %d, want 202", c, resp.StatusCode)
+		}
+	}
+	// Touch a again so b becomes the least-recently-seen client, then let a
+	// fourth client force an eviction.
+	submit(t, ts, testSpec(), "a")
+	submit(t, ts, testSpec(), "d")
+
+	clients := func() []string {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		got := make([]string, 0, len(s.clients))
+		for id := range s.clients {
+			got = append(got, id)
+		}
+		sort.Strings(got)
+		return got
+	}
+	if got, want := clients(), []string{"a", "c", "d"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("client table after eviction = %v, want %v (LRU client b evicted)", got, want)
+	}
+
+	// Sustained churn from fresh clients holds the table at the cap.
+	for i := 0; i < 20; i++ {
+		submit(t, ts, testSpec(), fmt.Sprintf("churn-%d", i))
+	}
+	if got := clients(); len(got) != 3 {
+		t.Fatalf("client table holds %d entries after churn, cap is 3 (%v)", len(got), got)
 	}
 }
 

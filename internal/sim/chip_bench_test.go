@@ -1,0 +1,278 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"scaledeep/internal/arch"
+	"scaledeep/internal/dnn"
+	"scaledeep/internal/isa"
+	"scaledeep/internal/par"
+	"scaledeep/internal/zoo"
+)
+
+// This file is the BENCH_chip.json workload: serial vs tile-partitioned
+// simulation of one ConvLayer chip running a VGG-E-derived program on every
+// row. Rows are minibatch data-parallel replicas — each row processes its
+// own images with row-local (portable) programs, the one mapping where
+// within-chip partitioning is sound (DESIGN.md §5g; the column-pipelined
+// compiler mapping couples rows through home tiles and cannot shard).
+//
+// The per-row program walks the real zoo.VGG('E') layer sequence — 16 convs,
+// 5 pools, 3 FCs — with spatial dims and channel counts scaled down so one
+// replica's state fits a MemHeavy tile pair, looping NDCONV per (input
+// feature × kernel group) exactly as the FP template does, plus activation,
+// subsampling and matmul ops and a tracked row-local DMA.
+
+// Register plan for the generated program. Port registers are dedicated and
+// only ever loaded with PortLeft/PortRight, keeping the program portable
+// under the flow-insensitive analysis (decode.go).
+const (
+	bRegPL  = isa.Reg(1)
+	bRegPR  = isa.Reg(2)
+	bRegCnt = isa.Reg(3)
+	bRegArg = 8 // scratch args r8..r21
+)
+
+// benchProg accumulates instructions for the replica-row program.
+type benchProg struct {
+	ins []isa.Instr
+}
+
+// op loads the non-port argument values into scratch registers and appends
+// one coarse instruction. portAt marks which argument positions take the
+// dedicated port registers instead; vals holds the port constant
+// (PortLeft/PortRight) at those positions.
+func (p *benchProg) op(op isa.Opcode, vals ...int64) {
+	ports := [isa.NumOpcodes]map[int]bool{
+		isa.NDCONV:    {2: true, 6: true, 11: true},
+		isa.MATMUL:    {2: true, 6: true, 8: true},
+		isa.NDACTFN:   {2: true, 5: true},
+		isa.NDSUBSAMP: {2: true, 9: true},
+		isa.MEMTRACK:  {0: true},
+		isa.DMASTORE:  {1: true, 3: true},
+	}[op]
+	regs := make([]isa.Reg, len(vals))
+	for i, v := range vals {
+		if ports[i] {
+			if v == isa.PortRight {
+				regs[i] = bRegPR
+			} else {
+				regs[i] = bRegPL
+			}
+			continue
+		}
+		r := isa.Reg(bRegArg + i)
+		p.ins = append(p.ins, isa.Ldri(r, int32(v)))
+		regs[i] = r
+	}
+	p.ins = append(p.ins, isa.WithArgs(op, regs...))
+}
+
+// loop wraps body in a scalar counted loop of n iterations.
+func (p *benchProg) loop(n int64, body func()) {
+	if n <= 0 {
+		return
+	}
+	p.ins = append(p.ins, isa.Ldri(bRegCnt, int32(n)))
+	top := len(p.ins)
+	body()
+	p.ins = append(p.ins, isa.Subri(bRegCnt, bRegCnt, 1))
+	p.ins = append(p.ins, isa.Bgtz(bRegCnt, int32(top-len(p.ins)-1)))
+}
+
+// vggReplicaProgram derives a portable row program from net's layer walk.
+// Spatial dims divide by spatialDiv and channel/neuron counts by channelDiv
+// (floored at the original value when small), so the working set of each
+// layer stays inside one MemHeavy tile pair while the op sequence keeps
+// VGG-E's shape: per-layer NDCONV loops over input features × kernel groups,
+// one activation pass per conv, per-channel subsampling and chunked FC
+// matmuls, ending in a tracked row-local DMA.
+func vggReplicaProgram(net *dnn.Network, lanes int) *isa.Program {
+	const (
+		spatialDiv = 4
+		channelDiv = 4
+		kernAddr   = 4096   // conv kernels / FC weight panel base (PortLeft)
+		xAddr      = 81920  // FC input vector base (PortLeft)
+		poolAddr   = 65536  // pool output base (PortRight)
+		trackAddr  = 100000 // tracked flag region (PortRight)
+	)
+	scaleC := func(c int) int64 {
+		if c <= channelDiv {
+			return int64(c)
+		}
+		return int64(c / channelDiv)
+	}
+	scaleS := func(s int) int64 {
+		v := int64(s / spatialDiv)
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	p := &benchProg{}
+	p.ins = append(p.ins,
+		isa.Ldri(bRegPL, int32(isa.PortLeft)),
+		isa.Ldri(bRegPR, int32(isa.PortRight)),
+	)
+	for _, l := range net.Layers {
+		switch l.Kind {
+		case dnn.Conv:
+			inC, outC := scaleC(l.In.C), scaleC(l.Out.C)
+			h, w := scaleS(l.In.H), scaleS(l.In.W)
+			k := int64(l.ConvP.KH)
+			if h < k {
+				h, w = k, k
+			}
+			nk := int64(lanes)
+			if nk > outC {
+				nk = outC
+			}
+			groups := (outC + nk - 1) / nk
+			oh := (h + 2*int64(l.ConvP.PadH) - k) / int64(l.ConvP.StrideH)
+			oh++
+			p.loop(inC*groups, func() {
+				p.op(isa.NDCONV, isa.ModeFwd,
+					0, isa.PortLeft, h, w,
+					kernAddr, isa.PortLeft, k, int64(l.ConvP.StrideH), int64(l.ConvP.PadH),
+					0, isa.PortRight, nk, 1)
+			})
+			p.op(isa.NDACTFN, isa.ActFnReLU, 0, isa.PortRight, outC*oh*oh, 0, isa.PortRight)
+		case dnn.Pool:
+			outC := scaleC(l.Out.C)
+			h, w := scaleS(l.In.H), scaleS(l.In.W)
+			win := int64(l.PoolP.Window)
+			if h < win {
+				h, w = win, win
+			}
+			p.loop(outC, func() {
+				p.op(isa.NDSUBSAMP, isa.SampMax,
+					0, isa.PortRight, h, w, win, int64(l.PoolP.Stride), int64(l.PoolP.Pad),
+					poolAddr, isa.PortRight)
+			})
+		case dnn.FC:
+			cols := scaleC(l.In.Elems())
+			rows := scaleC(l.OutNeurons)
+			chunk := int64(65536) / cols
+			if chunk < 1 {
+				chunk = 1
+			}
+			if chunk > rows {
+				chunk = rows
+			}
+			p.loop((rows+chunk-1)/chunk, func() {
+				p.op(isa.MATMUL, isa.ModeFwd,
+					kernAddr, isa.PortLeft, chunk, cols,
+					xAddr, isa.PortLeft, 0, isa.PortRight, 1)
+			})
+		}
+	}
+	// Tracked row-local completion flag: one armed tracker plus the DMASTORE
+	// that satisfies it, so the partition merge covers tracker state too.
+	p.op(isa.MEMTRACK, isa.PortRight, trackAddr, 4, 1, 1)
+	p.op(isa.DMASTORE, 0, isa.PortLeft, trackAddr, isa.PortRight, 4, 0)
+	p.ins = append(p.ins, isa.Halt())
+	return &isa.Program{Tile: "vggE-replica", Instrs: p.ins}
+}
+
+// benchChipMachine builds the full 6×16 baseline ConvLayer chip with one
+// VGG-E replica program per row (minibatch data parallelism: six images in
+// flight, one per row).
+func benchChipMachine(b *testing.B, p *isa.Program, tileWorkers int) *Machine {
+	b.Helper()
+	m := NewMachine(arch.Baseline().Cluster.Conv, arch.Single, false)
+	m.SetTileWorkers(tileWorkers)
+	for r := 0; r < m.Chip.Rows; r++ {
+		if err := m.LoadProgram(r, 0, StepFP, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return m
+}
+
+func benchVGGEChip(b *testing.B, tileWorkers int) {
+	prev := par.SetWorkers(4)
+	defer par.SetWorkers(prev)
+	p := vggReplicaProgram(zoo.VGG('E'), arch.Baseline().Cluster.Conv.CompHeavy.Lanes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := benchChipMachine(b, p, tileWorkers)
+		if _, err := m.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkChipVGGESerial is the single-event-loop baseline.
+func BenchmarkChipVGGESerial(b *testing.B) { benchVGGEChip(b, 1) }
+
+// BenchmarkChipVGGEParallel4 partitions the same chip across 4 tile workers.
+// Wall-clock gain saturates at min(4, usable cores, runnable rows).
+func BenchmarkChipVGGEParallel4(b *testing.B) { benchVGGEChip(b, 4) }
+
+// BenchmarkChipVGGESpeedup runs both configurations per iteration and
+// reports the wall-clock ratio as chip-speedup-x, the headline number of
+// BENCH_chip.json (following BenchmarkSweepMemoSpeedup / BenchmarkGridSpeedup).
+func BenchmarkChipVGGESpeedup(b *testing.B) {
+	prev := par.SetWorkers(4)
+	defer par.SetWorkers(prev)
+	p := vggReplicaProgram(zoo.VGG('E'), arch.Baseline().Cluster.Conv.CompHeavy.Lanes)
+	var serial, parallel time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := benchChipMachine(b, p, 1)
+		t0 := time.Now()
+		if _, err := m.Run(); err != nil {
+			b.Fatal(err)
+		}
+		serial += time.Since(t0)
+		m = benchChipMachine(b, p, 4)
+		t0 = time.Now()
+		if _, err := m.Run(); err != nil {
+			b.Fatal(err)
+		}
+		parallel += time.Since(t0)
+	}
+	b.ReportMetric(serial.Seconds()/parallel.Seconds(), "chip-speedup-x")
+	b.ReportMetric(serial.Seconds()*1e3/float64(b.N), "serial-ms")
+	b.ReportMetric(parallel.Seconds()*1e3/float64(b.N), "parallel-ms")
+}
+
+// TestChipBenchWorkloadShards pins the benchmark's premise: the generated
+// replica program is portable, the machine takes the sharded path, and a
+// partitioned run reproduces the serial stats exactly. Without this the
+// benchmark could silently degrade into measuring the global loop twice.
+func TestChipBenchWorkloadShards(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-chip VGG-E replica run")
+	}
+	prev := par.SetWorkers(8)
+	defer par.SetWorkers(prev)
+	p := vggReplicaProgram(zoo.VGG('E'), arch.Baseline().Cluster.Conv.CompHeavy.Lanes)
+	if !decodeProgram(p).portable {
+		t.Fatal("VGG-E replica program is not portable; the chip benchmark would measure the serial fallback")
+	}
+	run := func(workers int) Stats {
+		m := NewMachine(arch.Baseline().Cluster.Conv, arch.Single, false)
+		m.SetTileWorkers(workers)
+		for r := 0; r < m.Chip.Rows; r++ {
+			if err := m.LoadProgram(r, 0, StepFP, p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !m.canShard() {
+			t.Fatal("bench machine does not shard")
+		}
+		return mustRun(t, m)
+	}
+	want := run(1)
+	if want.Cycles == 0 || want.FLOPs == 0 {
+		t.Fatalf("degenerate bench workload: %+v", want)
+	}
+	for _, w := range []int{2, 4} {
+		if got := run(w); !reflect.DeepEqual(got, want) {
+			t.Fatalf("tile-workers=%d stats diverge from serial:\nserial: %+v\ngot:    %+v", w, want, got)
+		}
+	}
+}

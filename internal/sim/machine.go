@@ -148,6 +148,15 @@ type Machine struct {
 	memo       bool
 	verifyMemo bool
 
+	// Tile partitioning (see partition.go): when every loaded program is
+	// portable, rows are closed subsystems and Run shards the chip into one
+	// row-local event loop per runnable row, executed across the internal/par
+	// pool. tileWorkers caps this run's share of the pool (0 = auto, 1 =
+	// serial); shards and shardRows are capacity-retaining scratch.
+	tileWorkers int
+	shards      []*Machine
+	shardRows   []int
+
 	// Cycle-attribution scratch: execCoarse implementations report how much
 	// of the op's span was queueing for a busy resource, and how many
 	// operand/link bytes it moved, through these per-op accumulators.
@@ -326,6 +335,12 @@ func (m *Machine) SetVerifyMemo(on bool) { m.verifyMemo = on }
 
 // Run executes all loaded programs to completion and returns the statistics.
 // It fails with a *DeadlockError if the machine stops making progress.
+//
+// When every loaded program is portable, the chip's rows are closed
+// subsystems and Run partitions them across the internal/par worker pool
+// (see partition.go); results are identical to the serial interleaving at
+// every worker count. Non-portable programs fall back to the single global
+// event loop.
 func (m *Machine) Run() (Stats, error) {
 	plan := m.planMemo()
 	skipClones := plan != nil && !m.verifyMemo
@@ -342,51 +357,20 @@ func (m *Machine) Run() (Stats, error) {
 			continue
 		}
 		active++
-		m.eng.schedule(ct.index, 0)
 	}
 	if active == 0 {
 		return Stats{}, fmt.Errorf("sim: no programs loaded")
 	}
 	m.finished = 0
-	for {
-		ev, ok := m.eng.next()
-		if !ok {
-			break
-		}
-		ct := m.comp[ev.tile]
-		if ct.halted {
-			continue
-		}
-		if ev.at > ct.time {
-			// The gap between the tile's own clock and its wake event is
-			// time it spent suspended; attribute it by the suspension cause.
-			d := ev.at - ct.time
-			switch ct.waitCause {
-			case waitNACK:
-				m.account(ct, AttrTrackNACK, d)
-			case waitQueued:
-				m.account(ct, AttrTrackWait, d)
-			default:
-				m.account(ct, AttrIdle, d)
-			}
-			ct.time = ev.at
-		}
-		ct.waitCause = waitNone
-		m.runTile(ct)
+	var dl *DeadlockError
+	if m.canShard() {
+		dl = m.runSharded(active)
+	} else {
+		dl = m.runGlobal(active)
 	}
 	m.flushSpans()
-	if m.finished < active {
-		d := &DeadlockError{Cycle: m.eng.now}
-		for _, ct := range m.comp {
-			if ct.prog != nil && !ct.halted {
-				desc := ct.blocked
-				if ct.blockTk != nil {
-					desc += " on " + ct.blockTk.String()
-				}
-				d.Blocked = append(d.Blocked, fmt.Sprintf("%s pc=%d: %s", ct.name(), ct.pc, desc))
-			}
-		}
-		return Stats{}, d
+	if dl != nil {
+		return Stats{}, dl
 	}
 	if plan != nil {
 		if m.verifyMemo {
@@ -442,6 +426,14 @@ func (m *Machine) Reset() {
 	m.opQueueWait, m.opBytes = 0, 0
 	m.tracing, m.trace, m.traceLimit, m.traceDropped = false, nil, 0, 0
 	m.spans, m.spanBuf = nil, m.spanBuf[:0]
+	m.tileWorkers = 0
+	// Scrub shard scratch machines: keep their capacity-holding buffers but
+	// drop every reference into this machine's (now-reset) tile state, so a
+	// pooled machine cannot carry per-tile aliases across jobs.
+	for _, sm := range m.shards {
+		sm.scrub()
+	}
+	m.shardRows = m.shardRows[:0]
 	m.SetMetrics(nil)
 }
 

@@ -1,0 +1,267 @@
+package sim
+
+import (
+	"fmt"
+
+	"scaledeep/internal/par"
+)
+
+// This file implements epoch-partitioned tile parallelism: when every loaded
+// program is portable, Run shards the chip by row and advances each row's
+// tiles on its own event loop, across the internal/par worker pool, with a
+// fixed-order merge afterwards. Results are identical to the serial
+// interleaving at every worker count (DESIGN.md §5g).
+//
+// Soundness rests on the same closed-row argument as replica memoization
+// (memo.go): a portable program references only PortLeft/PortRight — the two
+// MemHeavy tiles of its own row — so trackers, scratchpads, SFU/DMA engines,
+// pool-routing entries and link traffic are all row-local, and external
+// memory is unreachable. Between tracker synchronization points a row's
+// tiles interact with nothing outside the row; the global event loop was
+// merely time-multiplexing independent subsystems. Each shard therefore
+// replays exactly the subsequence of the global event order that belongs to
+// its row: tiles are seeded in compTile-index order (as the global loop
+// would), wakes are row-internal, and the (cycle, seq) heap order restricted
+// to one row is the row-local heap order. The one scheduler-wide input a
+// tile ever reads — the scalar-yield peek in runTile — becomes a row-local
+// peek, which only removes yields to other rows' tiles; since those tiles
+// share no state with this row, the yield was a no-op for results.
+//
+// The merge is deterministic because it walks shards in ascending row order:
+// finished counts and shadow histograms add, traces and span batches
+// concatenate (re-applying the trace limit), pool-route tables union over
+// disjoint key sets, and the deadlock clock is the maximum shard clock —
+// exactly the final global-queue clock. Per-tile state (times, attribution,
+// counters) needs no merging at all: tiles are partitioned, and collectStats
+// already aggregates them in tile-index order.
+
+// SetTileWorkers caps this machine's share of the worker pool for tile
+// partitioning: 0 means auto (use the pool's budget), 1 forces serial
+// execution, n caps the shard fan-out at n. The setting never affects
+// results — only wall-clock time. Sweep-level and tile-level parallelism
+// draw from one shared budget (see internal/par), so nesting cannot
+// oversubscribe the machine.
+func (m *Machine) SetTileWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	m.tileWorkers = n
+}
+
+// canShard reports whether row partitioning is sound for this run: at least
+// one program is loaded and every loaded program is portable (references no
+// memory outside its own row; see analyzePortable).
+func (m *Machine) canShard() bool {
+	loaded := false
+	for _, ct := range m.comp {
+		if ct.prog == nil {
+			continue
+		}
+		if !ct.dec.portable {
+			return false
+		}
+		loaded = true
+	}
+	return loaded
+}
+
+// runGlobal is the serial fallback: one event loop over the whole chip,
+// required when programs can reach shared state (absolute tiles, external
+// memory) and the global interleaving is therefore semantically load-bearing.
+func (m *Machine) runGlobal(active int) *DeadlockError {
+	for _, ct := range m.comp {
+		if ct.prog != nil && !ct.halted {
+			m.eng.schedule(ct.index, 0)
+		}
+	}
+	m.drainEvents()
+	if m.finished < active {
+		return m.deadlock(m.eng.now)
+	}
+	return nil
+}
+
+// drainEvents pops the machine's event queue to empty, resuming tiles in
+// (cycle, seq) order and attributing suspension gaps to their cause.
+func (m *Machine) drainEvents() {
+	for {
+		ev, ok := m.eng.next()
+		if !ok {
+			return
+		}
+		ct := m.comp[ev.tile]
+		if ct.halted {
+			continue
+		}
+		if ev.at > ct.time {
+			// The gap between the tile's own clock and its wake event is
+			// time it spent suspended; attribute it by the suspension cause.
+			d := ev.at - ct.time
+			switch ct.waitCause {
+			case waitNACK:
+				m.account(ct, AttrTrackNACK, d)
+			case waitQueued:
+				m.account(ct, AttrTrackWait, d)
+			default:
+				m.account(ct, AttrIdle, d)
+			}
+			ct.time = ev.at
+		}
+		ct.waitCause = waitNone
+		m.runTile(ct)
+	}
+}
+
+// runSharded partitions the chip by row and drains one row-local event loop
+// per runnable row across the worker pool, then merges in row order.
+func (m *Machine) runSharded(active int) *DeadlockError {
+	m.shardRows = m.shardRows[:0]
+	for r := 0; r < m.Chip.Rows; r++ {
+		if m.rowRunnable(r) {
+			m.shardRows = append(m.shardRows, r)
+		}
+	}
+	n := len(m.shardRows)
+	for i := 0; i < n; i++ {
+		m.shard(i)
+	}
+	par.ForMax(n, 1, m.tileWorkers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sm := m.shards[i]
+			row := m.shardRows[i]
+			// Seed the row's tiles in compTile-index order, matching the
+			// global loop's schedule order restricted to this row.
+			for ccol := 0; ccol < sm.Chip.Cols; ccol++ {
+				for s := Step(0); s < stepsPerCell; s++ {
+					ct := sm.comp[sm.compIndex(row, ccol, s)]
+					if ct.prog != nil && !ct.halted {
+						sm.eng.schedule(ct.index, 0)
+					}
+				}
+			}
+			sm.drainEvents()
+		}
+	})
+	// Fixed-order merge: ascending row order, independent of which worker
+	// ran which shard or in what order they finished.
+	var maxNow Cycle
+	for i := 0; i < n; i++ {
+		sm := m.shards[i]
+		m.finished += sm.finished
+		if sm.eng.now > maxNow {
+			maxNow = sm.eng.now
+		}
+		if m.tracing {
+			for _, ev := range sm.trace {
+				if len(m.trace) >= m.traceLimit {
+					m.traceDropped++
+					continue
+				}
+				m.trace = append(m.trace, ev)
+			}
+			m.traceDropped += sm.traceDropped
+		}
+		m.spanBuf = append(m.spanBuf, sm.spanBuf...)
+		sm.spanBuf = sm.spanBuf[:0]
+		m.opHists.add(&sm.opHists)
+		for k, v := range sm.poolRoute {
+			m.poolRoute[k] = v
+		}
+	}
+	if m.finished < active {
+		return m.deadlock(maxNow)
+	}
+	return nil
+}
+
+// rowRunnable reports whether row r has at least one programmed, unhalted
+// tile (memo-skipped clone rows have every tile pre-halted and need no
+// shard).
+func (m *Machine) rowRunnable(r int) bool {
+	for ccol := 0; ccol < m.Chip.Cols; ccol++ {
+		for s := Step(0); s < stepsPerCell; s++ {
+			ct := m.comp[m.compIndex(r, ccol, s)]
+			if ct.prog != nil && !ct.halted {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// shard prepares scratch machine i for one row's event loop: a shallow copy
+// of the parent sharing the (read-only during the run) tile arrays, decode
+// cache and configuration, with private copies of everything a worker
+// mutates — event queue, functional staging arena, conv scratch, pool-route
+// table, trace/span/histogram shadows and per-op accumulators. Scratch
+// machines are retained across Runs so steady-state sharding allocates
+// nothing.
+func (m *Machine) shard(i int) *Machine {
+	for len(m.shards) <= i {
+		m.shards = append(m.shards, &Machine{})
+	}
+	sm := m.shards[i]
+	eng := sm.eng
+	eng.reset()
+	route := sm.poolRoute
+	if route == nil {
+		route = map[[2]int64][]int32{}
+	} else {
+		clear(route)
+	}
+	arena := sm.arena
+	conv := sm.convScratch
+	spanBuf := sm.spanBuf[:0]
+	trace := sm.trace[:0]
+	*sm = *m
+	sm.eng = eng
+	sm.poolRoute = route
+	sm.arena = arena
+	sm.convScratch = conv
+	sm.spanBuf = spanBuf
+	sm.trace = trace
+	sm.traceDropped = 0
+	sm.finished = 0
+	sm.stats = Stats{}
+	sm.opHists = opHistSet{}
+	sm.opQueueWait, sm.opBytes = 0, 0
+	sm.pub = pubScratch{}
+	sm.shards = nil
+	sm.shardRows = nil
+	return sm
+}
+
+// scrub returns a shard scratch machine to an empty state, keeping its
+// capacity-holding buffers but dropping every reference into the parent
+// machine's tile state (Machine.Reset calls this so pooled machines carry no
+// per-tile aliases across jobs).
+func (m *Machine) scrub() {
+	eng := m.eng
+	eng.reset()
+	route := m.poolRoute
+	if route != nil {
+		clear(route)
+	}
+	arena := m.arena
+	conv := m.convScratch
+	spanBuf := m.spanBuf[:0]
+	trace := m.trace[:0]
+	*m = Machine{eng: eng, poolRoute: route, arena: arena, convScratch: conv, spanBuf: spanBuf, trace: trace}
+}
+
+// deadlock builds the blocked-tile report for a run that stopped making
+// progress, with now the final event-queue clock (the maximum shard clock
+// under partitioning — identical to the global queue's final clock).
+func (m *Machine) deadlock(now Cycle) *DeadlockError {
+	d := &DeadlockError{Cycle: now}
+	for _, ct := range m.comp {
+		if ct.prog != nil && !ct.halted {
+			desc := ct.blocked
+			if ct.blockTk != nil {
+				desc += " on " + ct.blockTk.String()
+			}
+			d.Blocked = append(d.Blocked, fmt.Sprintf("%s pc=%d: %s", ct.name(), ct.pc, desc))
+		}
+	}
+	return d
+}

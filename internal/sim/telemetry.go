@@ -64,6 +64,26 @@ type opHistSet struct {
 	byOp [isa.NumOpcodes]opHist
 }
 
+// add accumulates another shadow histogram into h (the tile-partition merge
+// path: shard-local shadows fold into the parent's before one flush).
+func (h *opHist) add(o *opHist) {
+	for i := range o.counts {
+		h.counts[i] += o.counts[i]
+	}
+	h.n += o.n
+	h.sum += o.sum
+}
+
+// add accumulates another shadow set into s.
+func (s *opHistSet) add(o *opHistSet) {
+	s.all.add(&o.all)
+	for i := range o.byOp {
+		if o.byOp[i].n != 0 {
+			s.byOp[i].add(&o.byOp[i])
+		}
+	}
+}
+
 // opCycleBucket returns the shadow-histogram slot for a duration.
 func opCycleBucket(d Cycle) int {
 	i := 0

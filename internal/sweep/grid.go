@@ -193,7 +193,7 @@ func RunGrid(ctx context.Context, g Grid, opts Options) ([]Result, error) {
 		return Map(ctx, jobs, opts, func(ctx context.Context, _ int, job Job, reg *telemetry.Registry) (Result, error) {
 			tc := cellContext(job.Index, job)
 			end := tc.Begin("simulate")
-			r, err := runJob(job, reg, pool, tc)
+			r, err := runJob(job, reg, pool, tc, opts.TileWorkers)
 			end(telemetry.Attr{Key: "outcome", Value: outcomeOf(err)})
 			if err == nil {
 				recordJobMetrics(reg, r)
@@ -255,7 +255,7 @@ func RunGrid(ctx context.Context, g Grid, opts Options) ([]Result, error) {
 					endGet(telemetry.Attr{Key: "outcome", Value: "hit"})
 					if opts.VerifyStore && auditHit(key) {
 						endVerify := tc.Begin("store.verify")
-						verr := verifyStoredHit(job, key, payload, pool)
+						verr := verifyStoredHit(job, key, payload, pool, opts.TileWorkers)
 						endVerify(telemetry.Attr{Key: "outcome", Value: outcomeOf(verr)})
 						if verr != nil {
 							return Result{}, verr
@@ -288,7 +288,7 @@ func RunGrid(ctx context.Context, g Grid, opts Options) ([]Result, error) {
 			repRegs[ci] = reg
 		}
 		endSim := tc.Begin("simulate", telemetry.Attr{Key: "replicas", Value: fmt.Sprint(len(classes[ci]))})
-		r, err := runJob(job, reg, pool, tc)
+		r, err := runJob(job, reg, pool, tc, opts.TileWorkers)
 		endSim(telemetry.Attr{Key: "outcome", Value: outcomeOf(err)})
 		if err != nil {
 			return r, err
@@ -360,7 +360,7 @@ func verifyMemo(ctx context.Context, jobs []Job, classes [][]int, results []Resu
 		return nil
 	}
 	fresh, err := Map(ctx, checks, opts, func(ctx context.Context, _ int, job Job, _ *telemetry.Registry) (Result, error) {
-		return runJob(job, nil, pool, telemetry.TraceContext{})
+		return runJob(job, nil, pool, telemetry.TraceContext{}, opts.TileWorkers)
 	})
 	if err != nil {
 		return err
@@ -491,7 +491,7 @@ func outcomeOf(err error) string {
 // cell's trace lane (cycle timestamps on "comp[...]"/"mem[...]" tracks under
 // the lane prefix). Cycle streams are deterministic per spec, so traced
 // spans never break cross-parallelism determinism.
-func runJob(job Job, reg *telemetry.Registry, pool *machinePool, tc telemetry.TraceContext) (Result, error) {
+func runJob(job Job, reg *telemetry.Registry, pool *machinePool, tc telemetry.TraceContext, tileWorkers int) (Result, error) {
 	fail := func(err error) (Result, error) {
 		return Result{}, fmt.Errorf("sweep: %s: %w", job.Name(), err)
 	}
@@ -517,6 +517,7 @@ func runJob(job Job, reg *telemetry.Registry, pool *machinePool, tc telemetry.Tr
 	poolKey := strings.ToLower(job.Arch)
 	m := pool.get(poolKey, chip, prec)
 	defer pool.put(poolKey, m)
+	m.SetTileWorkers(tileWorkers)
 	if reg != nil {
 		m.SetMetrics(reg)
 	}

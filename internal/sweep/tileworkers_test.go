@@ -1,0 +1,86 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"scaledeep/internal/par"
+	"scaledeep/internal/telemetry"
+)
+
+// TestRunGridByteIdenticalAcrossTileWorkers extends the sweep determinism
+// guarantee to within-chip tile partitioning: rendered tables and merged
+// metrics must be byte-identical at every tile-worker count, with sweep- and
+// tile-level parallelism layered.
+func TestRunGridByteIdenticalAcrossTileWorkers(t *testing.T) {
+	prev := par.SetWorkers(8)
+	defer par.SetWorkers(prev)
+	g := Grid{
+		Workloads:   []string{"minivgg", "fcnet"},
+		Archs:       []string{"baseline"},
+		Minibatches: []int{2},
+		Modes:       []string{"eval", "train"},
+		Iterations:  1,
+	}
+	render := func(tileWorkers int) []byte {
+		merged := telemetry.NewRegistry()
+		results, err := RunGrid(context.Background(), g, Options{
+			Workers: 2, TileWorkers: tileWorkers, Metrics: merged,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := renderAll(t, results)
+		snap, err := json.Marshal(merged.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return append(out, snap...)
+	}
+	ref := render(1)
+	for _, w := range []int{2, 8} {
+		if got := render(w); !bytes.Equal(ref, got) {
+			t.Fatalf("tile-workers=%d: rendered output or merged metrics differ from serial", w)
+		}
+	}
+}
+
+// TestStoreByteIdenticalAcrossTileWorkers pins the store keys and blobs:
+// a sweep run cold at one tile-worker count must be served entirely from
+// disk — and survive byte-level blob verification — when re-run at another,
+// proving both the keys and the stored results are tile-worker invariant.
+func TestStoreByteIdenticalAcrossTileWorkers(t *testing.T) {
+	prev := par.SetWorkers(8)
+	defer par.SetWorkers(prev)
+	g := storeTestGrid()
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	cold := openStore(t, dir)
+	coldResults, err := RunGrid(ctx, g, Options{Workers: 2, TileWorkers: 1, Store: cold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := cold.Stats(); st.Puts == 0 {
+		t.Fatalf("cold stats %+v: want puts", st)
+	}
+	cold.Close()
+
+	warm := openStore(t, dir)
+	warmResults, err := RunGrid(ctx, g, Options{
+		Workers: 2, TileWorkers: 8, Store: warm, VerifyStore: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wst := warm.Stats()
+	if wst.DiskHits == 0 || wst.Misses != 0 || wst.Puts != 0 {
+		t.Fatalf("warm stats %+v: want pure disk hits at tile-workers=8", wst)
+	}
+	warm.Close()
+	if !bytes.Equal(renderAll(t, coldResults), renderAll(t, warmResults)) {
+		t.Fatal("rendered tables differ between tile-workers 1 (cold) and 8 (warm)")
+	}
+}

@@ -54,13 +54,26 @@ func TestNewLoggerEmitsJSONLines(t *testing.T) {
 }
 
 func TestOpenLogger(t *testing.T) {
-	// Empty path disables.
+	// Empty path disables — and must not create or touch any file (the
+	// -log-out half of the empty-output-path contract; see internal/outfile).
+	dir := t.TempDir()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(old)
 	lg, closeFn, err := OpenLogger("", "debug")
 	if err != nil || lg != nil {
 		t.Errorf("OpenLogger(\"\") = %v, %v; want nil logger", lg, err)
 	}
 	if err := closeFn(); err != nil {
 		t.Errorf("disabled close: %v", err)
+	}
+	if entries, err := os.ReadDir(dir); err != nil || len(entries) != 0 {
+		t.Errorf("OpenLogger(\"\") touched the filesystem: %v (err %v)", entries, err)
 	}
 
 	// Bad level errors.

@@ -17,14 +17,20 @@ import (
 // len(bounds)+1 entries, the last being the overflow bucket. The lower edge
 // of the first bucket is taken as 0 when its bound is positive (every
 // histogram in this repo observes non-negative magnitudes), else the bound
-// itself. Returns NaN for an empty histogram.
+// itself.
+//
+// Every q in [0, 1] yields a finite value (out-of-range q is clamped): an
+// empty histogram reports 0 — the lower edge of the domain — rather than
+// NaN, so dashboards and report code can render quantiles without guarding
+// every call, and a histogram whose only bucket is the overflow bucket
+// (no finite bounds to interpolate against) reports 0 for the same reason.
 func quantileFromBuckets(bounds []float64, counts []int64, q float64) float64 {
 	var total int64
 	for _, c := range counts {
 		total += c
 	}
 	if total == 0 || len(counts) == 0 {
-		return math.NaN()
+		return 0
 	}
 	if q < 0 {
 		q = 0
@@ -49,9 +55,10 @@ func quantileFromBuckets(bounds []float64, counts []int64, q float64) float64 {
 		if i >= len(bounds) {
 			// Overflow bucket: no finite upper edge. Report the last finite
 			// bound — an underestimate, but a detectable one (callers can
-			// compare against Count of the overflow bucket).
+			// compare against Count of the overflow bucket). With no finite
+			// bounds at all there is nothing to anchor to; report 0.
 			if len(bounds) == 0 {
-				return math.NaN()
+				return 0
 			}
 			return bounds[len(bounds)-1]
 		}
@@ -72,16 +79,16 @@ func quantileFromBuckets(bounds []float64, counts []int64, q float64) float64 {
 	// last non-empty bucket already returned above, so this is unreachable
 	// unless total was consumed exactly; fall back to the last finite bound.
 	if len(bounds) == 0 {
-		return math.NaN()
+		return 0
 	}
 	return bounds[len(bounds)-1]
 }
 
 // Quantile estimates the q-quantile (0 ≤ q ≤ 1) of the observed
 // distribution by linear interpolation inside the bucket the rank falls in.
-// Returns NaN when the histogram is empty. Concurrent-safe: bucket counts
-// are read atomically (the estimate is a consistent-enough snapshot for
-// monitoring; it never tears an individual counter).
+// Always finite: an empty histogram reports 0. Concurrent-safe: bucket
+// counts are read atomically (the estimate is a consistent-enough snapshot
+// for monitoring; it never tears an individual counter).
 func (h *Histogram) Quantile(q float64) float64 {
 	counts := make([]int64, len(h.counts))
 	for i := range h.counts {
@@ -92,7 +99,9 @@ func (h *Histogram) Quantile(q float64) float64 {
 
 // Quantile estimates the q-quantile of a snapshotted histogram — the
 // offline counterpart of (*Histogram).Quantile, usable on persisted
-// -metrics-out documents.
+// -metrics-out documents. NaN only for a malformed snapshot (unparsable
+// or missing bucket bounds); well-formed snapshots always yield a finite
+// value, 0 when empty.
 func (hs HistogramSnap) Quantile(q float64) float64 {
 	bounds := make([]float64, 0, len(hs.Buckets))
 	counts := make([]int64, 0, len(hs.Buckets))

@@ -11,8 +11,70 @@ func quantileHist() *Histogram {
 
 func TestQuantileEmpty(t *testing.T) {
 	h := quantileHist()
-	if v := h.Quantile(0.5); !math.IsNaN(v) {
-		t.Fatalf("empty histogram quantile = %v, want NaN", v)
+	if v := h.Quantile(0.5); v != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", v)
+	}
+}
+
+// TestQuantileEdgeCasesDefined pins the bug class sdprof tripped over: every
+// q in [0, 1] must yield a finite, defined value on every well-formed
+// histogram — empty, single-bucket (overflow only), or overflow-heavy — never
+// NaN or ±Inf from interpolating against a missing edge.
+func TestQuantileEdgeCasesDefined(t *testing.T) {
+	cases := []struct {
+		name    string
+		bounds  []float64
+		observe []float64
+		q       float64
+		want    float64
+	}{
+		{"empty-q0", []float64{1, 2, 4, 8}, nil, 0, 0},
+		{"empty-median", []float64{1, 2, 4, 8}, nil, 0.5, 0},
+		{"empty-q1", []float64{1, 2, 4, 8}, nil, 1, 0},
+		{"single-bucket-empty", nil, nil, 0.5, 0},
+		{"single-bucket-observed", nil, []float64{3, 5, 7}, 0.5, 0},
+		{"single-bucket-q1", nil, []float64{3}, 1, 0},
+		{"overflow-only-q1", []float64{1, 2}, []float64{50, 60}, 1, 2},
+		{"q0-lands-on-first-mass", []float64{1, 2, 4}, []float64{3}, 0, 2},
+		{"q1-lands-on-last-mass", []float64{1, 2, 4}, []float64{0.5, 3}, 1, 4},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			h := newHistogram(c.bounds)
+			for _, v := range c.observe {
+				h.Observe(v)
+			}
+			got := h.Quantile(c.q)
+			if math.IsNaN(got) || math.IsInf(got, 0) {
+				t.Fatalf("Quantile(%v) = %v, want a finite value", c.q, got)
+			}
+			if math.Abs(got-c.want) > 1e-12 {
+				t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+			}
+		})
+	}
+}
+
+// TestQuantileSnapEdgeCases: the snapshot estimator shares the defined-value
+// contract and reserves NaN for malformed documents only.
+func TestQuantileSnapEdgeCases(t *testing.T) {
+	empty := HistogramSnap{Buckets: []BucketSnap{{LE: "1"}, {LE: "+Inf"}}}
+	for _, q := range []float64{0, 0.5, 1} {
+		if v := empty.Quantile(q); v != 0 {
+			t.Errorf("empty snapshot Quantile(%v) = %v, want 0", q, v)
+		}
+	}
+	single := HistogramSnap{Buckets: []BucketSnap{{LE: "+Inf", Count: 5}}}
+	if v := single.Quantile(0.5); v != 0 {
+		t.Errorf("single-bucket snapshot Quantile(0.5) = %v, want 0", v)
+	}
+	malformed := HistogramSnap{Buckets: []BucketSnap{{LE: "not-a-number", Count: 1}, {LE: "+Inf"}}}
+	if v := malformed.Quantile(0.5); !math.IsNaN(v) {
+		t.Errorf("malformed snapshot Quantile(0.5) = %v, want NaN", v)
+	}
+	missingInf := HistogramSnap{Buckets: []BucketSnap{{LE: "1", Count: 1}}}
+	if v := missingInf.Quantile(0.5); !math.IsNaN(v) {
+		t.Errorf("snapshot without overflow bucket Quantile(0.5) = %v, want NaN", v)
 	}
 }
 
