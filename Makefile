@@ -47,7 +47,15 @@ race:
 # tile workers, and records the wall-clock ratio (chip-speedup-x) in
 # BENCH_chip.json; the gain saturates at min(4, usable cores, runnable rows),
 # so no ratio gate is asserted here.
+# The predict benchmarks time one cold exact cell simulation against the
+# learned fast path answering the same cell (features + confidence gate +
+# dot products) and record the per-cell gap (predict-speedup-x) in
+# BENCH_predict.json; the ratio gate asserts the fast path stays at least
+# 1/$(PREDICT_MAX_RATIO) = 100x faster per cell. The gate is parallelism-
+# independent (the predict benchmarks report no workers metric), so it is
+# never skipped on single-core runners.
 TELEMETRY_MAX_RATIO ?= 1.5
+PREDICT_MAX_RATIO ?= 0.01
 
 bench:
 	$(GO) test -run '^$$' -bench . -skip Chip -benchmem -json ./internal/sim/ > BENCH_sim.json
@@ -69,13 +77,17 @@ bench:
 	$(GO) test -run '^$$' -bench Chip -benchmem -json ./internal/sim/ > BENCH_chip.json
 	@grep -o '"Output":"Benchmark[^"]*' BENCH_chip.json | sed 's/"Output":"//;s/\\t/\t/g;s/\\n//' || true
 	@echo "wrote BENCH_chip.json"
+	$(GO) test -run '^$$' -bench Predict -benchmem -json ./internal/predict/ > BENCH_predict.json
+	@grep -o '"Output":"Benchmark[^"]*' BENCH_predict.json | sed 's/"Output":"//;s/\\t/\t/g;s/\\n//' || true
+	@echo "wrote BENCH_predict.json"
+	$(GO) run ./cmd/sdbenchdiff -ratio PredictCellFast/PredictCellExact -max-ratio $(PREDICT_MAX_RATIO) BENCH_predict.json
 
 # benchdiff prints a benchstat-style before/after table for each committed
 # BENCH file against its freshly regenerated counterpart. Run `make bench`
 # first; with the working tree clean, `git stash`-style comparison is just
 # `git show HEAD:BENCH_sim.json > old.json && make benchdiff OLD=old.json`.
 benchdiff:
-	@for f in BENCH_sim BENCH_sweep BENCH_memo BENCH_tensor BENCH_store BENCH_chip; do \
+	@for f in BENCH_sim BENCH_sweep BENCH_memo BENCH_tensor BENCH_store BENCH_chip BENCH_predict; do \
 		if git show HEAD:$$f.json > /tmp/$$f.base.json 2>/dev/null; then \
 			echo "== $$f: HEAD vs working tree =="; \
 			$(GO) run ./cmd/sdbenchdiff /tmp/$$f.base.json $$f.json; \

@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -43,6 +44,61 @@ func TestParseLineFormats(t *testing.T) {
 	}
 	if len(res) != 2 {
 		t.Fatalf("non-benchmark lines leaked into results: %v", res)
+	}
+}
+
+// writeBench drops raw benchmark text into a temp file for runRatio.
+func writeBench(t *testing.T, text string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "bench.txt")
+	if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// ratioCase drives runRatio with captured output and returns (exit, stdout).
+func ratioCase(t *testing.T, text, spec string, maxRatio float64) (int, string) {
+	t.Helper()
+	var out, errOut strings.Builder
+	code := runRatio(spec, maxRatio, writeBench(t, text), &out, &errOut)
+	return code, out.String() + errOut.String()
+}
+
+// A -max-ratio gate is skipped — logged reason, exit 0 — when either side
+// of the ratio reports workers=1: single-worker runners cannot exhibit the
+// parallel speedup the bound asserts.
+func TestRunRatioSkipsSingleWorkerGate(t *testing.T) {
+	single := `BenchmarkGridParallel-4 	 10 	 5000 ns/op 	 1 workers
+BenchmarkGridSerial-4 	 10 	 1000 ns/op
+`
+	code, out := ratioCase(t, single, "GridParallel/GridSerial", 1.5)
+	if code != 0 {
+		t.Fatalf("workers=1 gate returned exit %d, want 0 (skip):\n%s", code, out)
+	}
+	if !strings.Contains(out, "gate skipped") || !strings.Contains(out, "workers=1") {
+		t.Fatalf("skip reason not logged:\n%s", out)
+	}
+
+	// The same numbers with real parallelism must fail the gate.
+	parallel := strings.ReplaceAll(single, "1 workers", "4 workers")
+	if code, out = ratioCase(t, parallel, "GridParallel/GridSerial", 1.5); code != 1 {
+		t.Fatalf("workers=4 breach returned exit %d, want 1:\n%s", code, out)
+	}
+
+	// Benchmarks reporting no workers metric are always gated — the
+	// predictor's per-cell speedup gate must not be skippable this way.
+	noWorkers := `BenchmarkPredictCellFast-4 	 100 	 40000 ns/op
+BenchmarkPredictCellExact-4 	 10 	 50000 ns/op
+`
+	if code, out = ratioCase(t, noWorkers, "PredictCellFast/PredictCellExact", 0.01); code != 1 {
+		t.Fatalf("workers-free breach returned exit %d, want 1:\n%s", code, out)
+	}
+	passing := `BenchmarkPredictCellFast-4 	 100 	 400 ns/op
+BenchmarkPredictCellExact-4 	 10 	 50000000 ns/op
+`
+	if code, out = ratioCase(t, passing, "PredictCellFast/PredictCellExact", 0.01); code != 0 {
+		t.Fatalf("within-bound ratio returned exit %d, want 0:\n%s", code, out)
 	}
 }
 

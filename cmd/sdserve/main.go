@@ -9,6 +9,7 @@
 //	sdserve [-addr :6060] [-store-dir DIR] [-store-max-mb N] \
 //	        [-queue N] [-rate R] [-burst N] [-max-clients N] \
 //	        [-parallel N] [-tile-workers N] [-verify-store] [-kernel-workers N] \
+//	        [-predict model.json] \
 //	        [-log-out PATH|-] [-log-level LEVEL] [-max-jobs N] [-flight N]
 //
 // API:
@@ -25,6 +26,13 @@
 //	                      (/metrics serves OpenMetrics text under
 //	                      Accept: application/openmetrics-text or
 //	                      ?format=openmetrics)
+//
+// With -predict, the server loads a learned cycle-predictor model (fit
+// with sdpredict) and offers it to jobs that set "predict": true in their
+// spec: grid cells inside the model's confidence gate are answered in
+// microseconds with rows labeled source=predicted; everything else —
+// including every store hit, which always wins — runs the exact simulator
+// unchanged. Predicted rows are never written to the persistent store.
 //
 // With -log-out, every job lifecycle event (accepted, started, done,
 // failed, cancelled, evicted) is emitted as one JSON log line.
@@ -52,8 +60,10 @@ import (
 	"syscall"
 	"time"
 
+	"scaledeep/internal/predict"
 	"scaledeep/internal/server"
 	"scaledeep/internal/store"
+	"scaledeep/internal/sweep"
 	"scaledeep/internal/telemetry"
 	"scaledeep/internal/tensor"
 )
@@ -68,6 +78,7 @@ func main() {
 	parallel := flag.Int("parallel", 0, "per-job sweep worker-pool size (0 = GOMAXPROCS)")
 	tileWorkers := flag.Int("tile-workers", 0, "per-tile chip partitioning worker cap within each job (0 = auto, 1 = serial); results are byte-identical at any value")
 	verifyStore := flag.Bool("verify-store", false, "re-simulate a deterministic sample of store hits and fail jobs on divergence")
+	predictPath := flag.String("predict", "", "learned fast-path model file (fit with sdpredict); jobs that set \"predict\": true answer confident cells from it instead of simulating")
 	kernelWorkers := flag.Int("kernel-workers", 0, "tensor kernel worker-pool size (0 = GOMAXPROCS)")
 	maxClients := flag.Int("max-clients", 0, "per-client rate-limit table bound; least-recently-seen clients evicted past it (0 = 1024)")
 	logOut := flag.String("log-out", "", "structured JSON log destination (path, - for stderr, empty = off)")
@@ -100,9 +111,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "no -store-dir: running without persistence (results live for this process only)")
 	}
 
+	var model *predict.Model
+	if *predictPath != "" {
+		if model, err = predict.LoadFile(*predictPath); err != nil {
+			fatalf("sdserve: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "predictor model from %s: %d regions, %d training samples (jobs opt in with \"predict\": true)\n",
+			*predictPath, len(model.Regions), model.Samples)
+	}
+
 	srv := server.New(server.Config{
 		Store:        st,
 		VerifyStore:  *verifyStore,
+		Predictor:    predictorOrNil(model),
 		MaxQueue:     *queueMax,
 		SweepWorkers: *parallel,
 		TileWorkers:  *tileWorkers,
@@ -137,6 +158,14 @@ func main() {
 		}
 	}
 	fmt.Fprintln(os.Stderr, "sdserve: drained cleanly")
+}
+
+// predictorOrNil avoids handing Config a typed-nil interface.
+func predictorOrNil(m *predict.Model) sweep.Predictor {
+	if m == nil {
+		return nil
+	}
+	return m
 }
 
 func fatalf(format string, args ...any) {

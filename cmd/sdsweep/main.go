@@ -11,6 +11,7 @@
 //	        [-format text|csv|json] [-out table.csv] [-metrics-out m.json] \
 //	        [-progress] [-serve :6060] [-no-memo] [-verify-memo] \
 //	        [-store-dir DIR] [-store-max-mb N] [-verify-store] \
+//	        [-predict model.json] \
 //	        [-trace-out trace.json] [-log-out PATH|-] [-log-level LEVEL]
 //
 // Duplicate grid cells (identical workload/arch/minibatch/mode points) are
@@ -22,6 +23,12 @@
 // runs: a repeated sweep replays from disk instead of simulating, with
 // byte-identical output. -verify-store re-simulates a deterministic sample
 // of the hits and fails on any divergence.
+//
+// With -predict, a model fit by sdpredict answers confident grid cells in
+// microseconds instead of simulating them; rows carry source=predicted so a
+// fast-path answer is never mistaken for a measurement. Cells outside the
+// model's confidence gate — and every store hit, which always wins — run
+// the exact path byte-identically to a run without -predict.
 //
 // With -serve, /progress reports live completion counts while the sweep
 // runs (alongside the usual /metrics, /trace, /profile, /debug/pprof/);
@@ -46,12 +53,21 @@ import (
 	"time"
 
 	"scaledeep/internal/outfile"
+	"scaledeep/internal/predict"
 	"scaledeep/internal/report"
 	"scaledeep/internal/store"
 	"scaledeep/internal/sweep"
 	"scaledeep/internal/telemetry"
 	"scaledeep/internal/tensor"
 )
+
+// predictorOrNil avoids handing RunGrid a typed-nil interface.
+func predictorOrNil(m *predict.Model) sweep.Predictor {
+	if m == nil {
+		return nil
+	}
+	return m
+}
 
 func main() {
 	workloads := flag.String("workloads", "simnet", "comma-separated workloads: "+strings.Join(sweep.Workloads(), ", "))
@@ -72,6 +88,7 @@ func main() {
 	storeDir := flag.String("store-dir", "", "persist results in a content-addressed store at this directory; repeated sweeps replay from it byte-identically")
 	storeMaxMB := flag.Int("store-max-mb", 0, "result-store size bound in MiB (0 = 256 MiB default)")
 	verifyStore := flag.Bool("verify-store", false, "re-simulate a deterministic sample of store hits and fail on any divergence")
+	predictPath := flag.String("predict", "", "learned fast path: answer confident grid cells from this model file (fit with sdpredict) instead of simulating; everything else falls back to exact simulation")
 	traceOut := flag.String("trace-out", "", "write a Perfetto-loadable span timeline of the sweep to this file")
 	logOut := flag.String("log-out", "", "structured JSON log destination (path, - for stderr, empty = off)")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn or error")
@@ -96,6 +113,13 @@ func main() {
 			fatalf("sdsweep: open store: %v", err)
 		}
 		defer st.Close()
+	}
+
+	var model *predict.Model
+	if *predictPath != "" {
+		if model, err = predict.LoadFile(*predictPath); err != nil {
+			fatalf("sdsweep: %v", err)
+		}
 	}
 
 	grid := sweep.Grid{
@@ -148,6 +172,7 @@ func main() {
 		Store:       st,
 		VerifyStore: *verifyStore,
 		Trace:       jt,
+		Predictor:   predictorOrNil(model),
 		Progress: func(done, total int) {
 			progVar.Set([]byte(fmt.Sprintf(`{"state":"running","done":%d,"total":%d,"elapsed_ms":%d}`,
 				done, total, time.Since(start).Milliseconds())))
@@ -206,6 +231,18 @@ func main() {
 		fmt.Printf("wrote %d-job sweep table to %s (%.0f ms)\n", len(results), *out, time.Since(start).Seconds()*1e3)
 	}
 	report.AddKernelStats(merged)
+	if model != nil {
+		var hits, fallbacks int64
+		for _, c := range merged.Snapshot().Counters {
+			switch c.Name {
+			case "sweep.predict.hits":
+				hits = c.Value
+			case "sweep.predict.fallbacks":
+				fallbacks = c.Value
+			}
+		}
+		fmt.Fprintf(os.Stderr, "predict: %d cells answered by the model, %d simulated exactly (fallback)\n", hits, fallbacks)
+	}
 	if st != nil {
 		stats := st.Stats()
 		report.AddStoreStats(merged, stats)

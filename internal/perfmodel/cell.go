@@ -1,0 +1,118 @@
+package perfmodel
+
+import (
+	"scaledeep/internal/arch"
+	"scaledeep/internal/dnn"
+)
+
+// This file is the chip-scale analytic prior behind the learned cycle
+// predictor (internal/predict, DESIGN.md §5h): a crude closed-form estimate
+// of how many cycles the cycle-exact simulator will spend on one grid cell
+// (one network × chip config × minibatch × mode × iterations). It reuses
+// the node-scale model's per-layer utilization pieces but models the layer
+// pipeline the compiler actually builds on a single chip: every compute
+// layer occupies a column stage, images stream through the stages, and the
+// slowest stage paces the steady state.
+//
+// The prior does not try to be accurate — the regression model corrects it
+// feature-by-feature — but it must be deterministic, strictly positive and
+// roughly monotone in the work, so the corrected model interpolates rather
+// than extrapolates. A zoo-wide golden test (internal/predict) pins its
+// relative error against the exact simulator per workload, so drift in this
+// file fails loudly instead of silently degrading the predictor.
+
+// cellDMABytesPerCycle is the modeled aggregate feature/weight traffic the
+// chip absorbs per cycle (all MemHeavy columns together). Calibration
+// constant, same spirit as instructionOverhead.
+const cellDMABytesPerCycle = 48.0
+
+// CellPrior is the analytic estimate for one simulated grid cell.
+type CellPrior struct {
+	// Cycles is the estimated total simulated cycles for the whole run
+	// (all images, all iterations).
+	Cycles float64
+	// ComputeCycles is the MAC-bound component of the estimate.
+	ComputeCycles float64
+	// DMACycles is the traffic-bound component of the estimate.
+	DMACycles float64
+}
+
+// CellEstimate returns the analytic prior for one grid cell: net simulated
+// on chip at prec, minibatch images, training (FP+BP+WG) or evaluation
+// (FP only), iters passes. It is a pure function of its arguments.
+func CellEstimate(net *dnn.Network, chip arch.ChipConfig, prec arch.Precision, minibatch int, train bool, iters int) CellPrior {
+	if minibatch < 1 {
+		minibatch = 1
+	}
+	if iters < 1 {
+		iters = 1
+	}
+	if !train {
+		iters = 1 // eval always runs one pass
+	}
+
+	// Per-stage compute cycles per image: each compute layer is a pipeline
+	// stage on the chip's columns; its cycles are its FLOPs over the MAC
+	// throughput it can actually use after the array-residue and feature-
+	// distribution losses the node model captures (Fig. 19's cascade, minus
+	// the column-allocation stage, which the single-chip compiler fixes).
+	macsPerStage := float64(chip.Rows) * float64(chip.CompHeavy.MACsPerCycle())
+	if !train {
+		// Evaluation re-purposes the BP/WG tile sets for FP (§6.1).
+		macsPerStage *= 3
+	}
+	var fill, worst float64
+	for _, l := range net.Layers {
+		c := dnn.LayerCost(l)
+		flops := c.TotalFLOPs()
+		if !train {
+			flops = c.StepFLOPs(dnn.FP)
+		}
+		if flops == 0 {
+			continue
+		}
+		util := arrayResidueUtil(l, chip.CompHeavy) *
+			featureDistributionUtil(l, chip.Rows) *
+			instructionOverhead
+		if util <= 0 {
+			util = instructionOverhead
+		}
+		stage := float64(flops) / (2 * macsPerStage * util)
+		fill += stage
+		if stage > worst {
+			worst = stage
+		}
+	}
+	// Images stream through the stage pipeline: the first image pays the
+	// full fill, the rest arrive at the slowest stage's pace.
+	compute := (fill + float64(minibatch-1)*worst) * float64(iters)
+
+	// Traffic component: every feature/weight byte the analytic model
+	// counts crosses the MemHeavy columns at the modeled aggregate rate,
+	// scaled by the datapath element width.
+	cost := dnn.NetworkCost(net)
+	bytes := cost.TotalBytes()
+	if !train {
+		bytes = cost.StepBytes(dnn.FP)
+	}
+	perImage := float64(bytes) * float64(prec.Bytes()) / 4.0 // analytics count 4-byte elems
+	dma := perImage * float64(minibatch) * float64(iters) / cellDMABytesPerCycle
+
+	total := compute
+	if dma > total {
+		total = dma
+	}
+	// The non-dominant component still leaks past the overlap.
+	total += 0.25 * min2(compute, dma)
+	if total < 1 {
+		total = 1
+	}
+	return CellPrior{Cycles: total, ComputeCycles: compute, DMACycles: dma}
+}
+
+func min2(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,58 @@
+package perfmodel
+
+import (
+	"testing"
+
+	"scaledeep/internal/arch"
+	"scaledeep/internal/zoo"
+)
+
+func cellChip() (arch.ChipConfig, arch.Precision) {
+	chip := arch.Baseline().Cluster.Conv
+	chip.Rows, chip.Cols = 3, 8
+	return chip, arch.Single
+}
+
+// The prior must be a deterministic pure function of its arguments — it is
+// both a predictor feature and part of the fit's serialized provenance.
+func TestCellEstimateDeterministic(t *testing.T) {
+	chip, prec := cellChip()
+	net := zoo.MiniVGG()
+	a := CellEstimate(net, chip, prec, 2, true, 3)
+	b := CellEstimate(zoo.MiniVGG(), chip, prec, 2, true, 3)
+	if a != b {
+		t.Fatalf("CellEstimate not deterministic: %+v != %+v", a, b)
+	}
+}
+
+func TestCellEstimateShape(t *testing.T) {
+	chip, prec := cellChip()
+	net := zoo.MiniVGG()
+
+	ev := CellEstimate(net, chip, prec, 1, false, 1)
+	tr := CellEstimate(net, chip, prec, 1, true, 1)
+	if ev.Cycles <= 0 || tr.Cycles <= 0 {
+		t.Fatalf("estimates must be positive: eval=%+v train=%+v", ev, tr)
+	}
+	if tr.Cycles <= ev.Cycles {
+		t.Errorf("training (FP+BP+WG) should cost more than eval: train=%.0f eval=%.0f", tr.Cycles, ev.Cycles)
+	}
+
+	mb1 := CellEstimate(net, chip, prec, 1, true, 1)
+	mb4 := CellEstimate(net, chip, prec, 4, true, 1)
+	if mb4.Cycles <= mb1.Cycles {
+		t.Errorf("more images should cost more cycles: mb4=%.0f mb1=%.0f", mb4.Cycles, mb1.Cycles)
+	}
+
+	it1 := CellEstimate(net, chip, prec, 2, true, 1)
+	it3 := CellEstimate(net, chip, prec, 2, true, 3)
+	if it3.Cycles <= it1.Cycles {
+		t.Errorf("more iterations should cost more cycles: it3=%.0f it1=%.0f", it3.Cycles, it1.Cycles)
+	}
+	// Eval normalizes iterations away, exactly like the sweep's cell key.
+	e1 := CellEstimate(net, chip, prec, 2, false, 1)
+	e5 := CellEstimate(net, chip, prec, 2, false, 5)
+	if e1 != e5 {
+		t.Errorf("eval estimate must ignore iterations: %+v != %+v", e1, e5)
+	}
+}

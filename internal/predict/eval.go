@@ -1,0 +1,135 @@
+package predict
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"scaledeep/internal/arch"
+	"scaledeep/internal/dnn"
+	"scaledeep/internal/sweep"
+)
+
+// EvalRow is one workload's accuracy summary against exact labels.
+type EvalRow struct {
+	Workload  string
+	Cells     int
+	Hits      int // cells the confidence gate admitted
+	Fallbacks int // cells it sent to the exact simulator
+	// Relative cycle errors over admitted cells (the only cells whose
+	// prediction a sweep would ever surface).
+	MeanErr float64
+	P95Err  float64
+	MaxErr  float64
+}
+
+// Report is a full held-out evaluation: per-workload rows plus the
+// aggregate the CI gate checks.
+type Report struct {
+	Rows      []EvalRow
+	Cells     int
+	Hits      int
+	Fallbacks int
+	P95Err    float64 // over all admitted cells
+	MeanErr   float64
+}
+
+// FallbackRate is the fraction of evaluated cells the gate rejected.
+func (r Report) FallbackRate() float64 {
+	if r.Cells == 0 {
+		return 0
+	}
+	return float64(r.Fallbacks) / float64(r.Cells)
+}
+
+// Eval scores the model against labeled samples (typically a held-out
+// grid harvested the same way as the training set). Rows are ordered by
+// first appearance, so the report is deterministic.
+func Eval(m *Model, samples []Sample) Report {
+	type acc struct {
+		row  EvalRow
+		errs []float64
+	}
+	var order []string
+	accs := map[string]*acc{}
+	var allErrs []float64
+	var rep Report
+	for _, s := range samples {
+		a, ok := accs[s.Workload]
+		if !ok {
+			a = &acc{row: EvalRow{Workload: s.Workload}}
+			accs[s.Workload] = a
+			order = append(order, s.Workload)
+		}
+		net, err := sweep.BuildWorkload(s.Workload)
+		if err != nil {
+			continue
+		}
+		var chip arch.ChipConfig
+		var prec arch.Precision
+		if chip, prec, err = sweep.ArchFor(s.Arch); err != nil {
+			continue
+		}
+		p := predictFor(m, net, chip, prec, s)
+		a.row.Cells++
+		rep.Cells++
+		if !p.Confident {
+			a.row.Fallbacks++
+			rep.Fallbacks++
+			continue
+		}
+		a.row.Hits++
+		rep.Hits++
+		e := math.Abs(float64(p.Cycles)-float64(s.Cycles)) / float64(s.Cycles)
+		a.errs = append(a.errs, e)
+		allErrs = append(allErrs, e)
+	}
+	for _, wl := range order {
+		a := accs[wl]
+		sort.Float64s(a.errs)
+		if n := len(a.errs); n > 0 {
+			var sum float64
+			for _, e := range a.errs {
+				sum += e
+			}
+			a.row.MeanErr = sum / float64(n)
+			a.row.P95Err = quantile(a.errs, 0.95)
+			a.row.MaxErr = a.errs[n-1]
+		}
+		rep.Rows = append(rep.Rows, a.row)
+	}
+	sort.Float64s(allErrs)
+	if n := len(allErrs); n > 0 {
+		var sum float64
+		for _, e := range allErrs {
+			sum += e
+		}
+		rep.MeanErr = sum / float64(n)
+		rep.P95Err = quantile(allErrs, 0.95)
+	}
+	return rep
+}
+
+func predictFor(m *Model, net *dnn.Network, chip arch.ChipConfig, prec arch.Precision, s Sample) Prediction {
+	return m.Predict(net, chip, prec, s.Minibatch, s.Mode, s.Iters)
+}
+
+// FormatEvalTable renders the per-workload error table (sdpredict -eval's
+// stdout view).
+func FormatEvalTable(rep Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %6s %6s %9s %9s %9s %9s\n",
+		"workload", "cells", "hits", "fallback", "mean-err", "p95-err", "max-err")
+	for _, r := range rep.Rows {
+		fb := 0.0
+		if r.Cells > 0 {
+			fb = float64(r.Fallbacks) / float64(r.Cells)
+		}
+		fmt.Fprintf(&b, "%-12s %6d %6d %8.1f%% %8.2f%% %8.2f%% %8.2f%%\n",
+			r.Workload, r.Cells, r.Hits, fb*100, r.MeanErr*100, r.P95Err*100, r.MaxErr*100)
+	}
+	fmt.Fprintf(&b, "%-12s %6d %6d %8.1f%% %8.2f%% %8.2f%%\n",
+		"TOTAL", rep.Cells, rep.Hits, rep.FallbackRate()*100, rep.MeanErr*100, rep.P95Err*100)
+	return b.String()
+}

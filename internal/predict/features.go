@@ -1,0 +1,132 @@
+// Package predict is the learned fast path in front of the cycle-exact
+// simulator (DESIGN.md §5h): a small ridge-regression model, fit in pure Go
+// on exact-simulator measurements, that predicts a grid cell's total cycles
+// and five-bucket stall attribution orders of magnitude faster than
+// simulating it. The exact simulator stays the oracle — a leave-one-
+// workload-out confidence gate rejects cells the model has no business
+// estimating, and the sweep engine falls back to full simulation for them,
+// byte for byte identical to a run without the predictor.
+//
+// Everything here is deterministic: features are extracted in a fixed
+// order, the solver iterates over slices (never maps), and the serialized
+// model is byte-stable for a given training set.
+package predict
+
+import (
+	"math"
+
+	"scaledeep/internal/arch"
+	"scaledeep/internal/dnn"
+	"scaledeep/internal/perfmodel"
+)
+
+// featureNames is the fixed feature order. The serialized model embeds this
+// list and Load rejects a model whose list differs from the binary's — the
+// layout-hash discipline of the result store, applied to feature vectors.
+var featureNames = []string{
+	"log_fp_flops", "log_bp_flops", "log_wg_flops",
+	"log_fp_bytes", "log_bp_bytes", "log_wg_bytes",
+	"log_k_conv_flops", "log_k_fc_flops", "log_k_pool_flops",
+	"log_k_act_flops", "log_k_elem_flops", "log_k_move_flops",
+	"log_prior_cycles", "log_prior_compute", "log_prior_dma",
+	"log_minibatch", "log_iters", "train",
+	"log_comp_tiles", "log_macs_per_cycle", "prec_bytes",
+	"layers", "conv_layers", "fc_layers",
+	"log_weight_bytes", "log_out_elems", "bytes_per_flop",
+}
+
+// NumFeatures is the length of every feature vector.
+func NumFeatures() int { return len(featureNames) }
+
+// FeatureNames returns a copy of the fixed feature order.
+func FeatureNames() []string { return append([]string(nil), featureNames...) }
+
+// Features extracts the fixed-order feature vector for one grid cell. It is
+// a pure function of its arguments: per-step and per-kernel-class work from
+// the dnn analytics, the perfmodel analytic prior (the physics the residual
+// model corrects), and the arch signature. mode is "train" or "eval";
+// iters is normalized to 1 for eval cells, mirroring the sweep's cell key.
+func Features(net *dnn.Network, chip arch.ChipConfig, prec arch.Precision, minibatch int, mode string, iters int) []float64 {
+	train := mode == "train"
+	if !train || iters < 1 {
+		iters = 1
+	}
+	if minibatch < 1 {
+		minibatch = 1
+	}
+	images := float64(minibatch) * float64(iters)
+
+	cost := dnn.NetworkCost(net)
+	steps := []dnn.Step{dnn.FP, dnn.BP, dnn.WG}
+	f := make([]float64, 0, len(featureNames))
+	for _, s := range steps {
+		v := float64(cost.StepFLOPs(s))
+		if !train && s != dnn.FP {
+			v = 0
+		}
+		f = append(f, math.Log1p(v*images))
+	}
+	for _, s := range steps {
+		v := float64(cost.StepBytes(s))
+		if !train && s != dnn.FP {
+			v = 0
+		}
+		f = append(f, math.Log1p(v*images))
+	}
+	for k := dnn.KernelClass(0); k < dnn.NumKernelClasses; k++ {
+		v := float64(cost.KernelFLOPs(k))
+		if !train {
+			// Kernel splits are whole-training totals; scale to the FP share
+			// so eval cells don't carry phantom backward work.
+			if tot := cost.TotalFLOPs(); tot > 0 {
+				v *= float64(cost.StepFLOPs(dnn.FP)) / float64(tot)
+			}
+		}
+		f = append(f, math.Log1p(v*images))
+	}
+
+	prior := perfmodel.CellEstimate(net, chip, prec, minibatch, train, iters)
+	f = append(f,
+		math.Log1p(prior.Cycles),
+		math.Log1p(prior.ComputeCycles),
+		math.Log1p(prior.DMACycles),
+		math.Log(float64(minibatch)),
+		math.Log(float64(iters)),
+		boolF(train),
+		math.Log(float64(chip.NumCompHeavy())),
+		math.Log(float64(chip.CompHeavy.MACsPerCycle())),
+		float64(prec.Bytes()),
+	)
+
+	var convLayers, fcLayers int
+	var weightBytes int64
+	for _, l := range net.Layers {
+		switch l.Kind {
+		case dnn.Conv:
+			convLayers++
+		case dnn.FC:
+			fcLayers++
+		}
+		weightBytes += l.WeightBytes()
+	}
+	bf := 0.0
+	if tf := cost.TotalFLOPs(); tf > 0 {
+		bf = float64(cost.TotalBytes()) / float64(tf)
+	}
+	f = append(f,
+		float64(len(net.Layers)),
+		float64(convLayers),
+		float64(fcLayers),
+		math.Log1p(float64(weightBytes)),
+		math.Log1p(float64(net.OutputLayer().Out.Elems())),
+		bf,
+	)
+	return f
+}
+
+func boolF(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

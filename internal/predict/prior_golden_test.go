@@ -1,0 +1,68 @@
+package predict
+
+import (
+	"context"
+	"testing"
+
+	"scaledeep/internal/perfmodel"
+	"scaledeep/internal/sweep"
+)
+
+// Golden regression bounds for the analytic prior: the ratio of
+// perfmodel.CellEstimate to exact-simulator cycles, per workload, over the
+// whole zoo × arch × minibatch{1..4} × mode grid. The prior is a predictor
+// feature, so drift in either the analytic model or the simulator must
+// fail loudly here rather than silently degrade the fit.
+//
+// Bounds are the measured range (2026-08, e.g. simnet 0.66–3.82) widened by
+// a ~1.4× guard band: tight enough that a broken prior (orders of
+// magnitude off, sign flips, zeroes) cannot hide, loose enough that
+// legitimate small calibration changes don't need a golden refresh.
+var priorRatioBounds = map[string]struct{ Lo, Hi float64 }{
+	"simnet":   {0.45, 5.5},
+	"trainnet": {0.25, 2.8},
+	"minivgg":  {0.60, 4.5},
+	"fcnet":    {0.40, 3.6},
+}
+
+func TestPriorRatioGolden(t *testing.T) {
+	g := sweep.Grid{
+		Workloads:   sweep.Workloads(),
+		Archs:       sweep.Archs(),
+		Minibatches: []int{1, 2, 3, 4},
+		Modes:       []string{"eval", "train"},
+		Iterations:  2,
+	}
+	samples, err := Harvest(context.Background(), g, sweep.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := map[string]int{}
+	for _, s := range samples {
+		bounds, ok := priorRatioBounds[s.Workload]
+		if !ok {
+			t.Errorf("workload %s has no golden prior bounds — add it to priorRatioBounds", s.Workload)
+			continue
+		}
+		net, err := sweep.BuildWorkload(s.Workload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chip, prec, err := sweep.ArchFor(s.Arch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prior := perfmodel.CellEstimate(net, chip, prec, s.Minibatch, s.Mode == "train", s.Iters)
+		ratio := prior.Cycles / float64(s.Cycles)
+		if ratio < bounds.Lo || ratio > bounds.Hi {
+			t.Errorf("%s/%s/mb%d/%s: prior/exact ratio %.3f outside golden [%.2f, %.2f] (prior %.0f, exact %d)",
+				s.Workload, s.Arch, s.Minibatch, s.Mode, ratio, bounds.Lo, bounds.Hi, prior.Cycles, s.Cycles)
+		}
+		checked[s.Workload]++
+	}
+	for wl := range priorRatioBounds {
+		if checked[wl] == 0 {
+			t.Errorf("golden bounds for %s checked no cells", wl)
+		}
+	}
+}

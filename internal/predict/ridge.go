@@ -1,0 +1,106 @@
+package predict
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file is the deterministic ridge solver: ordinary normal equations
+// (XᵀX + λR)β = Xᵀy solved by Gaussian elimination with partial pivoting.
+// Everything iterates over slices in index order — no map iteration, no
+// randomness — so the same samples in the same order produce bit-identical
+// weights on every run.
+
+// fitRidge fits β minimizing ‖Xβ − y‖² + λ‖β₁..‖². Rows of X must carry a
+// leading 1 bias column; the bias coefficient is not regularized. lambda
+// must be > 0 (it is what keeps the normal matrix invertible when features
+// are collinear or samples are few).
+func fitRidge(X [][]float64, y []float64, lambda float64) ([]float64, error) {
+	if len(X) == 0 || len(X) != len(y) {
+		return nil, fmt.Errorf("predict: ridge needs matching X (%d) and y (%d)", len(X), len(y))
+	}
+	if lambda <= 0 {
+		return nil, fmt.Errorf("predict: ridge lambda must be > 0, got %g", lambda)
+	}
+	p := len(X[0])
+	for i, row := range X {
+		if len(row) != p {
+			return nil, fmt.Errorf("predict: ridge row %d has %d columns, want %d", i, len(row), p)
+		}
+	}
+
+	// Normal matrix A = XᵀX + λR and right-hand side b = Xᵀy.
+	A := make([][]float64, p)
+	b := make([]float64, p)
+	for i := range A {
+		A[i] = make([]float64, p)
+	}
+	for r := range X {
+		row := X[r]
+		for i := 0; i < p; i++ {
+			for j := i; j < p; j++ {
+				A[i][j] += row[i] * row[j]
+			}
+			b[i] += row[i] * y[r]
+		}
+	}
+	for i := 0; i < p; i++ {
+		for j := 0; j < i; j++ {
+			A[i][j] = A[j][i]
+		}
+	}
+	for i := 1; i < p; i++ { // skip the bias column
+		A[i][i] += lambda
+	}
+	return solve(A, b)
+}
+
+// solve performs in-place Gaussian elimination with partial pivoting. Ties
+// in pivot magnitude keep the lowest row index, so the elimination order —
+// and therefore the floating-point result — is fully determined by the
+// input.
+func solve(A [][]float64, b []float64) ([]float64, error) {
+	n := len(A)
+	for col := 0; col < n; col++ {
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(A[r][col]) > math.Abs(A[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(A[pivot][col]) < 1e-12 {
+			return nil, fmt.Errorf("predict: singular normal matrix at column %d", col)
+		}
+		A[col], A[pivot] = A[pivot], A[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		inv := 1 / A[col][col]
+		for r := col + 1; r < n; r++ {
+			f := A[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				A[r][c] -= f * A[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		for j := i + 1; j < n; j++ {
+			s -= A[i][j] * x[j]
+		}
+		x[i] = s / A[i][i]
+	}
+	return x, nil
+}
+
+// dot applies a weight vector (bias first) to a standardized feature vector.
+func dot(w, z []float64) float64 {
+	s := w[0]
+	for i, v := range z {
+		s += w[i+1] * v
+	}
+	return s
+}

@@ -1,0 +1,131 @@
+package server
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+
+	"scaledeep/internal/arch"
+	"scaledeep/internal/dnn"
+	"scaledeep/internal/store"
+	"scaledeep/internal/sweep"
+)
+
+// stubPredictor answers every cell with fixed numbers — enough to exercise
+// the server's predict plumbing without fitting a real model (the model
+// itself is covered by internal/predict).
+type stubPredictor struct{ confident bool }
+
+func (p stubPredictor) PredictCell(net *dnn.Network, chip arch.ChipConfig, prec arch.Precision, minibatch int, mode string, iters int) (sweep.CellPrediction, bool) {
+	return sweep.CellPrediction{
+		Cycles: 12345,
+		FLOPs:  678,
+		Attr:   [5]int64{5000, 4000, 2000, 1000, 345},
+	}, p.confident
+}
+
+// A predict job on a predictor-equipped server returns rows labeled
+// source=predicted, writes nothing to the result store, and exposes the
+// hit-rate gauge; the same spec without predict stays fully exact.
+func TestServerPredictJob(t *testing.T) {
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	_, ts := startServer(t, Config{Store: st, Predictor: stubPredictor{confident: true}})
+
+	spec := testSpec()
+	spec.Predict = true
+	resp, doc := submit(t, ts, spec, "predictor")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d, want 202: %v", resp.StatusCode, doc)
+	}
+	id := doc["id"].(string)
+	if final := waitDone(t, ts, id); final.State != "done" {
+		t.Fatalf("state %q (error %q), want done", final.State, final.Error)
+	}
+	_, body := getBody(t, ts, "/jobs/"+id+"/result")
+	rows := strings.Split(strings.TrimSpace(string(body)), "\n")
+	if len(rows) < 2 {
+		t.Fatalf("result has %d lines, want header + rows:\n%s", len(rows), body)
+	}
+	if !strings.Contains(rows[0], "source") {
+		t.Fatalf("CSV header has no source column: %s", rows[0])
+	}
+	for _, row := range rows[1:] {
+		if !strings.HasSuffix(row, ","+sweep.SourcePredicted) {
+			t.Errorf("predict job row not labeled predicted: %s", row)
+		}
+	}
+	if keys := st.Keys(); len(keys) != 0 {
+		t.Errorf("predicted cells leaked into the result store: %d keys", len(keys))
+	}
+
+	// The scrape hook derives the lifetime predict hit rate from the merged
+	// job counters.
+	_, metrics := getBody(t, ts, "/metrics")
+	if !strings.Contains(string(metrics), "predict.hit_rate") {
+		t.Errorf("/metrics is missing the predict.hit_rate gauge")
+	}
+
+	// Without predict, the same spec on the same server runs fully exact.
+	spec.Predict = false
+	_, doc = submit(t, ts, spec, "predictor")
+	id = doc["id"].(string)
+	if final := waitDone(t, ts, id); final.State != "done" {
+		t.Fatalf("exact job state %q (error %q), want done", final.State, final.Error)
+	}
+	_, body = getBody(t, ts, "/jobs/"+id+"/result")
+	for _, row := range strings.Split(strings.TrimSpace(string(body)), "\n")[1:] {
+		if !strings.HasSuffix(row, ","+sweep.SourceExact) {
+			t.Errorf("no-predict job row not labeled exact: %s", row)
+		}
+	}
+	if keys := st.Keys(); len(keys) == 0 {
+		t.Error("exact job wrote nothing to the result store")
+	}
+}
+
+// A predictor that rejects every cell degrades a predict job to the plain
+// exact path: exact-labeled rows, normal store traffic.
+func TestServerPredictFallback(t *testing.T) {
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	_, ts := startServer(t, Config{Store: st, Predictor: stubPredictor{confident: false}})
+
+	spec := testSpec()
+	spec.Predict = true
+	_, doc := submit(t, ts, spec, "fallback")
+	id := doc["id"].(string)
+	if final := waitDone(t, ts, id); final.State != "done" {
+		t.Fatalf("state %q (error %q), want done", final.State, final.Error)
+	}
+	_, body := getBody(t, ts, "/jobs/"+id+"/result")
+	for _, row := range strings.Split(strings.TrimSpace(string(body)), "\n")[1:] {
+		if !strings.HasSuffix(row, ","+sweep.SourceExact) {
+			t.Errorf("all-fallback predict row not labeled exact: %s", row)
+		}
+	}
+	if keys := st.Keys(); len(keys) == 0 {
+		t.Error("all-fallback predict job wrote nothing to the result store")
+	}
+}
+
+// Requesting predict on a server with no configured model is a client
+// error, reported at submit time rather than as a failed job.
+func TestServerPredictWithoutModelRejected(t *testing.T) {
+	_, ts := startServer(t, Config{})
+	spec := testSpec()
+	spec.Predict = true
+	resp, doc := submit(t, ts, spec, "no-model")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("submit: status %d, want 400: %v", resp.StatusCode, doc)
+	}
+	if msg, _ := doc["error"].(string); !strings.Contains(msg, "predict") {
+		t.Errorf("error message does not mention predict: %q", msg)
+	}
+}

@@ -49,6 +49,12 @@ type Spec struct {
 	Format string `json:"format,omitempty"`
 	// Priority orders the queue (higher first, FIFO within equal values).
 	Priority int `json:"priority,omitempty"`
+	// Predict opts the job into the learned fast path: grid cells inside
+	// the configured predictor's confidence gate are answered by the model
+	// (rows labeled source=predicted) instead of simulated; everything
+	// else — including every store hit, which always wins — runs the exact
+	// path unchanged. 400 when the server has no predictor configured.
+	Predict bool `json:"predict,omitempty"`
 }
 
 func (sp Spec) grid() sweep.Grid {
@@ -67,6 +73,10 @@ type Config struct {
 	Store *store.Store
 	// VerifyStore samples store hits and re-simulates them (sweep.Options).
 	VerifyStore bool
+	// Predictor is the learned fast-path model (DESIGN.md §5h) offered to
+	// jobs that set Spec.Predict; nil rejects such jobs with 400. Store
+	// hits still always win, and predicted rows are never persisted.
+	Predictor sweep.Predictor
 	// MaxQueue bounds the job queue; 0 means 64.
 	MaxQueue int
 	// SweepWorkers is the per-job sweep pool size; 0 means GOMAXPROCS.
@@ -202,6 +212,9 @@ func specDigest(sp Spec) string {
 		strings.Join(mbs, ","), strings.Join(sp.Modes, ","))
 	if sp.Iterations > 1 {
 		d += fmt.Sprintf(" iters=%d", sp.Iterations)
+	}
+	if sp.Predict {
+		d += " predict"
 	}
 	return d
 }
@@ -362,6 +375,11 @@ func (s *Server) execute(ctx context.Context, job *JobState) {
 			s.logJob(slog.LevelDebug, "cell.done", job, "done", done, "total", total)
 		},
 	}
+	if job.Spec.Predict {
+		// handleSubmit already rejected predict jobs on a server without a
+		// model, so this is non-nil for every job that reaches here.
+		opts.Predictor = s.cfg.Predictor
+	}
 	endSweep := jobTC.Begin("sweep", telemetry.Attr{Key: "cells", Value: fmt.Sprint(job.gridJobs)})
 	results, err := sweep.RunGrid(ctx, job.Spec.grid(), opts)
 	endSweep(telemetry.Attr{Key: "outcome", Value: outcomeOf(err)})
@@ -473,6 +491,25 @@ func (s *Server) refreshScrapeGauges(reg *telemetry.Registry) {
 	reg.Gauge("server.jobs.tracked").Set(float64(len(s.jobs)))
 	reg.Gauge("server.clients.tracked").Set(float64(len(s.clients)))
 	s.mu.Unlock()
+	if s.cfg.Predictor != nil {
+		// Lifetime fraction of grid cells answered by the learned fast
+		// path across every predict-enabled job (job registries merge into
+		// the server registry at completion).
+		var hits, fallbacks int64
+		for _, c := range reg.Snapshot().Counters {
+			switch c.Name {
+			case "sweep.predict.hits":
+				hits += c.Value
+			case "sweep.predict.fallbacks":
+				fallbacks += c.Value
+			}
+		}
+		if total := hits + fallbacks; total > 0 {
+			reg.Gauge("predict.hit_rate").Set(float64(hits) / float64(total))
+		} else {
+			reg.Gauge("predict.hit_rate").Set(0)
+		}
+	}
 	if st := s.cfg.Store; st != nil {
 		stats := st.Stats()
 		hits := stats.MemHits + stats.DiskHits
@@ -578,6 +615,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	if _, rerr := renderResults(spec.Format, nil); rerr != nil {
 		writeError(w, http.StatusBadRequest, rerr.Error())
+		return
+	}
+	if spec.Predict && s.cfg.Predictor == nil {
+		writeError(w, http.StatusBadRequest, "predict requested but no predictor model is configured (start the server with -predict)")
 		return
 	}
 	client := clientID(r)

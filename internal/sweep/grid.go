@@ -52,7 +52,15 @@ func (j Job) Name() string {
 	return fmt.Sprintf("%s/%s/mb%d/%s", j.Workload, j.Arch, j.Minibatch, j.Mode)
 }
 
-// Result is one completed simulation, keyed by the job that produced it.
+// Result sources distinguish how a row's measurements were obtained: every
+// simulated (or store-replayed) cell is exact; only the learned fast path
+// (Options.Predictor) produces predicted rows.
+const (
+	SourceExact     = "exact"
+	SourcePredicted = "predicted"
+)
+
+// Result is one completed grid point, keyed by the job that produced it.
 type Result struct {
 	Job
 	Cycles       int64
@@ -67,6 +75,21 @@ type Result struct {
 	// fingerprint that makes cross-parallelism determinism checkable from
 	// the table itself.
 	Checksum float32
+
+	// Cycle-stall attribution summed over the chip's CompHeavy tiles
+	// (sim.Stats.AttrTotal, with the tracker-nack/tracker-wait pair folded
+	// into one tracker bucket and drain/idle into other). The five buckets
+	// sum to Cycles × NumCompHeavy tiles — the labels the learned cycle
+	// predictor trains on.
+	AttrCompute int64
+	AttrDMAWait int64
+	AttrTracker int64
+	AttrLink    int64
+	AttrOther   int64
+
+	// Source is SourceExact for simulated or store-replayed measurements
+	// and SourcePredicted for learned fast-path estimates.
+	Source string
 }
 
 // Jobs enumerates and validates the grid.
@@ -278,6 +301,22 @@ func RunGrid(ctx context.Context, g Grid, opts Options) ([]Result, error) {
 				endGet(telemetry.Attr{Key: "outcome", Value: "miss"})
 			}
 		}
+		// Learned fast path: consulted only after the store misses (an
+		// exact answer always beats a predicted one). A confident
+		// prediction skips simulation and store write-back entirely; a
+		// fallback continues on the exact path untouched.
+		if opts.Predictor != nil {
+			endPredict := tc.Begin("predict")
+			if r, ok := predictJob(opts.Predictor, job); ok {
+				endPredict(telemetry.Attr{Key: "outcome", Value: "hit"})
+				if repRegs != nil {
+					repRegs[ci] = telemetry.NewRegistry()
+				}
+				advance(len(classes[ci]))
+				return r, nil
+			}
+			endPredict(telemetry.Attr{Key: "outcome", Value: "fallback"})
+		}
 		var reg *telemetry.Registry
 		if repRegs != nil || opts.Store != nil {
 			// The store path always records the cell's metrics so its blob
@@ -340,6 +379,9 @@ func RunGrid(ctx context.Context, g Grid, opts Options) ([]Result, error) {
 			}
 			recordJobMetrics(opts.Metrics, r)
 		}
+		if opts.Predictor != nil {
+			recordPredictMetrics(opts.Metrics, results)
+		}
 	}
 	return results, nil
 }
@@ -352,7 +394,10 @@ func RunGrid(ctx context.Context, g Grid, opts Options) ([]Result, error) {
 func verifyMemo(ctx context.Context, jobs []Job, classes [][]int, results []Result, opts Options, pool *machinePool) error {
 	var checks []Job
 	for _, members := range classes {
-		if len(members) > 1 {
+		// Predicted cells carry an estimate, not a measurement — there is
+		// nothing exact to compare a re-simulation against, and the label
+		// already declares the row approximate.
+		if len(members) > 1 && results[members[0]].Source != SourcePredicted {
 			checks = append(checks, jobs[members[1]])
 		}
 	}
@@ -559,6 +604,7 @@ func runJob(job Job, reg *telemetry.Registry, pool *machinePool, tc telemetry.Tr
 	for _, v := range c.ReadOutput(m, job.Minibatch-1) {
 		checksum += v
 	}
+	attr := st.AttrTotal()
 	return Result{
 		Job:          job,
 		Cycles:       int64(st.Cycles),
@@ -570,5 +616,11 @@ func runJob(job Job, reg *telemetry.Registry, pool *machinePool, tc telemetry.Tr
 		ExtMemBytes:  st.ExtMemBytes,
 		NACKs:        st.NACKs,
 		Checksum:     checksum,
+		AttrCompute:  int64(attr[sim.AttrCompute]),
+		AttrDMAWait:  int64(attr[sim.AttrDMAWait]),
+		AttrTracker:  int64(attr[sim.AttrTrackNACK] + attr[sim.AttrTrackWait]),
+		AttrLink:     int64(attr[sim.AttrLinkContend]),
+		AttrOther:    int64(attr[sim.AttrDrain] + attr[sim.AttrIdle]),
+		Source:       SourceExact,
 	}, nil
 }

@@ -25,7 +25,7 @@ import (
 
 // storeSchema is bumped on any semantic change to the blob contents or the
 // meaning of existing fields.
-const storeSchema = 1
+const storeSchema = 2 // v2: stall-attribution columns joined the measurements
 
 // runnerSig names the constants runJob bakes into every simulation: the
 // input/golden PRNG seed, the learning rate and the bias policy. Changing
@@ -44,6 +44,11 @@ type measureBlob struct {
 	ExtMemBytes  int64   `json:"ext_mem_bytes"`
 	NACKs        int64   `json:"nacks"`
 	Checksum     float32 `json:"checksum"`
+	AttrCompute  int64   `json:"attr_compute"`
+	AttrDMAWait  int64   `json:"attr_dma_wait"`
+	AttrTracker  int64   `json:"attr_tracker"`
+	AttrLink     int64   `json:"attr_link"`
+	AttrOther    int64   `json:"attr_other"`
 }
 
 // resultBlob is the persisted form of one simulated grid cell: the
@@ -117,6 +122,9 @@ func encodeBlob(job Job, r Result, snap telemetry.Snapshot) ([]byte, error) {
 			PEUtil: r.PEUtil, CompMemBytes: r.CompMemBytes,
 			MemMemBytes: r.MemMemBytes, ExtMemBytes: r.ExtMemBytes,
 			NACKs: r.NACKs, Checksum: r.Checksum,
+			AttrCompute: r.AttrCompute, AttrDMAWait: r.AttrDMAWait,
+			AttrTracker: r.AttrTracker, AttrLink: r.AttrLink,
+			AttrOther: r.AttrOther,
 		},
 		Metrics: snap,
 	})
@@ -150,6 +158,14 @@ func decodeBlob(job Job, payload []byte) (Result, *telemetry.Registry, error) {
 		ExtMemBytes:  m.ExtMemBytes,
 		NACKs:        m.NACKs,
 		Checksum:     m.Checksum,
+		AttrCompute:  m.AttrCompute,
+		AttrDMAWait:  m.AttrDMAWait,
+		AttrTracker:  m.AttrTracker,
+		AttrLink:     m.AttrLink,
+		AttrOther:    m.AttrOther,
+		// The store holds exact measurements only (predicted cells are
+		// never written back), so every replay is exact by construction.
+		Source: SourceExact,
 	}, reg, nil
 }
 

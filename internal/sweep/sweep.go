@@ -70,6 +70,14 @@ type Options struct {
 	// and byte-compares the stored blob against a fresh encoding, failing
 	// the sweep on any difference — the disk extension of VerifyMemo.
 	VerifyStore bool
+	// Predictor, when non-nil, adds the learned fast path above the exact
+	// simulator: a cell the predictor is confident about gets a labeled
+	// predicted result (Result.Source = SourcePredicted) in microseconds
+	// instead of a simulation; everything else — store hits included, which
+	// always win — runs exactly as without a predictor, byte for byte.
+	// Ignored when NoMemo is set, which means "run the exact simulator for
+	// everything" across every tier. See predict.go and DESIGN.md §5h.
+	Predictor Predictor
 	// TileWorkers caps each job's share of the worker pool for within-chip
 	// tile partitioning (sim.Machine.SetTileWorkers): 0 means auto, 1 forces
 	// serial tile simulation. Sweep-level and tile-level parallelism draw

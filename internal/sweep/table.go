@@ -17,6 +17,8 @@ var csvHeader = []string{
 	"workload", "arch", "minibatch", "mode", "iters",
 	"cycles", "instructions", "flops", "pe_util",
 	"comp_mem_bytes", "mem_mem_bytes", "ext_mem_bytes", "nacks", "checksum",
+	"attr_compute", "attr_dma_wait", "attr_tracker", "attr_link", "attr_other",
+	"source",
 }
 
 // WriteCSV renders the results as a CSV table (header + one row per job).
@@ -50,6 +52,12 @@ func WriteCSV(w io.Writer, results []Result) error {
 			strconv.FormatInt(r.ExtMemBytes, 10),
 			strconv.FormatInt(r.NACKs, 10),
 			strconv.FormatFloat(float64(r.Checksum), 'g', -1, 32),
+			strconv.FormatInt(r.AttrCompute, 10),
+			strconv.FormatInt(r.AttrDMAWait, 10),
+			strconv.FormatInt(r.AttrTracker, 10),
+			strconv.FormatInt(r.AttrLink, 10),
+			strconv.FormatInt(r.AttrOther, 10),
+			r.Source,
 		}
 		if err := write(row); err != nil {
 			return err
@@ -74,6 +82,12 @@ type resultJSON struct {
 	ExtMemBytes  int64   `json:"ext_mem_bytes"`
 	NACKs        int64   `json:"nacks"`
 	Checksum     float32 `json:"checksum"`
+	AttrCompute  int64   `json:"attr_compute"`
+	AttrDMAWait  int64   `json:"attr_dma_wait"`
+	AttrTracker  int64   `json:"attr_tracker"`
+	AttrLink     int64   `json:"attr_link"`
+	AttrOther    int64   `json:"attr_other"`
+	Source       string  `json:"source"`
 }
 
 // WriteJSON renders the results as an indented JSON array.
@@ -87,6 +101,9 @@ func WriteJSON(w io.Writer, results []Result) error {
 			PEUtil: r.PEUtil, CompMemBytes: r.CompMemBytes,
 			MemMemBytes: r.MemMemBytes, ExtMemBytes: r.ExtMemBytes,
 			NACKs: r.NACKs, Checksum: r.Checksum,
+			AttrCompute: r.AttrCompute, AttrDMAWait: r.AttrDMAWait,
+			AttrTracker: r.AttrTracker, AttrLink: r.AttrLink,
+			AttrOther: r.AttrOther, Source: r.Source,
 		}
 	}
 	data, err := json.MarshalIndent(rows, "", "  ")
@@ -101,11 +118,11 @@ func WriteJSON(w io.Writer, results []Result) error {
 // FormatText renders a human-readable fixed-width table (sdsweep's default
 // stdout view).
 func FormatText(results []Result) string {
-	out := fmt.Sprintf("%-32s %12s %13s %13s %8s %7s\n",
-		"job", "cycles", "instructions", "FLOPs", "PE-util", "NACKs")
+	out := fmt.Sprintf("%-32s %12s %13s %13s %8s %7s %9s\n",
+		"job", "cycles", "instructions", "FLOPs", "PE-util", "NACKs", "source")
 	for _, r := range results {
-		out += fmt.Sprintf("%-32s %12d %13d %13d %8.3f %7d\n",
-			r.Name(), r.Cycles, r.Instructions, r.FLOPs, r.PEUtil, r.NACKs)
+		out += fmt.Sprintf("%-32s %12d %13d %13d %8.3f %7d %9s\n",
+			r.Name(), r.Cycles, r.Instructions, r.FLOPs, r.PEUtil, r.NACKs, r.Source)
 	}
 	return out
 }

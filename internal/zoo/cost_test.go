@@ -1,0 +1,51 @@
+package zoo_test
+
+import (
+	"testing"
+
+	"scaledeep/internal/dnn"
+	"scaledeep/internal/sweep"
+	"scaledeep/internal/zoo"
+)
+
+// The predictor's features (internal/predict) are built from per-step
+// analytic costs, so a workload whose cost table is silently zero in a step
+// it claims to perform would feed degenerate features into every fit. These
+// tests pin the invariant at the source: every catalog network reports
+// nonzero FLOPs and bytes in all three training steps (FP/BP/WG).
+
+// costCoversAllSteps fails unless every step of the network's analytic cost
+// carries work.
+func costCoversAllSteps(t *testing.T, net *dnn.Network) {
+	t.Helper()
+	c := dnn.NetworkCost(net)
+	for s := dnn.Step(0); s < dnn.NumSteps; s++ {
+		if f := c.StepFLOPs(s); f <= 0 {
+			t.Errorf("%s: step %s has %d FLOPs, want > 0", net.Name, s, f)
+		}
+		if b := c.StepBytes(s); b <= 0 {
+			t.Errorf("%s: step %s has %d bytes, want > 0", net.Name, s, b)
+		}
+	}
+}
+
+func TestZooCostCoversAllSteps(t *testing.T) {
+	for _, net := range zoo.All() {
+		costCoversAllSteps(t, net)
+	}
+	// MiniVGG is not in Names (it is not a Fig. 15 benchmark) but backs the
+	// sweep catalog's minivgg workload; it must satisfy the same invariant.
+	costCoversAllSteps(t, zoo.MiniVGG())
+}
+
+// The sweep catalog — the networks the predictor actually trains on — obeys
+// the same invariant.
+func TestSweepCatalogCostCoversAllSteps(t *testing.T) {
+	for _, name := range sweep.Workloads() {
+		net, err := sweep.BuildWorkload(name)
+		if err != nil {
+			t.Fatalf("catalog workload %s failed to build: %v", name, err)
+		}
+		costCoversAllSteps(t, net)
+	}
+}
