@@ -54,8 +54,15 @@ race:
 # 1/$(PREDICT_MAX_RATIO) = 100x faster per cell. The gate is parallelism-
 # independent (the predict benchmarks report no workers metric), so it is
 # never skipped on single-core runners.
+# The serve benchmarks fire a duplicate-heavy job storm at the sdserve
+# scheduler one job at a time and four jobs wide, and record jobs-per-sec,
+# p95 latency and the single-flight coalescing counts in BENCH_serve.json;
+# the ratio gate asserts the concurrent storm finishes in at most
+# $(SERVE_MAX_RATIO)x the serial wall-clock (>= 2x the throughput) on a
+# multi-core runner, and skips itself on one core via the workers metric.
 TELEMETRY_MAX_RATIO ?= 1.5
 PREDICT_MAX_RATIO ?= 0.01
+SERVE_MAX_RATIO ?= 0.5
 
 bench:
 	$(GO) test -run '^$$' -bench . -skip Chip -benchmem -json ./internal/sim/ > BENCH_sim.json
@@ -81,13 +88,17 @@ bench:
 	@grep -o '"Output":"Benchmark[^"]*' BENCH_predict.json | sed 's/"Output":"//;s/\\t/\t/g;s/\\n//' || true
 	@echo "wrote BENCH_predict.json"
 	$(GO) run ./cmd/sdbenchdiff -ratio PredictCellFast/PredictCellExact -max-ratio $(PREDICT_MAX_RATIO) BENCH_predict.json
+	$(GO) test -run '^$$' -bench ServeStorm -json ./internal/server/ > BENCH_serve.json
+	@grep -o '"Output":"Benchmark[^"]*' BENCH_serve.json | sed 's/"Output":"//;s/\\t/\t/g;s/\\n//' || true
+	@echo "wrote BENCH_serve.json"
+	$(GO) run ./cmd/sdbenchdiff -ratio ServeStormConcurrent/ServeStormSerial -max-ratio $(SERVE_MAX_RATIO) BENCH_serve.json
 
 # benchdiff prints a benchstat-style before/after table for each committed
 # BENCH file against its freshly regenerated counterpart. Run `make bench`
 # first; with the working tree clean, `git stash`-style comparison is just
 # `git show HEAD:BENCH_sim.json > old.json && make benchdiff OLD=old.json`.
 benchdiff:
-	@for f in BENCH_sim BENCH_sweep BENCH_memo BENCH_tensor BENCH_store BENCH_chip BENCH_predict; do \
+	@for f in BENCH_sim BENCH_sweep BENCH_memo BENCH_tensor BENCH_store BENCH_chip BENCH_predict BENCH_serve; do \
 		if git show HEAD:$$f.json > /tmp/$$f.base.json 2>/dev/null; then \
 			echo "== $$f: HEAD vs working tree =="; \
 			$(GO) run ./cmd/sdbenchdiff /tmp/$$f.base.json $$f.json; \

@@ -8,14 +8,16 @@
 //
 //	sdserve [-addr :6060] [-store-dir DIR] [-store-max-mb N] \
 //	        [-queue N] [-rate R] [-burst N] [-max-clients N] \
-//	        [-parallel N] [-tile-workers N] [-verify-store] [-kernel-workers N] \
-//	        [-predict model.json] \
+//	        [-max-concurrent N] [-parallel N] [-tile-workers N] \
+//	        [-verify-store] [-kernel-workers N] [-predict model.json] \
 //	        [-log-out PATH|-] [-log-level LEVEL] [-max-jobs N] [-flight N]
 //
 // API:
 //
 //	POST /jobs            submit a sweep spec, returns a job ID (202)
-//	GET  /jobs            list all jobs with live progress documents
+//	GET  /jobs            list all jobs with live progress documents and
+//	                      ages (?state=queued|running|done|failed|cancelled,
+//	                      or ?state=active for queued+running)
 //	GET  /jobs/{id}       one job's status + progress
 //	GET  /jobs/{id}/result  the rendered table once the job is done
 //	GET  /jobs/{id}/trace   the job's Perfetto-loadable span timeline
@@ -26,6 +28,14 @@
 //	                      (/metrics serves OpenMetrics text under
 //	                      Accept: application/openmetrics-text or
 //	                      ?format=openmetrics)
+//
+// Jobs run concurrently: up to -max-concurrent at a time (default
+// min(4, cores); 1 restores the serial scheduler), dequeued highest
+// priority first. All concurrent jobs carve their sweep, tile and kernel
+// workers out of one machine-wide worker budget, so concurrency never
+// oversubscribes the cores, and jobs racing on the same grid cell coalesce
+// through the store's single-flight layer — one simulates, the rest share
+// its exact bytes. Results are byte-identical at any -max-concurrent.
 //
 // With -predict, the server loads a learned cycle-predictor model (fit
 // with sdpredict) and offers it to jobs that set "predict": true in their
@@ -47,8 +57,8 @@
 //	curl -s localhost:6060/jobs/job-000001/result
 //
 // SIGINT/SIGTERM drains gracefully: the listener stops accepting, queued
-// jobs are cancelled, the running job finishes, in-flight responses
-// complete, and the store index is flushed.
+// jobs are cancelled, running jobs finish, in-flight responses complete,
+// and the store index is flushed.
 package main
 
 import (
@@ -73,6 +83,7 @@ func main() {
 	storeDir := flag.String("store-dir", "", "persistent result-store directory (empty = no persistence)")
 	storeMaxMB := flag.Int("store-max-mb", 0, "result-store size bound in MiB (0 = 256 MiB default)")
 	queueMax := flag.Int("queue", 64, "job queue bound; submissions past it get 503")
+	maxConcurrent := flag.Int("max-concurrent", 0, "jobs run simultaneously (0 = min(4, cores), 1 = serial scheduler); concurrent jobs split one machine-wide worker budget, results are byte-identical at any value")
 	rate := flag.Float64("rate", 1, "per-client submission rate (jobs/second)")
 	burst := flag.Int("burst", 8, "per-client submission burst")
 	parallel := flag.Int("parallel", 0, "per-job sweep worker-pool size (0 = GOMAXPROCS)")
@@ -121,18 +132,19 @@ func main() {
 	}
 
 	srv := server.New(server.Config{
-		Store:        st,
-		VerifyStore:  *verifyStore,
-		Predictor:    predictorOrNil(model),
-		MaxQueue:     *queueMax,
-		SweepWorkers: *parallel,
-		TileWorkers:  *tileWorkers,
-		RatePerSec:   *rate,
-		Burst:        *burst,
-		MaxClients:   *maxClients,
-		Logger:       logger,
-		MaxJobs:      *maxJobs,
-		FlightN:      *flightN,
+		Store:         st,
+		VerifyStore:   *verifyStore,
+		Predictor:     predictorOrNil(model),
+		MaxQueue:      *queueMax,
+		MaxConcurrent: *maxConcurrent,
+		SweepWorkers:  *parallel,
+		TileWorkers:   *tileWorkers,
+		RatePerSec:    *rate,
+		Burst:         *burst,
+		MaxClients:    *maxClients,
+		Logger:        logger,
+		MaxJobs:       *maxJobs,
+		FlightN:       *flightN,
 	})
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -145,7 +157,7 @@ func main() {
 	fmt.Fprintf(os.Stderr, "sdserve listening on http://%s (POST /jobs, GET /jobs/{id}, /results/{key}, /store, /metrics)\n", bs.Addr())
 
 	<-ctx.Done()
-	fmt.Fprintln(os.Stderr, "sdserve: draining (queued jobs cancelled, running job finishing)")
+	fmt.Fprintln(os.Stderr, "sdserve: draining (queued jobs cancelled, running jobs finishing)")
 	dctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := bs.Shutdown(dctx); err != nil {

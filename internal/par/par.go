@@ -19,12 +19,20 @@
 // draws every goroutine from the same pool, and whichever layer asks first
 // gets the larger share. Since block boundaries never affect results, any
 // split produces identical output.
+//
+// The same budget arbitrates across concurrent JOBS, not just nested calls:
+// Acquire/Release expose the token counter to coarser schedulers (the sweep
+// engine leases its long-lived cell workers from it), and AcquireSeat lets a
+// job scheduler charge each concurrent job's implicit first worker against
+// the budget, so N jobs × sweep workers × tile workers × kernel workers all
+// sum to at most Workers() live goroutines machine-wide.
 package par
 
 import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // workers is the configured pool width. 0 means GOMAXPROCS.
@@ -80,6 +88,47 @@ func acquire(want int) int {
 func release(n int) {
 	if n > 0 {
 		borrowed.Add(int64(-n))
+	}
+}
+
+// Acquire borrows up to want extra-worker tokens from the machine-wide
+// budget and returns how many it got (possibly zero; never blocks). It is
+// the cross-layer arbitration primitive behind For: exported so coarser
+// schedulers — the sweep engine leasing long-lived cell workers, the
+// sdserve job scheduler admitting concurrent jobs — draw their goroutines
+// from the same budget the nested kernel/tile For calls use, instead of
+// stacking independent pools on top of each other. Every token taken with
+// Acquire must be returned with Release.
+func Acquire(want int) int { return acquire(want) }
+
+// Release returns n tokens previously taken with Acquire (or AcquireSeat).
+func Release(n int) { release(n) }
+
+// seatPoll is how often AcquireSeat re-checks the budget. Tokens are
+// returned without notification (a lock-free counter), so waiting is a
+// poll; the interval is far below any simulation's cell time, so a freed
+// token is claimed promptly without measurable spin.
+const seatPoll = time.Millisecond
+
+// AcquireSeat blocks until one extra-worker token is free and takes it, or
+// until cancel is closed; it reports whether the token was acquired. This
+// is the cross-JOB arbitration entry point: a scheduler that already has
+// one job running must seat each additional concurrent job's implicit
+// first worker in the shared budget, so the total number of live workers
+// across all jobs — implicit callers plus every token-borrowing For/lease —
+// never exceeds Workers(). Long-lived borrowers (the sweep engine's leased
+// cell workers) yield their tokens between work items, so a seat request
+// starves no longer than one cell.
+func AcquireSeat(cancel <-chan struct{}) bool {
+	for {
+		if acquire(1) == 1 {
+			return true
+		}
+		select {
+		case <-cancel:
+			return false
+		case <-time.After(seatPoll):
+		}
 	}
 }
 

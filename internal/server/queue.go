@@ -2,6 +2,7 @@ package server
 
 import (
 	"container/heap"
+	"math"
 	"time"
 )
 
@@ -79,4 +80,20 @@ func (b *bucket) take(now time.Time, rate float64, burst int) bool {
 	}
 	b.tokens--
 	return true
+}
+
+// retryAfter reports, in whole seconds (minimum 1, the Retry-After header
+// granularity), how long until the bucket refills to one token — the honest
+// backoff hint for a 429. Call right after a failed take: tokens and last
+// are already refreshed to now.
+func (b *bucket) retryAfter(rate float64) int {
+	if rate <= 0 {
+		return 1
+	}
+	wait := (1 - b.tokens) / rate
+	secs := int(math.Ceil(wait))
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
 }

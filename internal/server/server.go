@@ -10,14 +10,22 @@
 //   - POST /jobs with a JSON sweep spec returns a job ID immediately. The
 //     queue is bounded (503 when full) and submissions are rate-limited
 //     per client with a token bucket (429 past the burst).
-//   - Jobs execute one at a time, highest priority first (FIFO within a
-//     priority); each job's sweep shards across the configured worker
-//     count, so the machine's cores go to the running job instead of
-//     thrashing across many.
+//   - Jobs execute up to MaxConcurrent at a time (default min(4, cores);
+//     1 restores the strictly serial scheduler), dequeued highest priority
+//     first (FIFO within a priority). Every job's sweep, tile and kernel
+//     workers — and the scheduler's own admission of each concurrent job
+//     past the first — are carved out of the single machine-wide
+//     internal/par token budget, so N concurrent jobs split the cores
+//     instead of oversubscribing them N-fold. Results are byte-identical
+//     at every MaxConcurrent.
 //   - Repeated configurations — the bulk of production traffic — hit the
 //     persistent store's memory or disk tier and return in microseconds;
-//     the exact simulator runs only for genuinely novel cells.
-//   - Drain stops dequeuing, cancels queued jobs, and waits for the
+//     the exact simulator runs only for genuinely novel cells. Concurrent
+//     jobs racing on the same cell key coalesce through the store's
+//     single-flight layer: one leader simulates, the rest share its exact
+//     bytes (store.GetOrCompute, surfaced as store.singleflight.coalesced
+//     in /metrics).
+//   - Drain stops dequeuing, cancels queued jobs, and waits for every
 //     running job — graceful SIGTERM is Drain plus http.Server.Shutdown
 //     (cmd/sdserve wires both).
 package server
@@ -29,10 +37,12 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"runtime"
 	"strings"
 	"sync"
 	"time"
 
+	"scaledeep/internal/par"
 	"scaledeep/internal/store"
 	"scaledeep/internal/sweep"
 	"scaledeep/internal/telemetry"
@@ -79,7 +89,17 @@ type Config struct {
 	Predictor sweep.Predictor
 	// MaxQueue bounds the job queue; 0 means 64.
 	MaxQueue int
-	// SweepWorkers is the per-job sweep pool size; 0 means GOMAXPROCS.
+	// MaxConcurrent is the number of jobs the scheduler runs simultaneously;
+	// 0 means min(4, NumCPU) and 1 restores the strictly serial scheduler.
+	// Every job past the first must additionally seat its implicit worker in
+	// the shared internal/par budget before it starts, so the effective
+	// concurrency never oversubscribes the machine even when MaxConcurrent
+	// exceeds the core count. Results are byte-identical at every setting.
+	MaxConcurrent int
+	// SweepWorkers is the per-job sweep pool size each job *requests*; 0
+	// means GOMAXPROCS. Workers beyond each job's first are leased from the
+	// shared internal/par budget (sweep.Options.BudgetWorkers), so
+	// concurrent jobs split the pool instead of stacking it.
 	SweepWorkers int
 	// TileWorkers caps each job's within-chip tile partitioning share
 	// (sweep.Options.TileWorkers): 0 means auto, 1 forces serial tile
@@ -151,7 +171,9 @@ type Server struct {
 	clients     map[string]*bucket
 	clientClock int64
 	nextSeq     int64
+	running     int // jobs currently executing (scheduler slots in use)
 	drain       bool
+	drainCh     chan struct{} // closed when draining begins (unblocks seat waits)
 	runWG       sync.WaitGroup
 }
 
@@ -159,6 +181,12 @@ type Server struct {
 func New(cfg Config) *Server {
 	if cfg.MaxQueue == 0 {
 		cfg.MaxQueue = 64
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 4
+		if n := runtime.NumCPU(); n < cfg.MaxConcurrent {
+			cfg.MaxConcurrent = n
+		}
 	}
 	if cfg.RatePerSec == 0 {
 		cfg.RatePerSec = 1
@@ -186,6 +214,7 @@ func New(cfg Config) *Server {
 		queue:   jobQueue{max: cfg.MaxQueue},
 		jobs:    map[string]*JobState{},
 		clients: map[string]*bucket{},
+		drainCh: make(chan struct{}),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	return s
@@ -295,9 +324,14 @@ func (s *Server) Start(ctx context.Context) {
 
 // drainLocked flips the server into draining mode and cancels every queued
 // job. New submissions are rejected from this point (handleSubmit checks
-// the flag); the running job, if any, finishes. Callers hold s.mu.
+// the flag); running jobs finish. Idempotent — Start's context hook and an
+// explicit Drain may both fire. Callers hold s.mu.
 func (s *Server) drainLocked() {
+	if s.drain {
+		return
+	}
 	s.drain = true
+	close(s.drainCh) // wakes the dispatcher out of any par-seat wait
 	for {
 		job := s.queue.dequeue()
 		if job == nil {
@@ -315,9 +349,9 @@ func (s *Server) drainLocked() {
 	s.cond.Broadcast()
 }
 
-// Drain stops dequeuing, cancels every queued job, and blocks until the
-// running job (if any) finishes — the SIGTERM half of graceful shutdown;
-// the HTTP listener's own Shutdown handles in-flight responses.
+// Drain stops dequeuing, cancels every queued job, and blocks until every
+// running job finishes — the SIGTERM half of graceful shutdown; the HTTP
+// listener's own Shutdown handles in-flight responses.
 func (s *Server) Drain() {
 	s.mu.Lock()
 	s.drainLocked()
@@ -325,22 +359,76 @@ func (s *Server) Drain() {
 	s.runWG.Wait()
 }
 
+// runLoop is the scheduler's dispatcher: it admits queued jobs into up to
+// MaxConcurrent running slots, highest priority first. The first running
+// job rides the machine's implicit worker for free; every additional
+// concurrent job must first seat its own implicit worker by winning a token
+// from the shared internal/par budget (par.AcquireSeat), so total live
+// workers across all jobs never exceed par.Workers() — the scheduler and
+// the sweep pools arbitrate over one budget instead of stacking pools.
+// The seat is released when the job finishes (runJob).
 func (s *Server) runLoop(ctx context.Context) {
 	defer s.runWG.Done()
 	for {
 		s.mu.Lock()
-		for s.queue.Len() == 0 && !s.drain {
+		for (s.queue.Len() == 0 || s.running >= s.cfg.MaxConcurrent) && !s.drain {
 			s.cond.Wait()
 		}
 		if s.drain {
-			// drainLocked already cancelled the queued jobs.
+			// drainLocked already cancelled the queued jobs; running jobs
+			// drain through runWG.
 			s.mu.Unlock()
 			return
+		}
+		needSeat := s.running > 0
+		s.mu.Unlock()
+
+		// Seat the candidate's implicit worker outside the lock: the wait can
+		// last a whole grid cell (leased sweep workers yield their tokens at
+		// cell boundaries), and handlers must stay responsive meanwhile. The
+		// wait re-checks admission every poll round — if the last running job
+		// finishes first, no seat is needed at all (on a one-core machine the
+		// budget is permanently empty, so this is the only way the next job
+		// ever starts); if the queue empties or a drain begins, admission is
+		// off. Either way the dispatcher loops back and re-evaluates.
+		seat := 0
+		if needSeat {
+			for {
+				if par.Acquire(1) == 1 {
+					seat = 1
+					break
+				}
+				select {
+				case <-s.drainCh:
+				case <-time.After(time.Millisecond):
+				}
+				s.mu.Lock()
+				changed := s.drain || s.queue.Len() == 0 ||
+					s.running == 0 || s.running >= s.cfg.MaxConcurrent
+				s.mu.Unlock()
+				if changed {
+					break
+				}
+			}
+			if seat == 0 {
+				continue // conditions changed; re-evaluate from the top
+			}
+		}
+
+		s.mu.Lock()
+		// Re-validate under the lock: a drain may have started or the queue
+		// may have emptied while this goroutine waited for a seat.
+		if s.drain || s.queue.Len() == 0 || s.running >= s.cfg.MaxConcurrent {
+			s.mu.Unlock()
+			par.Release(seat)
+			continue
 		}
 		job := s.queue.dequeue()
 		job.state = "running"
 		job.dequeued = s.cfg.now()
+		s.running++
 		s.reg.Gauge("server.queue.depth").Set(float64(s.queue.Len()))
+		s.reg.Gauge("server.jobs.running").Set(float64(s.running))
 		if job.trace != nil {
 			// The queue-wait span covers submit → dequeue on the job lane.
 			job.trace.Context(telemetry.LaneJob, "job").
@@ -349,9 +437,23 @@ func (s *Server) runLoop(ctx context.Context) {
 		s.logJob(slog.LevelInfo, "job.started", job,
 			"cells", job.gridJobs,
 			"queue_ms", job.dequeued.Sub(job.submitted).Milliseconds())
+		s.runWG.Add(1)
+		go s.runJob(ctx, job, seat)
 		s.mu.Unlock()
-		s.execute(ctx, job)
 	}
+}
+
+// runJob executes one admitted job and returns its scheduler slot (and par
+// seat, if it held one) when done.
+func (s *Server) runJob(ctx context.Context, job *JobState, seat int) {
+	defer s.runWG.Done()
+	s.execute(ctx, job)
+	par.Release(seat)
+	s.mu.Lock()
+	s.running--
+	s.reg.Gauge("server.jobs.running").Set(float64(s.running))
+	s.cond.Broadcast()
+	s.mu.Unlock()
 }
 
 // execute runs one job's sweep and records the outcome.
@@ -363,12 +465,15 @@ func (s *Server) execute(ctx context.Context, job *JobState) {
 		jobTC = job.trace.Context(telemetry.LaneJob, "job")
 	}
 	opts := sweep.Options{
-		Workers:     s.cfg.SweepWorkers,
-		TileWorkers: s.cfg.TileWorkers,
-		Metrics:     reg,
-		Store:       s.cfg.Store,
-		VerifyStore: s.cfg.VerifyStore,
-		Trace:       job.trace,
+		Workers: s.cfg.SweepWorkers,
+		// Lease extra sweep workers from the shared par budget so concurrent
+		// jobs split one core budget (see the runLoop comment).
+		BudgetWorkers: true,
+		TileWorkers:   s.cfg.TileWorkers,
+		Metrics:       reg,
+		Store:         s.cfg.Store,
+		VerifyStore:   s.cfg.VerifyStore,
+		Trace:         job.trace,
 		Progress: func(done, total int) {
 			job.prog.Set([]byte(fmt.Sprintf(`{"state":"running","done":%d,"total":%d,"elapsed_ms":%d}`,
 				done, total, s.cfg.now().Sub(start).Milliseconds())))
@@ -488,6 +593,7 @@ func (s *Server) Mux() http.Handler {
 func (s *Server) refreshScrapeGauges(reg *telemetry.Registry) {
 	s.mu.Lock()
 	reg.Gauge("server.queue.depth").Set(float64(s.queue.Len()))
+	reg.Gauge("server.jobs.running").Set(float64(s.running))
 	reg.Gauge("server.jobs.tracked").Set(float64(len(s.jobs)))
 	reg.Gauge("server.clients.tracked").Set(float64(len(s.clients)))
 	s.mu.Unlock()
@@ -520,6 +626,9 @@ func (s *Server) refreshScrapeGauges(reg *telemetry.Registry) {
 		}
 		reg.Gauge("store.blobs").Set(float64(st.Len()))
 		reg.Gauge("store.size_bytes").Set(float64(st.SizeBytes()))
+		// Cross-job single-flight activity: payloads shared from a concurrent
+		// leader instead of re-simulated (DESIGN.md §5i).
+		reg.Gauge("store.singleflight.coalesced").Set(float64(stats.Coalesced))
 	}
 }
 
@@ -626,14 +735,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	if s.drain {
 		s.mu.Unlock()
+		// A draining daemon is going away; point clients at its replacement's
+		// usual startup window rather than a tight retry loop.
+		w.Header().Set("Retry-After", "30")
 		writeError(w, http.StatusServiceUnavailable, "server draining")
 		return
 	}
 	b := s.touchClientLocked(client)
 	if !b.take(s.cfg.now(), s.cfg.RatePerSec, s.cfg.Burst) {
+		retry := b.retryAfter(s.cfg.RatePerSec)
 		s.reg.Counter("server.jobs.rejected.rate_limited").Inc()
 		s.mu.Unlock()
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", fmt.Sprint(retry))
 		writeError(w, http.StatusTooManyRequests, "rate limit exceeded for client "+client)
 		return
 	}
@@ -655,6 +768,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if !s.queue.enqueue(job) {
 		s.reg.Counter("server.jobs.rejected.queue_full").Inc()
 		s.mu.Unlock()
+		// Queue pressure clears at job-completion cadence, not token-refill
+		// cadence — a short fixed backoff is the honest hint.
+		w.Header().Set("Retry-After", "5")
 		writeError(w, http.StatusServiceUnavailable, "job queue full")
 		return
 	}
@@ -676,27 +792,31 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// jobDoc is the GET /jobs/{id} response shape.
+// jobDoc is the GET /jobs/{id} response shape (and one row of GET /jobs).
 type jobDoc struct {
 	ID        string          `json:"id"`
 	Client    string          `json:"client"`
 	State     string          `json:"state"`
 	Priority  int             `json:"priority"`
 	Jobs      int             `json:"jobs"`
+	AgeMS     int64           `json:"age_ms"`
 	Progress  json.RawMessage `json:"progress"`
 	Error     string          `json:"error,omitempty"`
 	ResultURL string          `json:"result_url,omitempty"`
 	TraceURL  string          `json:"trace_url,omitempty"`
 }
 
-// docLocked renders a job's status document. Callers hold s.mu.
-func (j *JobState) docLocked() jobDoc {
+// docLocked renders a job's status document. now stamps the job's age so a
+// /jobs listing shows how long each entry has been in the system. Callers
+// hold s.mu.
+func (j *JobState) docLocked(now time.Time) jobDoc {
 	doc := jobDoc{
 		ID:       j.ID,
 		Client:   j.Client,
 		State:    j.state,
 		Priority: j.Priority,
 		Jobs:     j.gridJobs,
+		AgeMS:    now.Sub(j.submitted).Milliseconds(),
 		Error:    j.errMsg,
 	}
 	if prog, err := j.prog.Get(); err == nil {
@@ -716,7 +836,7 @@ func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.jobs[r.PathValue("id")]
 	var doc jobDoc
 	if ok {
-		doc = job.docLocked()
+		doc = job.docLocked(s.cfg.now())
 	}
 	s.mu.Unlock()
 	if !ok {
@@ -726,11 +846,36 @@ func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, doc)
 }
 
+// handleList serves the job table in submission order: every tracked job's
+// id, client, state, priority, cell count and age. ?state= narrows it to
+// one lifecycle state ("queued", "running", "done", "failed", "cancelled"),
+// or "active" for queued-plus-running — the operator's what-is-the-daemon-
+// doing-right-now view of the concurrent scheduler.
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	filter := r.URL.Query().Get("state")
+	switch filter {
+	case "", "active", "queued", "running", "done", "failed", "cancelled":
+	default:
+		writeError(w, http.StatusBadRequest, "unknown state filter "+filter)
+		return
+	}
+	now := s.cfg.now()
 	s.mu.Lock()
 	docs := make([]jobDoc, 0, len(s.order))
 	for _, id := range s.order {
-		docs = append(docs, s.jobs[id].docLocked())
+		job := s.jobs[id]
+		switch filter {
+		case "":
+		case "active":
+			if job.state != "queued" && job.state != "running" {
+				continue
+			}
+		default:
+			if job.state != filter {
+				continue
+			}
+		}
+		docs = append(docs, job.docLocked(now))
 	}
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, docs)
@@ -798,6 +943,7 @@ func (s *Server) handleStoreStats(w http.ResponseWriter, r *http.Request) {
 		"puts":       st.Puts,
 		"evictions":  st.Evictions,
 		"corrupt":    st.Corrupt,
+		"coalesced":  st.Coalesced,
 	})
 }
 

@@ -66,6 +66,7 @@ type Stats struct {
 	Puts      int64 // blobs written
 	Evictions int64 // blobs evicted by the size bound
 	Corrupt   int64 // blobs that failed framing checks and were quarantined
+	Coalesced int64 // payloads shared from a concurrent GetOrCompute leader
 }
 
 type entry struct {
@@ -88,6 +89,7 @@ type Store struct {
 	mu      sync.Mutex
 	entries map[string]*entry
 	mem     map[string][]byte
+	flights map[string]*flight // in-progress GetOrCompute leaders by key
 	seq     int64
 	size    int64
 	stats   Stats

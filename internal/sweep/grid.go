@@ -10,6 +10,7 @@ import (
 	"scaledeep/internal/compiler"
 	"scaledeep/internal/dnn"
 	"scaledeep/internal/sim"
+	"scaledeep/internal/store"
 	"scaledeep/internal/telemetry"
 	"scaledeep/internal/tensor"
 	"scaledeep/internal/zoo"
@@ -317,13 +318,64 @@ func RunGrid(ctx context.Context, g Grid, opts Options) ([]Result, error) {
 			}
 			endPredict(telemetry.Attr{Key: "outcome", Value: "fallback"})
 		}
-		var reg *telemetry.Registry
-		if repRegs != nil || opts.Store != nil {
-			// The store path always records the cell's metrics so its blob
-			// serves future runs that do ask for metrics.
-			reg = telemetry.NewRegistry()
+		if opts.Store != nil {
+			// The exact path runs under the store's single-flight layer:
+			// concurrent jobs racing on this key elect one leader to
+			// simulate and persist while the rest share the leader's bytes.
+			// A coalesced payload is decoded exactly like a store hit —
+			// decode(encode(x)) == x is the §5f round-trip property — so
+			// coalescing can change wall-clock time only, never a result.
+			var (
+				leadResult Result
+				leadReg    *telemetry.Registry
+			)
+			endFlight := tc.Begin("store.flight")
+			payload, outcome, err := opts.Store.GetOrCompute(ctx, key, func() ([]byte, error) {
+				// The blob always carries the cell's metrics snapshot so it
+				// serves future runs that do ask for metrics.
+				leadReg = telemetry.NewRegistry()
+				endSim := tc.Begin("simulate", telemetry.Attr{Key: "replicas", Value: fmt.Sprint(len(classes[ci]))})
+				r, err := runJob(job, leadReg, pool, tc, opts.TileWorkers)
+				endSim(telemetry.Attr{Key: "outcome", Value: outcomeOf(err)})
+				if err != nil {
+					return nil, err
+				}
+				leadResult = r
+				p, err := encodeBlob(job, r, leadReg.Snapshot())
+				if err != nil {
+					return nil, err
+				}
+				endPut := tc.Begin("store.put")
+				err = opts.Store.Put(key, p)
+				endPut(telemetry.Attr{Key: "outcome", Value: outcomeOf(err)})
+				return p, err
+			})
+			if err != nil {
+				endFlight(telemetry.Attr{Key: "outcome", Value: "error"})
+				return Result{}, err
+			}
+			if outcome == store.FlightCoalesced {
+				endFlight(telemetry.Attr{Key: "outcome", Value: "coalesced"})
+				r, reg, derr := decodeBlob(job, payload)
+				if derr != nil {
+					return Result{}, derr
+				}
+				if repRegs != nil {
+					repRegs[ci] = reg
+				}
+				advance(len(classes[ci]))
+				return r, nil
+			}
+			endFlight(telemetry.Attr{Key: "outcome", Value: "computed"})
+			if repRegs != nil {
+				repRegs[ci] = leadReg
+			}
+			advance(len(classes[ci]))
+			return leadResult, nil
 		}
+		var reg *telemetry.Registry
 		if repRegs != nil {
+			reg = telemetry.NewRegistry()
 			repRegs[ci] = reg
 		}
 		endSim := tc.Begin("simulate", telemetry.Attr{Key: "replicas", Value: fmt.Sprint(len(classes[ci]))})
@@ -331,18 +383,6 @@ func RunGrid(ctx context.Context, g Grid, opts Options) ([]Result, error) {
 		endSim(telemetry.Attr{Key: "outcome", Value: outcomeOf(err)})
 		if err != nil {
 			return r, err
-		}
-		if opts.Store != nil {
-			payload, err := encodeBlob(job, r, reg.Snapshot())
-			if err != nil {
-				return Result{}, err
-			}
-			endPut := tc.Begin("store.put")
-			err = opts.Store.Put(key, payload)
-			endPut(telemetry.Attr{Key: "outcome", Value: outcomeOf(err)})
-			if err != nil {
-				return Result{}, err
-			}
 		}
 		advance(len(classes[ci]))
 		return r, nil

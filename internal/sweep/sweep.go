@@ -29,6 +29,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"scaledeep/internal/par"
 	"scaledeep/internal/store"
 	"scaledeep/internal/telemetry"
 )
@@ -78,6 +79,17 @@ type Options struct {
 	// Ignored when NoMemo is set, which means "run the exact simulator for
 	// everything" across every tier. See predict.go and DESIGN.md §5h.
 	Predictor Predictor
+	// BudgetWorkers leases this run's extra workers from the machine-wide
+	// internal/par token budget instead of spawning Workers goroutines
+	// unconditionally: the calling goroutine always works (so every run
+	// makes progress), extra workers run only while a token is held, and
+	// each leased worker yields its token between cells so concurrent runs
+	// — and the job scheduler's seats for additional concurrent jobs —
+	// re-arbitrate at cell granularity. sdserve sets this for every job so
+	// N concurrent jobs carve one core budget instead of oversubscribing
+	// the machine N-fold. Worker count never affects results (see Run), so
+	// the leasing changes wall-clock behavior only.
+	BudgetWorkers bool
 	// TileWorkers caps each job's share of the worker pool for within-chip
 	// tile partitioning (sim.Machine.SetTileWorkers): 0 means auto, 1 forces
 	// serial tile simulation. Sweep-level and tile-level parallelism draw
@@ -127,32 +139,66 @@ func Run(ctx context.Context, n int, opts Options, fn func(ctx context.Context, 
 	if opts.Metrics != nil {
 		regs = make([]*telemetry.Registry, n)
 	}
-	for w := 0; w < opts.workers(n); w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n || ctx.Err() != nil {
+	// worker claims and runs cells until the index space or the context is
+	// exhausted. A leased worker (BudgetWorkers) owns one par token while it
+	// works and yields it between cells, so a concurrent run — or a job
+	// scheduler seating another job — can win the token at cell granularity;
+	// when the re-acquire loses, the worker retires and its remaining cells
+	// drain through the survivors. Cell results are keyed by index either
+	// way, so worker attrition never affects output.
+	worker := func(leased bool) {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n || ctx.Err() != nil {
+				if leased {
+					par.Release(1)
+				}
+				return
+			}
+			var reg *telemetry.Registry
+			if regs != nil {
+				reg = telemetry.NewRegistry()
+				regs[i] = reg
+			}
+			if err := fn(ctx, i, reg); err != nil {
+				errs[i] = err
+				cancel()
+			}
+			if opts.Progress != nil {
+				mu.Lock()
+				done++
+				opts.Progress(done, n)
+				mu.Unlock()
+			}
+			if leased {
+				par.Release(1)
+				if par.Acquire(1) == 0 {
 					return
 				}
-				var reg *telemetry.Registry
-				if regs != nil {
-					reg = telemetry.NewRegistry()
-					regs[i] = reg
-				}
-				if err := fn(ctx, i, reg); err != nil {
-					errs[i] = err
-					cancel()
-				}
-				if opts.Progress != nil {
-					mu.Lock()
-					done++
-					opts.Progress(done, n)
-					mu.Unlock()
-				}
 			}
-		}()
+		}
+	}
+	if opts.BudgetWorkers {
+		extra := par.Acquire(opts.workers(n) - 1)
+		for w := 0; w < extra; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				worker(true)
+			}()
+		}
+		// The calling goroutine is the run's implicit first worker: it holds
+		// no token (the scheduler admitting this job accounted for it), so
+		// every run progresses even with the budget exhausted.
+		worker(false)
+	} else {
+		for w := 0; w < opts.workers(n); w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				worker(false)
+			}()
+		}
 	}
 	wg.Wait()
 
